@@ -1,0 +1,100 @@
+"""E9 — Theorem 4's structural lemma: parent paths are always chordless.
+
+"Macro ``Potential_p`` implies that our algorithm creates only chordless
+ParentPaths."  The bench runs waves on chord-rich topologies under an
+asynchronous daemon, checks *every* root-anchored parent path in *every*
+traversed configuration for chordlessness, and reports the built height
+against the chordless-path upper bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import definitions as defs
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.core.state import Phase
+from repro.graphs import (
+    complete,
+    compute_metrics,
+    is_chordless_path,
+    lollipop,
+    petersen,
+    random_connected,
+    wheel,
+)
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E9 — chordless parent paths (checked on every traversed configuration)",
+    columns=[
+        "topology",
+        "paths checked",
+        "chord violations",
+        "max h built",
+        "chordless bound",
+    ],
+)
+
+NETWORKS = [
+    complete(10),
+    wheel(12),
+    petersen(),
+    lollipop(6, 6),
+    random_connected(12, 0.35, seed=7),
+    random_connected(12, 0.6, seed=7),
+]
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+def test_parent_paths_chordless(net, benchmark) -> None:
+    protocol = SnapPif.for_network(net)
+    metrics = compute_metrics(net)
+
+    def run() -> tuple[int, int, int]:
+        checked = violations = 0
+        max_height = 0
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(
+            protocol,
+            net,
+            DistributedRandomDaemon(0.6),
+            seed=13,
+            monitors=[monitor],
+        )
+        while len(monitor.completed_cycles) < 3 and sim.steps < 30_000:
+            sim.step()
+            config = sim.configuration
+            for node in net.nodes:
+                state = config[node]
+                if state.pif is Phase.C:  # type: ignore[union-attr]
+                    continue
+                path = defs.parent_path(config, net, protocol.constants, node)
+                if path is None or path[-1] != protocol.root:
+                    continue
+                checked += 1
+                if not is_chordless_path(net, path):
+                    violations += 1
+        for cycle in monitor.completed_cycles:
+            max_height = max(max_height, cycle.height)
+        return checked, violations, max_height
+
+    checked, violations, max_height = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    TABLE.add(
+        {
+            "topology": net.name,
+            "paths checked": checked,
+            "chord violations": violations,
+            "max h built": max_height,
+            "chordless bound": metrics.longest_chordless_from_root,
+        }
+    )
+    assert checked > 0
+    assert violations == 0
+    assert max_height <= metrics.longest_chordless_from_root

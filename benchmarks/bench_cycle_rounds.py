@@ -1,0 +1,94 @@
+"""E1 — Theorem 4: a PIF cycle from the clean configuration takes ≤ 5h+5 rounds.
+
+Paper claim: starting from an SBN configuration, the protocol executes a
+PIF cycle in at most ``5·h + 5`` rounds, where ``h`` is the height of
+the tree built during the cycle, ``h ≥ ecc(r)`` and ``h`` is bounded by
+the longest elementary chordless path from the root.
+
+This bench runs full cycles on every topology family, under the
+synchronous daemon (the round-exact scheduler), and reports measured
+rounds vs the ``5h+5`` bound, plus the chordless upper bound on ``h``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bounds
+from repro.analysis.experiments import measure_cycles
+from repro.graphs import (
+    caterpillar,
+    complete,
+    compute_metrics,
+    grid,
+    hypercube,
+    line,
+    lollipop,
+    petersen,
+    random_connected,
+    random_tree,
+    ring,
+    star,
+    wheel,
+)
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E1 / Theorem 4 — PIF cycle rounds vs 5h+5 (synchronous daemon)",
+    columns=[
+        "topology",
+        "n",
+        "h (built)",
+        "h upper (chordless)",
+        "rounds",
+        "bound 5h+5",
+        "within",
+    ],
+)
+
+TOPOLOGIES = [
+    line(16),
+    ring(16),
+    star(16),
+    complete(12),
+    grid(4, 4),
+    hypercube(4),
+    random_tree(16, seed=3),
+    caterpillar(8, 1),
+    lollipop(8, 8),
+    wheel(16),
+    petersen(),
+    random_connected(16, 0.15, seed=5),
+    random_connected(16, 0.4, seed=5),
+]
+
+
+@pytest.mark.parametrize("net", TOPOLOGIES, ids=lambda n: n.name)
+def test_cycle_rounds_within_theorem4(net, benchmark) -> None:
+    metrics = compute_metrics(net)
+
+    measurement = benchmark.pedantic(
+        lambda: measure_cycles(net, cycles=1), rounds=2, iterations=1
+    )
+
+    rounds = measurement.cycle_rounds[0]
+    height = measurement.heights[0]
+    bound = bounds.cycle_bound(height)
+    TABLE.add(
+        {
+            "topology": net.name,
+            "n": net.n,
+            "h (built)": height,
+            "h upper (chordless)": metrics.longest_chordless_from_root,
+            "rounds": rounds,
+            "bound 5h+5": bound,
+            "within": "yes" if rounds <= bound else "NO",
+        }
+    )
+
+    assert measurement.all_cycles_ok
+    assert rounds <= bound, f"{net.name}: {rounds} > {bound}"
+    # Theorem 4's structural bound on the built height.
+    assert metrics.root_eccentricity <= height
+    assert height <= metrics.longest_chordless_from_root

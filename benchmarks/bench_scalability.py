@@ -1,0 +1,116 @@
+"""E8 — complexity shape: cycle rounds and moves vs N across topology families.
+
+The paper's analysis predicts cycle cost linear in the built tree height
+``h``: ~``N`` rounds on deep topologies (line), ~constant rounds on
+shallow ones (star, complete), ~``√N`` on grids, ~``log N`` on
+hypercubes.  This bench sweeps sizes per family and reports rounds,
+moves, and the rounds/h ratio (which should be a small constant ≤ 5 per
+Theorem 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import measure_cycles
+from repro.graphs import by_name
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E8 — scalability: one PIF cycle per (family, N), synchronous daemon",
+    columns=["family", "n", "h", "rounds", "rounds/h", "moves"],
+)
+
+SWEEP = [
+    ("line", [8, 16, 32, 64]),
+    ("ring", [8, 16, 32, 64]),
+    ("star", [8, 16, 32, 64]),
+    ("complete", [8, 16, 24]),
+    ("grid", [9, 16, 36, 64]),
+    ("hypercube", [8, 16, 32, 64]),
+    ("random-tree", [8, 16, 32, 64]),
+    ("random-sparse", [8, 16, 32, 64]),
+    ("random-dense", [8, 16, 32]),
+]
+
+CASES = [(family, n) for family, sizes in SWEEP for n in sizes]
+
+
+@pytest.mark.parametrize(
+    "family,n", CASES, ids=[f"{f}-{n}" for f, n in CASES]
+)
+def test_cycle_cost_scaling(family: str, n: int, benchmark) -> None:
+    net = by_name(family, n)
+
+    def run():
+        protocol_run = measure_cycles(net, cycles=1)
+        return protocol_run
+
+    measurement = benchmark.pedantic(run, rounds=1, iterations=1)
+    rounds = measurement.cycle_rounds[0]
+    height = measurement.heights[0]
+
+    # Moves for the measured cycle: re-run quickly via the monitor data.
+    from repro.core.monitor import PifCycleMonitor
+    from repro.core.pif import SnapPif
+    from repro.runtime.simulator import Simulator
+
+    protocol = SnapPif.for_network(net)
+    monitor = PifCycleMonitor(protocol, net)
+    sim = Simulator(protocol, net, monitors=[monitor])
+    sim.run(until=lambda _c: len(monitor.completed_cycles) >= 1)
+    moves = monitor.completed_cycles[0].moves
+
+    TABLE.add(
+        {
+            "family": family,
+            "n": net.n,
+            "h": height,
+            "rounds": rounds,
+            "rounds/h": round(rounds / max(1, height), 2),
+            "moves": moves,
+        }
+    )
+    assert measurement.within_bound
+    assert rounds / max(1, height) <= 5 + 5 / max(1, height)
+
+
+STATS_TABLE = TableCollector(
+    "E8b — cycle cost under asynchrony (10 seeds per row)",
+    columns=[
+        "topology",
+        "daemon",
+        "samples",
+        "rounds min/mean/max",
+        "moves min/mean/max",
+        "h max",
+        "bound 5h+5",
+        "within",
+    ],
+)
+
+
+@pytest.mark.parametrize(
+    "family,n", [("line", 16), ("grid", 16), ("random-dense", 16)],
+    ids=lambda v: str(v),
+)
+@pytest.mark.parametrize("probability", [0.3, 0.7])
+def test_async_cycle_statistics(family, n, probability, benchmark) -> None:
+    from repro.analysis.complexity import collect_cycle_stats
+    from repro.runtime.daemons import DistributedRandomDaemon
+
+    net = by_name(family, n)
+    stats = benchmark.pedantic(
+        lambda: collect_cycle_stats(
+            net,
+            daemon_factory=lambda: DistributedRandomDaemon(probability),
+            seeds=range(10),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    row = stats.row()
+    row["daemon"] = f"async-{probability}"
+    STATS_TABLE.add(row)
+    assert stats.within_bound

@@ -1,0 +1,176 @@
+"""E6 — the snap property itself (Definition 1 + Specification 1).
+
+Two regimes:
+
+* **Exhaustive** (model checking): on 3-processor networks, every
+  initiation configuration × every daemon choice is explored; PIF1/PIF2
+  must hold on every path.  On 4-processor networks a capped prefix of
+  the configuration space is explored.
+* **Randomized**: on larger networks, thousands of corrupted starts
+  under asynchronous daemons; every completed root-initiated wave must
+  satisfy the specification.
+
+The paper's claim is zero violations — the table reports the counts.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.graphs import complete, line, random_connected, ring, star
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    DistributedRandomDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.simulator import Simulator
+from repro.verification import check_snap_safety
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E6 — snap property: PIF1 ∧ PIF2 for every initiated wave",
+    columns=[
+        "regime",
+        "network",
+        "initial configurations",
+        "states / waves",
+        "violations",
+    ],
+)
+
+
+@pytest.mark.parametrize(
+    "net", [line(3), complete(3)], ids=lambda n: n.name
+)
+def test_exhaustive_snap_safety(net, benchmark) -> None:
+    result = benchmark.pedantic(
+        lambda: check_snap_safety(net), rounds=1, iterations=1
+    )
+    TABLE.add(
+        {
+            "regime": "exhaustive",
+            "network": net.name,
+            "initial configurations": result.configurations_checked,
+            "states / waves": result.states_explored,
+            "violations": len(result.counterexamples),
+        }
+    )
+    assert result.ok and result.complete
+
+
+def test_exhaustive_snap_safety_line4_capped(benchmark) -> None:
+    net = line(4)
+    result = benchmark.pedantic(
+        lambda: check_snap_safety(net, max_configurations=4000),
+        rounds=1,
+        iterations=1,
+    )
+    TABLE.add(
+        {
+            "regime": "exhaustive (capped)",
+            "network": net.name,
+            "initial configurations": result.configurations_checked,
+            "states / waves": result.states_explored,
+            "violations": len(result.counterexamples),
+        }
+    )
+    assert result.ok
+
+
+@pytest.mark.parametrize(
+    "net",
+    [ring(8), star(10), random_connected(10, 0.25, seed=2)],
+    ids=lambda n: n.name,
+)
+def test_randomized_snap_safety(net, benchmark) -> None:
+    protocol = SnapPif.for_network(net)
+    daemons = [
+        lambda: DistributedRandomDaemon(0.5),
+        lambda: WeaklyFairDaemon(AdversarialDaemon(patience=4), patience=8),
+    ]
+
+    def run_many() -> tuple[int, int]:
+        waves = 0
+        violations = 0
+        for seed in range(60):
+            config = protocol.random_configuration(net, Random(seed))
+            monitor = PifCycleMonitor(protocol, net)
+            sim = Simulator(
+                protocol,
+                net,
+                daemons[seed % 2](),
+                configuration=config,
+                seed=seed,
+                monitors=[monitor],
+            )
+            sim.run(
+                until=lambda _c: len(monitor.completed_cycles) >= 2,
+                max_steps=40_000,
+            )
+            waves += len(monitor.completed_cycles)
+            violations += sum(
+                1 for c in monitor.completed_cycles if not c.ok
+            )
+        return waves, violations
+
+    waves, violations = benchmark.pedantic(run_many, rounds=1, iterations=1)
+    TABLE.add(
+        {
+            "regime": "randomized",
+            "network": net.name,
+            "initial configurations": 60,
+            "states / waves": waves,
+            "violations": violations,
+        }
+    )
+    assert waves >= 120
+    assert violations == 0
+
+
+CONV_TABLE = TableCollector(
+    "E6b — exhaustive convergence & closure (synchronous; full state space)",
+    columns=["check", "network", "configurations", "violations"],
+)
+
+
+@pytest.mark.parametrize("net", [line(3), complete(3)], ids=lambda n: n.name)
+def test_exhaustive_convergence(net, benchmark) -> None:
+    from repro.verification import check_convergence_synchronous
+
+    result = benchmark.pedantic(
+        lambda: check_convergence_synchronous(net, stride=3),
+        rounds=1,
+        iterations=1,
+    )
+    CONV_TABLE.add(
+        {
+            "check": "convergence to SBN (stride 3)",
+            "network": net.name,
+            "configurations": result.configurations_checked,
+            "violations": len(result.counterexamples),
+        }
+    )
+    assert result.ok
+
+
+@pytest.mark.parametrize("net", [line(3), complete(3)], ids=lambda n: n.name)
+def test_exhaustive_normal_closure(net, benchmark) -> None:
+    from repro.verification import check_normal_closure
+
+    result = benchmark.pedantic(
+        lambda: check_normal_closure(net), rounds=1, iterations=1
+    )
+    CONV_TABLE.add(
+        {
+            "check": "closure of normal configurations",
+            "network": net.name,
+            "configurations": result.configurations_checked,
+            "violations": len(result.counterexamples),
+        }
+    )
+    assert result.ok and result.complete

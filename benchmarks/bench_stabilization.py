@@ -1,0 +1,133 @@
+"""E2/E3/E4 — Property 3, Theorem 1, Theorem 3: error-correction bounds.
+
+Paper claims, starting from **any** configuration:
+
+* ``GoodCount`` holds everywhere forever after ≤ ``L_max + 1`` rounds
+  (Property 3);
+* every processor is normal forever after ≤ ``3·L_max + 3`` rounds
+  (Theorem 1);
+* the GoodLegalTree exists after ≤ ``8·L_max + 7`` rounds (Theorem 3).
+
+The bench samples adversarial initial configurations from every fault
+model, under synchronous and asynchronous daemons, and reports the
+*worst* measured convergence rounds per (topology, fault mode) against
+the bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import measure_stabilization
+from repro.analysis.faults import FAULT_MODES
+from repro.graphs import line, lollipop, random_connected, ring
+from repro.runtime.daemons import DistributedRandomDaemon
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E2/E3/E4 — stabilization rounds vs bounds "
+    "(worst over seeds; L+1 / 3L+3 / 8L+7)",
+    columns=[
+        "topology",
+        "fault mode",
+        "daemon",
+        "GoodCount",
+        "bound L+1",
+        "Normal",
+        "bound 3L+3",
+        "GLT",
+        "bound 8L+7",
+        "within",
+    ],
+)
+
+NETWORKS = [line(10), ring(10), lollipop(5, 5), random_connected(10, 0.2, seed=9)]
+SEEDS = range(4)
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+@pytest.mark.parametrize("mode", FAULT_MODES)
+@pytest.mark.parametrize(
+    "daemon_name", ["synchronous", "async-0.5"], ids=str
+)
+def test_stabilization_within_bounds(net, mode, daemon_name, benchmark) -> None:
+    def run_all():
+        results = []
+        for seed in SEEDS:
+            daemon = (
+                None
+                if daemon_name == "synchronous"
+                else DistributedRandomDaemon(0.5)
+            )
+            results.append(
+                measure_stabilization(
+                    net, fault_mode=mode, seed=seed, daemon=daemon
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    worst_gc = max(r.rounds_to_good_count for r in results)
+    worst_normal = max(r.rounds_to_normal for r in results)
+    worst_glt = max(r.rounds_to_good_configuration for r in results)
+    sample = results[0]
+    within = (
+        worst_gc <= sample.good_count_bound
+        and worst_normal <= sample.normalization_bound
+        and worst_glt <= sample.glt_bound
+    )
+    TABLE.add(
+        {
+            "topology": net.name,
+            "fault mode": mode,
+            "daemon": daemon_name,
+            "GoodCount": worst_gc,
+            "bound L+1": sample.good_count_bound,
+            "Normal": worst_normal,
+            "bound 3L+3": sample.normalization_bound,
+            "GLT": worst_glt,
+            "bound 8L+7": sample.glt_bound,
+            "within": "yes" if within else "NO",
+        }
+    )
+    assert within
+
+
+SEARCH_TABLE = TableCollector(
+    "E2/E3/E4 (search) — worst executions found by adversarial search",
+    columns=[
+        "topology",
+        "objective",
+        "worst rounds",
+        "bound",
+        "hardness",
+        "recipe (fault / daemon)",
+    ],
+)
+
+
+@pytest.mark.parametrize("net", [line(10), lollipop(5, 5)], ids=lambda n: n.name)
+@pytest.mark.parametrize("objective", ["good_count", "normal", "glt"])
+def test_adversarial_search_stays_within_bounds(net, objective, benchmark) -> None:
+    from repro.analysis.search import search_worst_stabilization
+
+    worst = benchmark.pedantic(
+        lambda: search_worst_stabilization(
+            net, objective=objective, attempts=30, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    SEARCH_TABLE.add(
+        {
+            "topology": net.name,
+            "objective": objective,
+            "worst rounds": worst.value,
+            "bound": worst.bound,
+            "hardness": round(worst.hardness, 2),
+            "recipe (fault / daemon)": f"{worst.fault_mode} / {worst.daemon}",
+        }
+    )
+    assert worst.within_bound

@@ -1,0 +1,65 @@
+"""E5 — Theorem 2: phase convergence from each root state.
+
+Paper claims (given a non-empty GoodLegalTree):
+
+1. from ``Pif_r = F``, an SB configuration within ``4·L_max + 4`` rounds;
+2. from ``Pif_r = B ∧ Fok_r``, an EF configuration within ``5·L_max + 4``;
+3. from ``Pif_r = B ∧ ¬Fok_r``, an EBN configuration within ``5·L_max + 4``.
+
+For cases 2/3 a pre-existing wave may instead be aborted by a correction
+(reaching SB); both outcomes are tallied, and the measured worst rounds
+are compared against the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import measure_theorem2
+from repro.graphs import line, random_connected, ring
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E5 / Theorem 2 — rounds to target configuration (worst over seeds)",
+    columns=[
+        "topology",
+        "case",
+        "target",
+        "worst rounds",
+        "bound",
+        "outcomes",
+        "within",
+    ],
+)
+
+NETWORKS = [line(9), ring(9), random_connected(9, 0.25, seed=4)]
+CASE_TARGETS = {1: "SB", 2: "EF", 3: "EBN"}
+SEEDS = range(6)
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+@pytest.mark.parametrize("case", [1, 2, 3])
+def test_theorem2_case(net, case, benchmark) -> None:
+    def run_all():
+        return [measure_theorem2(net, case, seed=s) for s in SEEDS]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    worst = max(r.rounds_to_target for r in results)
+    bound = results[0].bound
+    outcomes: dict[str, int] = {}
+    for r in results:
+        outcomes[r.reached] = outcomes.get(r.reached, 0) + 1
+    TABLE.add(
+        {
+            "topology": net.name,
+            "case": case,
+            "target": CASE_TARGETS[case],
+            "worst rounds": worst,
+            "bound": bound,
+            "outcomes": ", ".join(f"{k}x{v}" for k, v in sorted(outcomes.items())),
+            "within": "yes" if worst <= bound else "NO",
+        }
+    )
+    assert worst <= bound

@@ -1,0 +1,163 @@
+"""E7 — the contribution claim: snap vs merely self-stabilizing PIF.
+
+"Using a self-stabilizing algorithm, when a processor p starts a PIF
+wave to propagate a value V, it is not guaranteed that every processor
+will receive V. […] Removing this particular drawback is the goal of our
+snap-stabilizing PIF."
+
+The bench starts both protocols from the same corrupted configurations
+(the ``stale_feedback``-style states that fool completion detection) and
+counts, over many seeds and daemons, how often the **first** completed
+wave violates [PIF1]/[PIF2].  Expected shape: a positive failure rate
+for the self-stabilizing baseline, *exactly zero* for the snap PIF —
+while both deliver correctly once stabilized (their last waves are
+clean).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.core.state import Phase, PifState
+from repro.graphs import line, random_connected, ring
+from repro.protocols import SelfStabPif
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    DistributedRandomDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.simulator import Simulator
+from repro.runtime.state import Configuration
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E7 — first-wave delivery from corrupted starts "
+    "(self-stabilizing baseline vs snap PIF)",
+    columns=[
+        "network",
+        "protocol",
+        "runs",
+        "first wave violated PIF1/2",
+        "last wave violated",
+    ],
+)
+
+NETWORKS = [line(8), ring(8), random_connected(8, 0.2, seed=3)]
+RUNS = 40
+
+
+def _stale_feedback_config(protocol, net, seed: int) -> Configuration:
+    """Mostly stale-F states (with consistent levels along a BFS order),
+    the adversarial pattern that fools completion detection, with the
+    root's neighborhood clean so a wave can start immediately."""
+    rng = Random(seed)
+    levels = net.bfs_levels(0)
+    states: list[PifState] = []
+    base = protocol.initial_configuration(net)
+    for p in net.nodes:
+        template = base[p]
+        assert isinstance(template, PifState)
+        if p == 0 or 0 in net.neighbors(p):
+            states.append(template)  # clean: root + its neighbors
+            continue
+        parent = min(
+            (q for q in net.neighbors(p) if levels[q] == levels[p] - 1),
+            default=net.neighbors(p)[0],
+        )
+        states.append(
+            template.replace(
+                pif=Phase.F if rng.random() < 0.8 else Phase.C,
+                par=parent,
+                level=max(1, levels[p]),
+            )
+        )
+    return Configuration(tuple(states))
+
+
+def _daemon(seed: int):
+    return [
+        lambda: DistributedRandomDaemon(0.5),
+        lambda: WeaklyFairDaemon(AdversarialDaemon(patience=3), patience=6),
+        lambda: CentralDaemon(choice="random"),
+    ][seed % 3]()
+
+
+def _measure(protocol_factory, net) -> tuple[int, int, int]:
+    runs = first_bad = last_bad = 0
+    for seed in range(RUNS):
+        protocol = protocol_factory()
+        config = _stale_feedback_config(protocol, net, seed)
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(
+            protocol,
+            net,
+            _daemon(seed),
+            configuration=config,
+            seed=seed,
+            monitors=[monitor],
+        )
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 5,
+            max_steps=80_000,
+        )
+        cycles = monitor.completed_cycles
+        if not cycles:
+            continue
+        runs += 1
+        if not cycles[0].ok:
+            first_bad += 1
+        if not cycles[-1].ok:
+            last_bad += 1
+    return runs, first_bad, last_bad
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+def test_selfstab_baseline_first_wave_failures(net, benchmark) -> None:
+    runs, first_bad, last_bad = benchmark.pedantic(
+        lambda: _measure(lambda: SelfStabPif(0, net.n), net),
+        rounds=1,
+        iterations=1,
+    )
+    TABLE.add(
+        {
+            "network": net.name,
+            "protocol": "self-stab [12]-style",
+            "runs": runs,
+            "first wave violated PIF1/2": first_bad,
+            "last wave violated": last_bad,
+        }
+    )
+    assert runs >= RUNS * 3 // 4
+    # The baseline *self-stabilizes*: late waves are correct.
+    assert last_bad == 0
+    # The drawback the paper removes: some first waves fail.
+    assert first_bad > 0, (
+        "expected the non-snap baseline to drop at least one first wave"
+    )
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+def test_snap_pif_never_fails(net, benchmark) -> None:
+    runs, first_bad, last_bad = benchmark.pedantic(
+        lambda: _measure(lambda: SnapPif.for_network(net), net),
+        rounds=1,
+        iterations=1,
+    )
+    TABLE.add(
+        {
+            "network": net.name,
+            "protocol": "snap PIF (this paper)",
+            "runs": runs,
+            "first wave violated PIF1/2": first_bad,
+            "last wave violated": last_bad,
+        }
+    )
+    assert runs >= RUNS * 3 // 4
+    assert first_bad == 0
+    assert last_bad == 0

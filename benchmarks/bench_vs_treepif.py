@@ -1,0 +1,199 @@
+"""E11 — the prior-art regime: PIF over a pre-constructed spanning tree.
+
+"These protocols assume an underlying self-stabilizing rooted spanning
+tree construction algorithm."  The bench measures the *service gap*:
+after a transient fault, the tree-based stack must first re-stabilize
+its spanning tree (during which its waves are meaningless), while the
+snap PIF delivers its first wave correctly immediately.
+
+Reported per topology: rounds before the tree substrate is correct, the
+tree PIF's wave cost after that, and the snap PIF's first-wave cost from
+an equally corrupted state (its substrate *is* the wave).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.graphs import grid, line, random_connected, ring
+from repro.protocols import SpanningTree, TreePif
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+from benchmarks.common import TableCollector
+
+TABLE = TableCollector(
+    "E11 — service delay after a transient fault: tree-based PIF vs snap PIF",
+    columns=[
+        "topology",
+        "tree stabilization rounds",
+        "tree wave rounds",
+        "tree total",
+        "snap first-wave rounds",
+    ],
+)
+
+NETWORKS = [line(10), ring(10), grid(3, 4), random_connected(10, 0.25, seed=6)]
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+def test_service_delay_comparison(net, benchmark) -> None:
+    def run() -> tuple[int, int, int]:
+        # --- tree-based stack: stabilize substrate, then run one wave.
+        substrate = SpanningTree(0, net.n)
+        sub_sim = Simulator(
+            substrate,
+            net,
+            DistributedRandomDaemon(0.6),
+            configuration=substrate.random_configuration(net, Random(17)),
+            seed=17,
+        )
+        sub_result = sub_sim.run(max_steps=100_000)
+        assert sub_result.terminated
+        tree_rounds = sub_result.rounds
+
+        tree_pif = TreePif(0, substrate.parent_map(sub_result.final))
+        monitor = PifCycleMonitor(tree_pif, net)
+        wave_sim = Simulator(
+            tree_pif,
+            net,
+            DistributedRandomDaemon(0.6),
+            seed=18,
+            monitors=[monitor],
+        )
+        wave_sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 1,
+            max_steps=50_000,
+        )
+        assert monitor.completed_cycles and monitor.completed_cycles[0].ok
+        wave_rounds = monitor.completed_cycles[0].rounds
+
+        # --- snap PIF: first wave straight from a corrupted state.
+        snap = SnapPif.for_network(net)
+        snap_monitor = PifCycleMonitor(snap, net)
+        snap_sim = Simulator(
+            snap,
+            net,
+            DistributedRandomDaemon(0.6),
+            configuration=snap.random_configuration(net, Random(17)),
+            seed=17,
+            monitors=[snap_monitor],
+        )
+        snap_sim.run(
+            until=lambda _c: len(snap_monitor.completed_cycles) >= 1,
+            max_steps=100_000,
+        )
+        assert snap_monitor.completed_cycles
+        assert snap_monitor.completed_cycles[0].ok
+        snap_rounds = snap_sim.rounds
+
+        return tree_rounds, wave_rounds, snap_rounds
+
+    tree_rounds, wave_rounds, snap_rounds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    TABLE.add(
+        {
+            "topology": net.name,
+            "tree stabilization rounds": tree_rounds,
+            "tree wave rounds": wave_rounds,
+            "tree total": tree_rounds + wave_rounds,
+            "snap first-wave rounds": snap_rounds,
+        }
+    )
+    # The relevant shape: the snap PIF needs no substrate stabilization
+    # phase at all — its first wave is already correct.  (Totals can be
+    # close on small graphs; the guarantee, not the constant, is the gap.)
+    assert tree_rounds > 0
+
+
+STACK_TABLE = TableCollector(
+    "E11b — live tree substrate: first-wave delivery, tree stack vs snap PIF",
+    columns=["network", "protocol", "runs", "first wave violated", "last wave violated"],
+)
+
+
+def _first_wave_failures(protocol_factory, net, runs: int = 30):
+    from random import Random
+
+    total = first_bad = last_bad = 0
+    for seed in range(runs):
+        protocol = protocol_factory()
+        config = protocol.random_configuration(net, Random(seed))
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(
+            protocol,
+            net,
+            DistributedRandomDaemon(0.6),
+            configuration=config,
+            seed=seed,
+            monitors=[monitor],
+        )
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 4,
+            max_steps=120_000,
+        )
+        cycles = monitor.completed_cycles
+        if not cycles:
+            continue
+        total += 1
+        if not cycles[0].ok:
+            first_bad += 1
+        if not cycles[-1].ok:
+            last_bad += 1
+    return total, first_bad, last_bad
+
+
+@pytest.mark.parametrize(
+    "net",
+    [random_connected(10, 0.25, seed=s) for s in (6, 7, 8)],
+    ids=lambda n: n.name,
+)
+def test_tree_stack_first_wave_failures(net, benchmark) -> None:
+    from repro.protocols import TreeStackPif
+
+    total, first_bad, last_bad = benchmark.pedantic(
+        lambda: _first_wave_failures(lambda: TreeStackPif(0, net.n), net),
+        rounds=1,
+        iterations=1,
+    )
+    STACK_TABLE.add(
+        {
+            "network": net.name,
+            "protocol": "spanning-tree + tree PIF stack",
+            "runs": total,
+            "first wave violated": first_bad,
+            "last wave violated": last_bad,
+        }
+    )
+    assert total >= 20
+    assert last_bad == 0  # the stack self-stabilizes
+
+
+@pytest.mark.parametrize(
+    "net",
+    [random_connected(10, 0.25, seed=s) for s in (6, 7, 8)],
+    ids=lambda n: n.name,
+)
+def test_snap_pif_no_failures_same_setting(net, benchmark) -> None:
+    total, first_bad, last_bad = benchmark.pedantic(
+        lambda: _first_wave_failures(lambda: SnapPif.for_network(net), net),
+        rounds=1,
+        iterations=1,
+    )
+    STACK_TABLE.add(
+        {
+            "network": net.name,
+            "protocol": "snap PIF (this paper)",
+            "runs": total,
+            "first wave violated": first_bad,
+            "last wave violated": last_bad,
+        }
+    )
+    assert total >= 20
+    assert first_bad == 0
+    assert last_bad == 0

@@ -1,0 +1,18 @@
+"""Benchmark-suite conftest: print every experiment table in the summary."""
+
+from __future__ import annotations
+
+from benchmarks.common import ALL_TABLES
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    printed_header = False
+    for collector in ALL_TABLES:
+        rendered = collector.render()
+        if rendered is None:
+            continue
+        if not printed_header:
+            terminalreporter.section("paper-vs-measured experiment tables")
+            printed_header = True
+        terminalreporter.write_line("")
+        terminalreporter.write_line(rendered)

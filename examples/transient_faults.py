@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Transient faults striking a *running* system.
+
+Self- and snap-stabilization formalize recovery from faults that hit at
+arbitrary moments, not only at time zero.  This demo runs the snap PIF,
+repeatedly corrupts the entire network mid-execution (while waves are in
+flight), and shows that every wave the root initiates after each fault
+is still a correct PIF cycle — there is no post-fault blackout window.
+
+Run:  python examples/transient_faults.py
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro import DistributedRandomDaemon, PifCycleMonitor, Simulator, SnapPif
+from repro.analysis import FaultInjector
+from repro.core.definitions import abnormal_nodes
+from repro.graphs import random_connected
+
+
+def main() -> None:
+    net = random_connected(10, 0.25, seed=12)
+    protocol = SnapPif.for_network(net)
+    k = protocol.constants
+    injector = FaultInjector(protocol, net, k)
+    monitor = PifCycleMonitor(protocol, net)
+    sim = Simulator(
+        protocol, net, DistributedRandomDaemon(0.6), seed=4, monitors=[monitor]
+    )
+    rng = Random(99)
+
+    print(f"network: {net.name}  (N={net.n})\n")
+    modes = ["fake_wave", "stale_feedback", "deep_garbage"]
+    for round_no, mode in enumerate(modes, 1):
+        # Let one wave complete...
+        sim.run(until=lambda _c: len(monitor.completed_cycles) >= 1)
+        report = monitor.completed_cycles[-1]
+        print(f"wave {round_no}: rounds={report.rounds:3d}  "
+              f"PIF1={report.pif1_holds(net.n)}  PIF2={report.pif2_holds(net.n)}")
+
+        # ...then strike, mid-run, with a full-network corruption.
+        corrupted = injector.generate(mode, rng.randrange(1 << 30))
+        sim.reset_configuration(corrupted)
+        bad = abnormal_nodes(sim.configuration, net, k)
+        print(f"  !! transient fault ({mode}): {len(bad)} processors "
+              f"abnormal, waves in flight destroyed")
+
+    # The wave initiated right after the last fault: still perfect.
+    sim.run(until=lambda _c: len(monitor.completed_cycles) >= 1)
+    final = monitor.completed_cycles[-1]
+    print(f"\nfirst wave after the last fault: "
+          f"PIF1={final.pif1_holds(net.n)}  PIF2={final.pif2_holds(net.n)}  "
+          f"violations={final.violations}")
+    print("snap-stabilization: correct service resumed with zero delay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works with older setuptools/pip stacks."""
+
+from setuptools import setup
+
+setup()

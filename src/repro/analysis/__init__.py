@@ -1,0 +1,88 @@
+"""Invariants, fault injection, bound formulas and the experiment harness."""
+
+from repro.analysis.bounds import (
+    BoundSheet,
+    bound_sheet,
+    cycle_bound,
+    glt_bound,
+    good_count_bound,
+    normalization_after_good_count_bound,
+    normalization_bound,
+    theorem2_ebn_bound,
+    theorem2_ef_bound,
+    theorem2_sb_bound,
+)
+from repro.analysis.experiments import (
+    CycleMeasurement,
+    StabilizationMeasurement,
+    Theorem2Measurement,
+    measure_cycles,
+    measure_stabilization,
+    measure_theorem2,
+)
+from repro.analysis.faults import FAULT_MODES, FaultInjector
+from repro.analysis.invariants import (
+    InvariantMonitor,
+    NormalAudit,
+    audit_normality,
+    property1_violations,
+    property2_violations,
+)
+
+__all__ = [
+    "BoundSheet",
+    "CycleMeasurement",
+    "FAULT_MODES",
+    "FaultInjector",
+    "InvariantMonitor",
+    "NormalAudit",
+    "StabilizationMeasurement",
+    "Theorem2Measurement",
+    "audit_normality",
+    "bound_sheet",
+    "cycle_bound",
+    "glt_bound",
+    "good_count_bound",
+    "measure_cycles",
+    "measure_stabilization",
+    "measure_theorem2",
+    "normalization_after_good_count_bound",
+    "normalization_bound",
+    "property1_violations",
+    "property2_violations",
+    "theorem2_ebn_bound",
+    "theorem2_ef_bound",
+    "theorem2_sb_bound",
+]
+
+from repro.analysis.lemmas import (
+    Lemma4Monitor,
+    LemmaMonitor,
+    lemma2_violations,
+    lemma3_violations,
+    lemma5_violations,
+)
+
+__all__ += [
+    "Lemma4Monitor",
+    "LemmaMonitor",
+    "lemma2_violations",
+    "lemma3_violations",
+    "lemma5_violations",
+]
+
+from repro.analysis.midrun import MidRunFaultReport, run_with_midrun_faults
+
+__all__ += ["MidRunFaultReport", "run_with_midrun_faults"]
+
+from repro.analysis.search import (
+    WorstCase,
+    search_worst_cycle,
+    search_worst_stabilization,
+)
+
+__all__ += ["WorstCase", "search_worst_cycle", "search_worst_stabilization"]
+
+from repro.analysis.complexity import CycleStats, collect_cycle_stats
+
+__all__ += ["CycleStats", "collect_cycle_stats"]

@@ -1,0 +1,92 @@
+"""The paper's proved bounds, as formulas.
+
+Each function returns the round bound for the corresponding claim; the
+benchmarks compare measured round counts against them and EXPERIMENTS.md
+records the paper-vs-measured pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "good_count_bound",
+    "normalization_after_good_count_bound",
+    "normalization_bound",
+    "theorem2_sb_bound",
+    "theorem2_ef_bound",
+    "theorem2_ebn_bound",
+    "glt_bound",
+    "cycle_bound",
+    "BoundSheet",
+    "bound_sheet",
+]
+
+
+def good_count_bound(l_max: int) -> int:
+    """Property 3: ``GoodCount`` holds everywhere after ``L_max + 1`` rounds."""
+    return l_max + 1
+
+
+def normalization_after_good_count_bound(l_max: int) -> int:
+    """Corollary 2: all-normal within ``2·L_max + 2`` rounds once GoodCount holds."""
+    return 2 * l_max + 2
+
+
+def normalization_bound(l_max: int) -> int:
+    """Theorem 1: every processor normal within ``3·L_max + 3`` rounds."""
+    return 3 * l_max + 3
+
+
+def theorem2_sb_bound(l_max: int) -> int:
+    """Theorem 2.1: from ``Pif_r = F``, an SB configuration within ``4·L_max + 4``."""
+    return 4 * l_max + 4
+
+
+def theorem2_ef_bound(l_max: int) -> int:
+    """Theorem 2.2: from ``Pif_r = B ∧ Fok_r``, an EF configuration within ``5·L_max + 4``."""
+    return 5 * l_max + 4
+
+
+def theorem2_ebn_bound(l_max: int) -> int:
+    """Theorem 2.3: from ``Pif_r = B ∧ ¬Fok_r``, an EBN configuration within ``5·L_max + 4``."""
+    return 5 * l_max + 4
+
+
+def glt_bound(l_max: int) -> int:
+    """Theorem 3: the GoodLegalTree is created within ``8·L_max + 7`` rounds."""
+    return 8 * l_max + 7
+
+
+def cycle_bound(height: int) -> int:
+    """Theorem 4: a PIF cycle from SBN completes within ``5·h + 5`` rounds.
+
+    ``height`` is the height of the tree built during the cycle; it is at
+    least the root's eccentricity and at most the longest chordless path
+    from the root.
+    """
+    return 5 * height + 5
+
+
+@dataclass(frozen=True, slots=True)
+class BoundSheet:
+    """All bounds instantiated for one network (one row of EXPERIMENTS.md)."""
+
+    l_max: int
+    height_upper: int
+    good_count: int
+    normalization: int
+    glt: int
+    cycle: int
+
+
+def bound_sheet(l_max: int, height_upper: int) -> BoundSheet:
+    """Instantiate every bound for a network with the given parameters."""
+    return BoundSheet(
+        l_max=l_max,
+        height_upper=height_upper,
+        good_count=good_count_bound(l_max),
+        normalization=normalization_bound(l_max),
+        glt=glt_bound(l_max),
+        cycle=cycle_bound(height_upper),
+    )

@@ -1,0 +1,225 @@
+"""Fault injection: realizing "starting from any configuration".
+
+Self- and snap-stabilization quantify over *all* initial configurations.
+The :class:`FaultInjector` provides the initial-configuration
+distributions the stabilization experiments sample from:
+
+* ``uniform`` — every variable drawn uniformly from its domain (the
+  protocol's own :meth:`random_state`);
+* ``corrupt_some`` — a clean configuration with ``k`` processors
+  replaced by random states (models transient faults hitting a running
+  system);
+* ``fake_wave`` — everyone broadcasting with arbitrary parents/levels
+  and inflated counts: the hardest case for the count machinery, because
+  it maximizes stale trees the corrections must dismantle;
+* ``stale_feedback`` — everyone in phase F: exercises the F-correction
+  path and the drawback scenario of non-snap PIFs (stale F states look
+  like completed acknowledgments);
+* ``deep_garbage`` — consistent-looking parent chains that do *not*
+  reach the root (normal-looking stale trees — the slowest to remove,
+  driving the worst cases of Theorems 1 and 3).
+
+All generators are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Mapping
+
+from repro.core.state import Phase, PifConstants, PifState
+from repro.errors import ReproError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Protocol
+from repro.runtime.state import Configuration
+
+__all__ = ["FaultInjector", "FAULT_MODES"]
+
+
+class FaultInjector:
+    """Generate adversarial initial configurations for a PIF protocol."""
+
+    def __init__(
+        self, protocol: Protocol, network: Network, k: PifConstants
+    ) -> None:
+        self.protocol = protocol
+        self.network = network
+        self.k = k
+        self._modes: Mapping[str, Callable[[Random], Configuration]] = {
+            "uniform": self.uniform,
+            "corrupt_some": self.corrupt_some,
+            "fake_wave": self.fake_wave,
+            "stale_feedback": self.stale_feedback,
+            "deep_garbage": self.deep_garbage,
+        }
+
+    @property
+    def modes(self) -> tuple[str, ...]:
+        """Names of the available fault models."""
+        return tuple(self._modes)
+
+    def generate(self, mode: str, seed: int) -> Configuration:
+        """Sample one initial configuration from the named fault model."""
+        try:
+            generator = self._modes[mode]
+        except KeyError:
+            raise ReproError(
+                f"unknown fault mode {mode!r}; known: {sorted(self._modes)}"
+            ) from None
+        return generator(Random(seed))
+
+    # ------------------------------------------------------------------
+    # Fault models
+    # ------------------------------------------------------------------
+    def uniform(self, rng: Random) -> Configuration:
+        """Every variable uniform over its domain."""
+        return self.protocol.random_configuration(self.network, rng)
+
+    def corrupt_some(self, rng: Random, fraction: float = 0.3) -> Configuration:
+        """Clean configuration with a random fraction of nodes corrupted."""
+        config = self.protocol.initial_configuration(self.network)
+        victims = [p for p in self.network.nodes if rng.random() < fraction]
+        if not victims:
+            victims = [rng.choice(list(self.network.nodes))]
+        updates = {
+            p: self.protocol.random_state(p, self.network, rng) for p in victims
+        }
+        return config.replace(updates)
+
+    def fake_wave(self, rng: Random) -> Configuration:
+        """Everyone in phase B with arbitrary parents, levels and big counts."""
+        states = []
+        for p in self.network.nodes:
+            if p == self.k.root:
+                states.append(
+                    PifState(
+                        pif=Phase.B,
+                        par=None,
+                        level=0,
+                        count=rng.randint(1, self.k.n_prime),
+                        fok=rng.random() < 0.5,
+                    )
+                )
+            else:
+                states.append(
+                    PifState(
+                        pif=Phase.B,
+                        par=rng.choice(self.network.neighbors(p)),
+                        level=rng.randint(1, self.k.l_max),
+                        count=rng.randint(1, self.k.n_prime),
+                        fok=rng.random() < 0.5,
+                    )
+                )
+        return self._payload_compatible(Configuration(tuple(states)), rng)
+
+    def stale_feedback(self, rng: Random) -> Configuration:
+        """Everyone in phase F (looks like a finished wave that never happened)."""
+        states = []
+        for p in self.network.nodes:
+            if p == self.k.root:
+                states.append(
+                    PifState(pif=Phase.F, par=None, level=0, count=self.k.n, fok=True)
+                )
+            else:
+                states.append(
+                    PifState(
+                        pif=Phase.F,
+                        par=rng.choice(self.network.neighbors(p)),
+                        level=rng.randint(1, self.k.l_max),
+                        count=rng.randint(1, self.k.n_prime),
+                        fok=rng.random() < 0.5,
+                    )
+                )
+        return self._payload_compatible(Configuration(tuple(states)), rng)
+
+    def deep_garbage(self, rng: Random) -> Configuration:
+        """Locally consistent stale trees rooted away from the root.
+
+        Builds a BFS forest from random fake roots (excluding the real
+        root), with levels consistent along edges (``GoodLevel`` holds),
+        so the only violations are at the fake roots — the configuration
+        class whose correction takes the longest (the ``3·L_max + 3``
+        worst cases).
+        """
+        nodes = [p for p in self.network.nodes if p != self.k.root]
+        rng.shuffle(nodes)
+        fake_root_count = max(1, len(nodes) // 4)
+        fake_roots = nodes[:fake_root_count]
+
+        parent: dict[int, int] = {}
+        level: dict[int, int] = {}
+        frontier = list(fake_roots)
+        for fr in fake_roots:
+            level[fr] = rng.randint(1, max(1, self.k.l_max // 2))
+        seen = set(fake_roots) | {self.k.root}
+        while frontier:
+            p = frontier.pop(0)
+            for q in self.network.neighbors(p):
+                if q not in seen and level[p] < self.k.l_max:
+                    seen.add(q)
+                    parent[q] = p
+                    level[q] = level[p] + 1
+                    frontier.append(q)
+
+        states = []
+        for p in self.network.nodes:
+            if p == self.k.root:
+                states.append(
+                    PifState(pif=Phase.C, par=None, level=0, count=1, fok=False)
+                )
+            elif p in level:
+                states.append(
+                    PifState(
+                        pif=Phase.B,
+                        par=parent.get(p, rng.choice(self.network.neighbors(p))),
+                        level=level[p],
+                        count=1,
+                        fok=False,
+                    )
+                )
+            else:
+                states.append(
+                    PifState(
+                        pif=Phase.C,
+                        par=rng.choice(self.network.neighbors(p)),
+                        level=1,
+                        count=1,
+                        fok=False,
+                    )
+                )
+        return self._payload_compatible(Configuration(tuple(states)), rng)
+
+    # ------------------------------------------------------------------
+    def _payload_compatible(
+        self, configuration: Configuration, rng: Random
+    ) -> Configuration:
+        """Upgrade plain states to the protocol's state type if needed.
+
+        Hand-built :class:`PifState` objects are converted through the
+        protocol's own :meth:`random_state` fields when the protocol uses
+        an extended (payload) state class.
+        """
+        sample = self.protocol.initial_state(
+            next(iter(self.network.nodes)), self.network
+        )
+        if type(sample) is type(configuration[0]):
+            return configuration
+        upgraded = []
+        for p in self.network.nodes:
+            base = configuration[p]
+            assert isinstance(base, PifState)
+            random_full = self.protocol.random_state(p, self.network, rng)
+            upgraded.append(
+                random_full.replace(
+                    pif=base.pif,
+                    par=base.par,
+                    level=base.level,
+                    count=base.count,
+                    fok=base.fok,
+                )
+            )
+        return Configuration(tuple(upgraded))
+
+
+#: The fault model names, for experiment grids.
+FAULT_MODES = ("uniform", "corrupt_some", "fake_wave", "stale_feedback", "deep_garbage")

@@ -1,0 +1,203 @@
+"""Executable versions of the paper's Section 4.2 properties.
+
+Property 1 is the invariant of broadcast configurations; Property 2
+lists four consequences of normality.  Both are implemented as global
+checks usable in tests, fuzzers and as simulation monitors (raising
+:class:`~repro.errors.SpecificationViolation` in strict mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import definitions as defs
+from repro.core import predicates as pred
+from repro.core.state import Phase, PifConstants
+from repro.errors import SpecificationViolation
+from repro.runtime.network import Network
+from repro.runtime.protocol import Context
+from repro.runtime.state import Configuration
+from repro.runtime.trace import StepRecord
+
+__all__ = [
+    "property1_violations",
+    "property2_violations",
+    "NormalAudit",
+    "audit_normality",
+    "InvariantMonitor",
+]
+
+
+def property1_violations(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> list[str]:
+    """Check Property 1.
+
+    ``(Pif_r = B ∧ ¬Fok_r)`` implies that every LegalTree member ``p``
+    has ``Pif_p = B``, correct level, ``¬Fok_p`` and
+    ``Count_p ≤ Sum_p``.  Returns human-readable violation descriptions
+    (empty list = holds).
+    """
+    root_state = defs.pif_state(configuration, k.root)
+    if not (root_state.pif is Phase.B and not root_state.fok):
+        return []
+    problems: list[str] = []
+    members = defs.legal_tree(configuration, network, k)
+    for p in members:
+        state = defs.pif_state(configuration, p)
+        ctx = Context(p, network, configuration)
+        if state.pif is not Phase.B:
+            problems.append(f"node {p}: in LegalTree but Pif={state.pif.value}")
+        if p != k.root:
+            parent_state = defs.pif_state(configuration, state.par)  # type: ignore[arg-type]
+            if state.level != parent_state.level + 1:
+                problems.append(
+                    f"node {p}: level {state.level} != parent level "
+                    f"{parent_state.level} + 1"
+                )
+        if state.fok:
+            problems.append(f"node {p}: Fok true in a B/¬Fok_r configuration")
+        if not pred.good_count(ctx, k):
+            problems.append(f"node {p}: Count exceeds Sum")
+    return problems
+
+
+def property2_violations(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> list[str]:
+    """Check Property 2 (assumes nothing; vacuous unless the configuration is normal).
+
+    In a normal configuration:
+
+    1. every active processor belongs to the GLT;
+    2. ``Pif_r = C`` implies every ``Pif_p = C``;
+    3. ``Pif_r = F`` implies every LegalTree member has ``Pif_p = F``;
+    4. ``Pif_r = B ∧ ¬Fok_r`` implies ``Count_p ≤ #Subtree(p)`` for all
+       LegalTree members.
+    """
+    if defs.abnormal_nodes(configuration, network, k):
+        return []
+    problems: list[str] = []
+    members = defs.legal_tree(configuration, network, k)
+    glt = defs.good_legal_tree(configuration, network, k)
+
+    for p in network.nodes:
+        state = defs.pif_state(configuration, p)
+        if state.pif is not Phase.C and (glt is None or p not in glt):
+            problems.append(f"case 1: active node {p} outside the GLT")
+
+    root_state = defs.pif_state(configuration, k.root)
+    if root_state.pif is Phase.C:
+        for p in network.nodes:
+            if defs.pif_state(configuration, p).pif is not Phase.C:
+                problems.append(f"case 2: Pif_r=C but node {p} is active")
+
+    if root_state.pif is Phase.F:
+        for p in members:
+            if defs.pif_state(configuration, p).pif is not Phase.F:
+                problems.append(
+                    f"case 3: Pif_r=F but LegalTree member {p} has "
+                    f"Pif={defs.pif_state(configuration, p).pif.value}"
+                )
+
+    if root_state.pif is Phase.B and not root_state.fok:
+        for p in members:
+            count = defs.pif_state(configuration, p).count
+            size = defs.subtree_size(configuration, network, members, p)
+            if count > size:
+                problems.append(
+                    f"case 4: node {p} Count={count} > #Subtree={size}"
+                )
+    return problems
+
+
+@dataclass(frozen=True, slots=True)
+class NormalAudit:
+    """Per-node normality report for one configuration."""
+
+    abnormal: frozenset[int]
+    bad_pif: frozenset[int]
+    bad_level: frozenset[int]
+    bad_fok: frozenset[int]
+    bad_count: frozenset[int]
+
+    @property
+    def is_normal(self) -> bool:
+        return not self.abnormal
+
+
+def audit_normality(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> NormalAudit:
+    """Break down which Good* predicate each abnormal processor violates."""
+    abnormal, bad_pif, bad_level, bad_fok, bad_count = (
+        set(),
+        set(),
+        set(),
+        set(),
+        set(),
+    )
+    for p in network.nodes:
+        ctx = Context(p, network, configuration)
+        ok = True
+        if p != k.root:
+            if not pred.good_pif(ctx, k):
+                bad_pif.add(p)
+                ok = False
+            if not pred.good_level(ctx, k):
+                bad_level.add(p)
+                ok = False
+        if not pred.good_fok(ctx, k):
+            bad_fok.add(p)
+            ok = False
+        if not pred.good_count(ctx, k):
+            bad_count.add(p)
+            ok = False
+        if not ok:
+            abnormal.add(p)
+    return NormalAudit(
+        abnormal=frozenset(abnormal),
+        bad_pif=frozenset(bad_pif),
+        bad_level=frozenset(bad_level),
+        bad_fok=frozenset(bad_fok),
+        bad_count=frozenset(bad_count),
+    )
+
+
+class InvariantMonitor:
+    """Simulation monitor asserting Properties 1 and 2 after every step.
+
+    Attach to a :class:`~repro.runtime.simulator.Simulator` to catch
+    invariant regressions during any experiment.  Only meaningful for
+    runs starting from clean configurations (the properties are proved
+    for the stabilized regime); from arbitrary configurations use
+    ``record_only=True`` and inspect :attr:`violations`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        k: PifConstants,
+        *,
+        record_only: bool = False,
+    ) -> None:
+        self.network = network
+        self.k = k
+        self.record_only = record_only
+        self.violations: list[tuple[int, str]] = []
+
+    def on_start(self, configuration: Configuration) -> None:
+        self._check(configuration, step=-1)
+
+    def on_step(
+        self, before: Configuration, record: StepRecord, after: Configuration
+    ) -> None:
+        self._check(after, step=record.index)
+
+    def _check(self, configuration: Configuration, step: int) -> None:
+        problems = property1_violations(configuration, self.network, self.k)
+        problems += property2_violations(configuration, self.network, self.k)
+        for message in problems:
+            self.violations.append((step, message))
+            if not self.record_only:
+                raise SpecificationViolation(f"step {step}: {message}")

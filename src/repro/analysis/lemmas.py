@@ -1,0 +1,241 @@
+"""The paper's lemmas as executable step-level monitors ("proofs as tests").
+
+Section 4.3's convergence argument rests on three step-level claims
+about how (ab)normality propagates.  Each is implemented as a check over
+a computation step ``γ ↦ γ'`` plus the set of executed actions, and
+:class:`LemmaMonitor` applies all of them to every step of a simulation:
+
+* **Lemma 2** — ``GoodCount(p)`` can only *become* false when a
+  descendant ``q`` (``Par_q = p``, ``L_q = L_p + 1``, ``Pif_p = B``)
+  whose own ``GoodCount`` was false executed ``B-correction`` in this
+  step (count damage flows strictly upward, one level per step, which is
+  what bounds Property 3 by ``L_max + 1``).
+* **Lemma 3** — an abnormal processor can only *become* normal by
+  executing one of its own correction actions, or through its parent's
+  ``Fok-action`` (nothing else can repair it).
+* **Lemma 5** — a normal processor can only *become* abnormal when its
+  (new) parent was abnormal and executed a correction in this step, with
+  ``L_p = L_{Par_p} + 1`` afterwards (abnormality flows strictly
+  downward, which is what bounds Theorem 1 by levels).
+
+Running the monitor over adversarial fuzzed executions (see
+``tests/analysis/test_lemmas.py`` and the properties suite) gives
+machine-checked evidence for the exact stepping stones of the paper's
+proof, not just its end-to-end bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import predicates as pred
+from repro.core.state import Phase, PifConstants
+from repro.core.definitions import pif_state
+from repro.errors import SpecificationViolation
+from repro.runtime.network import Network
+from repro.runtime.protocol import Context
+from repro.runtime.state import Configuration
+from repro.runtime.trace import StepRecord
+
+__all__ = [
+    "Lemma4Monitor",
+    "LemmaMonitor",
+    "lemma2_violations",
+    "lemma3_violations",
+    "lemma5_violations",
+]
+
+_CORRECTIONS = ("B-correction", "F-correction")
+
+
+def _good_count(configuration: Configuration, network: Network, k: PifConstants, p: int) -> bool:
+    return pred.good_count(Context(p, network, configuration), k)
+
+
+def _normal(configuration: Configuration, network: Network, k: PifConstants, p: int) -> bool:
+    return pred.normal(Context(p, network, configuration), k)
+
+
+def lemma2_violations(
+    before: Configuration,
+    record: StepRecord,
+    after: Configuration,
+    network: Network,
+    k: PifConstants,
+) -> list[str]:
+    """Check Lemma 2 on one computation step (see module docstring)."""
+    problems: list[str] = []
+    for p in network.nodes:
+        if p in record.selection:
+            # The lemma concerns *environment-induced* damage; a processor
+            # rewriting its own count is governed by its action's guard.
+            continue
+        if _good_count(before, network, k, p) and not _good_count(
+            after, network, k, p
+        ):
+            state_p = pif_state(before, p)
+            witness = None
+            for q, action in record.selection.items():
+                if action != "B-correction":
+                    continue
+                state_q = pif_state(before, q)
+                if (
+                    state_q.par == p
+                    and state_q.level == state_p.level + 1
+                    and state_p.pif is Phase.B
+                    and not _good_count(before, network, k, q)
+                ):
+                    witness = q
+                    break
+            if witness is None:
+                problems.append(
+                    f"step {record.index}: GoodCount({p}) broke without a "
+                    f"bad-count child executing B-correction"
+                )
+    return problems
+
+
+def lemma3_violations(
+    before: Configuration,
+    record: StepRecord,
+    after: Configuration,
+    network: Network,
+    k: PifConstants,
+) -> list[str]:
+    """Check Lemma 3 on one computation step."""
+    problems: list[str] = []
+    for p in network.nodes:
+        if _normal(before, network, k, p) or not _normal(after, network, k, p):
+            continue
+        # p went abnormal -> normal in this step.
+        own_action = record.selection.get(p)
+        if own_action in _CORRECTIONS:
+            continue
+        parent = pif_state(before, p).par
+        if parent is not None and record.selection.get(parent) == "Fok-action":
+            continue
+        problems.append(
+            f"step {record.index}: abnormal {p} became normal without a "
+            f"correction of its own or a parent Fok-action "
+            f"(p executed {own_action!r}, parent executed "
+            f"{record.selection.get(parent) if parent is not None else None!r})"
+        )
+    return problems
+
+
+def lemma5_violations(
+    before: Configuration,
+    record: StepRecord,
+    after: Configuration,
+    network: Network,
+    k: PifConstants,
+) -> list[str]:
+    """Check Lemma 5 on one computation step."""
+    problems: list[str] = []
+    for p in network.nodes:
+        if p in record.selection:
+            # A processor's own action landing it in an abnormal state
+            # would be a guard bug, caught by the invariant tests; the
+            # lemma is about environment-induced abnormality.
+            continue
+        if not _normal(before, network, k, p) or _normal(after, network, k, p):
+            continue
+        state_after = pif_state(after, p)
+        parent = state_after.par
+        if parent is None:
+            problems.append(
+                f"step {record.index}: the root became abnormal without acting"
+            )
+            continue
+        parent_was_abnormal = not _normal(before, network, k, parent)
+        parent_corrected = record.selection.get(parent) in _CORRECTIONS
+        level_ok = (
+            state_after.level == pif_state(after, parent).level + 1
+            if state_after.pif is Phase.B
+            else True
+        )
+        if not (parent_was_abnormal and parent_corrected and level_ok):
+            problems.append(
+                f"step {record.index}: normal {p} became abnormal but its "
+                f"parent {parent} was "
+                f"{'abnormal' if parent_was_abnormal else 'NORMAL'} and "
+                f"executed {record.selection.get(parent)!r}"
+            )
+    return problems
+
+
+@dataclass
+class Lemma4Monitor:
+    """Lemma 4 as a streak check: abnormality lasts at most two rounds.
+
+    "Let p be an abnormal processor in configuration γi.  Then p is a
+    normal processor in at least one configuration during the next two
+    rounds" — equivalently, no processor is *continuously* abnormal for
+    more than two completed rounds.  The monitor tracks, per processor,
+    the round at which its current abnormal streak began and flags any
+    streak exceeding the bound.
+    """
+
+    network: Network
+    k: PifConstants
+    record_only: bool = False
+    violations: list[str] = field(default_factory=list)
+    #: Longest continuous-abnormal streak observed, in rounds.
+    worst_streak: int = 0
+    _rounds: int = 0
+    _streak_start: dict[int, int] = field(default_factory=dict)
+
+    def on_start(self, configuration: Configuration) -> None:
+        self._rounds = 0
+        self._streak_start = {}
+        self._observe(configuration)
+
+    def on_step(
+        self, before: Configuration, record: StepRecord, after: Configuration
+    ) -> None:
+        self._rounds += record.rounds_completed
+        self._observe(after)
+
+    def _observe(self, configuration: Configuration) -> None:
+        for p in self.network.nodes:
+            if _normal(configuration, self.network, self.k, p):
+                self._streak_start.pop(p, None)
+                continue
+            start = self._streak_start.setdefault(p, self._rounds)
+            streak = self._rounds - start
+            self.worst_streak = max(self.worst_streak, streak)
+            if streak > 2:
+                message = (
+                    f"round {self._rounds}: processor {p} continuously "
+                    f"abnormal for {streak} rounds (Lemma 4 allows 2)"
+                )
+                self.violations.append(message)
+                if not self.record_only:
+                    raise SpecificationViolation(message)
+
+
+@dataclass
+class LemmaMonitor:
+    """Simulation monitor applying Lemmas 2, 3 and 5 to every step."""
+
+    network: Network
+    k: PifConstants
+    record_only: bool = False
+    violations: list[str] = field(default_factory=list)
+    _last: Configuration | None = None
+
+    def on_start(self, configuration: Configuration) -> None:
+        self._last = configuration
+
+    def on_step(
+        self, before: Configuration, record: StepRecord, after: Configuration
+    ) -> None:
+        problems = (
+            lemma2_violations(before, record, after, self.network, self.k)
+            + lemma3_violations(before, record, after, self.network, self.k)
+            + lemma5_violations(before, record, after, self.network, self.k)
+        )
+        if problems:
+            self.violations.extend(problems)
+            if not self.record_only:
+                raise SpecificationViolation("; ".join(problems))

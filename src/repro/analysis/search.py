@@ -1,0 +1,153 @@
+"""Adversarial search for worst-case executions.
+
+The paper's bounds are worst-case over all initial configurations *and*
+all daemon behaviors.  Random sampling explores that space thinly; this
+module adds a simple randomized search that sweeps fault models,
+adversary patience values and schedule seeds, keeps the worst execution
+found for a given objective (rounds to normalization, rounds to the
+GoodLegalTree, or PIF cycle rounds), and reports how close to the proved
+bound the search got — the measured "hardness gap" shown in E2/E3/E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.analysis.experiments import (
+    StabilizationMeasurement,
+    measure_cycles,
+    measure_stabilization,
+)
+from repro.analysis.faults import FAULT_MODES
+from repro.errors import ReproError
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    Daemon,
+    DistributedRandomDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.network import Network
+
+__all__ = ["WorstCase", "search_worst_stabilization", "search_worst_cycle"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorstCase:
+    """The worst execution a search found."""
+
+    objective: str
+    value: int
+    bound: int
+    #: How the execution is reproduced.
+    fault_mode: str | None
+    daemon: str
+    seed: int
+    attempts: int
+
+    @property
+    def within_bound(self) -> bool:
+        return self.value <= self.bound
+
+    @property
+    def hardness(self) -> float:
+        """Fraction of the proved bound the search reached (0..1]."""
+        return self.value / self.bound if self.bound else 0.0
+
+
+def _make_daemon(kind: int, rng: Random) -> tuple[str, Daemon | None]:
+    """One of four scheduler regimes, randomized parameters."""
+    if kind == 0:
+        return "synchronous", None
+    if kind == 1:
+        return "central", CentralDaemon(choice="random")
+    if kind == 2:
+        p = rng.choice((0.2, 0.4, 0.6, 0.8))
+        return f"async-{p:.1f}", DistributedRandomDaemon(p)
+    patience = rng.choice((2, 3, 5, 8))
+    return (
+        f"adversarial-p{patience}",
+        WeaklyFairDaemon(AdversarialDaemon(patience=patience), patience=2 * patience),
+    )
+
+
+def search_worst_stabilization(
+    network: Network,
+    *,
+    objective: str = "normal",
+    attempts: int = 40,
+    seed: int = 0,
+    root: int = 0,
+) -> WorstCase:
+    """Search fault modes × daemons × seeds for slow convergence.
+
+    ``objective`` is ``"good_count"``, ``"normal"`` or ``"glt"``.
+    """
+    extractors = {
+        "good_count": lambda m: (m.rounds_to_good_count, m.good_count_bound),
+        "normal": lambda m: (m.rounds_to_normal, m.normalization_bound),
+        "glt": lambda m: (
+            m.rounds_to_good_configuration,
+            m.glt_bound,
+        ),
+    }
+    if objective not in extractors:
+        raise ReproError(
+            f"unknown objective {objective!r}; choose from {sorted(extractors)}"
+        )
+    extract = extractors[objective]
+    rng = Random(seed)
+    best: WorstCase | None = None
+    for attempt in range(attempts):
+        mode = rng.choice(FAULT_MODES)
+        daemon_name, daemon = _make_daemon(rng.randrange(4), rng)
+        run_seed = rng.randrange(1 << 30)
+        measurement: StabilizationMeasurement = measure_stabilization(
+            network, root=root, fault_mode=mode, seed=run_seed, daemon=daemon
+        )
+        value, bound = extract(measurement)
+        if best is None or value > best.value:
+            best = WorstCase(
+                objective=objective,
+                value=value,
+                bound=bound,
+                fault_mode=mode,
+                daemon=daemon_name,
+                seed=run_seed,
+                attempts=attempts,
+            )
+    assert best is not None
+    return best
+
+
+def search_worst_cycle(
+    network: Network,
+    *,
+    attempts: int = 25,
+    seed: int = 0,
+    root: int = 0,
+) -> WorstCase:
+    """Search daemons × seeds for the costliest PIF cycle (vs ``5h+5``)."""
+    rng = Random(seed)
+    best: WorstCase | None = None
+    for _attempt in range(attempts):
+        daemon_name, daemon = _make_daemon(rng.randrange(4), rng)
+        run_seed = rng.randrange(1 << 30)
+        measurement = measure_cycles(
+            network, root=root, daemon=daemon, seed=run_seed, cycles=1
+        )
+        value = measurement.cycle_rounds[0]
+        bound = measurement.cycle_bounds[0]
+        if best is None or value > best.value:
+            best = WorstCase(
+                objective="cycle",
+                value=value,
+                bound=bound,
+                fault_mode=None,
+                daemon=daemon_name,
+                seed=run_seed,
+                attempts=attempts,
+            )
+    assert best is not None
+    return best

@@ -1,0 +1,35 @@
+"""Applications built on the snap PIF: the use cases the paper motivates."""
+
+from repro.applications.broadcast import BroadcastService, WaveOutcome
+from repro.applications.infimum import (
+    FoldResult,
+    distributed_fold,
+    distributed_min,
+    distributed_sum,
+)
+from repro.applications.reset import ResetReceipt, ResetService
+from repro.applications.snapshot import Snapshot, SnapshotService
+from repro.applications.synchronizer import BarrierReport, BarrierSynchronizer
+
+__all__ = [
+    "BarrierReport",
+    "BarrierSynchronizer",
+    "BroadcastService",
+    "FoldResult",
+    "ResetReceipt",
+    "ResetService",
+    "Snapshot",
+    "SnapshotService",
+    "WaveOutcome",
+    "distributed_fold",
+    "distributed_min",
+    "distributed_sum",
+]
+
+from repro.applications.transformer import QueryResult, QueryService
+
+__all__ += ["QueryResult", "QueryService"]
+
+from repro.applications.census import Census, CensusService
+
+__all__ += ["Census", "CensusService"]

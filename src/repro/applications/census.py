@@ -1,0 +1,83 @@
+"""Network census: reconstruct the whole topology at the root.
+
+A classic use of broadcast-with-feedback: ask every processor for its
+local neighborhood and assemble the global map.  One snap-PIF wave
+collects, at the root, every processor's neighbor list — i.e. the exact
+adjacency of the network — together with degree statistics.  Correct
+from the first call, whatever state the system starts in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.applications.transformer import QueryService
+from repro.runtime.daemons import Daemon
+from repro.runtime.network import Network
+from repro.runtime.state import Configuration
+
+__all__ = ["Census", "CensusService"]
+
+
+@dataclass(frozen=True, slots=True)
+class Census:
+    """The assembled topology report."""
+
+    adjacency: Mapping[int, tuple[int, ...]]
+    rounds: int
+    ok: bool
+
+    @property
+    def n(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(qs) for qs in self.adjacency.values()) // 2
+
+    def degrees(self) -> dict[int, int]:
+        return {p: len(qs) for p, qs in self.adjacency.items()}
+
+    def matches(self, network: Network) -> bool:
+        """Whether the census equals the network's real adjacency."""
+        if set(self.adjacency) != set(network.nodes):
+            return False
+        return all(
+            tuple(sorted(self.adjacency[p])) == tuple(sorted(network.neighbors(p)))
+            for p in network.nodes
+        )
+
+
+class CensusService:
+    """Collect the network topology at the root, one PIF wave per census."""
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        root: int = 0,
+        daemon: Daemon | None = None,
+        seed: int = 0,
+        initial_configuration: Configuration | None = None,
+    ) -> None:
+        self.network = network
+        self._service = QueryService(
+            network,
+            root=root,
+            daemon=daemon,
+            seed=seed,
+            initial_configuration=initial_configuration,
+        )
+        self._service.register(
+            "census", lambda node, _args: network.neighbors(node)
+        )
+
+    def take(self, *, max_steps: int = 1_000_000) -> Census:
+        """Run one census wave."""
+        result = self._service.query("census", max_steps=max_steps)
+        return Census(
+            adjacency={p: tuple(v) for p, v in result.answers.items()},  # type: ignore[arg-type]
+            rounds=result.rounds,
+            ok=result.ok,
+        )

@@ -1,0 +1,115 @@
+"""Snap-stabilizing reset.
+
+"The most general method to repair the system is to reset the entire
+system after a transient fault is detected.  Reset protocols are also
+PIF-based algorithms." (Related Work.)  This service broadcasts a reset
+command carrying an epoch number; every processor re-initializes its
+application state when the wave reaches it, and the feedback collects a
+confirmation per processor, so the root *knows* when the reset has been
+applied network-wide.
+
+With a merely self-stabilizing PIF underneath, a reset issued before
+stabilization may silently skip processors; the snap PIF makes the first
+reset already complete — the property experiment E7 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.applications.broadcast import BroadcastService
+from repro.errors import ReproError
+from repro.runtime.daemons import Daemon
+from repro.runtime.network import Network
+from repro.runtime.state import Configuration
+
+__all__ = ["ResetReceipt", "ResetService"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResetReceipt:
+    """Evidence that one reset epoch was applied everywhere."""
+
+    epoch: int
+    #: Nodes that confirmed applying this epoch (all of them, by PIF2).
+    confirmed: frozenset[int]
+    rounds: int
+    ok: bool
+
+    def complete(self, n: int) -> bool:
+        return len(self.confirmed) == n
+
+
+class ResetService:
+    """Reset the application layer of every processor with one PIF wave.
+
+    ``fresh_state(node)`` builds a node's post-reset application state.
+    The service maintains the (simulated) application states in
+    :attr:`app_states`; a node's reset is applied by its F-action —
+    i.e. only after the wave genuinely reached it.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        fresh_state: Callable[[int], object],
+        *,
+        root: int = 0,
+        daemon: Daemon | None = None,
+        seed: int = 0,
+        initial_configuration: Configuration | None = None,
+    ) -> None:
+        self.network = network
+        self.fresh_state = fresh_state
+        self.epoch = 0
+        #: Application state per node (starts deliberately inconsistent).
+        self.app_states: dict[int, object] = {
+            p: ("unreset", p) for p in network.nodes
+        }
+        #: Epoch each node last applied.
+        self.applied_epoch: dict[int, int] = {p: -1 for p in network.nodes}
+
+        def local_value(node: int) -> object:
+            # Invoked at the node's F-action: the wave has reached it.
+            self.app_states[node] = self.fresh_state(node)
+            self.applied_epoch[node] = self.epoch
+            return frozenset({node})
+
+        def combine(values: Sequence[object]) -> object:
+            merged: set[int] = set()
+            for part in values:
+                if not isinstance(part, frozenset):
+                    raise ReproError(f"reset fold saw stale value {part!r}")
+                merged |= part
+            return frozenset(merged)
+
+        self._service = BroadcastService(
+            network,
+            root,
+            local_value=local_value,
+            combine=combine,
+            daemon=daemon,
+            seed=seed,
+            initial_configuration=initial_configuration,
+        )
+
+    def reset(self, *, max_steps: int = 1_000_000) -> ResetReceipt:
+        """Issue one network-wide reset; return the confirmation receipt."""
+        self.epoch += 1
+        outcome = self._service.broadcast(
+            ("RESET", self.epoch), max_steps=max_steps
+        )
+        confirmed = outcome.result
+        if not isinstance(confirmed, frozenset):
+            raise ReproError(f"reset feedback is not a node set: {confirmed!r}")
+        return ResetReceipt(
+            epoch=self.epoch,
+            confirmed=confirmed,
+            rounds=outcome.report.rounds,
+            ok=outcome.ok,
+        )
+
+    def all_reset(self) -> bool:
+        """Every node's application state is at the current epoch."""
+        return all(e == self.epoch for e in self.applied_epoch.values())

@@ -1,0 +1,100 @@
+"""Global snapshot via PIF feedback.
+
+Self-stabilizing snapshot algorithms are PIF-based ([17, 23] in the
+paper's bibliography): the broadcast asks every processor to report, and
+the feedback phase assembles the reports tree-by-tree, delivering the
+full map at the root.
+
+Each processor's report is taken when its F-action executes — i.e. at a
+moment when its whole broadcast subtree has already reported, giving the
+usual "meaningful cut" property of echo-based snapshots.  Snap
+stabilization makes the very first snapshot complete: every processor's
+report is present exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.applications.broadcast import BroadcastService
+from repro.errors import ReproError
+from repro.runtime.daemons import Daemon
+from repro.runtime.network import Network
+from repro.runtime.state import Configuration
+
+__all__ = ["Snapshot", "SnapshotService"]
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """One collected snapshot."""
+
+    #: ``{node: report}`` — exactly one entry per processor.
+    reports: Mapping[int, object]
+    rounds: int
+    ok: bool
+
+    def complete(self, n: int) -> bool:
+        """Every one of the ``n`` processors is present exactly once."""
+        return len(self.reports) == n
+
+
+class SnapshotService:
+    """Collect global snapshots with one PIF wave each.
+
+    ``reporter(node)`` produces a node's local report; it is invoked at
+    the node's F-action during the snapshot wave.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        reporter: Callable[[int], object],
+        *,
+        root: int = 0,
+        daemon: Daemon | None = None,
+        seed: int = 0,
+        initial_configuration: Configuration | None = None,
+    ) -> None:
+        self.network = network
+
+        def local_value(node: int) -> object:
+            return {node: reporter(node)}
+
+        def combine(values: Sequence[object]) -> object:
+            merged: dict[int, object] = {}
+            for part in values:
+                if not isinstance(part, dict):
+                    raise ReproError(
+                        f"snapshot fold received non-report value {part!r}"
+                    )
+                overlap = merged.keys() & part.keys()
+                if overlap:
+                    raise ReproError(
+                        f"snapshot fold saw duplicate reports for {sorted(overlap)}"
+                    )
+                merged.update(part)
+            return merged
+
+        self._service = BroadcastService(
+            network,
+            root,
+            local_value=local_value,
+            combine=combine,
+            daemon=daemon,
+            seed=seed,
+            initial_configuration=initial_configuration,
+        )
+
+    def take(self, *, max_steps: int = 1_000_000) -> Snapshot:
+        """Run one snapshot wave and return the assembled reports."""
+        outcome = self._service.broadcast("snapshot-request", max_steps=max_steps)
+        reports = outcome.result
+        if not isinstance(reports, dict):
+            raise ReproError(f"snapshot result is not a report map: {reports!r}")
+        return Snapshot(
+            reports=dict(sorted(reports.items())),
+            rounds=outcome.report.rounds,
+            ok=outcome.ok,
+        )

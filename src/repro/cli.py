@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run PIF cycles on a chosen topology and print the round-by-round
+    phase waterfall plus the per-cycle measurements.
+``stabilize``
+    Start from an adversarial configuration and report the measured
+    convergence rounds against Property 3 / Theorem 1 / Theorem 3.
+``verify``
+    Run the exhaustive model checks (snap safety, liveness, convergence,
+    closure) on a small network.
+``bounds``
+    Print the paper's bound sheet for a topology plus one measured cycle.
+``topologies``
+    List the available topology families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import bound_sheet, measure_cycles, measure_stabilization
+from repro.analysis.faults import FAULT_MODES
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.graphs import TOPOLOGY_FAMILIES, by_name, compute_metrics
+from repro.reporting import render_table
+from repro.reporting.render import PhaseTimeline, render_configuration
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snap-stabilizing PIF in arbitrary networks (ICDCS 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topology_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--topology",
+            default="random-sparse",
+            choices=sorted(TOPOLOGY_FAMILIES),
+            help="topology family (default: random-sparse)",
+        )
+        p.add_argument("--size", type=int, default=8, help="approximate N")
+        p.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    demo = sub.add_parser("demo", help="run PIF cycles and show the phases")
+    add_topology_args(demo)
+    demo.add_argument("--cycles", type=int, default=1)
+    demo.add_argument(
+        "--async-daemon",
+        action="store_true",
+        help="use a distributed random daemon instead of the synchronous one",
+    )
+
+    stab = sub.add_parser(
+        "stabilize", help="recover from an adversarial configuration"
+    )
+    add_topology_args(stab)
+    stab.add_argument("--mode", default="uniform", choices=FAULT_MODES)
+
+    verify = sub.add_parser("verify", help="exhaustive model checks (small N)")
+    verify.add_argument(
+        "--network",
+        default="line-3",
+        choices=["line-3", "complete-3", "line-4"],
+    )
+    verify.add_argument(
+        "--cap",
+        type=int,
+        default=None,
+        help="cap on checked configurations (line-4 defaults to 2000)",
+    )
+
+    bounds_cmd = sub.add_parser("bounds", help="bound sheet + measured cycle")
+    add_topology_args(bounds_cmd)
+
+    sub.add_parser("topologies", help="list topology families")
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    net = by_name(args.topology, args.size)
+    protocol = SnapPif.for_network(net)
+    monitor = PifCycleMonitor(protocol, net)
+    timeline = PhaseTimeline()
+    daemon = DistributedRandomDaemon(0.6) if args.async_daemon else None
+    sim = Simulator(
+        protocol, net, daemon, seed=args.seed, monitors=[monitor, timeline]
+    )
+    sim.run(
+        until=lambda _c: len(monitor.completed_cycles) >= args.cycles,
+        max_steps=2_000_000,
+    )
+    print(f"{net.name}: N={net.n}, diameter={net.diameter()}")
+    print()
+    print(timeline.render())
+    print()
+    rows = [
+        {
+            "cycle": i + 1,
+            "rounds": c.rounds,
+            "h": c.height,
+            "bound 5h+5": 5 * c.height + 5,
+            "PIF1": c.pif1_holds(net.n),
+            "PIF2": c.pif2_holds(net.n),
+        }
+        for i, c in enumerate(monitor.completed_cycles)
+    ]
+    print(render_table(rows, title="cycles"))
+    return 0
+
+
+def _cmd_stabilize(args: argparse.Namespace) -> int:
+    net = by_name(args.topology, args.size)
+    measurement = measure_stabilization(
+        net, fault_mode=args.mode, seed=args.seed
+    )
+    rows = [
+        {
+            "property": "GoodCount everywhere (Property 3)",
+            "rounds": measurement.rounds_to_good_count,
+            "bound": measurement.good_count_bound,
+        },
+        {
+            "property": "every processor Normal (Theorem 1)",
+            "rounds": measurement.rounds_to_normal,
+            "bound": measurement.normalization_bound,
+        },
+        {
+            "property": "Good Configuration / GLT (Theorem 3)",
+            "rounds": measurement.rounds_to_good_configuration,
+            "bound": measurement.glt_bound,
+        },
+    ]
+    print(
+        render_table(
+            rows,
+            title=f"{net.name}, fault mode {args.mode!r}, "
+            f"L_max={measurement.l_max}",
+        )
+    )
+    print(f"\nwithin all bounds: {measurement.within_bounds}")
+    return 0 if measurement.within_bounds else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.graphs import complete, line
+    from repro.verification import (
+        check_convergence_synchronous,
+        check_cycle_liveness_synchronous,
+        check_normal_closure,
+        check_snap_safety,
+    )
+
+    if args.network == "line-3":
+        net, cap = line(3), args.cap
+    elif args.network == "complete-3":
+        net, cap = complete(3), args.cap
+    else:
+        net, cap = line(4), args.cap if args.cap is not None else 2000
+
+    checks = [
+        ("snap safety (all daemon choices)", check_snap_safety),
+        ("wave liveness (synchronous)", check_cycle_liveness_synchronous),
+        (
+            "convergence to SBN (synchronous)",
+            lambda n, **kw: check_convergence_synchronous(n, stride=3, **kw),
+        ),
+        ("closure of normal configurations", check_normal_closure),
+    ]
+    rows = []
+    failed = False
+    for label, check in checks:
+        result = check(net, max_configurations=cap)
+        rows.append(
+            {
+                "check": label,
+                "configurations": result.configurations_checked,
+                "complete": result.complete,
+                "violations": len(result.counterexamples),
+            }
+        )
+        if not result.ok:
+            failed = True
+            print(result.counterexamples[0].pretty(), file=sys.stderr)
+    print(render_table(rows, title=f"exhaustive checks on {net.name}"))
+    return 1 if failed else 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    net = by_name(args.topology, args.size)
+    metrics = compute_metrics(net)
+    sheet = bound_sheet(metrics.l_max, metrics.longest_chordless_from_root)
+    measurement = measure_cycles(net, cycles=1, seed=args.seed)
+
+    print(f"{net.name}: N={metrics.n}, diameter={metrics.diameter}, "
+          f"ecc(r)={metrics.root_eccentricity}, "
+          f"longest chordless from r={metrics.longest_chordless_from_root}, "
+          f"L_max={metrics.l_max}")
+    rows = [
+        {"bound": "GoodCount (Property 3)", "formula": "L+1", "rounds": sheet.good_count},
+        {"bound": "all Normal (Theorem 1)", "formula": "3L+3", "rounds": sheet.normalization},
+        {"bound": "GLT (Theorem 3)", "formula": "8L+7", "rounds": sheet.glt},
+        {"bound": "cycle, worst h (Theorem 4)", "formula": "5h+5", "rounds": sheet.cycle},
+        {
+            "bound": "cycle, measured",
+            "formula": f"h={measurement.heights[0]}",
+            "rounds": measurement.cycle_rounds[0],
+        },
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_topologies(_args: argparse.Namespace) -> int:
+    rows = [
+        {"family": name, "example (size 9)": TOPOLOGY_FAMILIES[name](9).name}
+        for name in sorted(TOPOLOGY_FAMILIES)
+    ]
+    print(render_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "stabilize": _cmd_stabilize,
+    "verify": _cmd_verify,
+    "bounds": _cmd_bounds,
+    "topologies": _cmd_topologies,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""The paper's contribution: the snap-stabilizing PIF and its executable spec.
+
+Modules
+-------
+state
+    Variables (``Pif``, ``Par``, ``L``, ``Count``, ``Fok``) and protocol
+    constants.
+macros
+    ``Sum_Set``, ``Sum``, ``Pre_Potential``, ``Potential``.
+predicates
+    ``Good*``, ``Normal``, ``Leaf``/``BLeaf``/``BFree`` and all guards.
+actions
+    The root and non-root programs (Algorithms 1 and 2).
+pif
+    :class:`SnapPif` — the protocol object.
+payload
+    :class:`PayloadSnapPif` — value-carrying variant for applications.
+monitor
+    :class:`PifCycleMonitor` — executable PIF1/PIF2 specification.
+definitions
+    Definitions 3-16 (parent paths, trees, configuration classes).
+"""
+
+from repro.core.definitions import (
+    ConfigurationClasses,
+    abnormal_nodes,
+    all_trees,
+    classify,
+    good_legal_tree,
+    is_broadcast_configuration,
+    is_ebn_configuration,
+    is_ef_configuration,
+    is_efn_configuration,
+    is_good_configuration,
+    is_normal_configuration,
+    is_normal_node,
+    is_sb_configuration,
+    is_sbn_configuration,
+    legal_tree,
+    legal_tree_height,
+    parent_path,
+    pif_state,
+    sources,
+    subtree_size,
+    tree,
+    tree_children,
+)
+from repro.core.monitor import CycleReport, PifCycleMonitor
+from repro.core.payload import NO_ACK, PayloadPifState, PayloadSnapPif
+from repro.core.pif import SnapPif
+from repro.core.state import Phase, PifConstants, PifState
+
+__all__ = [
+    "ConfigurationClasses",
+    "CycleReport",
+    "NO_ACK",
+    "PayloadPifState",
+    "PayloadSnapPif",
+    "Phase",
+    "PifConstants",
+    "PifCycleMonitor",
+    "PifState",
+    "SnapPif",
+    "abnormal_nodes",
+    "all_trees",
+    "classify",
+    "good_legal_tree",
+    "is_broadcast_configuration",
+    "is_ebn_configuration",
+    "is_ef_configuration",
+    "is_efn_configuration",
+    "is_good_configuration",
+    "is_normal_configuration",
+    "is_normal_node",
+    "is_sb_configuration",
+    "is_sbn_configuration",
+    "legal_tree",
+    "legal_tree_height",
+    "parent_path",
+    "pif_state",
+    "sources",
+    "subtree_size",
+    "tree",
+    "tree_children",
+]

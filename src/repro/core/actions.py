@@ -1,0 +1,220 @@
+"""The actions of Algorithms 1 and 2, assembled into per-node programs.
+
+Statements are pure: they read the executing processor's context (its
+own state and its neighbors' states in the *current* configuration) and
+return the processor's next state.
+
+Count saturation: ``Count_p`` lives in ``[1, N']``.  From an arbitrary
+initial configuration the raw ``Sum_p`` can exceed any fixed ``N'``
+(garbage counts add up), so ``Count-action`` writes ``min(Sum_p, N')``
+and ``NewCount`` compares against the same saturated value — otherwise a
+processor whose count already saturated would stay enabled forever
+without changing state, violating progress.  ``GoodCount`` is unaffected
+(``min(Sum_p, N') ≤ Sum_p``).
+"""
+
+from __future__ import annotations
+
+from repro.core import predicates as pred
+from repro.core.macros import chosen_parent, sum_value
+from repro.core.state import Phase, PifConstants, PifState
+from repro.errors import ProtocolError
+from repro.runtime.protocol import Action, Context
+
+__all__ = ["root_program", "non_root_program", "ACTION_NAMES"]
+
+#: Canonical action labels, matching the paper's listing.
+ACTION_NAMES = (
+    "B-action",
+    "Fok-action",
+    "F-action",
+    "C-action",
+    "Count-action",
+    "B-correction",
+    "F-correction",
+)
+
+
+def _own(ctx: Context) -> PifState:
+    state = ctx.state
+    assert isinstance(state, PifState)
+    return state
+
+
+def _saturated_sum(ctx: Context, k: PifConstants) -> int:
+    return min(sum_value(ctx, k), k.n_prime)
+
+
+def _new_count_guard_saturated(ctx: Context, k: PifConstants) -> bool:
+    """``NewCount(p)`` against the saturated sum (see module docstring)."""
+    own = _own(ctx)
+    if own.pif is not Phase.B or own.fok:
+        return False
+    if own.count >= _saturated_sum(ctx, k):
+        return False
+    return pred.normal(ctx, k)
+
+
+def _root_new_count_guard(ctx: Context, k: PifConstants) -> bool:
+    """The root's ``NewCount``, extended to raise the Fok flag.
+
+    ``(Pif_r = B) ∧ Normal(r) ∧ ¬Fok_r ∧ (Count_r < Sum_r ∨ Sum_r = N)``
+
+    Interpretation note (DESIGN.md §1.1): the paper prints the same
+    ``Count_r < Sum_r`` guard as for other processors, but then the
+    configuration «complete counts, ``Count_r = Sum_r = N``, ``Fok_r``
+    still false» (reachable as an initial configuration) deadlocks: no
+    action of the root is enabled and the Fok wave never starts.  The
+    printed root ``GoodFok`` equality (``Fok_r = (Sum_r = N)``) was
+    evidently meant to catch this state, but as an invariant it aborts
+    every legitimate wave the moment its count completes.  Letting the
+    root's Count-action fire exactly once more to execute
+    ``Fok_r := (Sum_r = N)`` resolves both: the exhaustive convergence
+    and snap-safety checks pass only with this reading.
+    """
+    own = _own(ctx)
+    if own.pif is not Phase.B or own.fok:
+        return False
+    raw = sum_value(ctx, k)
+    if own.count >= min(raw, k.n_prime) and raw != k.n:
+        return False
+    return pred.normal(ctx, k)
+
+
+def root_program(k: PifConstants) -> tuple[Action, ...]:
+    """Algorithm 1: the program of the root ``r``."""
+
+    def b_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.B, count=1, fok=(k.n == 1))
+
+    def f_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.F)
+
+    def c_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.C)
+
+    def count_statement(ctx: Context) -> PifState:
+        raw = sum_value(ctx, k)
+        return _own(ctx).replace(
+            count=min(raw, k.n_prime), fok=(raw == k.n)
+        )
+
+    def correction_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.C)
+
+    actions = [
+        Action(
+            "B-action",
+            guard=lambda ctx: pred.broadcast_guard(ctx, k),
+            statement=b_statement,
+        ),
+        Action(
+            "F-action",
+            guard=lambda ctx: pred.feedback_guard(ctx, k),
+            statement=f_statement,
+        ),
+        Action(
+            "C-action",
+            guard=lambda ctx: pred.cleaning_guard(ctx, k),
+            statement=c_statement,
+        ),
+        Action(
+            "Count-action",
+            guard=lambda ctx: _root_new_count_guard(ctx, k),
+            statement=count_statement,
+        ),
+    ]
+    if k.corrections:
+        actions.append(
+            Action(
+                "B-correction",
+                guard=lambda ctx: pred.abnormal_b(ctx, k),
+                statement=correction_statement,
+                correction=True,
+            )
+        )
+    return tuple(actions)
+
+
+def non_root_program(k: PifConstants) -> tuple[Action, ...]:
+    """Algorithm 2: the program of every processor ``p ≠ r``."""
+
+    def b_statement(ctx: Context) -> PifState:
+        parent = chosen_parent(ctx, k)
+        if parent is None:
+            raise ProtocolError(
+                f"B-action at node {ctx.node} with empty Potential set"
+            )
+        parent_state = ctx.neighbor_state(parent)
+        assert isinstance(parent_state, PifState)
+        return _own(ctx).replace(
+            par=parent,
+            level=parent_state.level + 1,
+            count=1,
+            fok=False,
+            pif=Phase.B,
+        )
+
+    def fok_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(fok=True)
+
+    def f_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.F)
+
+    def c_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.C)
+
+    def count_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(count=_saturated_sum(ctx, k))
+
+    def b_correction_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.F)
+
+    def f_correction_statement(ctx: Context) -> PifState:
+        return _own(ctx).replace(pif=Phase.C)
+
+    actions = [
+        Action(
+            "B-action",
+            guard=lambda ctx: pred.broadcast_guard(ctx, k),
+            statement=b_statement,
+        ),
+        Action(
+            "Fok-action",
+            guard=lambda ctx: pred.change_fok_guard(ctx, k),
+            statement=fok_statement,
+        ),
+        Action(
+            "F-action",
+            guard=lambda ctx: pred.feedback_guard(ctx, k),
+            statement=f_statement,
+        ),
+        Action(
+            "C-action",
+            guard=lambda ctx: pred.cleaning_guard(ctx, k),
+            statement=c_statement,
+        ),
+        Action(
+            "Count-action",
+            guard=lambda ctx: _new_count_guard_saturated(ctx, k),
+            statement=count_statement,
+        ),
+    ]
+    if k.corrections:
+        actions.extend(
+            (
+                Action(
+                    "B-correction",
+                    guard=lambda ctx: pred.abnormal_b(ctx, k),
+                    statement=b_correction_statement,
+                    correction=True,
+                ),
+                Action(
+                    "F-correction",
+                    guard=lambda ctx: pred.abnormal_f(ctx, k),
+                    statement=f_correction_statement,
+                    correction=True,
+                ),
+            )
+        )
+    return tuple(actions)

@@ -1,0 +1,338 @@
+"""Executable versions of the paper's Definitions 3–16.
+
+These functions classify configurations and expose the tree structure
+the proofs reason about: parent paths, the trees rooted at the root and
+at abnormal processors, the LegalTree, sources, and the configuration
+classes (Normal, B, SB, SBN, EBN, EF, EFN, Good Configuration, GLT).
+
+They are *global* observers — they read the whole configuration — and
+are used by invariant checkers, stabilization experiments and tests, not
+by the protocol itself (which is strictly local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import predicates as pred
+from repro.core.state import Phase, PifConstants, PifState
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Context
+from repro.runtime.state import Configuration
+
+__all__ = [
+    "pif_state",
+    "is_normal_node",
+    "abnormal_nodes",
+    "parent_path",
+    "tree",
+    "legal_tree",
+    "all_trees",
+    "sources",
+    "tree_children",
+    "subtree_size",
+    "legal_tree_height",
+    "is_normal_configuration",
+    "is_broadcast_configuration",
+    "is_sb_configuration",
+    "is_sbn_configuration",
+    "is_ebn_configuration",
+    "is_ef_configuration",
+    "is_efn_configuration",
+    "is_good_configuration",
+    "good_legal_tree",
+    "ConfigurationClasses",
+    "classify",
+]
+
+
+def pif_state(configuration: Configuration, node: int) -> PifState:
+    """Fetch a node's state, typed."""
+    state = configuration[node]
+    if not isinstance(state, PifState):
+        raise ProtocolError(f"node {node} does not carry a PifState: {state!r}")
+    return state
+
+
+def is_normal_node(
+    configuration: Configuration, network: Network, k: PifConstants, node: int
+) -> bool:
+    """``Normal(p)`` evaluated globally (Definition 8 ingredient)."""
+    return pred.normal(Context(node, network, configuration), k)
+
+
+def abnormal_nodes(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> frozenset[int]:
+    """All abnormal processors of the configuration."""
+    return frozenset(
+        p
+        for p in network.nodes
+        if not is_normal_node(configuration, network, k, p)
+    )
+
+
+def parent_path(
+    configuration: Configuration, network: Network, k: PifConstants, node: int
+) -> list[int] | None:
+    """``ParentPath(p)`` (Definition 4) or ``None`` when undefined.
+
+    Defined only for ``Pif_p ≠ C``.  Follows parent pointers through
+    *normal* processors; the terminal extremity is the root or an
+    abnormal processor.  ``GoodLevel`` makes levels strictly decrease
+    along the walk, so the path is finite; the length assertion guards
+    against a broken predicate implementation.
+    """
+    state = pif_state(configuration, node)
+    if state.pif is Phase.C:
+        return None
+    path = [node]
+    current = node
+    while True:
+        if current == k.root or not is_normal_node(
+            configuration, network, k, current
+        ):
+            return path
+        current_state = pif_state(configuration, current)
+        assert current_state.par is not None  # non-root, domain invariant
+        current = current_state.par
+        path.append(current)
+        if len(path) > network.n:
+            raise ProtocolError(
+                f"parent path from {node} did not terminate: {path}"
+            )
+
+
+def tree(
+    configuration: Configuration, network: Network, k: PifConstants, extremity: int
+) -> frozenset[int]:
+    """``Tree(p)`` (Definition 5): processors whose ParentPath ends at ``extremity``.
+
+    ``extremity`` must be the root or an abnormal processor, the only
+    nodes trees are rooted at.
+    """
+    members = set()
+    for q in network.nodes:
+        path = parent_path(configuration, network, k, q)
+        if path is not None and path[-1] == extremity:
+            members.add(q)
+    return frozenset(members)
+
+
+def legal_tree(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> frozenset[int]:
+    """``LegalTree`` (Definition 6): the tree rooted at ``r``.
+
+    Empty when ``Pif_r = C`` (the root's ParentPath is then undefined).
+    """
+    return tree(configuration, network, k, k.root)
+
+
+def all_trees(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> dict[int, frozenset[int]]:
+    """Every tree of the configuration, keyed by its extremity.
+
+    Extremities are the root (if active) and all abnormal processors.
+    """
+    extremities = set(abnormal_nodes(configuration, network, k))
+    extremities.add(k.root)
+    result: dict[int, frozenset[int]] = {}
+    for e in extremities:
+        members = tree(configuration, network, k, e)
+        if members:
+            result[e] = members
+    return result
+
+
+def sources(
+    configuration: Configuration,
+    network: Network,
+    k: PifConstants,
+    members: frozenset[int],
+) -> frozenset[int]:
+    """``Source`` processors of a tree (Definition 7): its childless members."""
+    parents = {
+        pif_state(configuration, q).par
+        for q in members
+        if pif_state(configuration, q).pif is not Phase.C
+    }
+    return frozenset(p for p in members if p not in parents)
+
+
+def tree_children(
+    configuration: Configuration,
+    network: Network,
+    members: frozenset[int],
+    node: int,
+) -> frozenset[int]:
+    """Members of a tree whose parent pointer designates ``node``."""
+    return frozenset(
+        q
+        for q in members
+        if q != node and pif_state(configuration, q).par == node
+    )
+
+
+def subtree_size(
+    configuration: Configuration,
+    network: Network,
+    members: frozenset[int],
+    node: int,
+) -> int:
+    """``#Subtree(p)`` within a tree: the node plus all its descendants."""
+    size = 1
+    stack = [node]
+    seen = {node}
+    while stack:
+        p = stack.pop()
+        for q in tree_children(configuration, network, members, p):
+            if q not in seen:
+                seen.add(q)
+                size += 1
+                stack.append(q)
+    return size
+
+
+def legal_tree_height(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> int:
+    """Height of the LegalTree: the maximum level among its members (root = 0)."""
+    members = legal_tree(configuration, network, k)
+    if not members:
+        return 0
+    return max(pif_state(configuration, p).level for p in members)
+
+
+# ----------------------------------------------------------------------
+# Configuration classes (Definitions 8–16)
+# ----------------------------------------------------------------------
+def is_normal_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 8: every processor is normal."""
+    return not abnormal_nodes(configuration, network, k)
+
+
+def is_broadcast_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 9 (B): ``Pif_r = B ∧ ¬Fok_r``."""
+    root = pif_state(configuration, k.root)
+    return root.pif is Phase.B and not root.fok
+
+
+def is_sb_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 10 (SB): ``Pif_r = C``."""
+    return pif_state(configuration, k.root).pif is Phase.C
+
+
+def is_sbn_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 11 (SBN): SB and normal — then every ``Pif_p = C``."""
+    return is_sb_configuration(
+        configuration, network, k
+    ) and is_normal_configuration(configuration, network, k)
+
+
+def is_ebn_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 12 (EBN): normal, ``¬Fok_r`` and every ``Pif_p = B``."""
+    root = pif_state(configuration, k.root)
+    if root.fok:
+        return False
+    if any(
+        pif_state(configuration, p).pif is not Phase.B for p in network.nodes
+    ):
+        return False
+    return is_normal_configuration(configuration, network, k)
+
+
+def is_ef_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 13 (EF): ``Pif_r = F``."""
+    return pif_state(configuration, k.root).pif is Phase.F
+
+
+def is_efn_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 14 (EFN): EF and normal."""
+    return is_ef_configuration(
+        configuration, network, k
+    ) and is_normal_configuration(configuration, network, k)
+
+
+def is_good_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> bool:
+    """Definition 15 (GC).
+
+    Every active processor outside the LegalTree whose parent is inside
+    it satisfies ``GoodCount`` — such a processor is exactly the kind
+    that could feed a bogus count into the legal tree.
+    """
+    members = legal_tree(configuration, network, k)
+    for p in network.nodes:
+        if p in members:
+            continue
+        state = pif_state(configuration, p)
+        if state.pif is Phase.C or state.par not in members:
+            continue
+        if not pred.good_count(Context(p, network, configuration), k):
+            return False
+    return True
+
+
+def good_legal_tree(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> frozenset[int] | None:
+    """Definition 16 (GLT): the LegalTree of a Good Configuration, else ``None``."""
+    if not is_good_configuration(configuration, network, k):
+        return None
+    return legal_tree(configuration, network, k)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigurationClasses:
+    """All class memberships of one configuration, for experiment logging."""
+
+    normal: bool
+    broadcast: bool
+    sb: bool
+    sbn: bool
+    ebn: bool
+    ef: bool
+    efn: bool
+    good: bool
+    abnormal_count: int
+    legal_tree_size: int
+
+
+def classify(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> ConfigurationClasses:
+    """Evaluate every configuration class at once."""
+    abnormal = abnormal_nodes(configuration, network, k)
+    members = legal_tree(configuration, network, k)
+    root = pif_state(configuration, k.root)
+    normal_cfg = not abnormal
+    return ConfigurationClasses(
+        normal=normal_cfg,
+        broadcast=root.pif is Phase.B and not root.fok,
+        sb=root.pif is Phase.C,
+        sbn=normal_cfg and root.pif is Phase.C,
+        ebn=is_ebn_configuration(configuration, network, k),
+        ef=root.pif is Phase.F,
+        efn=normal_cfg and root.pif is Phase.F,
+        good=is_good_configuration(configuration, network, k),
+        abnormal_count=len(abnormal),
+        legal_tree_size=len(members),
+    )

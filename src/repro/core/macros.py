@@ -1,0 +1,112 @@
+"""The macros of Algorithms 1 and 2: ``Sum_Set``, ``Sum``, ``Pre_Potential``, ``Potential``.
+
+All functions take the executing processor's :class:`~repro.runtime.protocol.Context`
+plus the protocol :class:`~repro.core.state.PifConstants` and read only
+the processor's own state and its neighbors' states, exactly as the
+locally shared memory model allows.
+
+Interpretation notes (see DESIGN.md §1.1):
+
+* ``Sum_Set_p`` uses ``¬Fok_q`` — a child whose own Fok flag has risen no
+  longer feeds its count to the parent (the paper prints ``¬Fok_p``,
+  inconsistent with the other conjuncts which all constrain ``q``).
+* ``Potential_p`` minimizes levels over ``Pre_Potential_p`` (the paper's
+  ``Set_p`` is read as ``Pre_Potential_p``, the only set in scope).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.protocol import Context
+from repro.core.state import Phase, PifConstants, PifState
+
+__all__ = [
+    "sum_set",
+    "sum_value",
+    "pre_potential",
+    "potential",
+    "chosen_parent",
+]
+
+
+def sum_set(ctx: Context, k: PifConstants) -> list[int]:
+    """``Sum_Set_p``: broadcasting children one level below, not yet in the Fok wave.
+
+    ``{q ∈ Neig_p :: (Pif_q = B) ∧ (Par_q = p) ∧ (L_q = L_p + 1) ∧ ¬Fok_q}``
+    """
+    own: PifState = ctx.state  # type: ignore[assignment]
+    members = []
+    for q, sq in ctx.neighbor_states():
+        assert isinstance(sq, PifState)
+        if (
+            sq.pif is Phase.B
+            and sq.par == ctx.node
+            and sq.level == own.level + 1
+            and not sq.fok
+        ):
+            members.append(q)
+    return members
+
+
+def sum_value(ctx: Context, k: PifConstants) -> int:
+    """``Sum_p = 1 + Σ_{q ∈ Sum_Set_p} Count_q``."""
+    total = 1
+    for q in sum_set(ctx, k):
+        sq = ctx.neighbor_state(q)
+        assert isinstance(sq, PifState)
+        total += sq.count
+    return total
+
+
+def pre_potential(ctx: Context, k: PifConstants) -> list[int]:
+    """``Pre_Potential_p``: neighbors ``p`` could accept the broadcast from.
+
+    ``{q ∈ Neig_p :: (Pif_q = B) ∧ (Par_q ≠ p) ∧ (L_q < L_max) ∧ ¬Fok_q}``
+
+    The ``¬Fok_q`` conjunct (removable via the ``fok_join_guard``
+    ablation switch) prevents attaching below a subtree whose count has
+    already been frozen into the root's total.
+    """
+    members = []
+    for q, sq in ctx.neighbor_states():
+        assert isinstance(sq, PifState)
+        if sq.pif is not Phase.B:
+            continue
+        if sq.par == ctx.node:
+            continue
+        if sq.level >= k.l_max:
+            continue
+        if k.fok_join_guard and sq.fok:
+            continue
+        members.append(q)
+    return members
+
+
+def potential(ctx: Context, k: PifConstants) -> list[int]:
+    """``Potential_p``: the minimum-level members of ``Pre_Potential_p``.
+
+    Choosing a minimum-level parent is what makes every parent path
+    chordless (proof of Theorem 4).
+    """
+    candidates = pre_potential(ctx, k)
+    if not candidates:
+        return []
+    best = min(
+        ctx.neighbor_state(q).level  # type: ignore[union-attr]
+        for q in candidates
+    )
+    return [
+        q
+        for q in candidates
+        if ctx.neighbor_state(q).level == best  # type: ignore[union-attr]
+    ]
+
+
+def chosen_parent(ctx: Context, k: PifConstants) -> int | None:
+    """``min_{≻p}(Potential_p)``: the parent B-action would pick, or ``None``.
+
+    The minimum is taken in the processor's local neighbor order, which
+    is the iteration order of ``ctx.neighbors`` — ``potential`` preserves
+    it, so the first element is the local minimum.
+    """
+    candidates = potential(ctx, k)
+    return candidates[0] if candidates else None

@@ -1,0 +1,144 @@
+"""The snap-stabilizing PIF protocol (the paper's contribution).
+
+:class:`SnapPif` wires the per-node programs of Algorithms 1 and 2 into
+the :class:`~repro.runtime.protocol.Protocol` interface so it can run
+under any daemon of :mod:`repro.runtime.daemons`, be fuzzed from
+arbitrary configurations, and be exhaustively model checked.
+
+Quick start::
+
+    from repro import PifCycleMonitor, Simulator, SnapPif, line
+
+    net = line(8)
+    protocol = SnapPif.for_network(net)        # root = 0, N known at root
+    monitor = PifCycleMonitor(protocol, net)
+    sim = Simulator(protocol, net, monitors=[monitor])
+    sim.run(until=lambda c: len(monitor.completed_cycles) >= 1)
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Sequence
+
+from repro.core.actions import non_root_program, root_program
+from repro.core.macros import chosen_parent
+from repro.core.state import Phase, PifConstants, PifState
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.state import Configuration
+
+__all__ = ["SnapPif"]
+
+
+class SnapPif(Protocol):
+    """Snap-stabilizing PIF for arbitrary rooted networks (ICDCS 2002)."""
+
+    name = "snap-pif"
+
+    def __init__(self, constants: PifConstants) -> None:
+        super().__init__()
+        self.constants = constants
+        self._root_program = root_program(constants)
+        self._non_root_program = non_root_program(constants)
+
+    @classmethod
+    def for_network(
+        cls,
+        network: Network,
+        root: int = 0,
+        *,
+        n_prime: int | None = None,
+        l_max: int | None = None,
+        leaf_guard: bool = True,
+        fok_join_guard: bool = True,
+        corrections: bool = True,
+    ) -> "SnapPif":
+        """Instantiate with the canonical constants for ``network``."""
+        return cls(
+            PifConstants.for_network(
+                network,
+                root,
+                n_prime=n_prime,
+                l_max=l_max,
+                leaf_guard=leaf_guard,
+                fok_join_guard=fok_join_guard,
+                corrections=corrections,
+            )
+        )
+
+    @property
+    def root(self) -> int:
+        """The initiator ``r``."""
+        return self.constants.root
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        self._check_network(network)
+        if node == self.constants.root:
+            return self._root_program
+        return self._non_root_program
+
+    def initial_state(self, node: int, network: Network) -> PifState:
+        """The normal starting configuration has ``Pif_p = C`` everywhere.
+
+        The remaining variables are irrelevant in phase ``C``; they are
+        set to arbitrary in-domain values (``par`` = locally smallest
+        neighbor, ``level`` = 1, ``count`` = 1).
+        """
+        self._check_network(network)
+        if node == self.constants.root:
+            return PifState(pif=Phase.C, par=None, level=0, count=1, fok=False)
+        return PifState(
+            pif=Phase.C,
+            par=network.neighbors(node)[0],
+            level=1,
+            count=1,
+            fok=False,
+        )
+
+    def random_state(self, node: int, network: Network, rng: Random) -> PifState:
+        """Sample uniformly from the full variable domains (fault model)."""
+        self._check_network(network)
+        k = self.constants
+        phase = rng.choice((Phase.B, Phase.F, Phase.C))
+        count = rng.randint(1, k.n_prime)
+        fok = rng.random() < 0.5
+        if node == k.root:
+            return PifState(pif=phase, par=None, level=0, count=count, fok=fok)
+        return PifState(
+            pif=phase,
+            par=rng.choice(network.neighbors(node)),
+            level=rng.randint(1, k.l_max),
+            count=count,
+            fok=fok,
+        )
+
+    # ------------------------------------------------------------------
+    # PIF-specific helpers
+    # ------------------------------------------------------------------
+    def join_parent(self, ctx: Context) -> int | None:
+        """The parent ``B-action`` would choose at ``ctx`` (monitor hook)."""
+        return chosen_parent(ctx, self.constants)
+
+    def root_state(self, configuration: Configuration) -> PifState:
+        """The root's state in ``configuration``."""
+        state = configuration[self.constants.root]
+        assert isinstance(state, PifState)
+        return state
+
+    def all_clean(self, configuration: Configuration) -> bool:
+        """``∀p, Pif_p = C`` — the normal starting configuration."""
+        return all(
+            isinstance(s, PifState) and s.pif is Phase.C for s in configuration
+        )
+
+    def _check_network(self, network: Network) -> None:
+        if network.n != self.constants.n:
+            raise ProtocolError(
+                f"protocol configured for N={self.constants.n} but network "
+                f"has {network.n} processors"
+            )

@@ -1,0 +1,280 @@
+"""The predicates of Algorithms 1 and 2.
+
+Split into *well-formedness* predicates (``GoodPif``, ``GoodLevel``,
+``GoodFok``, ``GoodCount``, their conjunction ``Normal``) and *guard*
+predicates (``Broadcast``, ``ChangeFok``, ``Feedback``, ``Cleaning``,
+``NewCount``, ``AbnormalB``, ``AbnormalF``).  Root and non-root
+processors have different definitions where the paper gives them
+(Algorithm 1 vs Algorithm 2); the dispatching helpers ``normal``,
+``good_count`` and ``good_fok`` pick the right variant.
+
+Interpretation note (DESIGN.md §1.1): the root's ``GoodFok`` is read as
+``(Pif_r = B ∧ Fok_r) ⇒ (Count_r = N)`` — the published equality
+``Fok_r = (Sum_r = N)`` cannot be an invariant because ``Sum_r``
+legitimately drops below ``N`` during the feedback phase while ``Fok_r``
+must stay true for ``Feedback(r)`` to fire.
+"""
+
+from __future__ import annotations
+
+from repro.core.macros import potential, sum_value
+from repro.core.state import Phase, PifConstants, PifState
+from repro.runtime.protocol import Context
+
+__all__ = [
+    "good_pif",
+    "good_level",
+    "good_fok",
+    "good_count",
+    "normal",
+    "leaf",
+    "b_leaf",
+    "b_free",
+    "broadcast_guard",
+    "change_fok_guard",
+    "feedback_guard",
+    "cleaning_guard",
+    "new_count_guard",
+    "abnormal_b",
+    "abnormal_f",
+]
+
+
+def _own(ctx: Context) -> PifState:
+    state = ctx.state
+    assert isinstance(state, PifState)
+    return state
+
+
+def _parent_state(ctx: Context) -> PifState:
+    own = _own(ctx)
+    assert own.par is not None, "root has no parent"
+    ps = ctx.neighbor_state(own.par)
+    assert isinstance(ps, PifState)
+    return ps
+
+
+# ----------------------------------------------------------------------
+# Well-formedness
+# ----------------------------------------------------------------------
+def good_pif(ctx: Context, k: PifConstants) -> bool:
+    """``GoodPif(p)`` (non-root): the phase is consistent with the parent's.
+
+    ``(Pif_p ≠ C) ⇒ ((Pif_{Par_p} ≠ Pif_p) ⇒ (Pif_{Par_p} = B))`` — a
+    broadcasting processor's parent broadcasts; a feeding-back
+    processor's parent broadcasts or feeds back.
+    """
+    own = _own(ctx)
+    if own.pif is Phase.C:
+        return True
+    parent_pif = _parent_state(ctx).pif
+    return parent_pif is own.pif or parent_pif is Phase.B
+
+
+def good_level(ctx: Context, k: PifConstants) -> bool:
+    """``GoodLevel(p)`` (non-root): ``(Pif_p ≠ C) ⇒ (L_p = L_{Par_p} + 1)``."""
+    own = _own(ctx)
+    if own.pif is Phase.C:
+        return True
+    return own.level == _parent_state(ctx).level + 1
+
+
+def good_fok(ctx: Context, k: PifConstants) -> bool:
+    """``GoodFok(p)``, root and non-root variants.
+
+    Non-root: a broadcasting processor's Fok flag may differ from its
+    parent's only by lagging (``¬Fok_p``); a feeding-back processor's
+    still-broadcasting parent must have its Fok flag up (feedback starts
+    only after the Fok wave passed).
+
+    Root: ``(Pif_r = B ∧ Fok_r) ⇒ (Count_r = N)`` — the Fok wave may only
+    be up on a complete count (see module docstring).
+    """
+    own = _own(ctx)
+    if ctx.node == k.root:
+        if own.pif is Phase.B and own.fok:
+            return own.count == k.n
+        return True
+    if own.pif is Phase.B:
+        ps = _parent_state(ctx)
+        if own.fok != ps.fok and own.fok:
+            return False
+    if own.pif is Phase.F:
+        ps = _parent_state(ctx)
+        if ps.pif is Phase.B and not ps.fok:
+            return False
+    return True
+
+
+def good_count(ctx: Context, k: PifConstants) -> bool:
+    """``GoodCount(p)``: ``((Pif_p = B) ∧ ¬Fok_p) ⇒ (Count_p ≤ Sum_p)``.
+
+    Identical for root and non-root processors.
+    """
+    own = _own(ctx)
+    if own.pif is Phase.B and not own.fok:
+        return own.count <= sum_value(ctx, k)
+    return True
+
+
+def normal(ctx: Context, k: PifConstants) -> bool:
+    """``Normal(p)``: the conjunction of the applicable Good* predicates."""
+    if ctx.node == k.root:
+        return good_fok(ctx, k) and good_count(ctx, k)
+    return (
+        good_pif(ctx, k)
+        and good_level(ctx, k)
+        and good_fok(ctx, k)
+        and good_count(ctx, k)
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural neighborhood predicates (non-root)
+# ----------------------------------------------------------------------
+def leaf(ctx: Context, k: PifConstants) -> bool:
+    """``Leaf(p)``: no active neighbor designates ``p`` as its parent.
+
+    ``∀q ∈ Neig_p :: (Pif_q ≠ C) ⇒ (Par_q ≠ p)``
+    """
+    for _q, sq in ctx.neighbor_states():
+        assert isinstance(sq, PifState)
+        if sq.pif is not Phase.C and sq.par == ctx.node:
+            return False
+    return True
+
+
+def b_leaf(ctx: Context, k: PifConstants) -> bool:
+    """``BLeaf(p)``: all *active* processors designating ``p`` as parent fed back.
+
+    ``(Pif_p = B) ⇒ (∀q ∈ Neig_p :: (Par_q = p ∧ Pif_q ≠ C) ⇒ (Pif_q = F))``
+
+    Interpretation note (DESIGN.md §1.1): the paper prints the condition
+    without the ``Pif_q ≠ C`` qualifier, but a *clean* neighbor whose
+    stale ``Par`` pointer designates ``p`` must not block the feedback —
+    otherwise the configuration «p broadcasting with ``Fok_p``, q clean
+    with ``Par_q = p``» deadlocks (q cannot rejoin below a frozen
+    subtree, p can never feed back), contradicting Theorems 2/3.  All
+    other structural predicates (``Leaf``, the root's ``Feedback``)
+    already ignore clean neighbors; this reading makes ``BLeaf``
+    consistent with them, and the exhaustive convergence check
+    (:mod:`repro.verification.convergence`) passes only with it.
+    """
+    own = _own(ctx)
+    if own.pif is not Phase.B:
+        return True
+    for _q, sq in ctx.neighbor_states():
+        assert isinstance(sq, PifState)
+        if sq.par == ctx.node and sq.pif is Phase.B:
+            return False
+    return True
+
+
+def b_free(ctx: Context, k: PifConstants) -> bool:
+    """``BFree(p)``: no neighbor is broadcasting."""
+    for _q, sq in ctx.neighbor_states():
+        assert isinstance(sq, PifState)
+        if sq.pif is Phase.B:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Guards
+# ----------------------------------------------------------------------
+def broadcast_guard(ctx: Context, k: PifConstants) -> bool:
+    """``Broadcast(p)``.
+
+    Root: ``(Pif_r = C) ∧ (∀q ∈ Neig_r :: Pif_q = C)``.
+    Non-root: ``(Pif_p = C) ∧ Leaf(p) ∧ (Potential_p ≠ ∅)`` — the
+    ``Leaf(p)`` conjunct is the guard that yields snap-stabilization
+    (no processor joins the wave while a stale child still points at it);
+    it can be ablated via ``k.leaf_guard``.
+    """
+    own = _own(ctx)
+    if own.pif is not Phase.C:
+        return False
+    if ctx.node == k.root:
+        return all(
+            sq.pif is Phase.C  # type: ignore[union-attr]
+            for _q, sq in ctx.neighbor_states()
+        )
+    if k.leaf_guard and not leaf(ctx, k):
+        return False
+    return bool(potential(ctx, k))
+
+
+def change_fok_guard(ctx: Context, k: PifConstants) -> bool:
+    """``ChangeFok(p)`` (non-root): ``(Pif_p = B) ∧ Normal(p) ∧ (Fok_p ≠ Fok_{Par_p})``."""
+    own = _own(ctx)
+    if own.pif is not Phase.B:
+        return False
+    if own.fok == _parent_state(ctx).fok:
+        return False
+    return normal(ctx, k)
+
+
+def feedback_guard(ctx: Context, k: PifConstants) -> bool:
+    """``Feedback(p)``.
+
+    Root: ``(Pif_r = B) ∧ Normal(r) ∧ (∀q ∈ Neig_r :: Pif_q ≠ B) ∧ Fok_r``.
+    Non-root: ``(Pif_p = B) ∧ Normal(p) ∧ BLeaf(p) ∧ Fok_p``.
+    """
+    own = _own(ctx)
+    if own.pif is not Phase.B or not own.fok:
+        return False
+    if ctx.node == k.root:
+        if not b_free(ctx, k):
+            return False
+    else:
+        if not b_leaf(ctx, k):
+            return False
+    return normal(ctx, k)
+
+
+def cleaning_guard(ctx: Context, k: PifConstants) -> bool:
+    """``Cleaning(p)``.
+
+    Root: ``(Pif_r = F) ∧ (∀q ∈ Neig_r :: Pif_q = C)``.
+    Non-root: ``(Pif_p = F) ∧ Normal(p) ∧ Leaf(p) ∧ BFree(p)``.
+    """
+    own = _own(ctx)
+    if own.pif is not Phase.F:
+        return False
+    if ctx.node == k.root:
+        return all(
+            sq.pif is Phase.C  # type: ignore[union-attr]
+            for _q, sq in ctx.neighbor_states()
+        )
+    return leaf(ctx, k) and b_free(ctx, k) and normal(ctx, k)
+
+
+def new_count_guard(ctx: Context, k: PifConstants) -> bool:
+    """``NewCount(p)``: ``(Pif_p = B) ∧ Normal(p) ∧ (Count_p < Sum_p) ∧ ¬Fok_p``."""
+    own = _own(ctx)
+    if own.pif is not Phase.B or own.fok:
+        return False
+    if own.count >= sum_value(ctx, k):
+        return False
+    return normal(ctx, k)
+
+
+def abnormal_b(ctx: Context, k: PifConstants) -> bool:
+    """``AbnormalB(p)``: ``¬Normal(p) ∧ (Pif_p = B)``.
+
+    For the root this is the guard of its (only) correction, which fires
+    whenever the root is abnormal — the root's Good* predicates only bite
+    in phase B, so the phase conjunct is implied.
+    """
+    own = _own(ctx)
+    if own.pif is not Phase.B:
+        return False
+    return not normal(ctx, k)
+
+
+def abnormal_f(ctx: Context, k: PifConstants) -> bool:
+    """``AbnormalF(p)`` (non-root): ``¬Normal(p) ∧ (Pif_p = F)``."""
+    own = _own(ctx)
+    if own.pif is not Phase.F:
+        return False
+    return not normal(ctx, k)

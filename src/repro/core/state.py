@@ -1,0 +1,154 @@
+"""Variables of the snap-stabilizing PIF (Algorithms 1 and 2).
+
+Every processor ``p`` maintains:
+
+* ``Pif_p ∈ {B, F, C}`` — broadcast / feedback / clean phase,
+* ``Par_p ∈ Neig_p`` — parent in the dynamically built B-tree
+  (the root's parent is the constant ``⊥``, encoded as ``None``),
+* ``L_p ∈ [1, L_max]`` — level, i.e. the length of the path the
+  broadcast followed from the root (the root's level is the constant 0),
+* ``Count_p ∈ [1, N']`` — number of processors counted in ``B-tree_p``,
+* ``Fok_p`` — the "feedback OK" wave flag.
+
+:class:`PifConstants` bundles the protocol inputs (``N``, ``N'``,
+``L_max``, the root identity) together with the ablation switches used
+by experiment E10.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.state import NodeState
+
+__all__ = ["Phase", "PifState", "PifConstants"]
+
+
+class Phase(enum.Enum):
+    """The three PIF phases of a processor."""
+
+    B = "B"  #: broadcast: received and forwarded the message
+    F = "F"  #: feedback: acknowledged, waiting for the wave to unwind
+    C = "C"  #: clean: ready to participate in the next PIF cycle
+
+    def __repr__(self) -> str:  # compact traces
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class PifState(NodeState):
+    """State of one processor in Algorithms 1/2.
+
+    The root's ``par`` is always ``None`` and its ``level`` always 0
+    (the paper's constants ``Par_r = ⊥`` and ``L_r = 0``).
+    """
+
+    pif: Phase
+    par: int | None
+    level: int
+    count: int
+    fok: bool
+
+    def brief(self) -> str:
+        """Compact single-state rendering used in debug output."""
+        par = "⊥" if self.par is None else str(self.par)
+        fok = "T" if self.fok else "f"
+        return f"{self.pif.value}/p{par}/L{self.level}/c{self.count}/{fok}"
+
+
+@dataclass(frozen=True)
+class PifConstants:
+    """Protocol inputs and interpretation/ablation switches.
+
+    Parameters
+    ----------
+    root:
+        The initiator ``r``.
+    n:
+        Exact network size ``N`` — known to the root only; the lever that
+        makes snap-stabilization possible (Section 3.1).
+    n_prime:
+        Upper bound ``N' ≥ N`` on the ``Count`` domain.
+    l_max:
+        Level bound, must satisfy ``L_max ≥ N - 1``.
+    leaf_guard:
+        Keep the ``Leaf(p)`` conjunct in ``Broadcast(p)``.  Disabling it
+        (ablation E10) lets processors with stale children join the wave
+        and breaks the snap property.
+    fok_join_guard:
+        Keep the ``¬Fok_q`` conjunct in ``Pre_Potential_p`` (no joining
+        below an already-counted subtree).  Ablation E10.
+    corrections:
+        Keep the B-/F-correction actions.  Disabling them (ablation E10)
+        removes convergence from arbitrary configurations.
+    """
+
+    root: int
+    n: int
+    n_prime: int
+    l_max: int
+    leaf_guard: bool = field(default=True)
+    fok_join_guard: bool = field(default=True)
+    corrections: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ProtocolError(f"N must be positive, got {self.n}")
+        if self.n_prime < self.n:
+            raise ProtocolError(
+                f"N' must be an upper bound of N: N'={self.n_prime} < N={self.n}"
+            )
+        if self.l_max < max(1, self.n - 1):
+            raise ProtocolError(
+                f"L_max must be >= N-1: L_max={self.l_max}, N={self.n}"
+            )
+
+    @classmethod
+    def for_network(
+        cls,
+        network: Network,
+        root: int = 0,
+        *,
+        n_prime: int | None = None,
+        l_max: int | None = None,
+        leaf_guard: bool = True,
+        fok_join_guard: bool = True,
+        corrections: bool = True,
+    ) -> "PifConstants":
+        """Build the canonical constants for a network: ``N' = N``, ``L_max = N-1``."""
+        if root not in network.nodes:
+            raise ProtocolError(f"root {root} is not a node of the network")
+        n = network.n
+        return cls(
+            root=root,
+            n=n,
+            n_prime=n_prime if n_prime is not None else n,
+            l_max=l_max if l_max is not None else max(1, n - 1),
+            leaf_guard=leaf_guard,
+            fok_join_guard=fok_join_guard,
+            corrections=corrections,
+        )
+
+    def validate_state(self, node: int, state: PifState, network: Network) -> None:
+        """Check a state against the variable domains (used by tests/fuzzers)."""
+        if node == self.root:
+            if state.par is not None or state.level != 0:
+                raise ProtocolError(
+                    f"root state must have par=None, level=0, got {state}"
+                )
+        else:
+            if state.par is None or not network.has_edge(node, state.par):
+                raise ProtocolError(
+                    f"node {node}: par must be a neighbor, got {state.par}"
+                )
+            if not 1 <= state.level <= self.l_max:
+                raise ProtocolError(
+                    f"node {node}: level {state.level} outside [1, {self.l_max}]"
+                )
+        if not 1 <= state.count <= self.n_prime:
+            raise ProtocolError(
+                f"node {node}: count {state.count} outside [1, {self.n_prime}]"
+            )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """The supplied network topology is malformed.
+
+    Raised for non-symmetric adjacency, self loops, unknown node
+    identifiers, or disconnected graphs where connectivity is required.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol definition or protocol state is inconsistent.
+
+    Raised, for example, when a statement writes a state for the wrong
+    node, or when an action is executed while its guard is false.
+    """
+
+
+class ScheduleError(ReproError):
+    """A daemon produced an illegal selection.
+
+    Selections must be non-empty subsets of the enabled processors, and
+    each selected processor must execute one of its enabled actions.
+    """
+
+
+class FairnessError(ReproError):
+    """Weak fairness was violated by a schedule.
+
+    A continuously enabled processor must eventually execute an action;
+    this error reports a processor starved past the configured patience.
+    """
+
+
+class SimulationLimitError(ReproError):
+    """A simulation exceeded its step or round budget without finishing."""
+
+
+class SpecificationViolation(ReproError):
+    """An executable specification monitor observed a violation.
+
+    Used by the PIF cycle monitor (conditions [PIF1] and [PIF2]) and by
+    invariant checkers when run in assertion mode.
+    """
+
+
+class VerificationError(ReproError):
+    """The exhaustive model checker found a counterexample."""

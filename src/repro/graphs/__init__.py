@@ -1,0 +1,57 @@
+"""Topology library: generators, graph metrics and chordless paths."""
+
+from repro.graphs.chordless import (
+    is_chordless_path,
+    is_path,
+    longest_chordless_path,
+    longest_chordless_path_from,
+)
+from repro.graphs.metrics import GraphMetrics, compute_metrics, default_l_max
+from repro.graphs.topologies import (
+    TOPOLOGY_FAMILIES,
+    balanced_tree,
+    by_name,
+    caterpillar,
+    complete,
+    grid,
+    hypercube,
+    line,
+    lollipop,
+    petersen,
+    random_connected,
+    random_tree,
+    ring,
+    star,
+    torus,
+    wheel,
+)
+
+__all__ = [
+    "GraphMetrics",
+    "TOPOLOGY_FAMILIES",
+    "balanced_tree",
+    "by_name",
+    "caterpillar",
+    "complete",
+    "compute_metrics",
+    "default_l_max",
+    "grid",
+    "hypercube",
+    "is_chordless_path",
+    "is_path",
+    "line",
+    "lollipop",
+    "longest_chordless_path",
+    "longest_chordless_path_from",
+    "petersen",
+    "random_connected",
+    "random_tree",
+    "ring",
+    "star",
+    "torus",
+    "wheel",
+]
+
+from repro.graphs.io import from_edges, to_dot
+
+__all__ += ["from_edges", "to_dot"]

@@ -1,0 +1,133 @@
+"""Chordless (induced) path machinery.
+
+Theorem 4 bounds the height ``h`` of the tree built by the snap PIF by
+the length of the longest *elementary chordless path* in the network: a
+simple path ``p_0, …, p_k`` such that ``p_i`` and ``p_j`` are adjacent
+iff ``j = i + 1``.  The algorithm's minimum-level parent choice
+(``Potential_p``) guarantees every parent path is chordless, which is
+what keeps ``h`` small on dense graphs (e.g. ``h = 1`` on ``K_n``).
+
+Finding the longest chordless (induced) path is NP-hard in general, so
+this module offers an exact branch-and-bound search with a work budget,
+suitable for the experiment sizes used here, plus cheap verification
+helpers used as runtime assertions on parent paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError, TopologyError
+from repro.runtime.network import Network
+
+__all__ = [
+    "is_path",
+    "is_chordless_path",
+    "longest_chordless_path_from",
+    "longest_chordless_path",
+]
+
+
+def is_path(network: Network, path: Sequence[int]) -> bool:
+    """Return whether ``path`` is an elementary path of the network."""
+    if len(path) != len(set(path)):
+        return False
+    return all(
+        network.has_edge(path[i], path[i + 1]) for i in range(len(path) - 1)
+    )
+
+
+def is_chordless_path(network: Network, path: Sequence[int]) -> bool:
+    """Return whether ``path`` is an elementary *chordless* path.
+
+    Nodes ``path[i]`` and ``path[j]`` must be adjacent iff ``j = i+1``
+    (Definition in the proof of Theorem 4).
+    """
+    if not is_path(network, path):
+        return False
+    for i in range(len(path)):
+        for j in range(i + 2, len(path)):
+            if network.has_edge(path[i], path[j]):
+                return False
+    return True
+
+
+def _extend(
+    network: Network,
+    path: list[int],
+    forbidden: set[int],
+    best: list[int],
+    budget: list[int],
+) -> None:
+    """DFS over chordless extensions of ``path``.
+
+    ``forbidden`` is the set of nodes on the path or adjacent to an
+    *interior* prefix of it — extending into them would create a chord or
+    a repeat.  ``budget`` is a single-element work counter.
+    """
+    if budget[0] <= 0:
+        return
+    budget[0] -= 1
+    if len(path) > len(best):
+        best[:] = path
+    tip = path[-1]
+    for q in network.neighbors(tip):
+        if q in forbidden:
+            continue
+        # Appending q keeps the path chordless because q is not adjacent
+        # to any node before the tip (those are all in `forbidden`).
+        newly_forbidden = [
+            u for u in (q, *network.neighbors(tip)) if u not in forbidden
+        ]
+        forbidden.update(newly_forbidden)
+        path.append(q)
+        _extend(network, path, forbidden, best, budget)
+        path.pop()
+        forbidden.difference_update(newly_forbidden)
+
+
+def longest_chordless_path_from(
+    network: Network, start: int, *, max_work: int = 2_000_000, strict: bool = True
+) -> list[int]:
+    """Longest chordless path starting at ``start``.
+
+    Returns the node sequence; its *length* (edge count) is
+    ``len(result) - 1``.  The search is exact unless the work budget is
+    exhausted; in that case ``strict=True`` (the default) raises
+    :class:`~repro.errors.ReproError`, while ``strict=False`` returns the
+    best path found so far (a valid lower bound).
+    """
+    if start not in network.nodes:
+        raise TopologyError(f"unknown start node {start}")
+    best: list[int] = [start]
+    budget = [max_work]
+    # Forbid the start itself; its neighbors remain extendable (the first
+    # edge cannot create a chord).
+    _extend(network, [start], {start}, best, budget)
+    if budget[0] <= 0 and strict:
+        raise ReproError(
+            "chordless path search budget exhausted; increase max_work, "
+            "pass strict=False, or use a smaller network"
+        )
+    return best
+
+
+def longest_chordless_path(
+    network: Network,
+    *,
+    starts: Iterable[int] | None = None,
+    max_work: int = 2_000_000,
+    strict: bool = True,
+) -> list[int]:
+    """Longest chordless path over the given start nodes (default: all).
+
+    See :func:`longest_chordless_path_from` for the ``strict`` semantics.
+    """
+    best: list[int] = []
+    for start in starts if starts is not None else network.nodes:
+        candidate = longest_chordless_path_from(
+            network, start, max_work=max_work, strict=strict
+        )
+        if len(candidate) > len(best):
+            best = candidate
+    return best

@@ -1,0 +1,102 @@
+"""Topology I/O helpers: edge-list construction and DOT export.
+
+Conveniences for users bringing their own topologies: build a
+:class:`~repro.runtime.network.Network` from an edge list, and export a
+network — optionally annotated with a PIF configuration — to Graphviz
+DOT for visualization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.state import Phase, PifState
+from repro.errors import TopologyError
+from repro.runtime.network import Network
+from repro.runtime.state import Configuration
+
+__all__ = ["from_edges", "to_dot"]
+
+
+def from_edges(
+    edges: Iterable[tuple[int, int]],
+    *,
+    n: int | None = None,
+    name: str = "custom",
+    require_connected: bool = True,
+) -> Network:
+    """Build a network from an undirected edge list.
+
+    Nodes are ``0 .. n-1``; ``n`` defaults to ``max node + 1``.  Isolated
+    nodes can be included by passing ``n`` explicitly (only meaningful
+    with ``require_connected=False``).
+    """
+    edge_list = [(int(p), int(q)) for p, q in edges]
+    if not edge_list and n is None:
+        raise TopologyError("empty edge list needs an explicit n")
+    highest = max((max(p, q) for p, q in edge_list), default=-1)
+    size = n if n is not None else highest + 1
+    if highest >= size:
+        raise TopologyError(
+            f"edge references node {highest} but n={size}"
+        )
+    adjacency: dict[int, set[int]] = {p: set() for p in range(size)}
+    for p, q in edge_list:
+        if p == q:
+            raise TopologyError(f"self loop at {p}")
+        adjacency[p].add(q)
+        adjacency[q].add(p)
+    return Network(
+        {p: sorted(qs) for p, qs in adjacency.items()},
+        name=name,
+        require_connected=require_connected,
+    )
+
+
+_PHASE_COLORS = {
+    Phase.B: "lightblue",
+    Phase.F: "lightgreen",
+    Phase.C: "white",
+}
+
+
+def to_dot(
+    network: Network,
+    configuration: Configuration | None = None,
+    *,
+    root: int = 0,
+) -> str:
+    """Render the network (optionally a PIF configuration over it) as DOT.
+
+    With a configuration, nodes are colored by phase, labeled with their
+    variables, and tree edges (parent pointers of active processors) are
+    drawn directed and bold.
+    """
+    lines = ["graph pif {", "  node [style=filled];"]
+    tree_edges: set[tuple[int, int]] = set()
+
+    for p in network.nodes:
+        attrs = []
+        if configuration is not None:
+            state = configuration[p]
+            if isinstance(state, PifState):
+                attrs.append(f'fillcolor="{_PHASE_COLORS[state.pif]}"')
+                attrs.append(f'label="{p}\\n{state.brief()}"')
+                if state.pif is not Phase.C and state.par is not None:
+                    tree_edges.add((p, state.par))
+        else:
+            attrs.append('fillcolor="white"')
+        if p == root:
+            attrs.append("penwidth=2")
+        lines.append(f"  {p} [{', '.join(attrs)}];")
+
+    for p, q in network.edges():
+        if (p, q) in tree_edges or (q, p) in tree_edges:
+            child, parent = (p, q) if (p, q) in tree_edges else (q, p)
+            lines.append(
+                f"  {child} -- {parent} [penwidth=2, dir=forward];"
+            )
+        else:
+            lines.append(f"  {p} -- {q} [color=gray];")
+    lines.append("}")
+    return "\n".join(lines)

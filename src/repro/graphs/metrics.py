@@ -1,0 +1,76 @@
+"""Graph metrics used by the complexity experiments.
+
+Collects, for a network and a root, every quantity appearing in the
+paper's bounds: ``N``, ``L_max``, the diameter, the root's eccentricity
+(a lower bound on any broadcast tree height), and the longest chordless
+path length (the upper bound on the height ``h`` of the tree the snap
+PIF builds — Theorem 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.chordless import longest_chordless_path_from
+from repro.runtime.network import Network
+
+__all__ = ["GraphMetrics", "compute_metrics", "default_l_max"]
+
+
+def default_l_max(network: Network) -> int:
+    """The canonical ``L_max`` input: ``N - 1`` (the paper requires ``≥ N-1``)."""
+    return max(1, network.n - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class GraphMetrics:
+    """Bound-relevant facts about a rooted network."""
+
+    name: str
+    n: int
+    edges: int
+    root: int
+    diameter: int
+    root_eccentricity: int
+    #: Length (edge count) of the longest chordless path starting at the
+    #: root — the paper's upper bound on the built tree height ``h``.
+    longest_chordless_from_root: int
+    l_max: int
+
+    @property
+    def height_bounds(self) -> tuple[int, int]:
+        """``(lower, upper)`` bounds on the built tree height ``h``.
+
+        The broadcast tree must reach the farthest node, so
+        ``h ≥ ecc(r)``; Theorem 4 shows parent paths are chordless, so
+        ``h ≤ longest chordless path from r``.
+        """
+        return (self.root_eccentricity, self.longest_chordless_from_root)
+
+
+def compute_metrics(
+    network: Network,
+    root: int = 0,
+    *,
+    l_max: int | None = None,
+    chordless_budget: int = 2_000_000,
+) -> GraphMetrics:
+    """Compute the metrics bundle for a rooted network.
+
+    ``chordless_budget`` caps the exact chordless-path search; on
+    exhaustion the reported value is a lower bound (see
+    :mod:`repro.graphs.chordless`).
+    """
+    path = longest_chordless_path_from(
+        network, root, max_work=chordless_budget, strict=False
+    )
+    return GraphMetrics(
+        name=network.name,
+        n=network.n,
+        edges=network.edge_count,
+        root=root,
+        diameter=network.diameter(),
+        root_eccentricity=network.eccentricity(root),
+        longest_chordless_from_root=len(path) - 1,
+        l_max=l_max if l_max is not None else default_l_max(network),
+    )

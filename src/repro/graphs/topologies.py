@@ -1,0 +1,289 @@
+"""Topology generators.
+
+All generators return a :class:`~repro.runtime.network.Network` over
+nodes ``0 .. n-1`` with node ``0`` conventionally used as the PIF root.
+Randomized generators take an explicit ``seed`` so every experiment is
+reproducible.
+
+The catalogue covers the regimes the paper's bounds distinguish:
+
+* *deep* topologies (line, ring, caterpillar, lollipop) where
+  ``h ≈ L_max`` stresses the round bounds;
+* *shallow* topologies (star, complete, wheel) where the tree height is
+  constant;
+* *intermediate* ones (grids, tori, hypercubes, random graphs, random
+  trees) for the scalability sweeps.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Mapping
+
+from repro.errors import TopologyError
+from repro.runtime.network import Network
+
+__all__ = [
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "grid",
+    "torus",
+    "hypercube",
+    "balanced_tree",
+    "random_tree",
+    "caterpillar",
+    "lollipop",
+    "wheel",
+    "petersen",
+    "random_connected",
+    "TOPOLOGY_FAMILIES",
+    "by_name",
+]
+
+
+def _network(adj: dict[int, set[int]], name: str) -> Network:
+    return Network({p: sorted(qs) for p, qs in adj.items()}, name=name)
+
+
+def _empty(n: int, what: str) -> dict[int, set[int]]:
+    if n < 1:
+        raise TopologyError(f"{what} needs at least 1 node, got {n}")
+    return {p: set() for p in range(n)}
+
+
+def _add_edge(adj: dict[int, set[int]], p: int, q: int) -> None:
+    if p == q:
+        raise TopologyError(f"self loop at {p}")
+    adj[p].add(q)
+    adj[q].add(p)
+
+
+def line(n: int) -> Network:
+    """A path ``0 - 1 - … - n-1`` (diameter ``n-1``, the deepest topology)."""
+    adj = _empty(n, "line")
+    for p in range(n - 1):
+        _add_edge(adj, p, p + 1)
+    return _network(adj, f"line-{n}")
+
+
+def ring(n: int) -> Network:
+    """A cycle on ``n ≥ 3`` nodes."""
+    if n < 3:
+        raise TopologyError(f"ring needs at least 3 nodes, got {n}")
+    adj = _empty(n, "ring")
+    for p in range(n):
+        _add_edge(adj, p, (p + 1) % n)
+    return _network(adj, f"ring-{n}")
+
+
+def star(n: int) -> Network:
+    """A star with center ``0`` and ``n-1`` leaves."""
+    if n < 2:
+        raise TopologyError(f"star needs at least 2 nodes, got {n}")
+    adj = _empty(n, "star")
+    for p in range(1, n):
+        _add_edge(adj, 0, p)
+    return _network(adj, f"star-{n}")
+
+
+def complete(n: int) -> Network:
+    """The complete graph ``K_n``."""
+    if n < 2:
+        raise TopologyError(f"complete graph needs at least 2 nodes, got {n}")
+    adj = _empty(n, "complete")
+    for p in range(n):
+        for q in range(p + 1, n):
+            _add_edge(adj, p, q)
+    return _network(adj, f"complete-{n}")
+
+
+def grid(rows: int, cols: int) -> Network:
+    """A ``rows × cols`` 2-D mesh."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"grid {rows}x{cols} is too small")
+    adj = _empty(rows * cols, "grid")
+    for r in range(rows):
+        for c in range(cols):
+            p = r * cols + c
+            if c + 1 < cols:
+                _add_edge(adj, p, p + 1)
+            if r + 1 < rows:
+                _add_edge(adj, p, p + cols)
+    return _network(adj, f"grid-{rows}x{cols}")
+
+
+def torus(rows: int, cols: int) -> Network:
+    """A ``rows × cols`` 2-D torus (wrap-around mesh); needs ``rows, cols ≥ 3``."""
+    if rows < 3 or cols < 3:
+        raise TopologyError(f"torus needs rows, cols >= 3, got {rows}x{cols}")
+    adj = _empty(rows * cols, "torus")
+    for r in range(rows):
+        for c in range(cols):
+            p = r * cols + c
+            _add_edge(adj, p, r * cols + (c + 1) % cols)
+            _add_edge(adj, p, ((r + 1) % rows) * cols + c)
+    return _network(adj, f"torus-{rows}x{cols}")
+
+
+def hypercube(dimension: int) -> Network:
+    """The ``d``-dimensional hypercube on ``2^d`` nodes."""
+    if dimension < 1:
+        raise TopologyError(f"hypercube dimension must be >= 1, got {dimension}")
+    n = 1 << dimension
+    adj = _empty(n, "hypercube")
+    for p in range(n):
+        for bit in range(dimension):
+            q = p ^ (1 << bit)
+            if p < q:
+                _add_edge(adj, p, q)
+    return _network(adj, f"hypercube-{dimension}")
+
+
+def balanced_tree(branching: int, height: int) -> Network:
+    """A complete ``branching``-ary tree of the given height, rooted at 0."""
+    if branching < 1 or height < 1:
+        raise TopologyError(
+            f"balanced tree needs branching, height >= 1, got "
+            f"{branching}, {height}"
+        )
+    nodes = [0]
+    adj: dict[int, set[int]] = {0: set()}
+    frontier = [0]
+    next_id = 1
+    for _level in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _child in range(branching):
+                child = next_id
+                next_id += 1
+                adj[child] = set()
+                _add_edge(adj, parent, child)
+                new_frontier.append(child)
+                nodes.append(child)
+        frontier = new_frontier
+    return _network(adj, f"tree-{branching}ary-h{height}")
+
+
+def random_tree(n: int, seed: int = 0) -> Network:
+    """A uniform random recursive tree: node ``i`` attaches to a random ``j < i``."""
+    if n < 2:
+        raise TopologyError(f"random tree needs at least 2 nodes, got {n}")
+    rng = Random(seed)
+    adj = _empty(n, "random tree")
+    for p in range(1, n):
+        _add_edge(adj, p, rng.randrange(p))
+    return _network(adj, f"rtree-{n}-s{seed}")
+
+
+def caterpillar(spine: int, legs_per_node: int = 1) -> Network:
+    """A caterpillar: a spine path with ``legs_per_node`` leaves per spine node."""
+    if spine < 2 or legs_per_node < 0:
+        raise TopologyError(
+            f"caterpillar needs spine >= 2, legs >= 0, got {spine}, {legs_per_node}"
+        )
+    n = spine * (1 + legs_per_node)
+    adj = _empty(n, "caterpillar")
+    for p in range(spine - 1):
+        _add_edge(adj, p, p + 1)
+    next_id = spine
+    for p in range(spine):
+        for _leg in range(legs_per_node):
+            _add_edge(adj, p, next_id)
+            next_id += 1
+    return _network(adj, f"caterpillar-{spine}x{legs_per_node}")
+
+
+def lollipop(clique: int, tail: int) -> Network:
+    """A ``K_clique`` with a path of ``tail`` nodes attached (deep + dense)."""
+    if clique < 2 or tail < 1:
+        raise TopologyError(
+            f"lollipop needs clique >= 2, tail >= 1, got {clique}, {tail}"
+        )
+    n = clique + tail
+    adj = _empty(n, "lollipop")
+    for p in range(clique):
+        for q in range(p + 1, clique):
+            _add_edge(adj, p, q)
+    _add_edge(adj, clique - 1, clique)
+    for p in range(clique, n - 1):
+        _add_edge(adj, p, p + 1)
+    return _network(adj, f"lollipop-{clique}+{tail}")
+
+
+def wheel(n: int) -> Network:
+    """A wheel: a hub (node 0) connected to every node of an ``(n-1)``-ring."""
+    if n < 4:
+        raise TopologyError(f"wheel needs at least 4 nodes, got {n}")
+    adj = _empty(n, "wheel")
+    rim = list(range(1, n))
+    for i, p in enumerate(rim):
+        _add_edge(adj, p, rim[(i + 1) % len(rim)])
+        _add_edge(adj, 0, p)
+    return _network(adj, f"wheel-{n}")
+
+
+def petersen() -> Network:
+    """The Petersen graph (10 nodes, 3-regular, girth 5)."""
+    adj = _empty(10, "petersen")
+    for p in range(5):
+        _add_edge(adj, p, (p + 1) % 5)  # outer pentagon
+        _add_edge(adj, 5 + p, 5 + (p + 2) % 5)  # inner pentagram
+        _add_edge(adj, p, 5 + p)  # spokes
+    return _network(adj, "petersen")
+
+
+def random_connected(n: int, extra_edge_probability: float = 0.15, seed: int = 0) -> Network:
+    """A random connected graph: a random spanning tree plus extra edges.
+
+    Every non-tree pair is added independently with
+    ``extra_edge_probability``, so density interpolates between a tree
+    (``0.0``) and the complete graph (``1.0``).
+    """
+    if n < 2:
+        raise TopologyError(f"random graph needs at least 2 nodes, got {n}")
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise TopologyError(
+            f"edge probability must be in [0, 1], got {extra_edge_probability}"
+        )
+    rng = Random(seed)
+    adj = _empty(n, "random connected")
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        _add_edge(adj, order[i], order[rng.randrange(i)])
+    for p in range(n):
+        for q in range(p + 1, n):
+            if q not in adj[p] and rng.random() < extra_edge_probability:
+                _add_edge(adj, p, q)
+    return _network(adj, f"random-{n}-p{extra_edge_probability}-s{seed}")
+
+
+#: Named topology families used by the experiment grids: each entry maps a
+#: family name to a callable ``size -> Network``.
+TOPOLOGY_FAMILIES: Mapping[str, Callable[[int], Network]] = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "complete": complete,
+    "grid": lambda n: grid(max(2, round(n**0.5)), max(2, round(n**0.5))),
+    "hypercube": lambda n: hypercube(max(1, (n - 1).bit_length())),
+    "random-tree": lambda n: random_tree(n, seed=n),
+    "random-sparse": lambda n: random_connected(n, 0.05, seed=n),
+    "random-dense": lambda n: random_connected(n, 0.3, seed=n),
+    "caterpillar": lambda n: caterpillar(max(2, n // 2), 1),
+    "lollipop": lambda n: lollipop(max(2, n // 2), max(1, n - n // 2)),
+}
+
+
+def by_name(family: str, size: int) -> Network:
+    """Instantiate a named topology family at roughly the given size."""
+    try:
+        factory = TOPOLOGY_FAMILIES[family]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology family {family!r}; known: "
+            f"{sorted(TOPOLOGY_FAMILIES)}"
+        ) from None
+    return factory(size)

@@ -1,0 +1,17 @@
+"""Baseline protocols: the regimes the paper contrasts itself with."""
+
+from repro.protocols.self_stab_pif import SelfStabPif
+from repro.protocols.spanning_tree import SpanningTree, TreeState
+from repro.protocols.tree_pif import TreePif, TreeWaveState
+
+__all__ = [
+    "SelfStabPif",
+    "SpanningTree",
+    "TreePif",
+    "TreeState",
+    "TreeWaveState",
+]
+
+from repro.protocols.tree_stack import StackState, TreeStackPif
+
+__all__ += ["StackState", "TreeStackPif"]

@@ -1,0 +1,153 @@
+"""Substrate for tree-based PIFs: a self-stabilizing BFS spanning tree.
+
+All prior self-stabilizing PIFs for arbitrary networks except [12, 23]
+assume an underlying *rooted spanning tree* built by a self-stabilizing
+construction ([1, 3, 4, 11, 15] in the paper's bibliography).  This
+module provides such a substrate in the classic Dolev–Israeli–Moran
+style: every non-root processor repeatedly sets its distance to
+``1 + min(dist of neighbors)`` and its parent to the (locally) smallest
+neighbor achieving the minimum; the root pins ``dist = 0``.
+
+The protocol is *silent*: it stabilizes to the unique BFS tree in
+``O(diameter)`` rounds and then no action is enabled.  Experiment E11
+measures this stabilization delay — the service gap between a tree-based
+PIF (which cannot run correct waves before its tree is correct) and the
+snap PIF (which needs no tree at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.state import Configuration, NodeState
+
+__all__ = ["TreeState", "SpanningTree"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeState(NodeState):
+    """BFS-tree state: distance estimate and parent pointer."""
+
+    dist: int
+    par: int | None
+
+
+class SpanningTree(Protocol):
+    """Self-stabilizing BFS spanning tree (Dolev–Israeli–Moran style)."""
+
+    name = "spanning-tree"
+
+    def __init__(self, root: int, n: int, dist_max: int | None = None) -> None:
+        super().__init__()
+        if n < 1:
+            raise ProtocolError(f"N must be positive, got {n}")
+        self.root = root
+        self.n = n
+        #: Distance cap — bounds garbage distances, must be ≥ N - 1.
+        self.dist_max = dist_max if dist_max is not None else max(1, n - 1)
+
+    # ------------------------------------------------------------------
+    # Program
+    # ------------------------------------------------------------------
+    def _target(self, ctx: Context) -> TreeState:
+        """The locally correct state: min neighbor distance + 1.
+
+        The parent is the first neighbor in local order achieving the
+        minimum; the distance saturates at ``dist_max``.
+        """
+        neighbor_dists = []
+        for q, sq in ctx.neighbor_states():
+            assert isinstance(sq, TreeState)
+            neighbor_dists.append((q, sq.dist))
+        best_dist = min(d for _q, d in neighbor_dists) + 1
+        best_dist = min(best_dist, self.dist_max)
+        best_par = next(
+            q for q, d in neighbor_dists if min(d + 1, self.dist_max) == best_dist
+        )
+        return TreeState(dist=best_dist, par=best_par)
+
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        self._check_network(network)
+        if node == self.root:
+
+            def root_guard(ctx: Context) -> bool:
+                state = ctx.state
+                assert isinstance(state, TreeState)
+                return state.dist != 0 or state.par is not None
+
+            return (
+                Action(
+                    "Fix-root",
+                    root_guard,
+                    lambda ctx: TreeState(dist=0, par=None),
+                    correction=True,
+                ),
+            )
+
+        def guard(ctx: Context) -> bool:
+            state = ctx.state
+            assert isinstance(state, TreeState)
+            return self._target(ctx) != state
+
+        return (Action("Recompute", guard, self._target),)
+
+    def initial_state(self, node: int, network: Network) -> TreeState:
+        self._check_network(network)
+        if node == self.root:
+            return TreeState(dist=0, par=None)
+        return TreeState(dist=self.dist_max, par=network.neighbors(node)[0])
+
+    def random_state(self, node: int, network: Network, rng: Random) -> TreeState:
+        self._check_network(network)
+        if node == self.root:
+            # The root's variables can be corrupted too; Fix-root repairs them.
+            return TreeState(
+                dist=rng.randint(0, self.dist_max),
+                par=rng.choice((None, *network.neighbors(node))),
+            )
+        return TreeState(
+            dist=rng.randint(0, self.dist_max),
+            par=rng.choice(network.neighbors(node)),
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def is_stabilized(self, configuration: Configuration, network: Network) -> bool:
+        """True when the configuration is the exact BFS tree (terminal)."""
+        levels = network.bfs_levels(self.root)
+        for p in network.nodes:
+            state = configuration[p]
+            assert isinstance(state, TreeState)
+            if state.dist != levels[p]:
+                return False
+            if p == self.root:
+                if state.par is not None:
+                    return False
+            else:
+                assert state.par is not None
+                parent_state = configuration[state.par]
+                assert isinstance(parent_state, TreeState)
+                if parent_state.dist != state.dist - 1:
+                    return False
+        return True
+
+    def parent_map(self, configuration: Configuration) -> dict[int, int | None]:
+        """Extract the tree as ``{node: parent}`` (for the tree PIF)."""
+        result: dict[int, int | None] = {}
+        for node, state in enumerate(configuration):
+            assert isinstance(state, TreeState)
+            result[node] = state.par
+        return result
+
+    def _check_network(self, network: Network) -> None:
+        if network.n != self.n:
+            raise ProtocolError(
+                f"protocol configured for N={self.n} but network has "
+                f"{network.n} processors"
+            )

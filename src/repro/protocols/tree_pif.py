@@ -1,0 +1,218 @@
+"""Baseline: a PIF wave over a pre-constructed rooted spanning tree.
+
+The prior-art regime the paper improves on (Related Work: [7, 8, 9, 16,
+18] all assume trees): the wave itself is the classic three-phase
+``C → B → F → C`` tree wave — snap-stabilizing *on a correct tree* in
+the spirit of [9] (whose text is unavailable offline; documented
+substitution, DESIGN.md §2) — but it requires the tree as an **input**.
+On an arbitrary network that input must come from a self-stabilizing
+spanning-tree construction (:mod:`repro.protocols.spanning_tree`), and
+until that substrate has stabilized the waves are meaningless: that
+service gap is what experiment E11 measures, and what the snap PIF
+eliminates.
+
+The tree is given as a parent map; the network is only used to check
+that tree edges are real communication links (a tree-based PIF can only
+exchange information along its tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Mapping, Sequence
+
+from repro.core.state import Phase
+from repro.errors import ProtocolError, TopologyError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.state import NodeState
+
+__all__ = ["TreeWaveState", "TreePif"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeWaveState(NodeState):
+    """Wave phase of one processor (the tree structure is static input)."""
+
+    pif: Phase
+
+
+class TreePif(Protocol):
+    """Three-phase PIF wave over a fixed rooted spanning tree.
+
+    Parameters
+    ----------
+    root:
+        The initiator.
+    parents:
+        ``{node: parent}`` with ``parents[root] is None``; every edge
+        must exist in the network the protocol runs on.
+    """
+
+    name = "tree-pif"
+
+    def __init__(self, root: int, parents: Mapping[int, int | None]) -> None:
+        super().__init__()
+        self.root = root
+        self.parents = dict(parents)
+        if self.parents.get(root, "missing") is not None:
+            raise ProtocolError(f"parents[{root}] must be None (the root)")
+        self.children: dict[int, tuple[int, ...]] = {
+            p: tuple(
+                q for q, par in sorted(self.parents.items()) if par == p
+            )
+            for p in self.parents
+        }
+        self._validate_tree()
+
+    def _validate_tree(self) -> None:
+        # Every non-root node must reach the root through parent pointers.
+        for node in self.parents:
+            seen = set()
+            cursor: int | None = node
+            while cursor is not None and cursor != self.root:
+                if cursor in seen:
+                    raise ProtocolError(
+                        f"parent map contains a cycle through {cursor}"
+                    )
+                seen.add(cursor)
+                cursor = self.parents[cursor]
+            if cursor is None and node != self.root:
+                raise ProtocolError(
+                    f"node {node} does not reach the root in the parent map"
+                )
+
+    # ------------------------------------------------------------------
+    # Program
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _own(ctx: Context) -> TreeWaveState:
+        state = ctx.state
+        assert isinstance(state, TreeWaveState)
+        return state
+
+    def _phase_of(self, ctx: Context, node: int) -> Phase:
+        state = ctx.configuration[node]
+        assert isinstance(state, TreeWaveState)
+        return state.pif
+
+    def _children_all(self, ctx: Context, node: int, phase: Phase) -> bool:
+        return all(
+            self._phase_of(ctx, c) is phase for c in self.children[node]
+        )
+
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        self._check_network(network)
+
+        if node == self.root:
+
+            def broadcast_guard(ctx: Context) -> bool:
+                return self._own(ctx).pif is Phase.C and self._children_all(
+                    ctx, node, Phase.C
+                )
+
+            def feedback_guard(ctx: Context) -> bool:
+                return self._own(ctx).pif is Phase.B and self._children_all(
+                    ctx, node, Phase.F
+                )
+
+            def cleaning_guard(ctx: Context) -> bool:
+                return self._own(ctx).pif is Phase.F
+
+            return (
+                Action(
+                    "B-action",
+                    broadcast_guard,
+                    lambda ctx: TreeWaveState(Phase.B),
+                ),
+                Action(
+                    "F-action",
+                    feedback_guard,
+                    lambda ctx: TreeWaveState(Phase.F),
+                ),
+                Action(
+                    "C-action",
+                    cleaning_guard,
+                    lambda ctx: TreeWaveState(Phase.C),
+                ),
+            )
+
+        parent = self.parents[node]
+        assert parent is not None
+
+        def join_guard(ctx: Context) -> bool:
+            return (
+                self._own(ctx).pif is Phase.C
+                and self._phase_of(ctx, parent) is Phase.B
+                and self._children_all(ctx, node, Phase.C)
+            )
+
+        def feedback_guard(ctx: Context) -> bool:
+            return self._own(ctx).pif is Phase.B and self._children_all(
+                ctx, node, Phase.F
+            )
+
+        def cleaning_guard(ctx: Context) -> bool:
+            # Top-down cleaning: reset once the parent has been cleaned,
+            # so a fresh parent B unambiguously means a *new* wave.
+            return (
+                self._own(ctx).pif is Phase.F
+                and self._phase_of(ctx, parent) is Phase.C
+            )
+
+        def correction_guard(ctx: Context) -> bool:
+            # Local consistency with the parent (GoodPif on the tree):
+            # B requires the parent to be B; F requires B or F.
+            own = self._own(ctx).pif
+            parent_phase = self._phase_of(ctx, parent)
+            if own is Phase.B and parent_phase is not Phase.B:
+                return True
+            if own is Phase.F and parent_phase is Phase.C:
+                # handled by C-action (top-down cleaning), not an error
+                return False
+            return False
+
+        return (
+            Action("B-action", join_guard, lambda ctx: TreeWaveState(Phase.B)),
+            Action(
+                "F-action", feedback_guard, lambda ctx: TreeWaveState(Phase.F)
+            ),
+            Action(
+                "C-action", cleaning_guard, lambda ctx: TreeWaveState(Phase.C)
+            ),
+            Action(
+                "B-correction",
+                correction_guard,
+                lambda ctx: TreeWaveState(Phase.F),
+                correction=True,
+            ),
+        )
+
+    def initial_state(self, node: int, network: Network) -> TreeWaveState:
+        self._check_network(network)
+        return TreeWaveState(Phase.C)
+
+    def random_state(
+        self, node: int, network: Network, rng: Random
+    ) -> TreeWaveState:
+        self._check_network(network)
+        return TreeWaveState(rng.choice((Phase.B, Phase.F, Phase.C)))
+
+    # ------------------------------------------------------------------
+    # Monitor hook
+    # ------------------------------------------------------------------
+    def join_parent(self, ctx: Context) -> int | None:
+        """The (fixed) parent a joining node receives the wave from."""
+        return self.parents[ctx.node]
+
+    def _check_network(self, network: Network) -> None:
+        if set(self.parents) != set(network.nodes):
+            raise ProtocolError(
+                "parent map does not cover exactly the network's nodes"
+            )
+        for node, parent in self.parents.items():
+            if parent is not None and not network.has_edge(node, parent):
+                raise TopologyError(
+                    f"tree edge {node}-{parent} is not a network link"
+                )

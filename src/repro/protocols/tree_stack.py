@@ -1,0 +1,264 @@
+"""The full prior-art stack: spanning-tree construction *under* a tree PIF.
+
+:mod:`repro.protocols.tree_pif` takes the tree as a frozen input; real
+tree-based self-stabilizing PIFs run *on top of a live, self-stabilizing
+spanning-tree layer* (fair composition).  This module implements that
+stack as one protocol — the wave layer reads the tree layer's *current*
+parent pointers, which is exactly what makes the stack only
+self-stabilizing and not snap:
+
+while the tree layer is still stabilizing, the wave layer happily runs
+waves over a wrong forest; those waves can complete at the root without
+reaching every processor.  Experiment E11 measures this window against
+the snap PIF, which has no substrate to wait for.
+
+The per-node state stacks the BFS-tree variables (``dist``, ``par``)
+with the wave phase; tree actions are named ``Tree-…`` and wave actions
+keep the canonical ``B-action``/``F-action``/``C-action`` names so the
+:class:`~repro.core.monitor.PifCycleMonitor` applies unchanged (its
+``join_parent`` hook reports the tree parent the wave was accepted
+from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.core.state import Phase
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.state import NodeState
+
+__all__ = ["StackState", "TreeStackPif"]
+
+
+@dataclass(frozen=True, slots=True)
+class StackState(NodeState):
+    """BFS-tree variables plus the wave phase."""
+
+    dist: int
+    par: int | None
+    wave: Phase
+
+
+class TreeStackPif(Protocol):
+    """Self-stabilizing spanning tree with a tree PIF wave layered on top."""
+
+    name = "tree-stack-pif"
+
+    def __init__(self, root: int, n: int, dist_max: int | None = None) -> None:
+        super().__init__()
+        if n < 1:
+            raise ProtocolError(f"N must be positive, got {n}")
+        self.root = root
+        self.n = n
+        self.dist_max = dist_max if dist_max is not None else max(1, n - 1)
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _own(ctx: Context) -> StackState:
+        state = ctx.state
+        assert isinstance(state, StackState)
+        return state
+
+    @staticmethod
+    def _state_of(ctx: Context, node: int) -> StackState:
+        state = ctx.configuration[node]
+        assert isinstance(state, StackState)
+        return state
+
+    def _children(self, ctx: Context) -> list[int]:
+        """Neighbors whose *current* tree parent is this node."""
+        return [
+            q
+            for q, sq in ctx.neighbor_states()
+            if isinstance(sq, StackState) and sq.par == ctx.node
+        ]
+
+    def _children_all(self, ctx: Context, phase: Phase) -> bool:
+        return all(
+            self._state_of(ctx, q).wave is phase for q in self._children(ctx)
+        )
+
+    # ------------------------------------------------------------------
+    # Tree layer (same rule as repro.protocols.spanning_tree)
+    # ------------------------------------------------------------------
+    def _tree_target(self, ctx: Context) -> tuple[int, int]:
+        dists = [
+            (q, self._state_of(ctx, q).dist) for q in ctx.neighbors
+        ]
+        best = min(min(d + 1, self.dist_max) for _q, d in dists)
+        par = next(q for q, d in dists if min(d + 1, self.dist_max) == best)
+        return best, par
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        self._check_network(network)
+
+        if node == self.root:
+
+            def fix_root_guard(ctx: Context) -> bool:
+                own = self._own(ctx)
+                return own.dist != 0 or own.par is not None
+
+            def broadcast_guard(ctx: Context) -> bool:
+                return self._own(ctx).wave is Phase.C and self._children_all(
+                    ctx, Phase.C
+                )
+
+            def feedback_guard(ctx: Context) -> bool:
+                return self._own(ctx).wave is Phase.B and self._children_all(
+                    ctx, Phase.F
+                )
+
+            return (
+                Action(
+                    "Tree-fix-root",
+                    fix_root_guard,
+                    lambda ctx: self._own(ctx).replace(dist=0, par=None),
+                    correction=True,
+                ),
+                Action(
+                    "B-action",
+                    broadcast_guard,
+                    lambda ctx: self._own(ctx).replace(wave=Phase.B),
+                ),
+                Action(
+                    "F-action",
+                    feedback_guard,
+                    lambda ctx: self._own(ctx).replace(wave=Phase.F),
+                ),
+                Action(
+                    "C-action",
+                    lambda ctx: self._own(ctx).wave is Phase.F,
+                    lambda ctx: self._own(ctx).replace(wave=Phase.C),
+                ),
+            )
+
+        def recompute_guard(ctx: Context) -> bool:
+            own = self._own(ctx)
+            return self._tree_target(ctx) != (own.dist, own.par)
+
+        def recompute(ctx: Context) -> StackState:
+            dist, par = self._tree_target(ctx)
+            return self._own(ctx).replace(dist=dist, par=par)
+
+        def parent_wave(ctx: Context) -> Phase | None:
+            own = self._own(ctx)
+            if own.par is None:
+                return None
+            return self._state_of(ctx, own.par).wave
+
+        def join_guard(ctx: Context) -> bool:
+            return (
+                self._own(ctx).wave is Phase.C
+                and parent_wave(ctx) is Phase.B
+                and self._children_all(ctx, Phase.C)
+            )
+
+        def feedback_guard(ctx: Context) -> bool:
+            return self._own(ctx).wave is Phase.B and self._children_all(
+                ctx, Phase.F
+            )
+
+        def cleaning_guard(ctx: Context) -> bool:
+            return (
+                self._own(ctx).wave is Phase.F
+                and parent_wave(ctx) is Phase.C
+            )
+
+        def correction_guard(ctx: Context) -> bool:
+            # A broadcasting node whose (current) parent no longer
+            # broadcasts is inconsistent.
+            return (
+                self._own(ctx).wave is Phase.B
+                and parent_wave(ctx) is not Phase.B
+            )
+
+        return (
+            Action("Tree-recompute", recompute_guard, recompute),
+            Action(
+                "B-action",
+                join_guard,
+                lambda ctx: self._own(ctx).replace(wave=Phase.B),
+            ),
+            Action(
+                "F-action",
+                feedback_guard,
+                lambda ctx: self._own(ctx).replace(wave=Phase.F),
+            ),
+            Action(
+                "C-action",
+                cleaning_guard,
+                lambda ctx: self._own(ctx).replace(wave=Phase.C),
+            ),
+            Action(
+                "B-correction",
+                correction_guard,
+                lambda ctx: self._own(ctx).replace(wave=Phase.F),
+                correction=True,
+            ),
+        )
+
+    def initial_state(self, node: int, network: Network) -> StackState:
+        self._check_network(network)
+        if node == self.root:
+            return StackState(dist=0, par=None, wave=Phase.C)
+        return StackState(
+            dist=self.dist_max,
+            par=network.neighbors(node)[0],
+            wave=Phase.C,
+        )
+
+    def random_state(
+        self, node: int, network: Network, rng: Random
+    ) -> StackState:
+        self._check_network(network)
+        wave = rng.choice((Phase.B, Phase.F, Phase.C))
+        if node == self.root:
+            return StackState(
+                dist=rng.randint(0, self.dist_max),
+                par=rng.choice((None, *network.neighbors(node))),
+                wave=wave,
+            )
+        return StackState(
+            dist=rng.randint(0, self.dist_max),
+            par=rng.choice(network.neighbors(node)),
+            wave=wave,
+        )
+
+    # ------------------------------------------------------------------
+    # Monitor hook and diagnostics
+    # ------------------------------------------------------------------
+    def join_parent(self, ctx: Context) -> int | None:
+        """The (current) tree parent a joining node accepts the wave from."""
+        return self._own(ctx).par
+
+    def tree_is_correct(self, configuration, network: Network) -> bool:
+        """Whether the tree layer currently is the exact BFS tree."""
+        levels = network.bfs_levels(self.root)
+        for p in network.nodes:
+            state = configuration[p]
+            assert isinstance(state, StackState)
+            if state.dist != levels[p]:
+                return False
+            if p == self.root:
+                if state.par is not None:
+                    return False
+            elif state.par is None or levels[state.par] != levels[p] - 1:
+                return False
+        return True
+
+    def _check_network(self, network: Network) -> None:
+        if network.n != self.n:
+            raise ProtocolError(
+                f"protocol configured for N={self.n} but network has "
+                f"{network.n} processors"
+            )

@@ -1,0 +1,19 @@
+"""Reporting helpers shared by benchmarks and examples."""
+
+from repro.reporting.tables import format_check, render_table
+
+__all__ = ["format_check", "render_table"]
+
+from repro.reporting.render import (
+    PhaseTimeline,
+    render_configuration,
+    render_forest,
+    render_phases,
+)
+
+__all__ += [
+    "PhaseTimeline",
+    "render_configuration",
+    "render_forest",
+    "render_phases",
+]

@@ -1,0 +1,149 @@
+"""Human-readable rendering of PIF configurations and executions.
+
+Debugging a self-stabilizing protocol is mostly *reading
+configurations*; this module renders them:
+
+* :func:`render_phases` — one-line ``B F C …`` phase map;
+* :func:`render_configuration` — per-node variable table with a
+  normality verdict per processor;
+* :func:`render_forest` — the parent-pointer forest (legal tree plus
+  stale trees), drawn as an indented ASCII tree;
+* :class:`PhaseTimeline` — a simulation monitor collecting one phase map
+  per round, rendered as a waterfall (used by the examples).
+"""
+
+from __future__ import annotations
+
+from repro.core import definitions as defs
+from repro.core.state import Phase, PifConstants
+from repro.runtime.network import Network
+from repro.runtime.state import Configuration
+from repro.runtime.trace import StepRecord
+
+__all__ = [
+    "render_phases",
+    "render_configuration",
+    "render_forest",
+    "PhaseTimeline",
+]
+
+
+def render_phases(configuration: Configuration) -> str:
+    """One character per processor: its current phase."""
+    return " ".join(
+        defs.pif_state(configuration, p).pif.value
+        for p in range(len(configuration))
+    )
+
+
+def render_configuration(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> str:
+    """A per-node variable table with normality verdicts."""
+    abnormal = defs.abnormal_nodes(configuration, network, k)
+    members = defs.legal_tree(configuration, network, k)
+    lines = ["node | Pif | Par | L | Count | Fok | status"]
+    lines.append("-----+-----+-----+---+-------+-----+--------")
+    for p in network.nodes:
+        s = defs.pif_state(configuration, p)
+        par = "⊥" if s.par is None else str(s.par)
+        fok = "T" if s.fok else "f"
+        status = "ABNORMAL" if p in abnormal else (
+            "legal-tree" if p in members else ""
+        )
+        marker = "r" if p == k.root else " "
+        lines.append(
+            f"{p:3d}{marker} |  {s.pif.value}  | {par:>3s} | {s.level} | "
+            f"{s.count:5d} |  {fok}  | {status}"
+        )
+    return "\n".join(lines)
+
+
+def _draw_tree(
+    configuration: Configuration,
+    network: Network,
+    members: frozenset[int],
+    node: int,
+    prefix: str,
+    lines: list[str],
+) -> None:
+    children = sorted(
+        defs.tree_children(configuration, network, members, node)
+    )
+    for i, child in enumerate(children):
+        last = i == len(children) - 1
+        state = defs.pif_state(configuration, child)
+        lines.append(
+            f"{prefix}{'└── ' if last else '├── '}{child} "
+            f"[{state.pif.value} L{state.level} c{state.count}"
+            f"{' Fok' if state.fok else ''}]"
+        )
+        _draw_tree(
+            configuration,
+            network,
+            members,
+            child,
+            prefix + ("    " if last else "│   "),
+            lines,
+        )
+
+
+def render_forest(
+    configuration: Configuration, network: Network, k: PifConstants
+) -> str:
+    """Draw the legal tree and every stale tree of the configuration."""
+    lines: list[str] = []
+    trees = defs.all_trees(configuration, network, k)
+    for extremity in sorted(trees):
+        members = trees[extremity]
+        state = defs.pif_state(configuration, extremity)
+        kind = "LegalTree" if extremity == k.root else "stale tree"
+        lines.append(
+            f"{kind} rooted at {extremity} "
+            f"[{state.pif.value} L{state.level} c{state.count}"
+            f"{' Fok' if state.fok else ''}] ({len(members)} nodes)"
+        )
+        _draw_tree(configuration, network, members, extremity, "  ", lines)
+    clean = [
+        p
+        for p in network.nodes
+        if defs.pif_state(configuration, p).pif is Phase.C
+        and all(p not in t for t in trees.values())
+    ]
+    if clean:
+        lines.append(f"clean (phase C): {clean}")
+    if not lines:
+        lines.append("(empty forest)")
+    return "\n".join(lines)
+
+
+class PhaseTimeline:
+    """Simulation monitor: one phase map per completed round.
+
+    Attach to a :class:`~repro.runtime.simulator.Simulator`; render with
+    :meth:`render`.
+    """
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[int, str]] = []
+        self._round = 0
+
+    def on_start(self, configuration: Configuration) -> None:
+        self.rows = [(0, render_phases(configuration))]
+        self._round = 0
+
+    def on_step(
+        self, before: Configuration, record: StepRecord, after: Configuration
+    ) -> None:
+        if record.rounds_completed:
+            self._round += record.rounds_completed
+            self.rows.append((self._round, render_phases(after)))
+
+    def render(self) -> str:
+        """The waterfall: ``round | phases``."""
+        lines = ["round | phases"]
+        lines.append("------+" + "-" * max(
+            (len(r[1]) for r in self.rows), default=8
+        ))
+        lines.extend(f"{rnd:5d} | {phases}" for rnd, phases in self.rows)
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Minimal ASCII table rendering for benchmark and experiment output.
+
+The benches print the paper-vs-measured tables with these helpers so
+every experiment's output has the same shape, and EXPERIMENTS.md rows
+can be pasted from the bench output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "format_check"]
+
+
+def format_check(ok: bool) -> str:
+    """Render a within-bound verdict."""
+    return "yes" if ok else "NO"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    ``columns`` defaults to the union of keys in first-seen order.
+    """
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+
+    def cell(row: Mapping[str, object], col: str) -> str:
+        value = row.get(col, "")
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(cell(r, col)) for r in rows)) if rows else len(col)
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(cell(row, col).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Execution substrate: the locally shared memory guarded-action model.
+
+This package implements the distributed-system model of Section 2 of the
+paper -- networks with locally ordered neighbor sets, per-processor
+guarded actions, configurations, weakly fair daemons (synchronous,
+central, locally central, distributed, adversarial), the round-based
+time measure, and a simulator producing reproducible, traceable
+computations.
+"""
+
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    Daemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    ReplayDaemon,
+    RoundRobinDaemon,
+    SynchronousDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.rounds import RoundCounter
+from repro.runtime.simulator import Monitor, RunResult, Simulator
+from repro.runtime.state import Configuration, NodeState
+from repro.runtime.trace import StepRecord, Trace
+
+__all__ = [
+    "Action",
+    "AdversarialDaemon",
+    "CentralDaemon",
+    "Configuration",
+    "Context",
+    "Daemon",
+    "DistributedRandomDaemon",
+    "LocallyCentralDaemon",
+    "Monitor",
+    "Network",
+    "NodeState",
+    "Protocol",
+    "ReplayDaemon",
+    "RoundCounter",
+    "RoundRobinDaemon",
+    "RunResult",
+    "Simulator",
+    "StepRecord",
+    "SynchronousDaemon",
+    "Trace",
+    "WeaklyFairDaemon",
+]
+
+from repro.runtime.composition import ComposedProtocol, LayeredState
+
+__all__ += ["ComposedProtocol", "LayeredState"]

@@ -1,0 +1,148 @@
+"""Fair (collateral) composition of protocols.
+
+Self-stabilizing systems are routinely built as stacks: a lower layer
+stabilizes a structure (e.g. a spanning tree) while an upper layer
+computes over it.  Under *fair composition*, both layers' actions run
+interleaved under one weakly fair daemon, and the classic composition
+theorem says the stack stabilizes if the upper layer stabilizes once the
+lower one has.
+
+:class:`ComposedProtocol` implements the interleaving: the composite
+per-node state is a :class:`LayeredState` (one sub-state per layer), the
+composite program is the union of the layers' programs (action names are
+prefixed with the layer name), and each layer's guards/statements see
+only their own layer — composition is non-interfering by construction.
+Layers that must *read* a lower layer (e.g. a wave protocol reading the
+tree under it) are cross-layer by nature and are modeled as a single
+protocol instead (see :mod:`repro.protocols.tree_stack`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.state import Configuration, NodeState
+
+__all__ = ["LayeredState", "ComposedProtocol"]
+
+
+@dataclass(frozen=True, slots=True)
+class LayeredState(NodeState):
+    """Composite per-node state: one sub-state per layer."""
+
+    layers: tuple[NodeState, ...]
+
+    def layer(self, index: int) -> NodeState:
+        """The sub-state of one layer."""
+        return self.layers[index]
+
+
+class _LayerView:
+    """Duck-typed :class:`Configuration` projecting one layer.
+
+    Only ``__getitem__`` and ``__len__`` are needed by
+    :class:`~repro.runtime.protocol.Context`.
+    """
+
+    __slots__ = ("_composite", "_index")
+
+    def __init__(self, composite: Configuration, index: int) -> None:
+        self._composite = composite
+        self._index = index
+
+    def __getitem__(self, node: int) -> NodeState:
+        state = self._composite[node]
+        assert isinstance(state, LayeredState)
+        return state.layers[self._index]
+
+    def __len__(self) -> int:
+        return len(self._composite)
+
+
+class ComposedProtocol(Protocol):
+    """Run several protocols side by side under one daemon.
+
+    The composite program of a node is the concatenation of the layers'
+    programs in layer order; when several layers are enabled at a node
+    the daemon's action policy decides which fires (weak fairness at the
+    *node* level is inherited from the daemon; action-level fairness
+    follows because an enabled layer action stays enabled until taken or
+    disabled by its own layer's state).
+    """
+
+    def __init__(self, *layers: Protocol) -> None:
+        super().__init__()
+        if len(layers) < 2:
+            raise ProtocolError("composition needs at least two layers")
+        self.layers = tuple(layers)
+        self.name = "+".join(layer.name for layer in layers)
+
+    # ------------------------------------------------------------------
+    # Projection machinery
+    # ------------------------------------------------------------------
+    def _lift(self, index: int, action: Action) -> Action:
+        layer_name = self.layers[index].name
+
+        def guard(ctx: Context) -> bool:
+            view = _LayerView(ctx.configuration, index)
+            return action.guard(Context(ctx.node, ctx.network, view))  # type: ignore[arg-type]
+
+        def statement(ctx: Context) -> LayeredState:
+            view = _LayerView(ctx.configuration, index)
+            new_sub = action.statement(
+                Context(ctx.node, ctx.network, view)  # type: ignore[arg-type]
+            )
+            composite = ctx.state
+            assert isinstance(composite, LayeredState)
+            layers = list(composite.layers)
+            layers[index] = new_sub
+            return LayeredState(tuple(layers))
+
+        return Action(
+            f"{layer_name}/{action.name}",
+            guard,
+            statement,
+            correction=action.correction,
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        lifted: list[Action] = []
+        for index, layer in enumerate(self.layers):
+            for action in layer.node_actions(node, network):
+                lifted.append(self._lift(index, action))
+        return lifted
+
+    def initial_state(self, node: int, network: Network) -> LayeredState:
+        return LayeredState(
+            tuple(layer.initial_state(node, network) for layer in self.layers)
+        )
+
+    def random_state(
+        self, node: int, network: Network, rng: Random
+    ) -> LayeredState:
+        return LayeredState(
+            tuple(
+                layer.random_state(node, network, rng) for layer in self.layers
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def layer_configuration(
+        self, configuration: Configuration, index: int
+    ) -> Configuration:
+        """Extract one layer's plain configuration (for layer-level checks)."""
+        states = []
+        for state in configuration:
+            assert isinstance(state, LayeredState)
+            states.append(state.layers[index])
+        return Configuration(tuple(states))

@@ -1,0 +1,200 @@
+"""Guarded-action protocol abstraction.
+
+This module implements the paper's computation model: the program of a
+processor is a finite set of actions ``<label> :: <guard> --> <statement>``.
+A guard is a boolean expression over the processor's own variables and
+those of its neighbors; a statement updates the processor's own variables.
+Guard evaluation and statement execution are atomic: both read the *same*
+configuration ``γ_i`` and the write lands in ``γ_{i+1}``.
+
+A :class:`Protocol` supplies, for every node, an ordered sequence of
+:class:`Action` objects (the textual order of the paper's algorithm
+listing, which daemons may use as a default priority) plus initial and
+random state constructors.  Protocols are stateless with respect to the
+simulation: all dynamic information lives in the configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.state import Configuration, NodeState
+
+__all__ = ["Context", "Action", "Protocol"]
+
+
+@dataclass(frozen=True, slots=True)
+class Context:
+    """Read-only view a guard/statement has of the system.
+
+    Matches the locally shared memory model: a processor can read its own
+    state and the states of its neighbors, and nothing else.
+    """
+
+    node: int
+    network: Network
+    configuration: Configuration
+
+    @property
+    def state(self) -> NodeState:
+        """The executing processor's own state."""
+        return self.configuration[self.node]
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        """``Neig_p`` in local order."""
+        return self.network.neighbors(self.node)
+
+    def neighbor_state(self, q: int) -> NodeState:
+        """Read neighbor ``q``'s state.
+
+        Raises :class:`~repro.errors.ProtocolError` if ``q`` is not a
+        neighbor — protocols must not read remote state.
+        """
+        if not self.network.has_edge(self.node, q):
+            raise ProtocolError(
+                f"node {self.node} tried to read non-neighbor {q}"
+            )
+        return self.configuration[q]
+
+    def neighbor_states(self) -> Iterator[tuple[int, NodeState]]:
+        """Iterate over ``(q, state_q)`` for all neighbors in local order."""
+        for q in self.network.neighbors(self.node):
+            yield q, self.configuration[q]
+
+
+@dataclass(frozen=True)
+class Action:
+    """A guarded action of a processor program.
+
+    ``guard(ctx)`` decides enabledness; ``statement(ctx)`` computes the
+    processor's *next* state from the current configuration.  Statements
+    are pure: they never mutate the configuration.
+    """
+
+    name: str
+    guard: Callable[[Context], bool]
+    statement: Callable[[Context], NodeState]
+    #: Actions tagged as corrections are counted separately in metrics.
+    correction: bool = field(default=False)
+
+    def enabled(self, ctx: Context) -> bool:
+        """Evaluate the guard on ``ctx``."""
+        return bool(self.guard(ctx))
+
+    def execute(self, ctx: Context) -> NodeState:
+        """Run the statement, checking the guard first.
+
+        The model executes guard evaluation and statement atomically; a
+        daemon scheduling an action whose guard is false is a scheduler
+        bug, reported as :class:`~repro.errors.ProtocolError`.
+        """
+        if not self.guard(ctx):
+            raise ProtocolError(
+                f"action {self.name!r} executed at node {ctx.node} "
+                f"while its guard is false"
+            )
+        return self.statement(ctx)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r})"
+
+
+class Protocol(ABC):
+    """A distributed protocol in the guarded-action model.
+
+    Subclasses define the per-node program via :meth:`actions`, a clean
+    starting state via :meth:`initial_state`, and (for stabilization
+    experiments) an arbitrary-state sampler via :meth:`random_state`.
+    """
+
+    #: Short protocol name used in reports.
+    name: str = "protocol"
+
+    def __init__(self) -> None:
+        self._action_cache: dict[tuple[int, int], tuple[Action, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Program definition
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        """Return the ordered program (actions) of ``node``."""
+
+    @abstractmethod
+    def initial_state(self, node: int, network: Network) -> NodeState:
+        """Return the clean starting state of ``node``.
+
+        For the snap PIF this is the *normal starting configuration*
+        where every ``Pif_p = C``; stabilizing protocols are correct from
+        any state, so this is primarily a convenience for examples and
+        complexity measurements.
+        """
+
+    def random_state(self, node: int, network: Network, rng: Random) -> NodeState:
+        """Sample an arbitrary (possibly corrupt) state of ``node``.
+
+        Used by fault injection and the model checker to realize the
+        "starting from any configuration" quantifier.  The default raises
+        :class:`NotImplementedError`; protocols meant for stabilization
+        experiments override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define random_state"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived helpers (shared by the simulator and the model checker)
+    # ------------------------------------------------------------------
+    def node_actions(self, node: int, network: Network) -> tuple[Action, ...]:
+        """Memoized per-node program."""
+        key = (id(network), node)
+        cached = self._action_cache.get(key)
+        if cached is None:
+            cached = tuple(self.actions(node, network))
+            if not cached:
+                raise ProtocolError(f"node {node} has an empty program")
+            self._action_cache[key] = cached
+        return cached
+
+    def enabled_actions(
+        self, configuration: Configuration, network: Network, node: int
+    ) -> list[Action]:
+        """Return the actions of ``node`` whose guards hold in ``configuration``."""
+        ctx = Context(node, network, configuration)
+        return [a for a in self.node_actions(node, network) if a.enabled(ctx)]
+
+    def enabled_map(
+        self, configuration: Configuration, network: Network
+    ) -> dict[int, list[Action]]:
+        """Return ``{node: enabled actions}`` for all enabled nodes."""
+        enabled: dict[int, list[Action]] = {}
+        for node in network.nodes:
+            actions = self.enabled_actions(configuration, network, node)
+            if actions:
+                enabled[node] = actions
+        return enabled
+
+    def is_enabled(
+        self, configuration: Configuration, network: Network, node: int
+    ) -> bool:
+        """Return whether ``node`` has at least one enabled action."""
+        ctx = Context(node, network, configuration)
+        return any(a.enabled(ctx) for a in self.node_actions(node, network))
+
+    def initial_configuration(self, network: Network) -> Configuration:
+        """Build the clean starting configuration."""
+        return Configuration(
+            tuple(self.initial_state(p, network) for p in network.nodes)
+        )
+
+    def random_configuration(self, network: Network, rng: Random) -> Configuration:
+        """Sample an arbitrary configuration (for stabilization runs)."""
+        return Configuration(
+            tuple(self.random_state(p, network, rng) for p in network.nodes)
+        )

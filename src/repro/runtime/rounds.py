@@ -1,0 +1,105 @@
+"""Round accounting per the paper's definition (Dolev, Israeli, Moran).
+
+Given a computation ``e``, the *first round* of ``e`` is the minimal
+prefix containing the execution of one action — a protocol action or the
+*disable action* — of every processor continuously enabled from the first
+configuration.  The second round is the first round of the remaining
+suffix, and so on.  Rounds capture the execution rate of the slowest
+processor and are the time unit of every bound proved in the paper.
+
+:class:`RoundCounter` implements this incrementally: it tracks the set
+of processors that were enabled when the current round began and have
+been *continuously enabled and inactive* since.  A processor leaves the
+set by executing any action, or by becoming disabled without executing
+(the disable action).  The round completes when the set empties.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Mapping
+
+__all__ = ["RoundCounter"]
+
+
+class RoundCounter:
+    """Incremental round counter for a single computation.
+
+    Usage: construct with the initially enabled set, then call
+    :meth:`observe_step` once per computation step with the processors
+    that executed an action and the set enabled in the *next*
+    configuration.
+    """
+
+    __slots__ = ("_pending", "_completed", "_ages")
+
+    def __init__(self, initially_enabled: Iterable[int]) -> None:
+        self._pending: set[int] = set(initially_enabled)
+        self._completed = 0
+        # Consecutive steps each processor has been enabled (>= 1 when
+        # enabled); shared with daemons for fairness decisions.
+        self._ages: dict[int, int] = {p: 1 for p in self._pending}
+
+    @property
+    def completed_rounds(self) -> int:
+        """Number of fully completed rounds so far."""
+        return self._completed
+
+    @property
+    def pending(self) -> frozenset[int]:
+        """Processors still owed an action in the current round."""
+        return frozenset(self._pending)
+
+    @property
+    def ages(self) -> Mapping[int, int]:
+        """Consecutive-steps-enabled per currently enabled processor."""
+        return self._ages
+
+    def restart(self, enabled: Iterable[int]) -> None:
+        """Restart the round in progress from a new enabled set.
+
+        Used when a transient fault replaces the configuration mid-run:
+        the completed-round count is preserved, the interrupted round's
+        bookkeeping is discarded.
+        """
+        self._pending = set(enabled)
+        self._ages = {p: 1 for p in self._pending}
+
+    def observe_step(
+        self, executed: AbstractSet[int], enabled_after: AbstractSet[int]
+    ) -> int:
+        """Account for one computation step.
+
+        Parameters
+        ----------
+        executed:
+            Processors that executed a protocol action in this step.
+        enabled_after:
+            Processors enabled in the configuration *after* the step.
+
+        Returns the number of rounds completed by this step (0 or more;
+        more than one only if the round emptied and the next round's
+        enabled set is empty too — which cannot happen because an empty
+        enabled set means the computation is terminal).
+        """
+        # Ages: executing or becoming disabled resets the streak.
+        new_ages: dict[int, int] = {}
+        for p in enabled_after:
+            if p in executed or p not in self._ages:
+                new_ages[p] = 1
+            else:
+                new_ages[p] = self._ages[p] + 1
+        self._ages = new_ages
+
+        # Round bookkeeping: drop processors that acted, or that were
+        # neutralized (disable action = enabled before, not after, no
+        # action executed).
+        self._pending = {
+            p for p in self._pending if p not in executed and p in enabled_after
+        }
+
+        completed = 0
+        if not self._pending:
+            completed = 1
+            self._completed += 1
+            self._pending = set(enabled_after)
+        return completed

@@ -1,0 +1,306 @@
+"""The computation engine: drives protocols under a daemon.
+
+A :class:`Simulator` owns a protocol, a network, a daemon and the current
+configuration, and produces computation steps ``γ_i ↦ γ_{i+1}``
+following the paper's model: the daemon selects a non-empty subset of the
+enabled processors; every selected processor atomically evaluates its
+guard and executes the corresponding statement *against* ``γ_i``; all
+writes land simultaneously in ``γ_{i+1}``.
+
+The simulator also maintains the round count (see
+:mod:`repro.runtime.rounds`), cumulative move counts, an optional trace,
+and invokes *monitors* — observers such as the PIF-cycle specification
+checker — after every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Iterable, Protocol as TypingProtocol, Sequence
+
+from repro.errors import ScheduleError, SimulationLimitError
+from repro.runtime.daemons import Daemon, SynchronousDaemon
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.rounds import RoundCounter
+from repro.runtime.state import Configuration
+from repro.runtime.trace import StepRecord, Trace
+
+__all__ = ["Monitor", "RunResult", "Simulator"]
+
+#: Default safety valve for :meth:`Simulator.run`.
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+class Monitor(TypingProtocol):
+    """Observer interface invoked by the simulator.
+
+    Monitors implement executable specifications (e.g. the PIF cycle
+    conditions) or invariant assertions; they may raise
+    :class:`~repro.errors.SpecificationViolation` to abort a run.
+    """
+
+    def on_start(self, configuration: Configuration) -> None:
+        """Called once with the initial configuration."""
+
+    def on_step(
+        self,
+        before: Configuration,
+        record: StepRecord,
+        after: Configuration,
+    ) -> None:
+        """Called after every computation step."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Simulator.run` call."""
+
+    final: Configuration
+    steps: int
+    rounds: int
+    moves: int
+    #: True if the run stopped because no action was enabled (terminal
+    #: configuration — the computation is maximal and finite).
+    terminated: bool
+    #: True if the run stopped because the ``until`` predicate held.
+    satisfied: bool
+    trace: Trace | None = None
+    action_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stopped_by_limit(self) -> bool:
+        """True if the run hit its step/round budget instead of finishing."""
+        return not (self.terminated or self.satisfied)
+
+
+class Simulator:
+    """Drive a protocol on a network under a daemon.
+
+    Parameters
+    ----------
+    protocol, network:
+        The distributed program and the topology it runs on.
+    daemon:
+        Scheduler; defaults to :class:`SynchronousDaemon`.
+    configuration:
+        Starting configuration; defaults to the protocol's clean initial
+        configuration.
+    seed:
+        Seed for the daemon's RNG — runs are fully reproducible.
+    trace_level:
+        ``"none"`` (default), ``"selections"`` or ``"configurations"``.
+    monitors:
+        Observers receiving every step (see :class:`Monitor`).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        network: Network,
+        daemon: Daemon | None = None,
+        *,
+        configuration: Configuration | None = None,
+        seed: int = 0,
+        trace_level: str = "none",
+        monitors: Iterable[Monitor] = (),
+    ) -> None:
+        self.protocol = protocol
+        self.network = network
+        self.daemon = daemon if daemon is not None else SynchronousDaemon()
+        self.rng = Random(seed)
+        self._configuration = (
+            configuration
+            if configuration is not None
+            else protocol.initial_configuration(network)
+        )
+        self._steps = 0
+        self._moves = 0
+        self._action_counts: dict[str, int] = {}
+        self._monitors = list(monitors)
+        self.trace = Trace(self._configuration, level=trace_level)
+
+        self.daemon.reset()
+        self._enabled = protocol.enabled_map(self._configuration, network)
+        self._rounds = RoundCounter(self._enabled)
+        for monitor in self._monitors:
+            monitor.on_start(self._configuration)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def configuration(self) -> Configuration:
+        """The current configuration ``γ``."""
+        return self._configuration
+
+    @property
+    def steps(self) -> int:
+        """Computation steps executed so far."""
+        return self._steps
+
+    @property
+    def rounds(self) -> int:
+        """Rounds completed so far."""
+        return self._rounds.completed_rounds
+
+    @property
+    def moves(self) -> int:
+        """Total individual actions executed so far."""
+        return self._moves
+
+    @property
+    def action_counts(self) -> dict[str, int]:
+        """Histogram of executed action names."""
+        return dict(self._action_counts)
+
+    def enabled(self) -> dict[int, list[Action]]:
+        """The enabled map of the current configuration."""
+        return {p: list(actions) for p, actions in self._enabled.items()}
+
+    def enabled_nodes(self) -> frozenset[int]:
+        """Processors with at least one enabled action."""
+        return frozenset(self._enabled)
+
+    def is_terminal(self) -> bool:
+        """True if no action is enabled (the computation is maximal)."""
+        return not self._enabled
+
+    def add_monitor(self, monitor: Monitor) -> None:
+        """Attach a monitor; it sees the current configuration as start."""
+        monitor.on_start(self._configuration)
+        self._monitors.append(monitor)
+
+    def reset_configuration(self, configuration: Configuration) -> None:
+        """Replace the current configuration in place — a transient fault.
+
+        Models faults striking *during* execution (arbitrary memory
+        corruption at an arbitrary time), the scenario self- and
+        snap-stabilization are about.  Counters (steps, rounds, moves)
+        keep accumulating; the round in progress restarts from the new
+        configuration's enabled set (the fault interrupts it), and every
+        monitor is re-started so specifications are judged from the
+        post-fault state.
+        """
+        if len(configuration) != self.network.n:
+            raise ScheduleError(
+                f"configuration has {len(configuration)} states for a "
+                f"{self.network.n}-processor network"
+            )
+        self._configuration = configuration
+        self._enabled = self.protocol.enabled_map(configuration, self.network)
+        self._rounds.restart(frozenset(self._enabled))
+        for monitor in self._monitors:
+            monitor.on_start(configuration)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord | None:
+        """Execute one computation step; ``None`` on a terminal configuration."""
+        if not self._enabled:
+            return None
+
+        selection = self.daemon.select(
+            self._enabled,
+            network=self.network,
+            step=self._steps,
+            ages=self._rounds.ages,
+            rng=self.rng,
+        )
+        self._validate_selection(selection)
+
+        before = self._configuration
+        updates = {
+            p: action.execute(Context(p, self.network, before))
+            for p, action in selection.items()
+        }
+        after = before.replace(updates)
+
+        self._configuration = after
+        self._enabled = self.protocol.enabled_map(after, self.network)
+        rounds_completed = self._rounds.observe_step(
+            set(selection), frozenset(self._enabled)
+        )
+
+        self._steps += 1
+        self._moves += len(selection)
+        for action in selection.values():
+            self._action_counts[action.name] = (
+                self._action_counts.get(action.name, 0) + 1
+            )
+
+        record = StepRecord(
+            index=self._steps - 1,
+            selection={p: a.name for p, a in selection.items()},
+            rounds_completed=rounds_completed,
+            after=after,
+        )
+        self.trace.append(record)
+        for monitor in self._monitors:
+            monitor.on_step(before, record, after)
+        return record
+
+    def run(
+        self,
+        *,
+        until: Callable[[Configuration], bool] | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_rounds: int | None = None,
+        raise_on_limit: bool = False,
+    ) -> RunResult:
+        """Run until the predicate holds, the computation terminates, or a budget runs out.
+
+        ``until`` is checked on the current configuration *before* each
+        step, so a run whose starting configuration already satisfies the
+        predicate returns immediately with ``steps == 0``.
+        """
+        satisfied = False
+        terminated = False
+        while True:
+            if until is not None and until(self._configuration):
+                satisfied = True
+                break
+            if not self._enabled:
+                terminated = True
+                break
+            if self._steps >= max_steps or (
+                max_rounds is not None and self.rounds >= max_rounds
+            ):
+                if raise_on_limit:
+                    raise SimulationLimitError(
+                        f"budget exhausted after {self._steps} steps / "
+                        f"{self.rounds} rounds without reaching the goal"
+                    )
+                break
+            self.step()
+
+        return RunResult(
+            final=self._configuration,
+            steps=self._steps,
+            rounds=self.rounds,
+            moves=self._moves,
+            terminated=terminated,
+            satisfied=satisfied,
+            trace=self.trace if self.trace.level != "none" else None,
+            action_counts=dict(self._action_counts),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_selection(self, selection: dict[int, Action]) -> None:
+        if not selection:
+            raise ScheduleError("daemon returned an empty selection")
+        for p, action in selection.items():
+            enabled_here: Sequence[Action] | None = self._enabled.get(p)
+            if enabled_here is None:
+                raise ScheduleError(
+                    f"daemon selected disabled processor {p}"
+                )
+            if action not in enabled_here:
+                raise ScheduleError(
+                    f"daemon selected action {action.name!r} not enabled at "
+                    f"processor {p}"
+                )

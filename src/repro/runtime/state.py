@@ -1,0 +1,92 @@
+"""Per-processor states and global configurations.
+
+States are small immutable (frozen dataclass) objects; a global
+configuration is an immutable tuple of per-processor states.  Both are
+hashable so the exhaustive model checker can memoize visited
+configurations, and so traces can be compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Mapping, TypeVar
+
+from repro.errors import ProtocolError
+
+__all__ = ["NodeState", "Configuration"]
+
+
+class NodeState:
+    """Marker base class for immutable per-processor states.
+
+    Concrete protocols subclass this with ``@dataclass(frozen=True,
+    slots=True)``.  The base class provides a convenient ``replace``
+    helper mirroring :func:`dataclasses.replace`.
+    """
+
+    def replace(self: "S", **changes: Any) -> "S":
+        """Return a copy of this state with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)  # type: ignore[type-var]
+
+
+S = TypeVar("S", bound=NodeState)
+
+
+class Configuration:
+    """A global configuration: one :class:`NodeState` per processor.
+
+    The paper's ``γ``.  Immutable, hashable, and indexable by node
+    identifier.
+    """
+
+    __slots__ = ("_states", "_hash")
+
+    def __init__(self, states: tuple[NodeState, ...] | list[NodeState]) -> None:
+        self._states: tuple[NodeState, ...] = tuple(states)
+        self._hash: int | None = None
+
+    @property
+    def states(self) -> tuple[NodeState, ...]:
+        """The per-processor states, indexed by node identifier."""
+        return self._states
+
+    def __getitem__(self, node: int) -> NodeState:
+        return self._states[node]
+
+    def __iter__(self) -> Iterator[NodeState]:
+        return iter(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def replace(self, updates: Mapping[int, NodeState]) -> "Configuration":
+        """Return a new configuration with the given node states replaced.
+
+        ``updates`` maps node identifiers to their new states.  An empty
+        update returns ``self`` unchanged (same object), which keeps
+        no-op computation steps cheap.
+        """
+        if not updates:
+            return self
+        n = len(self._states)
+        for node in updates:
+            if not 0 <= node < n:
+                raise ProtocolError(f"update for unknown node {node}")
+        states = list(self._states)
+        for node, state in updates.items():
+            states[node] = state
+        return Configuration(tuple(states))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._states == other._states
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._states)
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{i}:{s!r}" for i, s in enumerate(self._states))
+        return f"Configuration({inner})"

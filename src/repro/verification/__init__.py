@@ -1,0 +1,35 @@
+"""Exhaustive model checking of the snap property on small networks."""
+
+from repro.verification.model_check import (
+    Counterexample,
+    ModelCheckResult,
+    WaveTag,
+    apply_selection,
+    check_cycle_liveness_synchronous,
+    check_snap_safety,
+    enumerate_initiation_configurations,
+    node_state_domain,
+)
+
+__all__ = [
+    "Counterexample",
+    "ModelCheckResult",
+    "WaveTag",
+    "apply_selection",
+    "check_cycle_liveness_synchronous",
+    "check_snap_safety",
+    "enumerate_initiation_configurations",
+    "node_state_domain",
+]
+
+from repro.verification.convergence import (
+    check_convergence_synchronous,
+    check_normal_closure,
+    enumerate_all_configurations,
+)
+
+__all__ += [
+    "check_convergence_synchronous",
+    "check_normal_closure",
+    "enumerate_all_configurations",
+]

@@ -1,0 +1,173 @@
+"""Exhaustive convergence and closure checks on small networks.
+
+Complements the snap-safety checker (:mod:`repro.verification.model_check`)
+with the two classic stabilization obligations:
+
+* **Convergence** (:func:`check_convergence_synchronous`): from *every*
+  configuration of the full product state space, the synchronous
+  execution reaches an all-normal configuration within Theorem 1's
+  ``3·L_max + 3`` rounds and the clean SBN configuration within the
+  Theorem 3 + Theorem 4 budget.
+* **Closure** (:func:`check_normal_closure`): the set of normal
+  configurations is closed under *every* daemon choice — no computation
+  step executed from an all-normal configuration produces an abnormal
+  processor.  (This is the executable converse of Lemma 5: abnormality
+  only ever flows out of existing abnormality.)
+
+Both enumerate the complete per-node state domains, so they are
+exponential in ``n``; budgets cap the work and the result reports
+coverage honestly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.analysis import bounds
+from repro.core import definitions as defs
+from repro.core.pif import SnapPif
+from repro.core.state import PifConstants, PifState
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+from repro.runtime.state import Configuration
+from repro.verification.model_check import (
+    Counterexample,
+    ModelCheckResult,
+    _selections,
+    apply_selection,
+    node_state_domain,
+)
+
+__all__ = [
+    "enumerate_all_configurations",
+    "check_convergence_synchronous",
+    "check_normal_closure",
+]
+
+
+def enumerate_all_configurations(
+    network: Network, k: PifConstants
+) -> Iterator[Configuration]:
+    """Every configuration of the full product state space."""
+    domains = [node_state_domain(network, k, p) for p in network.nodes]
+    for states in itertools.product(*domains):
+        yield Configuration(states)
+
+
+def check_convergence_synchronous(
+    network: Network,
+    root: int = 0,
+    *,
+    protocol: SnapPif | None = None,
+    max_configurations: int | None = None,
+    stride: int = 1,
+) -> ModelCheckResult:
+    """Theorem 1 + return-to-SBN, from every configuration, synchronously.
+
+    ``stride`` subsamples the enumeration (every ``stride``-th
+    configuration) to trade coverage for time on larger state spaces;
+    ``stride=1`` is exhaustive.
+    """
+    if protocol is None:
+        protocol = SnapPif.for_network(network, root)
+    k = protocol.constants
+    result = ModelCheckResult(
+        property_name="convergence (synchronous): normal within 3L+3, "
+        "SBN within 8L+7 + 5L+5"
+    )
+    normal_budget = bounds.normalization_bound(k.l_max)
+    sbn_budget = bounds.glt_bound(k.l_max) + bounds.cycle_bound(k.l_max) + 4
+
+    for index, config in enumerate(enumerate_all_configurations(network, k)):
+        if stride > 1 and index % stride:
+            continue
+        if (
+            max_configurations is not None
+            and result.configurations_checked >= max_configurations
+        ):
+            result.complete = False
+            break
+        result.configurations_checked += 1
+
+        sim = Simulator(protocol, network, configuration=config)
+        normal_round: int | None = None
+        sbn_round: int | None = None
+        while sim.rounds <= sbn_budget:
+            if normal_round is None and not defs.abnormal_nodes(
+                sim.configuration, network, k
+            ):
+                normal_round = sim.rounds
+            if defs.is_sbn_configuration(sim.configuration, network, k):
+                sbn_round = sim.rounds
+                break
+            if sim.step() is None:  # terminal without SBN: impossible
+                break
+        result.states_explored += sim.steps
+
+        if normal_round is None or normal_round > normal_budget:
+            result.counterexamples.append(
+                Counterexample(
+                    config,
+                    (),
+                    f"not all-normal within {normal_budget} rounds "
+                    f"(first normal: {normal_round})",
+                )
+            )
+        if sbn_round is None:
+            result.counterexamples.append(
+                Counterexample(
+                    config, (), f"SBN not reached within {sbn_budget} rounds"
+                )
+            )
+        if len(result.counterexamples) >= 5:
+            result.complete = False
+            break
+    return result
+
+
+def check_normal_closure(
+    network: Network,
+    root: int = 0,
+    *,
+    protocol: SnapPif | None = None,
+    max_configurations: int | None = None,
+) -> ModelCheckResult:
+    """No daemon choice leads from an all-normal configuration to an abnormal one.
+
+    Enumerates every configuration, keeps the normal ones, and applies
+    every possible selection one step.
+    """
+    if protocol is None:
+        protocol = SnapPif.for_network(network, root)
+    k = protocol.constants
+    result = ModelCheckResult(property_name="closure of normal configurations")
+
+    for config in enumerate_all_configurations(network, k):
+        if not defs.is_normal_configuration(config, network, k):
+            continue
+        if (
+            max_configurations is not None
+            and result.configurations_checked >= max_configurations
+        ):
+            result.complete = False
+            break
+        result.configurations_checked += 1
+        enabled = protocol.enabled_map(config, network)
+        for selection in _selections(enabled):
+            result.transitions_explored += 1
+            after = apply_selection(protocol, network, config, selection)
+            bad = defs.abnormal_nodes(after, network, k)
+            if bad:
+                step = tuple(sorted((p, a.name) for p, a in selection.items()))
+                result.counterexamples.append(
+                    Counterexample(
+                        config,
+                        (step,),
+                        f"processors {sorted(bad)} abnormal after a step "
+                        f"from a normal configuration",
+                    )
+                )
+                if len(result.counterexamples) >= 5:
+                    return result
+    return result

@@ -1,0 +1,442 @@
+"""Exhaustive verification of the snap property on small networks.
+
+Snap-stabilization (Definition 1) quantifies over *every* execution from
+*every* configuration.  On small networks the configuration space of the
+PIF protocol is finite and enumerable, so the quantifier can be checked
+mechanically:
+
+**Safety** (:func:`check_snap_safety`).  A wave the root initiates is
+precisely a ``B-action`` of the root, whose guard requires the root and
+all its neighbors to be in phase ``C``.  Any configuration in which such
+a step can occur — whatever garbage the rest of the network holds — is
+therefore an *initiation configuration*, and the set of initiation
+configurations is a superset of those reachable in real executions.  The
+checker enumerates all of them, then explores every execution under the
+fully general distributed daemon (all non-empty subsets of enabled
+processors, all action choices) while tracking wave membership exactly
+like :class:`~repro.core.monitor.PifCycleMonitor`:
+
+* a processor *receives m* when its B-action attaches to a wave member;
+* it *acknowledges* when it executes its F-action as a wave member;
+* when the root executes its F-action, [PIF1] and [PIF2] must hold;
+* a wave member must never be demoted by a correction, and the root must
+  never abort or double-start the wave.
+
+Any violation yields a replayable counterexample (initial configuration
+plus schedule).
+
+**Liveness** (:func:`check_cycle_liveness_synchronous`).  Under the
+synchronous daemon the system is deterministic (given the program-order
+action choice), so "every initiated wave completes" is checked by
+running every initiation configuration to cycle completion within the
+Theorem 4 + Theorem 3 budget.  Liveness under weakly fair asynchronous
+daemons is exercised statistically by the randomized experiments (E6).
+
+The state space grows as the product of per-node domains; the functions
+take explicit budgets and report exactly what was covered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.analysis import bounds
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.core.state import Phase, PifConstants, PifState
+from repro.errors import VerificationError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context
+from repro.runtime.simulator import Simulator
+from repro.runtime.state import Configuration
+
+__all__ = [
+    "WaveTag",
+    "Counterexample",
+    "ModelCheckResult",
+    "node_state_domain",
+    "enumerate_initiation_configurations",
+    "apply_selection",
+    "check_snap_safety",
+    "check_cycle_liveness_synchronous",
+]
+
+
+# ----------------------------------------------------------------------
+# State enumeration
+# ----------------------------------------------------------------------
+def node_state_domain(
+    network: Network,
+    k: PifConstants,
+    node: int,
+    *,
+    phases: Sequence[Phase] = (Phase.B, Phase.F, Phase.C),
+) -> list[PifState]:
+    """All states of ``node`` over the full variable domains."""
+    counts = range(1, k.n_prime + 1)
+    foks = (False, True)
+    states = []
+    if node == k.root:
+        for pif, count, fok in itertools.product(phases, counts, foks):
+            states.append(
+                PifState(pif=pif, par=None, level=0, count=count, fok=fok)
+            )
+        return states
+    pars = network.neighbors(node)
+    levels = range(1, k.l_max + 1)
+    for pif, par, level, count, fok in itertools.product(
+        phases, pars, levels, counts, foks
+    ):
+        states.append(
+            PifState(pif=pif, par=par, level=level, count=count, fok=fok)
+        )
+    return states
+
+
+def enumerate_initiation_configurations(
+    network: Network, k: PifConstants
+) -> Iterator[Configuration]:
+    """All configurations in which the root's ``Broadcast`` guard holds.
+
+    The root and each of its neighbors are in phase ``C`` (with all
+    combinations of their remaining variables); every other processor
+    ranges over its full state domain.
+    """
+    root_neighbors = set(network.neighbors(k.root))
+    domains: list[list[PifState]] = []
+    for p in network.nodes:
+        if p == k.root or p in root_neighbors:
+            domains.append(node_state_domain(network, k, p, phases=(Phase.C,)))
+        else:
+            domains.append(node_state_domain(network, k, p))
+    for states in itertools.product(*domains):
+        yield Configuration(states)
+
+
+# ----------------------------------------------------------------------
+# Transition machinery
+# ----------------------------------------------------------------------
+def apply_selection(
+    protocol: SnapPif,
+    network: Network,
+    configuration: Configuration,
+    selection: dict[int, Action],
+) -> Configuration:
+    """Execute one computation step: all selected actions against ``configuration``."""
+    updates = {
+        p: action.execute(Context(p, network, configuration))
+        for p, action in selection.items()
+    }
+    return configuration.replace(updates)
+
+
+@dataclass(frozen=True, slots=True)
+class WaveTag:
+    """Monitor state carried alongside a configuration during exploration.
+
+    ``members`` is the set of processors that received ``m`` (the root's
+    wave tree, provenance-tracked); ``acked`` the members whose F-action
+    has fired; ``feedback_done`` whether the root has fed back.
+    """
+
+    members: frozenset[int]
+    acked: frozenset[int]
+    feedback_done: bool
+
+    def advance(
+        self,
+        protocol: SnapPif,
+        network: Network,
+        before: Configuration,
+        selection: dict[int, Action],
+    ) -> tuple["WaveTag | None", str | None]:
+        """Update the tag across one step.
+
+        Returns ``(new_tag, violation)``.  ``new_tag`` is ``None`` when
+        the wave is over (root's C-action after feedback).  ``violation``
+        is a message when a snap condition failed in this step.
+        """
+        root = protocol.root
+        n = network.n
+        members = set(self.members)
+        acked = set(self.acked)
+        feedback_done = self.feedback_done
+
+        for node, action in sorted(selection.items()):
+            name = action.name
+            if node == root:
+                if name == "F-action":
+                    if len(members) != n:
+                        return self, (
+                            f"[PIF1] root fed back with only "
+                            f"{len(members)}/{n} processors reached"
+                        )
+                    if len(acked) != n - 1:
+                        return self, (
+                            f"[PIF2] root fed back with only "
+                            f"{len(acked)}/{n - 1} acknowledgments"
+                        )
+                    feedback_done = True
+                elif name == "C-action":
+                    if feedback_done:
+                        return None, None  # cycle complete
+                    return self, "root cleaned without feeding back"
+                elif name == "B-correction":
+                    return self, "root aborted the initiated wave"
+                elif name == "B-action":
+                    return self, "root re-broadcast inside an open cycle"
+            else:
+                if name == "B-action":
+                    parent = protocol.join_parent(
+                        Context(node, network, before)
+                    )
+                    if parent in members:
+                        members.add(node)
+                elif name == "F-action":
+                    if node in members:
+                        acked.add(node)
+                elif name in ("B-correction", "F-correction"):
+                    if node in members:
+                        return self, (
+                            f"wave member {node} demoted by {name}"
+                        )
+        return (
+            WaveTag(frozenset(members), frozenset(acked), feedback_done),
+            None,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Counterexample:
+    """A violating execution: initial configuration plus schedule."""
+
+    initial: Configuration
+    schedule: tuple[tuple[tuple[int, str], ...], ...]
+    message: str
+
+    def pretty(self) -> str:
+        lines = [f"violation: {self.message}", "schedule:"]
+        for i, step in enumerate(self.schedule):
+            moves = ", ".join(f"{p}:{a}" for p, a in step)
+            lines.append(f"  step {i}: {moves}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of an exhaustive check."""
+
+    property_name: str
+    configurations_checked: int = 0
+    states_explored: int = 0
+    transitions_explored: int = 0
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    #: True when every enumerated configuration was fully explored
+    #: within the budgets.
+    complete: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`~repro.errors.VerificationError` on any counterexample."""
+        if self.counterexamples:
+            raise VerificationError(
+                f"{self.property_name}: "
+                f"{len(self.counterexamples)} counterexample(s); first:\n"
+                f"{self.counterexamples[0].pretty()}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Safety: exhaustive over all daemon choices
+# ----------------------------------------------------------------------
+def _selections(
+    enabled: dict[int, list[Action]]
+) -> Iterator[dict[int, Action]]:
+    """Every daemon choice: non-empty node subsets × per-node action choices."""
+    nodes = sorted(enabled)
+    for size in range(1, len(nodes) + 1):
+        for subset in itertools.combinations(nodes, size):
+            for combo in itertools.product(*(enabled[p] for p in subset)):
+                yield dict(zip(subset, combo))
+
+
+def check_snap_safety(
+    network: Network,
+    root: int = 0,
+    *,
+    protocol: SnapPif | None = None,
+    max_configurations: int | None = None,
+    max_states: int = 5_000_000,
+    stop_at_first: bool = True,
+) -> ModelCheckResult:
+    """Exhaustively verify PIF1/PIF2 safety for every initiated wave.
+
+    Explores, for every initiation configuration (optionally capped),
+    every execution of the initiated wave under all daemon choices.
+    States are memoized globally across initial configurations — the
+    tagged state ``(configuration, wave tag)`` fully determines the
+    future, so each is explored once.
+    """
+    if protocol is None:
+        protocol = SnapPif.for_network(network, root)
+    k = protocol.constants
+    result = ModelCheckResult(property_name="snap-safety (PIF1 ∧ PIF2)")
+
+    visited: set[tuple[Configuration, WaveTag]] = set()
+    root_b_action = protocol.node_actions(root, network)[0]
+    assert root_b_action.name == "B-action"
+
+    for config in enumerate_initiation_configurations(network, k):
+        if (
+            max_configurations is not None
+            and result.configurations_checked >= max_configurations
+        ):
+            result.complete = False
+            break
+        result.configurations_checked += 1
+
+        # The initiating step: the root's B-action fires, alone or with
+        # any other enabled processors.
+        enabled = protocol.enabled_map(config, network)
+        assert root in enabled and root_b_action in enabled[root]
+        for first in _selections(enabled):
+            if first.get(root) is not root_b_action:
+                continue
+            # The root's own B-action in this step *is* the initiation;
+            # only the other selected processors are advanced against it.
+            tag0 = WaveTag(frozenset({root}), frozenset(), False)
+            rest = {p: a for p, a in first.items() if p != root}
+            if rest:
+                tag, violation = tag0.advance(protocol, network, config, rest)
+            else:
+                tag, violation = tag0, None
+            after = apply_selection(protocol, network, config, first)
+            first_step = tuple(
+                sorted((p, a.name) for p, a in first.items())
+            )
+            if violation is not None:
+                result.counterexamples.append(
+                    Counterexample(config, (first_step,), violation)
+                )
+                if stop_at_first:
+                    return result
+                continue
+            assert tag is not None  # the wave cannot finish on step one
+
+            stack: list[tuple[Configuration, WaveTag]] = [(after, tag)]
+            parents: dict[
+                tuple[Configuration, WaveTag],
+                tuple[tuple[Configuration, WaveTag] | None, tuple],
+            ] = {(after, tag): (None, first_step)}
+
+            while stack:
+                if result.states_explored >= max_states:
+                    result.complete = False
+                    stack.clear()
+                    break
+                state = stack.pop()
+                if state in visited:
+                    continue
+                visited.add(state)
+                result.states_explored += 1
+                current, current_tag = state
+                for selection in _selections(
+                    protocol.enabled_map(current, network)
+                ):
+                    result.transitions_explored += 1
+                    new_tag, violation = current_tag.advance(
+                        protocol, network, current, selection
+                    )
+                    step = tuple(
+                        sorted((p, a.name) for p, a in selection.items())
+                    )
+                    if violation is not None:
+                        schedule = _reconstruct(parents, state) + (step,)
+                        result.counterexamples.append(
+                            Counterexample(config, schedule, violation)
+                        )
+                        if stop_at_first:
+                            return result
+                        continue
+                    if new_tag is None:
+                        continue  # cycle completed cleanly on this path
+                    nxt = (
+                        apply_selection(protocol, network, current, selection),
+                        new_tag,
+                    )
+                    if nxt not in visited and nxt not in parents:
+                        parents[nxt] = (state, step)
+                        stack.append(nxt)
+    return result
+
+
+def _reconstruct(parents: dict, state: tuple) -> tuple:
+    steps: list[tuple] = []
+    cursor = state
+    while cursor is not None:
+        parent, step = parents[cursor]
+        steps.append(step)
+        cursor = parent
+    return tuple(reversed(steps))
+
+
+# ----------------------------------------------------------------------
+# Liveness under the synchronous daemon
+# ----------------------------------------------------------------------
+def check_cycle_liveness_synchronous(
+    network: Network,
+    root: int = 0,
+    *,
+    protocol: SnapPif | None = None,
+    max_configurations: int | None = None,
+) -> ModelCheckResult:
+    """From every initiation configuration, the synchronous execution completes the cycle.
+
+    Deterministic (program-order action choice), so one run per
+    configuration suffices.  The budget is the Theorem 3 + Theorem 4
+    worst case, in steps (one round per synchronous step), with slack.
+    """
+    if protocol is None:
+        protocol = SnapPif.for_network(network, root)
+    k = protocol.constants
+    result = ModelCheckResult(property_name="cycle-liveness (synchronous)")
+    budget = bounds.glt_bound(k.l_max) + bounds.cycle_bound(k.l_max) + 8
+
+    for config in enumerate_initiation_configurations(network, k):
+        if (
+            max_configurations is not None
+            and result.configurations_checked >= max_configurations
+        ):
+            result.complete = False
+            break
+        result.configurations_checked += 1
+        monitor = PifCycleMonitor(protocol, network)
+        sim = Simulator(
+            protocol, network, configuration=config, monitors=[monitor]
+        )
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 1,
+            max_steps=budget,
+        )
+        result.states_explored += sim.steps
+        cycles = monitor.completed_cycles
+        if not cycles:
+            result.counterexamples.append(
+                Counterexample(
+                    config, (), "initiated wave did not complete in budget"
+                )
+            )
+            if len(result.counterexamples) >= 5:
+                break
+        elif not cycles[0].ok:
+            result.counterexamples.append(
+                Counterexample(config, (), "; ".join(cycles[0].violations))
+            )
+            if len(result.counterexamples) >= 5:
+                break
+    return result

@@ -1,0 +1,41 @@
+"""Unit tests for the paper's bound formulas."""
+
+from __future__ import annotations
+
+from repro.analysis import bounds
+
+
+class TestFormulas:
+    def test_property3(self) -> None:
+        assert bounds.good_count_bound(7) == 8
+
+    def test_corollary2(self) -> None:
+        assert bounds.normalization_after_good_count_bound(7) == 16
+
+    def test_theorem1(self) -> None:
+        assert bounds.normalization_bound(7) == 24
+        # Theorem 1 = Property 3 + Corollary 2.
+        assert bounds.normalization_bound(7) == bounds.good_count_bound(
+            7
+        ) + bounds.normalization_after_good_count_bound(7)
+
+    def test_theorem2(self) -> None:
+        assert bounds.theorem2_sb_bound(7) == 32
+        assert bounds.theorem2_ef_bound(7) == 39
+        assert bounds.theorem2_ebn_bound(7) == 39
+
+    def test_theorem3(self) -> None:
+        assert bounds.glt_bound(7) == 63
+
+    def test_theorem4(self) -> None:
+        assert bounds.cycle_bound(4) == 25
+
+
+class TestBoundSheet:
+    def test_sheet_instantiates_all(self) -> None:
+        sheet = bounds.bound_sheet(l_max=9, height_upper=4)
+        assert sheet.good_count == 10
+        assert sheet.normalization == 30
+        assert sheet.glt == 79
+        assert sheet.cycle == 25
+        assert sheet.l_max == 9 and sheet.height_upper == 4

@@ -1,0 +1,42 @@
+"""Tests for the cycle-cost statistics helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import collect_cycle_stats
+from repro.graphs import line, star
+from repro.runtime.daemons import DistributedRandomDaemon
+
+
+class TestCollectCycleStats:
+    def test_synchronous_is_deterministic(self) -> None:
+        stats = collect_cycle_stats(line(6), seeds=range(4))
+        assert stats.samples == 4
+        assert stats.rounds_min == stats.rounds_max  # same every seed
+        assert stats.within_bound
+        assert stats.daemon == "synchronous"
+
+    def test_async_spread(self) -> None:
+        stats = collect_cycle_stats(
+            star(8),
+            daemon_factory=lambda: DistributedRandomDaemon(0.4),
+            seeds=range(8),
+        )
+        assert stats.samples == 8
+        assert stats.rounds_min <= stats.rounds_mean <= stats.rounds_max
+        assert stats.within_bound
+        assert stats.height_max == 1
+
+    def test_row_rendering(self) -> None:
+        stats = collect_cycle_stats(line(4), seeds=range(2))
+        row = stats.row()
+        assert row["topology"] == "line-4"
+        assert row["within"] == "yes"
+        assert "/" in str(row["rounds min/mean/max"])
+
+    def test_budget_error(self) -> None:
+        from repro.errors import SimulationLimitError
+
+        with pytest.raises(SimulationLimitError):
+            collect_cycle_stats(line(8), seeds=[0], max_steps=3)

@@ -1,0 +1,89 @@
+"""Integration tests for the experiment harness (paper-vs-measured)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    measure_cycles,
+    measure_stabilization,
+    measure_theorem2,
+)
+from repro.graphs import complete, line, random_connected, ring, star
+from repro.runtime.daemons import DistributedRandomDaemon
+
+
+class TestMeasureCycles:
+    def test_line_within_theorem4(self) -> None:
+        m = measure_cycles(line(7), cycles=2)
+        assert m.within_bound
+        assert m.all_cycles_ok
+        assert m.heights == (6, 6)
+        assert m.cycle_bounds == (35, 35)
+
+    def test_complete_graph_shallow_cycles(self) -> None:
+        m = measure_cycles(complete(6), cycles=2)
+        assert m.within_bound
+        assert m.max_height == 1
+
+    def test_async_daemon_still_within_bound(self) -> None:
+        m = measure_cycles(
+            ring(8), daemon=DistributedRandomDaemon(0.5), seed=3, cycles=2
+        )
+        assert m.all_cycles_ok
+        assert m.within_bound
+
+    def test_cycle_shortage_raises(self) -> None:
+        from repro.errors import SimulationLimitError
+
+        with pytest.raises(SimulationLimitError):
+            measure_cycles(line(8), cycles=5, max_steps=10)
+
+
+class TestMeasureStabilization:
+    @pytest.mark.parametrize(
+        "mode", ["uniform", "fake_wave", "stale_feedback", "deep_garbage"]
+    )
+    def test_within_paper_bounds(self, mode: str) -> None:
+        net = random_connected(9, 0.2, seed=11)
+        m = measure_stabilization(net, fault_mode=mode, seed=5)
+        assert m.within_bounds, (
+            f"{mode}: gc {m.rounds_to_good_count}/{m.good_count_bound}, "
+            f"normal {m.rounds_to_normal}/{m.normalization_bound}, "
+            f"glt {m.rounds_to_good_configuration}/{m.glt_bound}"
+        )
+
+    def test_async_daemon(self) -> None:
+        net = star(8)
+        m = measure_stabilization(
+            net,
+            fault_mode="uniform",
+            seed=2,
+            daemon=DistributedRandomDaemon(0.4),
+        )
+        assert m.within_bounds
+        assert m.daemon == "distributed-random"
+
+    def test_observation_horizon_respected(self) -> None:
+        net = line(5)
+        m = measure_stabilization(net, seed=1, observe_rounds=10)
+        assert m.observed_rounds >= 10
+
+
+class TestMeasureTheorem2:
+    @pytest.mark.parametrize("case", [1, 2, 3])
+    def test_cases_within_bounds(self, case: int) -> None:
+        for seed in range(3):
+            m = measure_theorem2(ring(7), case, seed=seed)
+            assert m.within_bound, (
+                f"case {case} seed {seed}: {m.rounds_to_target}/{m.bound}"
+            )
+            assert m.reached in {"SB", "EF", "EBN"}
+
+    def test_case1_always_reaches_sb(self) -> None:
+        m = measure_theorem2(line(6), 1, seed=4)
+        assert m.reached == "SB"
+
+    def test_invalid_case_rejected(self) -> None:
+        with pytest.raises(ValueError, match="cases 1-3"):
+            measure_theorem2(line(4), 4)

@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.analysis.invariants`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import (
+    InvariantMonitor,
+    audit_normality,
+    property1_violations,
+    property2_violations,
+)
+from repro.core.pif import SnapPif
+from repro.core.state import PifConstants
+from repro.errors import SpecificationViolation
+from repro.graphs import line
+from repro.runtime.simulator import Simulator
+
+from tests.core.helpers import B, C, F, S, cfg, line_net
+
+NET = line_net(4)
+K = PifConstants.for_network(NET)
+
+LEGAL_WAVE = cfg(
+    S(B, count=4),
+    S(B, par=0, level=1, count=3),
+    S(B, par=1, level=2, count=2),
+    S(B, par=2, level=3, count=1),
+)
+
+
+class TestProperty1:
+    def test_holds_on_legal_wave(self) -> None:
+        assert property1_violations(LEGAL_WAVE, NET, K) == []
+
+    def test_vacuous_when_root_not_broadcasting(self) -> None:
+        c = cfg(S(F, count=9, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert property1_violations(c, NET, K) == []
+
+    def test_flags_unbacked_root_count_in_pure_broadcast(self) -> None:
+        # Node 1's Fok is up while the root's is down: node 1 is abnormal
+        # (outside the LegalTree) and its count no longer backs the
+        # root's, so the checker reports the root's Count > Sum.
+        c = cfg(
+            S(B, count=2),
+            S(B, par=0, level=1, count=1, fok=True),
+            S(C, par=1, level=1),
+            S(C, par=2, level=1),
+        )
+        problems = property1_violations(c, NET, K)
+        assert any("Count" in msg for msg in problems)
+
+
+class TestProperty2:
+    def test_holds_on_legal_wave(self) -> None:
+        assert property2_violations(LEGAL_WAVE, NET, K) == []
+
+    def test_vacuous_on_abnormal_configurations(self) -> None:
+        c = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert property2_violations(c, NET, K) == []
+
+    def test_holds_on_all_clean(self) -> None:
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert property2_violations(c, NET, K) == []
+
+
+class TestAudit:
+    def test_normal_configuration(self) -> None:
+        audit = audit_normality(LEGAL_WAVE, NET, K)
+        assert audit.is_normal
+        assert not audit.abnormal
+
+    def test_breakdown_by_predicate(self) -> None:
+        c = cfg(
+            S(B, count=3),  # count 3 > sum: GoodCount broken at root
+            S(B, par=0, level=2),  # GoodLevel broken
+            S(C, par=1, level=1),
+            S(C, par=2, level=1),
+        )
+        audit = audit_normality(c, NET, K)
+        assert 0 in audit.bad_count
+        assert 1 in audit.bad_level
+        assert audit.abnormal == frozenset({0, 1})
+
+
+class TestInvariantMonitor:
+    def test_clean_run_never_violates(self) -> None:
+        net = line(5)
+        pif = SnapPif.for_network(net)
+        monitor = InvariantMonitor(net, pif.constants)
+        sim = Simulator(pif, net, monitors=[monitor])
+        sim.run(max_steps=60)
+        assert monitor.violations == []
+
+    def test_record_only_collects(self) -> None:
+        monitor = InvariantMonitor(NET, K, record_only=True)
+        bad = cfg(
+            S(B, count=2),
+            S(B, par=0, level=1, count=1, fok=True),
+            S(C, par=1, level=1),
+            S(C, par=2, level=1),
+        )
+        monitor.on_start(bad)
+        assert monitor.violations
+
+    def test_strict_raises(self) -> None:
+        monitor = InvariantMonitor(NET, K)
+        bad = cfg(
+            S(B, count=2),
+            S(B, par=0, level=1, count=1, fok=True),
+            S(C, par=1, level=1),
+            S(C, par=2, level=1),
+        )
+        with pytest.raises(SpecificationViolation):
+            monitor.on_start(bad)

@@ -1,0 +1,164 @@
+"""Tests for the executable lemma monitors (proofs-as-tests)."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.analysis.faults import FAULT_MODES, FaultInjector
+from repro.analysis.lemmas import (
+    LemmaMonitor,
+    lemma2_violations,
+    lemma3_violations,
+    lemma5_violations,
+)
+from repro.core.pif import SnapPif
+from repro.graphs import line, random_connected
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    DistributedRandomDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.simulator import Simulator
+from repro.runtime.trace import StepRecord
+
+from tests.core.helpers import B, C, F, S, cfg, line_net
+
+
+class TestStepChecks:
+    def test_clean_step_has_no_violations(self) -> None:
+        net = line_net(3)
+        protocol = SnapPif.for_network(net)
+        k = protocol.constants
+        before = protocol.initial_configuration(net)
+        sim = Simulator(protocol, net)
+        record = sim.step()
+        assert record is not None
+        after = sim.configuration
+        assert lemma2_violations(before, record, after, net, k) == []
+        assert lemma3_violations(before, record, after, net, k) == []
+        assert lemma5_violations(before, record, after, net, k) == []
+
+    def test_lemma3_flags_spontaneous_repair(self) -> None:
+        """Feed the checker a fabricated step in which an abnormal node
+        became normal although nobody acted on it — must be flagged."""
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        # Node 1 abnormal: B with a C parent.
+        before = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1))
+        # Fabricated 'after': node 1 normal again (C), but the recorded
+        # selection says only node 2 moved.
+        after = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1))
+        record = StepRecord(index=0, selection={2: "Count-action"}, rounds_completed=0)
+        assert lemma3_violations(before, record, after, net, k)
+
+    def test_lemma5_flags_spontaneous_damage(self) -> None:
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        before = cfg(S(B), S(B, par=0, level=1), S(C, par=1, level=1))
+        # Fabricated: node 1 suddenly has a wrong level while only node 2
+        # (not its parent) acted.
+        after = cfg(S(B), S(B, par=0, level=2), S(C, par=1, level=1))
+        record = StepRecord(index=0, selection={2: "Count-action"}, rounds_completed=0)
+        assert lemma5_violations(before, record, after, net, k)
+
+    def test_lemma2_flags_uncaused_count_damage(self) -> None:
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        # Node 0 (root) has GoodCount via child 1's count...
+        before = cfg(S(B, count=3), S(B, par=0, level=1, count=2), S(C, par=1, level=1))
+        # ...fabricated 'after': child's count collapsed without any
+        # B-correction in the selection.
+        after = cfg(S(B, count=3), S(B, par=0, level=1, count=1), S(C, par=1, level=1))
+        record = StepRecord(index=0, selection={2: "Count-action"}, rounds_completed=0)
+        assert lemma2_violations(before, record, after, net, k)
+
+
+class TestLemmasHoldOnRealExecutions:
+    @pytest.mark.parametrize("mode", FAULT_MODES)
+    def test_lemmas_hold_from_every_fault_model(self, mode: str) -> None:
+        net = random_connected(9, 0.25, seed=3)
+        protocol = SnapPif.for_network(net)
+        injector = FaultInjector(protocol, net, protocol.constants)
+        monitor = LemmaMonitor(net, protocol.constants)
+        sim = Simulator(
+            protocol,
+            net,
+            DistributedRandomDaemon(0.6),
+            configuration=injector.generate(mode, 7),
+            seed=7,
+            monitors=[monitor],
+        )
+        sim.run(max_steps=600)
+        assert monitor.violations == []
+
+    @pytest.mark.parametrize(
+        "daemon_factory",
+        [
+            lambda: CentralDaemon(),
+            lambda: DistributedRandomDaemon(0.4),
+            lambda: WeaklyFairDaemon(AdversarialDaemon(patience=3), patience=6),
+        ],
+        ids=["central", "distributed", "adversarial"],
+    )
+    def test_lemmas_hold_under_every_daemon(self, daemon_factory) -> None:
+        net = line(7)
+        protocol = SnapPif.for_network(net)
+        monitor = LemmaMonitor(net, protocol.constants, record_only=True)
+        sim = Simulator(
+            protocol,
+            net,
+            daemon_factory(),
+            configuration=protocol.random_configuration(net, Random(5)),
+            seed=5,
+            monitors=[monitor],
+        )
+        sim.run(max_steps=800)
+        assert monitor.violations == []
+
+
+class TestLemma4Monitor:
+    def test_streaks_bounded_by_two_rounds(self) -> None:
+        from random import Random
+
+        from repro.analysis.lemmas import Lemma4Monitor
+
+        for seed in range(8):
+            net = random_connected(8, 0.25, seed=seed)
+            protocol = SnapPif.for_network(net)
+            monitor = Lemma4Monitor(net, protocol.constants)
+            sim = Simulator(
+                protocol,
+                net,
+                DistributedRandomDaemon(0.6),
+                configuration=protocol.random_configuration(net, Random(seed)),
+                seed=seed,
+                monitors=[monitor],
+            )
+            sim.run(max_steps=800)
+            assert monitor.violations == []
+            assert monitor.worst_streak <= 2
+
+    def test_flags_overlong_streaks(self) -> None:
+        """Feed the monitor a fabricated execution in which an abnormal
+        processor survives three completed rounds unchanged — must be
+        flagged (a corrections-less system would produce exactly this,
+        were its rounds still advancing)."""
+        from repro.analysis.lemmas import Lemma4Monitor
+
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        # Node 1 abnormal: broadcasting under a clean parent.
+        bad = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1))
+        monitor = Lemma4Monitor(net, k, record_only=True)
+        monitor.on_start(bad)
+        for index in range(3):
+            monitor.on_step(
+                bad,
+                StepRecord(index=index, selection={2: "noop"}, rounds_completed=1),
+                bad,
+            )
+        assert monitor.violations
+        assert monitor.worst_streak == 3

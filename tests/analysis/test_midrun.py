@@ -1,0 +1,76 @@
+"""Tests for mid-run transient fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.midrun import run_with_midrun_faults
+from repro.analysis.faults import FAULT_MODES
+from repro.core.pif import SnapPif
+from repro.errors import ScheduleError
+from repro.graphs import line, random_connected
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+from repro.runtime.state import Configuration
+
+
+class TestResetConfiguration:
+    def test_replaces_state_and_keeps_counters(self) -> None:
+        net = line(4)
+        protocol = SnapPif.for_network(net)
+        sim = Simulator(protocol, net)
+        sim.run(max_steps=5)
+        steps_before = sim.steps
+        rounds_before = sim.rounds
+        fresh = protocol.initial_configuration(net)
+        sim.reset_configuration(fresh)
+        assert sim.configuration == fresh
+        assert sim.steps == steps_before
+        assert sim.rounds == rounds_before
+        # The run continues normally from the new configuration.
+        assert sim.step() is not None
+
+    def test_monitors_are_restarted(self) -> None:
+        net = line(3)
+        protocol = SnapPif.for_network(net)
+        starts: list[Configuration] = []
+
+        class Spy:
+            def on_start(self, configuration) -> None:
+                starts.append(configuration)
+
+            def on_step(self, before, record, after) -> None:
+                pass
+
+        sim = Simulator(protocol, net, monitors=[Spy()])
+        sim.reset_configuration(protocol.initial_configuration(net))
+        assert len(starts) == 2
+
+    def test_size_mismatch_rejected(self) -> None:
+        net = line(3)
+        protocol = SnapPif.for_network(net)
+        sim = Simulator(protocol, net)
+        with pytest.raises(ScheduleError, match="3-processor"):
+            sim.reset_configuration(Configuration(()))
+
+
+class TestMidRunFaults:
+    @pytest.mark.parametrize("mode", FAULT_MODES)
+    def test_every_post_fault_wave_is_correct(self, mode: str) -> None:
+        net = random_connected(8, 0.25, seed=6)
+        report = run_with_midrun_faults(
+            net,
+            faults=2,
+            fault_mode=mode,
+            daemon=DistributedRandomDaemon(0.6),
+            seed=mode.__hash__() % 1000,
+        )
+        assert report.faults_injected == 2
+        assert report.cycles_completed >= 3
+        assert report.all_ok
+
+    def test_synchronous_daemon(self) -> None:
+        net = line(7)
+        report = run_with_midrun_faults(net, faults=3, seed=2)
+        assert report.all_ok
+        assert report.total_rounds > 0

@@ -1,0 +1,62 @@
+"""Tests for the reliable broadcast service."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.applications import BroadcastService
+from repro.errors import SimulationLimitError
+from repro.graphs import line, random_connected
+from repro.runtime.daemons import DistributedRandomDaemon
+
+
+class TestBroadcast:
+    def test_delivers_to_everyone(self, small_network) -> None:
+        service = BroadcastService(small_network)
+        outcome = service.broadcast("payload")
+        assert outcome.ok
+        assert outcome.delivered_everywhere
+        assert set(outcome.delivered) == set(small_network.nodes)
+
+    def test_consecutive_values_independent(self) -> None:
+        net = line(5)
+        service = BroadcastService(net)
+        first = service.broadcast(1)
+        second = service.broadcast(2)
+        assert first.delivered_everywhere and second.delivered_everywhere
+        assert service.waves_completed == 2
+
+    def test_default_fold_result_present(self) -> None:
+        net = line(3)
+        service = BroadcastService(net)
+        outcome = service.broadcast("x")
+        assert outcome.result is not None
+
+    def test_step_budget_enforced(self) -> None:
+        net = line(6)
+        service = BroadcastService(net)
+        with pytest.raises(SimulationLimitError):
+            service.broadcast("x", max_steps=3)
+
+    def test_first_call_correct_from_corrupted_start(self) -> None:
+        for seed in range(8):
+            net = random_connected(8, 0.3, seed=seed)
+            probe = BroadcastService(net)
+            corrupted = probe.protocol.random_configuration(net, Random(seed))
+            service = BroadcastService(
+                net,
+                daemon=DistributedRandomDaemon(0.5),
+                seed=seed,
+                initial_configuration=corrupted,
+            )
+            outcome = service.broadcast(("V", seed))
+            assert outcome.ok
+            assert outcome.delivered_everywhere
+
+    def test_report_measurements_exposed(self) -> None:
+        net = line(4)
+        outcome = BroadcastService(net).broadcast("x")
+        assert outcome.report.rounds > 0
+        assert outcome.report.height == 3

@@ -1,0 +1,44 @@
+"""Tests for the network census application."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.applications import CensusService
+from repro.applications.broadcast import BroadcastService
+from repro.graphs import grid, petersen, random_connected
+from repro.runtime.daemons import DistributedRandomDaemon
+
+
+class TestCensus:
+    def test_reconstructs_exact_topology(self, small_network) -> None:
+        census = CensusService(small_network).take()
+        assert census.ok
+        assert census.matches(small_network)
+        assert census.n == small_network.n
+        assert census.edge_count == small_network.edge_count
+
+    def test_degrees(self) -> None:
+        net = petersen()
+        census = CensusService(net).take()
+        assert set(census.degrees().values()) == {3}
+
+    def test_matches_rejects_other_topology(self) -> None:
+        net = grid(2, 3)
+        other = random_connected(6, 0.5, seed=1)
+        census = CensusService(net).take()
+        assert census.matches(net)
+        assert not census.matches(other)
+
+    def test_first_census_correct_from_corruption(self) -> None:
+        net = random_connected(9, 0.3, seed=11)
+        probe = BroadcastService(net)
+        corrupted = probe.protocol.random_configuration(net, Random(17))
+        census = CensusService(
+            net,
+            daemon=DistributedRandomDaemon(0.6),
+            seed=7,
+            initial_configuration=corrupted,
+        ).take()
+        assert census.ok
+        assert census.matches(net)

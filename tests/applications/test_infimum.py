@@ -1,0 +1,61 @@
+"""Tests for distributed infimum/fold computations."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+
+from repro.applications import distributed_fold, distributed_min, distributed_sum
+from repro.errors import ReproError
+from repro.graphs import line, random_connected, star
+
+
+class TestFolds:
+    def test_min(self, small_network) -> None:
+        values = {p: (p * 13 + 5) % 17 for p in small_network.nodes}
+        result = distributed_min(small_network, values)
+        assert result.ok
+        assert result.value == min(values.values())
+
+    def test_sum(self, small_network) -> None:
+        values = {p: p + 1 for p in small_network.nodes}
+        result = distributed_sum(small_network, values)
+        assert result.value == sum(values.values())
+
+    def test_max_via_generic_fold(self) -> None:
+        net = star(7)
+        values = {p: -p for p in net.nodes}
+        result = distributed_fold(net, values, lambda a, b: max(a, b))
+        assert result.value == 0
+
+    def test_gcd_fold(self) -> None:
+        net = line(6)
+        values = {p: 12 * (p + 1) for p in net.nodes}
+        result = distributed_fold(net, values, math.gcd)
+        assert result.value == 12
+
+    def test_missing_inputs_rejected(self) -> None:
+        net = line(4)
+        with pytest.raises(ReproError, match="missing"):
+            distributed_min(net, {0: 1, 1: 2})
+
+    def test_correct_from_corrupted_start(self) -> None:
+        net = random_connected(9, 0.25, seed=6)
+        from repro.applications.broadcast import BroadcastService
+
+        probe = BroadcastService(net)
+        corrupted = probe.protocol.random_configuration(net, Random(13))
+        values = {p: 50 - p for p in net.nodes}
+        result = distributed_min(
+            net, values, initial_configuration=corrupted, seed=2
+        )
+        assert result.ok
+        assert result.value == min(values.values())
+
+    def test_measurements_populated(self) -> None:
+        net = line(5)
+        result = distributed_sum(net, {p: 1 for p in net.nodes})
+        assert result.rounds > 0
+        assert result.steps_span > 0

@@ -1,0 +1,45 @@
+"""Tests for the snap-stabilizing reset service."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.applications import ResetService
+from repro.applications.broadcast import BroadcastService
+from repro.graphs import line, random_connected
+
+
+class TestReset:
+    def test_first_reset_reaches_everyone(self, small_network) -> None:
+        service = ResetService(small_network, fresh_state=lambda p: {"epoch0": p})
+        receipt = service.reset()
+        assert receipt.ok
+        assert receipt.complete(small_network.n)
+        assert service.all_reset()
+        assert all(
+            state == {"epoch0": p} for p, state in service.app_states.items()
+        )
+
+    def test_epochs_increment(self) -> None:
+        net = line(4)
+        service = ResetService(net, fresh_state=lambda p: 0)
+        first = service.reset()
+        second = service.reset()
+        assert (first.epoch, second.epoch) == (1, 2)
+        assert service.all_reset()
+
+    def test_states_start_inconsistent(self) -> None:
+        net = line(3)
+        service = ResetService(net, fresh_state=lambda p: 0)
+        assert not service.all_reset()
+
+    def test_reset_from_corrupted_pif_configuration(self) -> None:
+        net = random_connected(9, 0.2, seed=8)
+        probe = BroadcastService(net)
+        corrupted = probe.protocol.random_configuration(net, Random(31))
+        service = ResetService(
+            net, fresh_state=lambda p: "fresh", initial_configuration=corrupted
+        )
+        receipt = service.reset()
+        assert receipt.complete(net.n)
+        assert service.all_reset()

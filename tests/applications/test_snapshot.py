@@ -1,0 +1,43 @@
+"""Tests for the global snapshot service."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.applications import SnapshotService
+from repro.applications.broadcast import BroadcastService
+from repro.graphs import line, random_connected
+
+
+class TestSnapshot:
+    def test_collects_every_report_exactly_once(self, small_network) -> None:
+        service = SnapshotService(
+            small_network, reporter=lambda p: {"id": p, "load": p * 2}
+        )
+        snap = service.take()
+        assert snap.ok
+        assert snap.complete(small_network.n)
+        assert snap.reports[3] == {"id": 3, "load": 6}
+
+    def test_reports_reflect_current_state(self) -> None:
+        net = line(4)
+        counters = {p: 0 for p in net.nodes}
+        service = SnapshotService(net, reporter=lambda p: counters[p])
+        first = service.take()
+        counters[2] = 99
+        second = service.take()
+        assert first.reports[2] == 0
+        assert second.reports[2] == 99
+
+    def test_first_snapshot_complete_from_corruption(self) -> None:
+        net = random_connected(8, 0.3, seed=4)
+        probe = BroadcastService(net)
+        corrupted = probe.protocol.random_configuration(net, Random(21))
+        service = SnapshotService(
+            net,
+            reporter=lambda p: p,
+            initial_configuration=corrupted,
+        )
+        snap = service.take()
+        assert snap.complete(net.n)
+        assert snap.ok

@@ -1,0 +1,39 @@
+"""Tests for the barrier synchronizer."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.applications import BarrierSynchronizer
+from repro.applications.broadcast import BroadcastService
+from repro.graphs import line, random_connected
+from repro.runtime.daemons import DistributedRandomDaemon
+
+
+class TestBarriers:
+    def test_clocks_advance_in_lockstep(self, small_network) -> None:
+        sync = BarrierSynchronizer(small_network)
+        reports = sync.run_phases(3)
+        assert [r.phase for r in reports] == [1, 2, 3]
+        assert all(r.synchronized for r in reports)
+        assert set(sync.clocks.values()) == {3}
+
+    def test_evidence_carries_min_max(self) -> None:
+        net = line(5)
+        sync = BarrierSynchronizer(net)
+        report = sync.barrier()
+        assert (report.clock_min, report.clock_max) == (1, 1)
+
+    def test_first_barrier_sound_from_corruption(self) -> None:
+        net = random_connected(8, 0.25, seed=10)
+        probe = BroadcastService(net)
+        corrupted = probe.protocol.random_configuration(net, Random(41))
+        sync = BarrierSynchronizer(
+            net,
+            daemon=DistributedRandomDaemon(0.5),
+            seed=10,
+            initial_configuration=corrupted,
+        )
+        report = sync.barrier()
+        assert report.ok
+        assert report.synchronized

@@ -1,0 +1,82 @@
+"""Tests for the query service (universal-transformer flavor)."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.applications import QueryService
+from repro.applications.broadcast import BroadcastService
+from repro.errors import ReproError
+from repro.graphs import line, random_connected
+
+
+class TestRegistration:
+    def test_register_and_list(self) -> None:
+        service = QueryService(line(4))
+        service.register("ping", lambda node, args: "pong")
+        service.register("id", lambda node, args: node)
+        assert service.handlers() == ("id", "ping")
+
+    def test_duplicate_rejected(self) -> None:
+        service = QueryService(line(4))
+        service.register("ping", lambda node, args: "pong")
+        with pytest.raises(ReproError, match="already registered"):
+            service.register("ping", lambda node, args: "pong")
+
+    def test_unknown_query_rejected(self) -> None:
+        service = QueryService(line(4))
+        with pytest.raises(ReproError, match="unknown handler"):
+            service.query("nope")
+
+
+class TestQueries:
+    def test_every_node_answers_once(self, small_network) -> None:
+        service = QueryService(small_network)
+        service.register("square", lambda node, args: node * node)
+        result = service.query("square")
+        assert result.ok
+        assert result.complete(small_network.n)
+        assert result.answers == {p: p * p for p in small_network.nodes}
+
+    def test_args_reach_every_handler(self) -> None:
+        net = line(5)
+        service = QueryService(net)
+        service.register("add", lambda node, args: node + args)
+        result = service.query("add", 100)
+        assert result.answers == {p: p + 100 for p in net.nodes}
+
+    def test_consecutive_queries_use_fresh_state(self) -> None:
+        net = line(4)
+        counters = {p: 0 for p in net.nodes}
+
+        def bump(node: int, args: object) -> int:
+            counters[node] += 1
+            return counters[node]
+
+        service = QueryService(net)
+        service.register("bump", bump)
+        first = service.query("bump")
+        second = service.query("bump")
+        assert set(first.answers.values()) == {1}
+        assert set(second.answers.values()) == {2}
+
+    def test_different_handlers_independent(self) -> None:
+        net = line(4)
+        service = QueryService(net)
+        service.register("one", lambda node, args: 1)
+        service.register("node", lambda node, args: node)
+        assert set(service.query("one").answers.values()) == {1}
+        assert service.query("node").answers == {p: p for p in net.nodes}
+
+    def test_first_query_complete_from_corruption(self) -> None:
+        net = random_connected(9, 0.25, seed=14)
+        probe = BroadcastService(net)
+        corrupted = probe.protocol.random_configuration(net, Random(8))
+        service = QueryService(net, initial_configuration=corrupted, seed=4)
+        service.register("echo", lambda node, args: (node, args))
+        result = service.query("echo", "V")
+        assert result.ok
+        assert result.complete(net.n)
+        assert all(answer == (p, "V") for p, answer in result.answers.items())

@@ -1,0 +1,48 @@
+"""Additional behavior tests for the broadcast service outcome type."""
+
+from __future__ import annotations
+
+from repro.applications import BroadcastService
+from repro.applications.broadcast import WaveOutcome
+from repro.core.monitor import CycleReport
+from repro.graphs import line
+
+
+class TestWaveOutcome:
+    def test_delivered_everywhere_requires_exact_value(self) -> None:
+        report = CycleReport(start_step=0)
+        report.completed = True
+        outcome = WaveOutcome(
+            value="V",
+            result=None,
+            delivered={0: "V", 1: "other"},
+            report=report,
+        )
+        assert not outcome.delivered_everywhere
+        good = WaveOutcome(
+            value="V", result=None, delivered={0: "V", 1: "V"}, report=report
+        )
+        assert good.delivered_everywhere
+
+    def test_ok_mirrors_report(self) -> None:
+        report = CycleReport(start_step=0)
+        outcome = WaveOutcome("V", None, {}, report)
+        assert not outcome.ok  # not completed
+        report.completed = True
+        assert outcome.ok
+        report.violations.append("x")
+        assert not outcome.ok
+
+    def test_service_counts_waves(self) -> None:
+        net = line(4)
+        service = BroadcastService(net)
+        assert service.waves_completed == 0
+        service.broadcast(1)
+        service.broadcast(2)
+        assert service.waves_completed == 2
+
+    def test_root_result_matches_default_fold_shape(self) -> None:
+        net = line(3)
+        outcome = BroadcastService(net).broadcast("x")
+        # Default fold: nested tuples along the (line) broadcast tree.
+        assert outcome.result == (0, (1, (2,)))

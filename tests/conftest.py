@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.graphs import complete, line, random_connected, ring, star
+from repro.runtime.network import Network
+
+
+@pytest.fixture
+def line5() -> Network:
+    return line(5)
+
+
+@pytest.fixture
+def ring6() -> Network:
+    return ring(6)
+
+
+@pytest.fixture
+def star6() -> Network:
+    return star(6)
+
+
+@pytest.fixture
+def k4() -> Network:
+    return complete(4)
+
+
+@pytest.fixture
+def random10() -> Network:
+    return random_connected(10, 0.2, seed=42)
+
+
+@pytest.fixture
+def pif_line5(line5: Network) -> SnapPif:
+    return SnapPif.for_network(line5)
+
+
+@pytest.fixture(
+    params=["line", "ring", "star", "complete", "random"],
+    ids=lambda p: f"topo-{p}",
+)
+def small_network(request) -> Network:
+    """A parametrized set of small topologies for cross-topology tests."""
+    return {
+        "line": line(6),
+        "ring": ring(6),
+        "star": star(6),
+        "complete": complete(5),
+        "random": random_connected(8, 0.25, seed=7),
+    }[request.param]

@@ -1,0 +1,37 @@
+"""Shorthand builders for hand-crafted PIF configurations in tests."""
+
+from __future__ import annotations
+
+from repro.core.state import Phase, PifState
+from repro.runtime.network import Network
+from repro.runtime.protocol import Context
+from repro.runtime.state import Configuration
+
+B, F, C = Phase.B, Phase.F, Phase.C
+
+
+def S(
+    pif: Phase,
+    par: int | None = None,
+    level: int = 0,
+    count: int = 1,
+    fok: bool = False,
+) -> PifState:
+    """Build one node state with keyword defaults."""
+    return PifState(pif=pif, par=par, level=level, count=count, fok=fok)
+
+
+def cfg(*states: PifState) -> Configuration:
+    return Configuration(tuple(states))
+
+
+def ctx(network: Network, configuration: Configuration, node: int) -> Context:
+    return Context(node, network, configuration)
+
+
+def line_net(n: int) -> Network:
+    """A path network without the topology module (keeps tests focused)."""
+    adjacency = {
+        p: [q for q in (p - 1, p + 1) if 0 <= q < n] for p in range(n)
+    }
+    return Network(adjacency, name=f"test-line-{n}")

@@ -1,0 +1,152 @@
+"""Unit tests for the action statements of Algorithms 1 and 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import ACTION_NAMES, non_root_program, root_program
+from repro.core.state import PifConstants
+from repro.errors import ProtocolError
+
+from tests.core.helpers import B, C, F, S, cfg, ctx, line_net
+
+NET = line_net(4)
+K = PifConstants.for_network(NET)
+
+
+def action(program, name):
+    return next(a for a in program if a.name == name)
+
+
+class TestProgramShape:
+    def test_root_program_actions(self) -> None:
+        names = [a.name for a in root_program(K)]
+        assert names == [
+            "B-action",
+            "F-action",
+            "C-action",
+            "Count-action",
+            "B-correction",
+        ]
+
+    def test_non_root_program_actions(self) -> None:
+        names = [a.name for a in non_root_program(K)]
+        assert names == [
+            "B-action",
+            "Fok-action",
+            "F-action",
+            "C-action",
+            "Count-action",
+            "B-correction",
+            "F-correction",
+        ]
+        assert set(names) <= set(ACTION_NAMES)
+
+    def test_corrections_flagged(self) -> None:
+        for program in (root_program(K), non_root_program(K)):
+            for a in program:
+                assert a.correction == a.name.endswith("correction")
+
+    def test_ablation_removes_corrections(self) -> None:
+        k = PifConstants.for_network(NET, corrections=False)
+        assert all(not a.correction for a in root_program(k))
+        assert all(not a.correction for a in non_root_program(k))
+
+
+class TestRootStatements:
+    def test_b_action_initializes_wave(self) -> None:
+        c = cfg(S(C, count=3, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        out = action(root_program(K), "B-action").execute(ctx(NET, c, 0))
+        assert out.pif is B and out.count == 1 and out.fok is False
+
+    def test_b_action_single_node_network_sets_fok(self) -> None:
+        # N = 1: the root is the whole network and Fok = (1 = N) = true.
+        from repro.runtime.network import Network
+
+        single = Network({0: []}, require_connected=True)
+        k1 = PifConstants(root=0, n=1, n_prime=1, l_max=1)
+        out = action(root_program(k1), "B-action").statement(
+            ctx(single, cfg(S(C)), 0)
+        )
+        assert out.fok is True
+
+    def test_count_action_updates_count_and_fok(self) -> None:
+        # Root with child subtree of size 3: sum = 4 = N, so Fok rises.
+        c = cfg(
+            S(B, count=1),
+            S(B, par=0, level=1, count=3),
+            S(B, par=1, level=2, count=2),
+            S(B, par=2, level=3, count=1),
+        )
+        out = action(root_program(K), "Count-action").execute(ctx(NET, c, 0))
+        assert out.count == 4 and out.fok is True
+
+    def test_count_action_partial_count_no_fok(self) -> None:
+        c = cfg(
+            S(B, count=1),
+            S(B, par=0, level=1, count=2),
+            S(B, par=1, level=2, count=1),
+            S(C, par=2, level=1),
+        )
+        out = action(root_program(K), "Count-action").execute(ctx(NET, c, 0))
+        assert out.count == 3 and out.fok is False
+
+    def test_b_correction_resets_to_clean(self) -> None:
+        # An abnormal root: Fok raised but count != N.
+        c = cfg(S(B, count=2, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        out = action(root_program(K), "B-correction").execute(ctx(NET, c, 0))
+        assert out.pif is C
+
+
+class TestNonRootStatements:
+    def test_b_action_joins_minimum_level_parent(self) -> None:
+        c = cfg(S(B, level=0), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        out = action(non_root_program(K), "B-action").execute(ctx(NET, c, 1))
+        assert out.pif is B
+        assert out.par == 0
+        assert out.level == 1
+        assert out.count == 1
+        assert out.fok is False
+
+    def test_b_action_without_candidates_raises(self) -> None:
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        with pytest.raises(ProtocolError, match="guard is false"):
+            action(non_root_program(K), "B-action").execute(ctx(NET, c, 1))
+
+    def test_fok_action_raises_flag(self) -> None:
+        c = cfg(S(B, count=4, fok=True), S(B, par=0, level=1, fok=False), S(C, par=1, level=1), S(C, par=2, level=1))
+        out = action(non_root_program(K), "Fok-action").execute(ctx(NET, c, 1))
+        assert out.fok is True
+
+    def test_f_c_and_corrections_change_phase_only(self) -> None:
+        program = non_root_program(K)
+        c = cfg(
+            S(B, count=4, fok=True),
+            S(B, par=0, level=1, fok=True),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        out = action(program, "F-action").execute(ctx(NET, c, 1))
+        assert out.pif is F and out.par == 0 and out.level == 1
+
+    def test_count_action_saturates_at_n_prime(self) -> None:
+        # Node 2 has child 1 at level 2 claiming count 4 (the domain
+        # maximum): raw sum = 5 > N' = 4, so the written count saturates.
+        c = cfg(
+            S(C),
+            S(B, par=2, level=2, count=4),
+            S(B, par=3, level=1, count=1),
+            S(B, level=0, par=2, count=1),
+        )
+        out = action(non_root_program(K), "Count-action").execute(ctx(NET, c, 2))
+        assert out.count == K.n_prime  # min(5, 4)
+
+    def test_b_correction_demotes_to_feedback(self) -> None:
+        c = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        out = action(non_root_program(K), "B-correction").execute(ctx(NET, c, 1))
+        assert out.pif is F
+
+    def test_f_correction_demotes_to_clean(self) -> None:
+        c = cfg(S(C), S(F, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        out = action(non_root_program(K), "F-correction").execute(ctx(NET, c, 1))
+        assert out.pif is C

@@ -1,0 +1,152 @@
+"""Unit tests for Definitions 3-16 (:mod:`repro.core.definitions`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import definitions as defs
+from repro.core.state import PifConstants
+from repro.errors import ProtocolError
+
+from tests.core.helpers import B, C, F, S, cfg, ctx, line_net
+
+NET = line_net(4)
+K = PifConstants.for_network(NET)
+
+# A fully legal broadcast configuration: 0 <- 1 <- 2 <- 3.
+FULL_WAVE = cfg(
+    S(B, count=4),
+    S(B, par=0, level=1, count=3),
+    S(B, par=1, level=2, count=2),
+    S(B, par=2, level=3, count=1),
+)
+
+# Node 2 is abnormal (GoodLevel broken: level 1 instead of 2), splitting
+# the structure; node 3 is locally consistent *with node 2*, so it hangs
+# off the abnormal tree rooted at 2.
+SPLIT = cfg(
+    S(B, count=1),
+    S(B, par=0, level=1, count=1),
+    S(B, par=1, level=1, count=2),  # level should be 2
+    S(B, par=2, level=2, count=1),  # consistent with its parent 2
+)
+
+
+class TestParentPath:
+    def test_undefined_for_clean_nodes(self) -> None:
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert defs.parent_path(c, NET, K, 1) is None
+
+    def test_reaches_root_through_normal_nodes(self) -> None:
+        assert defs.parent_path(FULL_WAVE, NET, K, 3) == [3, 2, 1, 0]
+
+    def test_stops_at_abnormal_extremity(self) -> None:
+        assert defs.parent_path(SPLIT, NET, K, 3) == [3, 2]
+
+    def test_abnormal_node_is_its_own_path(self) -> None:
+        assert defs.parent_path(SPLIT, NET, K, 2) == [2]
+
+    def test_root_path_is_singleton(self) -> None:
+        assert defs.parent_path(FULL_WAVE, NET, K, 0) == [0]
+
+
+class TestTrees:
+    def test_legal_tree_of_full_wave(self) -> None:
+        assert defs.legal_tree(FULL_WAVE, NET, K) == frozenset({0, 1, 2, 3})
+
+    def test_legal_tree_empty_when_root_clean(self) -> None:
+        c = cfg(S(C), S(B, par=0, level=1), S(B, par=1, level=2), S(C, par=2, level=1))
+        # Node 1 abnormal (parent C); node 2 hangs off node 1.
+        assert defs.legal_tree(c, NET, K) == frozenset()
+
+    def test_split_produces_two_trees(self) -> None:
+        trees = defs.all_trees(SPLIT, NET, K)
+        assert trees[0] == frozenset({0, 1})
+        assert trees[2] == frozenset({2, 3})
+
+    def test_sources_are_childless_members(self) -> None:
+        members = defs.legal_tree(FULL_WAVE, NET, K)
+        assert defs.sources(FULL_WAVE, NET, K, members) == frozenset({3})
+
+    def test_tree_children_and_subtree_size(self) -> None:
+        members = defs.legal_tree(FULL_WAVE, NET, K)
+        assert defs.tree_children(FULL_WAVE, NET, members, 1) == frozenset({2})
+        assert defs.subtree_size(FULL_WAVE, NET, members, 1) == 3
+        assert defs.subtree_size(FULL_WAVE, NET, members, 0) == 4
+
+    def test_legal_tree_height(self) -> None:
+        assert defs.legal_tree_height(FULL_WAVE, NET, K) == 3
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert defs.legal_tree_height(c, NET, K) == 0
+
+
+class TestAbnormality:
+    def test_full_wave_is_normal(self) -> None:
+        assert defs.abnormal_nodes(FULL_WAVE, NET, K) == frozenset()
+
+    def test_split_has_one_abnormal(self) -> None:
+        assert defs.abnormal_nodes(SPLIT, NET, K) == frozenset({2})
+
+
+class TestConfigurationClasses:
+    def test_sbn(self) -> None:
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert defs.is_sb_configuration(c, NET, K)
+        assert defs.is_sbn_configuration(c, NET, K)
+        assert not defs.is_ef_configuration(c, NET, K)
+
+    def test_broadcast_configuration(self) -> None:
+        assert defs.is_broadcast_configuration(FULL_WAVE, NET, K)
+        fok_root = cfg(
+            S(B, count=4, fok=True),
+            S(B, par=0, level=1, count=3),
+            S(B, par=1, level=2, count=2),
+            S(B, par=2, level=3, count=1),
+        )
+        assert not defs.is_broadcast_configuration(fok_root, NET, K)
+
+    def test_ebn(self) -> None:
+        assert defs.is_ebn_configuration(FULL_WAVE, NET, K)
+        assert not defs.is_ebn_configuration(SPLIT, NET, K)
+
+    def test_ef_and_efn(self) -> None:
+        all_f = cfg(
+            S(F, count=4, fok=True),
+            S(F, par=0, level=1, fok=True),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        assert defs.is_ef_configuration(all_f, NET, K)
+        assert defs.is_efn_configuration(all_f, NET, K)
+
+    def test_good_configuration_flags_bad_outside_counts(self) -> None:
+        # Root's wave covers 0 and 1; node 2 is an abnormal stale B
+        # hanging off the legal tree with an unbacked count.
+        c = cfg(
+            S(B, count=2),
+            S(B, par=0, level=1, count=1),
+            S(B, par=1, level=3, count=4),  # abnormal: wrong level, fat count
+            S(C, par=2, level=1),
+        )
+        # Node 2's count (4) exceeds its Sum (1): GoodCount fails, and
+        # node 2's parent is in the legal tree -> not a good configuration.
+        assert not defs.is_good_configuration(c, NET, K)
+        assert defs.good_legal_tree(c, NET, K) is None
+
+    def test_good_configuration_of_normal_config(self) -> None:
+        assert defs.is_good_configuration(FULL_WAVE, NET, K)
+        assert defs.good_legal_tree(FULL_WAVE, NET, K) == frozenset({0, 1, 2, 3})
+
+    def test_classify_bundle(self) -> None:
+        classes = defs.classify(FULL_WAVE, NET, K)
+        assert classes.normal and classes.broadcast and classes.ebn
+        assert not classes.sb and not classes.ef
+        assert classes.abnormal_count == 0
+        assert classes.legal_tree_size == 4
+
+    def test_pif_state_type_guard(self) -> None:
+        from repro.runtime.state import Configuration
+        from tests.runtime.toys import IntState
+
+        with pytest.raises(ProtocolError, match="PifState"):
+            defs.pif_state(Configuration((IntState(1),)), 0)

@@ -1,0 +1,110 @@
+"""Unit tests for the macros of Algorithms 1 and 2."""
+
+from __future__ import annotations
+
+from repro.core.macros import (
+    chosen_parent,
+    potential,
+    pre_potential,
+    sum_set,
+    sum_value,
+)
+from repro.core.state import PifConstants
+
+from tests.core.helpers import B, C, F, S, cfg, ctx, line_net
+
+NET4 = line_net(4)
+K4 = PifConstants.for_network(NET4)
+
+
+class TestSumSet:
+    def test_counts_proper_children(self) -> None:
+        # 0(root,B,L0) - 1(B,par0,L1) - 2(B,par1,L2) - 3(C)
+        c = cfg(
+            S(B), S(B, par=0, level=1), S(B, par=1, level=2), S(C, par=2, level=1)
+        )
+        assert sum_set(ctx(NET4, c, 0), K4) == [1]
+        assert sum_set(ctx(NET4, c, 1), K4) == [2]
+        assert sum_set(ctx(NET4, c, 2), K4) == []
+
+    def test_wrong_level_excluded(self) -> None:
+        c = cfg(S(B), S(B, par=0, level=2), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert sum_set(ctx(NET4, c, 0), K4) == []
+
+    def test_fok_child_excluded(self) -> None:
+        c = cfg(S(B), S(B, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert sum_set(ctx(NET4, c, 0), K4) == []
+
+    def test_feedback_child_excluded(self) -> None:
+        c = cfg(S(B), S(F, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert sum_set(ctx(NET4, c, 0), K4) == []
+
+    def test_child_pointing_elsewhere_excluded(self) -> None:
+        c = cfg(S(B), S(B, par=2, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert sum_set(ctx(NET4, c, 0), K4) == []
+
+
+class TestSumValue:
+    def test_one_plus_children_counts(self) -> None:
+        c = cfg(
+            S(B, count=1),
+            S(B, par=0, level=1, count=3),
+            S(B, par=1, level=2, count=2),
+            S(C, par=2, level=1),
+        )
+        assert sum_value(ctx(NET4, c, 0), K4) == 1 + 3
+        assert sum_value(ctx(NET4, c, 1), K4) == 1 + 2
+        assert sum_value(ctx(NET4, c, 2), K4) == 1
+
+    def test_leaf_sums_to_one(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert sum_value(ctx(NET4, c, 0), K4) == 1
+
+
+class TestPrePotential:
+    def test_broadcasting_neighbor_is_candidate(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pre_potential(ctx(NET4, c, 1), K4) == [0]
+
+    def test_non_broadcasting_neighbor_excluded(self) -> None:
+        c = cfg(S(F), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pre_potential(ctx(NET4, c, 1), K4) == []
+
+    def test_neighbor_pointing_at_me_excluded(self) -> None:
+        # Node 2 broadcasts with par=1; node 1 must not take 2 as parent.
+        c = cfg(S(C), S(C, par=0, level=1), S(B, par=1, level=2), S(C, par=2, level=1))
+        assert pre_potential(ctx(NET4, c, 1), K4) == []
+
+    def test_level_cap_excluded(self) -> None:
+        # l_max = 3 on a 4-node line; a neighbor at level 3 is unusable.
+        c = cfg(S(C), S(B, par=0, level=3), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pre_potential(ctx(NET4, c, 2), K4) == []
+
+    def test_fok_neighbor_excluded_by_guard(self) -> None:
+        c = cfg(S(B, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pre_potential(ctx(NET4, c, 1), K4) == []
+
+    def test_fok_neighbor_allowed_when_guard_ablated(self) -> None:
+        k = PifConstants.for_network(NET4, fok_join_guard=False)
+        c = cfg(S(B, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pre_potential(ctx(NET4, c, 1), k) == [0]
+
+
+class TestPotential:
+    def test_minimum_level_selected(self) -> None:
+        # Node 1 sees 0 (B, L0) and 2 (B, L2, par=3): minimum level wins.
+        c = cfg(S(B), S(C, par=0, level=1), S(B, par=3, level=2), S(B, level=1, par=2))
+        assert potential(ctx(NET4, c, 1), K4) == [0]
+
+    def test_tie_keeps_local_order(self) -> None:
+        # Both neighbors of node 1 at the same level: local order 0 < 2.
+        c = cfg(S(B, level=0), S(C, par=0, level=1), S(B, par=3, level=0), S(C, par=2, level=1))
+        # Levels: node 0 at L0, node 2 at L0 (garbage but in-domain for
+        # this macro-level test).
+        assert potential(ctx(NET4, c, 1), K4) == [0, 2]
+        assert chosen_parent(ctx(NET4, c, 1), K4) == 0
+
+    def test_empty_when_no_candidates(self) -> None:
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert potential(ctx(NET4, c, 1), K4) == []
+        assert chosen_parent(ctx(NET4, c, 1), K4) is None

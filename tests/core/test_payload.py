@@ -1,0 +1,117 @@
+"""Unit tests for the payload (value-carrying) PIF variant."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.core.monitor import PifCycleMonitor
+from repro.core.payload import NO_ACK, PayloadPifState, PayloadSnapPif
+from repro.core.state import Phase, PifConstants
+from repro.graphs import line, random_connected, star
+from repro.runtime.simulator import Simulator
+
+
+def make(net, **kwargs) -> PayloadSnapPif:
+    return PayloadSnapPif(PifConstants.for_network(net), **kwargs)
+
+
+class TestStates:
+    def test_initial_state_has_empty_payload(self) -> None:
+        net = line(4)
+        protocol = make(net)
+        state = protocol.initial_state(1, net)
+        assert isinstance(state, PayloadPifState)
+        assert state.msg is None
+        assert state.ack is NO_ACK
+
+    def test_random_state_is_payload_typed(self) -> None:
+        net = line(4)
+        protocol = make(net)
+        state = protocol.random_state(2, net, Random(1))
+        assert isinstance(state, PayloadPifState)
+
+    def test_no_ack_singleton(self) -> None:
+        from repro.core.payload import _NoAck
+
+        assert _NoAck() is NO_ACK
+        assert repr(NO_ACK) == "NO_ACK"
+
+
+class TestMessagePropagation:
+    def _run_wave(self, net, protocol):
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        protocol.outbox = "V-42"
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 1,
+            max_steps=100_000,
+        )
+        return sim, monitor
+
+    def test_every_node_receives_the_outbox_value(self) -> None:
+        net = random_connected(9, 0.25, seed=3)
+        protocol = make(net)
+        sim, _monitor = self._run_wave(net, protocol)
+        delivered = protocol.delivered_messages(sim.configuration)
+        assert all(v == "V-42" for v in delivered.values())
+
+    def test_waves_started_counter(self) -> None:
+        net = line(4)
+        protocol = make(net)
+        self._run_wave(net, protocol)
+        assert protocol.waves_started == 1
+
+    def test_second_wave_overwrites_messages(self) -> None:
+        net = star(5)
+        protocol = make(net)
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        protocol.outbox = "first"
+        sim.run(until=lambda _c: len(monitor.completed_cycles) >= 1)
+        protocol.outbox = "second"
+        sim.run(until=lambda _c: len(monitor.completed_cycles) >= 2)
+        delivered = protocol.delivered_messages(sim.configuration)
+        assert all(v == "second" for v in delivered.values())
+
+
+class TestFeedbackFold:
+    def test_default_fold_collects_tuples(self) -> None:
+        net = line(3)
+        protocol = make(net)
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        sim.run(until=lambda _c: len(monitor.completed_cycles) >= 1)
+        # Default combine = tuple packing; the root's ack nests the
+        # chain's contributions: (0, (1, (2,))).
+        assert protocol.root_result(sim.configuration) == (0, (1, (2,)))
+
+    def test_min_fold(self) -> None:
+        net = random_connected(8, 0.3, seed=5)
+        values = {p: 100 - 7 * p for p in net.nodes}
+        protocol = make(
+            net,
+            local_value=lambda p: values[p],
+            combine=lambda vs: min(vs),
+        )
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        sim.run(until=lambda _c: len(monitor.completed_cycles) >= 1)
+        assert protocol.root_result(sim.configuration) == min(values.values())
+
+    def test_stale_acks_do_not_leak_into_fold(self) -> None:
+        # Corrupted start: every stale ack is either NO_ACK-filtered or
+        # belongs to a node that re-acks in-wave before the parent folds.
+        net = random_connected(8, 0.3, seed=6)
+        protocol = make(
+            net,
+            local_value=lambda p: 1,
+            combine=lambda vs: sum(vs),
+        )
+        bad = protocol.random_configuration(net, Random(11))
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, configuration=bad, monitors=[monitor])
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 1,
+            max_steps=100_000,
+        )
+        assert protocol.root_result(sim.configuration) == net.n

@@ -1,0 +1,260 @@
+"""Unit tests for the predicates of Algorithms 1 and 2."""
+
+from __future__ import annotations
+
+from repro.core import predicates as pred
+from repro.core.state import PifConstants
+
+from tests.core.helpers import B, C, F, S, cfg, ctx, line_net
+
+NET = line_net(4)
+K = PifConstants.for_network(NET)
+
+
+class TestGoodPif:
+    def test_clean_node_is_fine(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_pif(ctx(NET, c, 1), K)
+
+    def test_broadcasting_child_of_broadcasting_parent(self) -> None:
+        c = cfg(S(B), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_pif(ctx(NET, c, 1), K)
+
+    def test_broadcasting_child_of_clean_parent_is_bad(self) -> None:
+        c = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_pif(ctx(NET, c, 1), K)
+
+    def test_broadcasting_child_of_feedback_parent_is_bad(self) -> None:
+        c = cfg(S(F), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_pif(ctx(NET, c, 1), K)
+
+    def test_feedback_child_of_broadcasting_parent(self) -> None:
+        c = cfg(S(B, fok=True), S(F, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_pif(ctx(NET, c, 1), K)
+
+    def test_feedback_child_of_feedback_parent(self) -> None:
+        c = cfg(S(F, fok=True), S(F, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_pif(ctx(NET, c, 1), K)
+
+    def test_feedback_child_of_clean_parent_is_bad(self) -> None:
+        c = cfg(S(C), S(F, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_pif(ctx(NET, c, 1), K)
+
+
+class TestGoodLevel:
+    def test_correct_level(self) -> None:
+        c = cfg(S(B), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_level(ctx(NET, c, 1), K)
+
+    def test_wrong_level(self) -> None:
+        c = cfg(S(B), S(B, par=0, level=2), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_level(ctx(NET, c, 1), K)
+
+    def test_clean_node_vacuous(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=3), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_level(ctx(NET, c, 1), K)
+
+
+class TestGoodFokNonRoot:
+    def test_lagging_fok_is_fine(self) -> None:
+        # Parent's Fok raised, child not yet: the allowed difference.
+        c = cfg(S(B, fok=True), S(B, par=0, level=1, fok=False), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_fok(ctx(NET, c, 1), K)
+
+    def test_leading_fok_is_bad(self) -> None:
+        c = cfg(S(B, fok=False), S(B, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_fok(ctx(NET, c, 1), K)
+
+    def test_feedback_requires_parent_fok_when_parent_broadcasts(self) -> None:
+        c = cfg(S(B, fok=False), S(F, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_fok(ctx(NET, c, 1), K)
+        c2 = cfg(S(B, fok=True), S(F, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_fok(ctx(NET, c2, 1), K)
+
+    def test_feedback_with_feedback_parent_is_fine(self) -> None:
+        c = cfg(S(F, fok=False), S(F, par=0, level=1, fok=True), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_fok(ctx(NET, c, 1), K)
+
+
+class TestGoodFokRoot:
+    def test_fok_with_full_count_is_fine(self) -> None:
+        c = cfg(S(B, count=4, fok=True), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_fok(ctx(NET, c, 0), K)
+
+    def test_fok_without_full_count_is_bad(self) -> None:
+        c = cfg(S(B, count=2, fok=True), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_fok(ctx(NET, c, 0), K)
+
+    def test_no_fok_is_always_fine(self) -> None:
+        c = cfg(S(B, count=2, fok=False), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_fok(ctx(NET, c, 0), K)
+
+
+class TestGoodCount:
+    def test_count_within_sum(self) -> None:
+        c = cfg(S(B, count=2), S(B, par=0, level=1, count=2), S(B, par=1, level=2), S(C, par=2, level=1))
+        assert pred.good_count(ctx(NET, c, 0), K)  # sum = 1 + 2 = 3 >= 2
+
+    def test_count_exceeding_sum_is_bad(self) -> None:
+        c = cfg(S(B, count=4), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.good_count(ctx(NET, c, 0), K)  # sum = 1 < 4
+
+    def test_vacuous_once_fok_raised(self) -> None:
+        c = cfg(S(B, count=4, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_count(ctx(NET, c, 0), K)
+
+    def test_vacuous_for_feedback(self) -> None:
+        c = cfg(S(F, count=4), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.good_count(ctx(NET, c, 0), K)
+
+
+class TestNormal:
+    def test_clean_nodes_always_normal(self) -> None:
+        c = cfg(S(C, count=3), S(C, par=0, level=3, count=2), S(C, par=3, level=1), S(C, par=2, level=2))
+        for p in NET.nodes:
+            assert pred.normal(ctx(NET, c, p), K)
+
+    def test_root_normal_only_checks_fok_and_count(self) -> None:
+        c = cfg(S(F, count=4, fok=True), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.normal(ctx(NET, c, 0), K)
+
+
+class TestStructuralPredicates:
+    def test_leaf_true_when_no_active_child(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.leaf(ctx(NET, c, 1), K)
+
+    def test_leaf_false_with_active_child(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=1), S(B, par=1, level=2), S(C, par=2, level=1))
+        assert not pred.leaf(ctx(NET, c, 1), K)
+
+    def test_leaf_ignores_clean_pointers(self) -> None:
+        c = cfg(S(B), S(C, par=0, level=1), S(C, par=1, level=2), S(C, par=2, level=1))
+        assert pred.leaf(ctx(NET, c, 1), K)
+
+    def test_b_leaf(self) -> None:
+        # Node 1 broadcasting; child 2 fed back -> BLeaf holds.
+        c = cfg(S(B, fok=True), S(B, par=0, level=1, fok=True), S(F, par=1, level=2, fok=True), S(C, par=2, level=1))
+        assert pred.b_leaf(ctx(NET, c, 1), K)
+        # Child still broadcasting -> BLeaf false.
+        c2 = cfg(S(B, fok=True), S(B, par=0, level=1, fok=True), S(B, par=1, level=2, fok=True), S(C, par=2, level=1))
+        assert not pred.b_leaf(ctx(NET, c2, 1), K)
+
+    def test_b_free(self) -> None:
+        c = cfg(S(F), S(F, par=0, level=1), S(B, par=1, level=2), S(C, par=2, level=1))
+        assert pred.b_free(ctx(NET, c, 0), K)
+        assert not pred.b_free(ctx(NET, c, 1), K)
+
+
+class TestGuards:
+    def test_root_broadcast_needs_all_neighbors_clean(self) -> None:
+        c = cfg(S(C), S(C, par=0, level=1), S(B, par=1, level=2), S(C, par=2, level=1))
+        assert pred.broadcast_guard(ctx(NET, c, 0), K)  # neighbor 1 is C
+        c2 = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.broadcast_guard(ctx(NET, c2, 0), K)
+
+    def test_non_root_broadcast_needs_leaf_and_potential(self) -> None:
+        base = cfg(S(B), S(C, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.broadcast_guard(ctx(NET, base, 1), K)
+        # Stale child pointing at node 1 blocks the join (Leaf guard).
+        stale = cfg(S(B), S(C, par=0, level=1), S(F, par=1, level=2), S(C, par=2, level=1))
+        assert not pred.broadcast_guard(ctx(NET, stale, 1), K)
+
+    def test_leaf_guard_ablation_allows_joining(self) -> None:
+        k = PifConstants.for_network(NET, leaf_guard=False)
+        stale = cfg(S(B), S(C, par=0, level=1), S(F, par=1, level=2), S(C, par=2, level=1))
+        assert pred.broadcast_guard(ctx(NET, stale, 1), k)
+
+    def test_change_fok_guard(self) -> None:
+        c = cfg(S(B, count=4, fok=True), S(B, par=0, level=1, fok=False), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.change_fok_guard(ctx(NET, c, 1), K)
+        same = cfg(S(B, count=1, fok=False), S(B, par=0, level=1, fok=False), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.change_fok_guard(ctx(NET, same, 1), K)
+
+    def test_root_feedback_guard(self) -> None:
+        c = cfg(
+            S(B, count=4, fok=True),
+            S(F, par=0, level=1, fok=True),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        assert pred.feedback_guard(ctx(NET, c, 0), K)
+        # A still-broadcasting neighbor blocks the root's feedback.
+        c2 = cfg(
+            S(B, count=4, fok=True),
+            S(B, par=0, level=1, fok=True),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        assert not pred.feedback_guard(ctx(NET, c2, 0), K)
+
+    def test_non_root_feedback_guard(self) -> None:
+        c = cfg(
+            S(B, count=4, fok=True),
+            S(B, par=0, level=1, fok=True),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        assert pred.feedback_guard(ctx(NET, c, 1), K)
+        # Without Fok, no feedback even as a BLeaf.
+        c2 = cfg(
+            S(B, count=4, fok=True),
+            S(B, par=0, level=1, fok=False),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        assert not pred.feedback_guard(ctx(NET, c2, 1), K)
+
+    def test_cleaning_guards(self) -> None:
+        c = cfg(
+            S(F, count=4, fok=True),
+            S(F, par=0, level=1, fok=True),
+            S(F, par=1, level=2, fok=True),
+            S(F, par=2, level=3, fok=True),
+        )
+        # Node 3 is a tree leaf with no B neighbor: may clean.
+        assert pred.cleaning_guard(ctx(NET, c, 3), K)
+        # Node 2 still has active child 3 pointing at it: may not.
+        assert not pred.cleaning_guard(ctx(NET, c, 2), K)
+        # Root cleans only when all neighbors are C.
+        done = cfg(
+            S(F, count=4, fok=True),
+            S(C, par=0, level=1, fok=True),
+            S(C, par=1, level=2, fok=True),
+            S(C, par=2, level=3, fok=True),
+        )
+        assert pred.cleaning_guard(ctx(NET, done, 0), K)
+
+    def test_new_count_guard(self) -> None:
+        c = cfg(
+            S(B, count=1),
+            S(B, par=0, level=1, count=3),
+            S(B, par=1, level=2, count=2),
+            S(C, par=2, level=1),
+        )
+        assert pred.new_count_guard(ctx(NET, c, 0), K)  # 1 < 1 + 3
+        # Once Fok is raised, counting stops.
+        c2 = cfg(
+            S(B, count=4, fok=True),
+            S(B, par=0, level=1, count=3),
+            S(B, par=1, level=2, count=2),
+            S(C, par=2, level=1),
+        )
+        assert not pred.new_count_guard(ctx(NET, c2, 0), K)
+
+
+class TestAbnormalGuards:
+    def test_abnormal_b(self) -> None:
+        c = cfg(S(C), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.abnormal_b(ctx(NET, c, 1), K)
+        assert not pred.abnormal_f(ctx(NET, c, 1), K)
+
+    def test_abnormal_f(self) -> None:
+        c = cfg(S(C), S(F, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert pred.abnormal_f(ctx(NET, c, 1), K)
+        assert not pred.abnormal_b(ctx(NET, c, 1), K)
+
+    def test_normal_nodes_trigger_neither(self) -> None:
+        c = cfg(S(B), S(B, par=0, level=1), S(C, par=1, level=1), S(C, par=2, level=1))
+        assert not pred.abnormal_b(ctx(NET, c, 1), K)
+        assert not pred.abnormal_f(ctx(NET, c, 1), K)

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.core.state`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import Phase, PifConstants, PifState
+from repro.errors import ProtocolError
+from repro.graphs import line, star
+
+from tests.core.helpers import S, B, F, C
+
+
+class TestPhase:
+    def test_three_values(self) -> None:
+        assert {p.value for p in Phase} == {"B", "F", "C"}
+
+    def test_compact_repr(self) -> None:
+        assert repr(Phase.B) == "B"
+
+
+class TestPifState:
+    def test_replace(self) -> None:
+        s = S(C, par=1, level=2, count=3, fok=True)
+        t = s.replace(pif=B, count=4)
+        assert t.pif is B and t.count == 4
+        assert t.par == 1 and t.level == 2 and t.fok is True
+
+    def test_brief_rendering(self) -> None:
+        assert S(B, par=2, level=3, count=4, fok=True).brief() == "B/p2/L3/c4/T"
+        assert S(C).brief() == "C/p⊥/L0/c1/f"
+
+    def test_hashable(self) -> None:
+        assert hash(S(C)) == hash(S(C))
+
+
+class TestPifConstants:
+    def test_for_network_defaults(self) -> None:
+        k = PifConstants.for_network(line(6))
+        assert (k.root, k.n, k.n_prime, k.l_max) == (0, 6, 6, 5)
+        assert k.leaf_guard and k.fok_join_guard and k.corrections
+
+    def test_for_network_rejects_foreign_root(self) -> None:
+        with pytest.raises(ProtocolError, match="root"):
+            PifConstants.for_network(line(4), root=9)
+
+    def test_n_prime_must_bound_n(self) -> None:
+        with pytest.raises(ProtocolError, match="N'"):
+            PifConstants(root=0, n=5, n_prime=4, l_max=4)
+
+    def test_l_max_must_be_at_least_n_minus_one(self) -> None:
+        with pytest.raises(ProtocolError, match="L_max"):
+            PifConstants(root=0, n=5, n_prime=5, l_max=3)
+
+    def test_n_must_be_positive(self) -> None:
+        with pytest.raises(ProtocolError, match="N must be positive"):
+            PifConstants(root=0, n=0, n_prime=1, l_max=1)
+
+    def test_ablation_flags(self) -> None:
+        k = PifConstants.for_network(
+            line(4), leaf_guard=False, fok_join_guard=False, corrections=False
+        )
+        assert not (k.leaf_guard or k.fok_join_guard or k.corrections)
+
+
+class TestValidateState:
+    def test_root_constants_enforced(self) -> None:
+        k = PifConstants.for_network(star(4))
+        k.validate_state(0, S(C), star(4))
+        with pytest.raises(ProtocolError, match="root state"):
+            k.validate_state(0, S(C, par=1, level=0), star(4))
+        with pytest.raises(ProtocolError, match="root state"):
+            k.validate_state(0, S(C, level=1), star(4))
+
+    def test_non_root_par_must_be_neighbor(self) -> None:
+        net = star(4)  # leaves 1..3 only neighbor the hub 0
+        k = PifConstants.for_network(net)
+        k.validate_state(1, S(B, par=0, level=1), net)
+        with pytest.raises(ProtocolError, match="par"):
+            k.validate_state(1, S(B, par=2, level=1), net)
+
+    def test_level_domain(self) -> None:
+        net = star(4)
+        k = PifConstants.for_network(net)
+        with pytest.raises(ProtocolError, match="level"):
+            k.validate_state(1, S(B, par=0, level=99), net)
+
+    def test_count_domain(self) -> None:
+        net = star(4)
+        k = PifConstants.for_network(net)
+        with pytest.raises(ProtocolError, match="count"):
+            k.validate_state(1, S(B, par=0, level=1, count=99), net)

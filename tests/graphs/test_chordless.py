@@ -1,0 +1,126 @@
+"""Unit and property tests for :mod:`repro.graphs.chordless`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    complete,
+    is_chordless_path,
+    is_path,
+    line,
+    longest_chordless_path,
+    longest_chordless_path_from,
+    lollipop,
+    petersen,
+    random_connected,
+    ring,
+)
+
+
+class TestIsPath:
+    def test_valid_path(self) -> None:
+        net = line(5)
+        assert is_path(net, [0, 1, 2])
+
+    def test_non_edge_rejected(self) -> None:
+        net = line(5)
+        assert not is_path(net, [0, 2])
+
+    def test_repeated_node_rejected(self) -> None:
+        net = ring(5)
+        assert not is_path(net, [0, 1, 0])
+
+    def test_single_node_is_path(self) -> None:
+        assert is_path(line(3), [1])
+
+
+class TestIsChordlessPath:
+    def test_line_paths_are_chordless(self) -> None:
+        net = line(6)
+        assert is_chordless_path(net, [0, 1, 2, 3])
+
+    def test_chord_detected(self) -> None:
+        net = complete(4)
+        # 0-1-2 has chord 0-2 in K4.
+        assert not is_chordless_path(net, [0, 1, 2])
+
+    def test_two_node_path_always_chordless(self) -> None:
+        assert is_chordless_path(complete(4), [0, 1])
+
+
+class TestLongestChordless:
+    def test_line_full_length(self) -> None:
+        net = line(7)
+        path = longest_chordless_path_from(net, 0)
+        assert len(path) - 1 == 6
+
+    def test_complete_graph_length_one(self) -> None:
+        net = complete(6)
+        path = longest_chordless_path_from(net, 0)
+        assert len(path) - 1 == 1
+
+    def test_ring_length_n_minus_2(self) -> None:
+        # On a cycle C_n the longest induced path has n-2 edges: one more
+        # edge would close the cycle (the endpoints become adjacent).
+        net = ring(8)
+        path = longest_chordless_path_from(net, 0)
+        assert len(path) - 1 == 6
+
+    def test_lollipop_tail_plus_one_clique_edge(self) -> None:
+        # Clique K4 + tail of 3 hanging off clique node 3: from the tail
+        # end, the path runs down the tail (3 edges) and can take exactly
+        # one edge into the clique — any second clique edge is chorded to
+        # the entry node.  Maximum: tail + 1.
+        net = lollipop(4, 3)
+        path = longest_chordless_path_from(net, net.n - 1)
+        assert len(path) - 1 == 3 + 1
+
+    def test_result_is_always_chordless(self) -> None:
+        for seed in range(5):
+            net = random_connected(12, 0.3, seed=seed)
+            path = longest_chordless_path(net)
+            assert is_chordless_path(net, path)
+
+    def test_global_at_least_local(self) -> None:
+        net = petersen()
+        global_best = longest_chordless_path(net)
+        local = longest_chordless_path_from(net, 0)
+        assert len(global_best) >= len(local)
+
+    def test_unknown_start_rejected(self) -> None:
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            longest_chordless_path_from(line(3), 99)
+
+    def test_budget_exhaustion_strict(self) -> None:
+        from repro.errors import ReproError
+
+        net = random_connected(20, 0.2, seed=1)
+        with pytest.raises(ReproError, match="budget"):
+            longest_chordless_path_from(net, 0, max_work=3, strict=True)
+
+    def test_budget_exhaustion_lenient_returns_lower_bound(self) -> None:
+        net = random_connected(20, 0.2, seed=1)
+        path = longest_chordless_path_from(net, 0, max_work=3, strict=False)
+        assert is_chordless_path(net, path)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=12),
+    p=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_longest_path_is_chordless_and_spans_eccentricity(
+    n: int, p: float, seed: int
+) -> None:
+    """The found path is chordless, and at least as long as a shortest
+    path to the farthest node (shortest paths are always chordless)."""
+    net = random_connected(n, p, seed=seed)
+    path = longest_chordless_path_from(net, 0, max_work=200_000, strict=False)
+    assert is_chordless_path(net, path)
+    assert len(path) - 1 >= net.eccentricity(0) or len(path) - 1 >= 1

@@ -1,0 +1,66 @@
+"""Tests for edge-list construction and DOT export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.errors import TopologyError
+from repro.graphs.io import from_edges, to_dot
+from repro.graphs import line
+from repro.runtime.simulator import Simulator
+
+
+class TestFromEdges:
+    def test_basic(self) -> None:
+        net = from_edges([(0, 1), (1, 2)])
+        assert net.n == 3
+        assert net.has_edge(0, 1) and not net.has_edge(0, 2)
+
+    def test_duplicate_edges_collapse(self) -> None:
+        net = from_edges([(0, 1), (1, 0), (0, 1)])
+        assert net.edge_count == 1
+
+    def test_explicit_n_allows_isolated_nodes(self) -> None:
+        net = from_edges([(0, 1)], n=3, require_connected=False)
+        assert net.n == 3
+        assert net.degree(2) == 0
+
+    def test_self_loop_rejected(self) -> None:
+        with pytest.raises(TopologyError, match="self loop"):
+            from_edges([(0, 0)])
+
+    def test_node_out_of_range_rejected(self) -> None:
+        with pytest.raises(TopologyError, match="references node"):
+            from_edges([(0, 5)], n=3)
+
+    def test_empty_needs_n(self) -> None:
+        with pytest.raises(TopologyError, match="explicit n"):
+            from_edges([])
+
+    def test_single_node(self) -> None:
+        net = from_edges([], n=1)
+        assert net.n == 1
+
+
+class TestToDot:
+    def test_plain_network(self) -> None:
+        dot = to_dot(line(3))
+        assert dot.startswith("graph pif {")
+        assert "0 -- 1" in dot and "1 -- 2" in dot
+        assert dot.endswith("}")
+
+    def test_with_configuration(self) -> None:
+        net = line(3)
+        protocol = SnapPif.for_network(net)
+        sim = Simulator(protocol, net)
+        sim.step()  # root broadcasts
+        sim.step()  # node 1 joins
+        dot = to_dot(net, sim.configuration)
+        assert "lightblue" in dot  # broadcasting nodes colored
+        assert "dir=forward" in dot  # tree edge drawn directed
+        assert "B/p0/L1" in dot  # node label carries the variables
+
+    def test_root_highlighted(self) -> None:
+        dot = to_dot(line(3), root=2)
+        assert "2 [fillcolor=\"white\", penwidth=2];" in dot

@@ -1,0 +1,54 @@
+"""Unit tests for :mod:`repro.graphs.metrics`."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    complete,
+    compute_metrics,
+    default_l_max,
+    line,
+    ring,
+    star,
+)
+
+
+class TestDefaultLMax:
+    def test_n_minus_one(self) -> None:
+        assert default_l_max(line(8)) == 7
+
+    def test_floor_of_one(self) -> None:
+        assert default_l_max(line(1)) == 1
+
+
+class TestComputeMetrics:
+    def test_line(self) -> None:
+        m = compute_metrics(line(6))
+        assert m.n == 6
+        assert m.root == 0
+        assert m.diameter == 5
+        assert m.root_eccentricity == 5
+        assert m.longest_chordless_from_root == 5
+        assert m.l_max == 5
+        assert m.height_bounds == (5, 5)
+
+    def test_complete(self) -> None:
+        m = compute_metrics(complete(5))
+        assert m.diameter == 1
+        assert m.longest_chordless_from_root == 1
+        assert m.height_bounds == (1, 1)
+
+    def test_star_from_leaf(self) -> None:
+        m = compute_metrics(star(5), root=1)
+        assert m.root_eccentricity == 2
+        assert m.longest_chordless_from_root == 2
+
+    def test_ring(self) -> None:
+        m = compute_metrics(ring(8))
+        assert m.root_eccentricity == 4
+        assert m.longest_chordless_from_root == 6
+        lower, upper = m.height_bounds
+        assert lower <= upper
+
+    def test_custom_l_max(self) -> None:
+        m = compute_metrics(line(4), l_max=10)
+        assert m.l_max == 10

@@ -1,0 +1,173 @@
+"""Unit tests for :mod:`repro.graphs.topologies`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs import topologies as topo
+
+
+class TestLine:
+    def test_structure(self) -> None:
+        net = topo.line(5)
+        assert net.n == 5
+        assert net.edge_count == 4
+        assert net.diameter() == 4
+        assert net.degree(0) == net.degree(4) == 1
+        assert all(net.degree(p) == 2 for p in (1, 2, 3))
+
+    def test_minimum_size(self) -> None:
+        assert topo.line(1).n == 1  # single node, no edges
+        with pytest.raises(TopologyError):
+            topo.line(0)
+
+
+class TestRing:
+    def test_structure(self) -> None:
+        net = topo.ring(6)
+        assert net.edge_count == 6
+        assert all(net.degree(p) == 2 for p in net.nodes)
+        assert net.diameter() == 3
+
+    def test_too_small(self) -> None:
+        with pytest.raises(TopologyError):
+            topo.ring(2)
+
+
+class TestStar:
+    def test_structure(self) -> None:
+        net = topo.star(7)
+        assert net.degree(0) == 6
+        assert all(net.degree(p) == 1 for p in range(1, 7))
+        assert net.diameter() == 2
+
+
+class TestComplete:
+    def test_structure(self) -> None:
+        net = topo.complete(5)
+        assert net.edge_count == 10
+        assert net.diameter() == 1
+
+
+class TestGrid:
+    def test_structure(self) -> None:
+        net = topo.grid(3, 4)
+        assert net.n == 12
+        assert net.edge_count == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert net.diameter() == (3 - 1) + (4 - 1)
+
+    def test_corner_degrees(self) -> None:
+        net = topo.grid(3, 3)
+        assert net.degree(0) == 2  # corner
+        assert net.degree(4) == 4  # center
+
+
+class TestTorus:
+    def test_structure(self) -> None:
+        net = topo.torus(3, 4)
+        assert net.n == 12
+        assert all(net.degree(p) == 4 for p in net.nodes)
+
+    def test_too_small(self) -> None:
+        with pytest.raises(TopologyError):
+            topo.torus(2, 4)
+
+
+class TestHypercube:
+    def test_structure(self) -> None:
+        net = topo.hypercube(3)
+        assert net.n == 8
+        assert all(net.degree(p) == 3 for p in net.nodes)
+        assert net.diameter() == 3
+
+
+class TestBalancedTree:
+    def test_structure(self) -> None:
+        net = topo.balanced_tree(2, 3)
+        assert net.n == 1 + 2 + 4 + 8
+        assert net.subgraph_is_tree()
+        assert net.eccentricity(0) == 3
+
+
+class TestRandomTree:
+    def test_is_tree(self) -> None:
+        net = topo.random_tree(20, seed=5)
+        assert net.n == 20
+        assert net.subgraph_is_tree()
+
+    def test_deterministic_in_seed(self) -> None:
+        assert topo.random_tree(15, seed=1) == topo.random_tree(15, seed=1)
+        # Different seeds usually differ; at minimum they must be valid.
+        assert topo.random_tree(15, seed=2).subgraph_is_tree()
+
+
+class TestCaterpillar:
+    def test_structure(self) -> None:
+        net = topo.caterpillar(4, 2)
+        assert net.n == 4 * 3
+        assert net.subgraph_is_tree()
+
+    def test_no_legs_is_line(self) -> None:
+        assert topo.caterpillar(5, 0).diameter() == 4
+
+
+class TestLollipop:
+    def test_structure(self) -> None:
+        net = topo.lollipop(4, 3)
+        assert net.n == 7
+        # Clique part has degree >= 3; tail end has degree 1.
+        assert net.degree(0) == 3
+        assert net.degree(6) == 1
+        assert net.diameter() == 4
+
+
+class TestWheel:
+    def test_structure(self) -> None:
+        net = topo.wheel(7)
+        assert net.degree(0) == 6
+        assert all(net.degree(p) == 3 for p in range(1, 7))
+        assert net.diameter() == 2
+
+
+class TestPetersen:
+    def test_structure(self) -> None:
+        net = topo.petersen()
+        assert net.n == 10
+        assert net.edge_count == 15
+        assert all(net.degree(p) == 3 for p in net.nodes)
+        assert net.diameter() == 2
+
+
+class TestRandomConnected:
+    def test_connected_and_sized(self) -> None:
+        net = topo.random_connected(15, 0.1, seed=9)
+        assert net.n == 15  # Network() would raise if disconnected
+
+    def test_zero_probability_is_tree(self) -> None:
+        net = topo.random_connected(12, 0.0, seed=4)
+        assert net.subgraph_is_tree()
+
+    def test_full_probability_is_complete(self) -> None:
+        net = topo.random_connected(6, 1.0, seed=4)
+        assert net.edge_count == 15
+
+    def test_deterministic_in_seed(self) -> None:
+        assert topo.random_connected(10, 0.3, seed=2) == topo.random_connected(
+            10, 0.3, seed=2
+        )
+
+    def test_invalid_probability(self) -> None:
+        with pytest.raises(TopologyError):
+            topo.random_connected(5, 1.5)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(topo.TOPOLOGY_FAMILIES))
+    def test_every_family_instantiates(self, family: str) -> None:
+        net = topo.by_name(family, 9)
+        assert net.n >= 2
+
+    def test_unknown_family(self) -> None:
+        with pytest.raises(TopologyError, match="unknown topology family"):
+            topo.by_name("klein-bottle", 9)

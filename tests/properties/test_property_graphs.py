@@ -1,0 +1,64 @@
+"""Property-based tests for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_connected, random_tree
+from repro.graphs.io import from_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    p=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_bfs_levels_satisfy_edge_lipschitz(n: int, p: float, seed: int) -> None:
+    """Adjacent nodes' BFS distances differ by at most one."""
+    net = random_connected(n, p, seed=seed)
+    for root in (0, n - 1):
+        levels = net.bfs_levels(root)
+        assert levels[root] == 0
+        for a, b in net.edges():
+            assert abs(levels[a] - levels[b]) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    p=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_radius_diameter_inequalities(n: int, p: float, seed: int) -> None:
+    """``radius ≤ diameter ≤ 2 · radius`` for every connected graph."""
+    net = random_connected(n, p, seed=seed)
+    radius = net.radius()
+    diameter = net.diameter()
+    assert radius <= diameter <= 2 * radius
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_tree_distances_bounded_by_size(n: int, seed: int) -> None:
+    net = random_tree(n, seed=seed)
+    assert net.subgraph_is_tree()
+    assert net.diameter() <= n - 1
+    assert net.edge_count == n - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=15),
+    p=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_edge_list_roundtrip(n: int, p: float, seed: int) -> None:
+    """A network rebuilt from its own edge list is identical."""
+    net = random_connected(n, p, seed=seed)
+    rebuilt = from_edges(net.edges(), n=net.n)
+    assert rebuilt == net

@@ -1,0 +1,144 @@
+"""Property-based tests for the payload layer and the applications.
+
+The headline property: whatever the topology, corruption, daemon and
+inputs, the *first* application call already returns the right answer —
+the applications inherit snap-stabilization from the PIF.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications import (
+    BarrierSynchronizer,
+    QueryService,
+    SnapshotService,
+    distributed_min,
+    distributed_sum,
+)
+from repro.applications.broadcast import BroadcastService
+from repro.graphs import random_connected
+from repro.runtime.daemons import DistributedRandomDaemon
+
+
+def _corrupted(net, seed: int):
+    probe = BroadcastService(net)
+    return probe.protocol.random_configuration(net, Random(seed))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=9),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    topo_seed=st.integers(min_value=0, max_value=500),
+    fault_seed=st.integers(min_value=0, max_value=500),
+    values=st.data(),
+)
+def test_first_fold_correct_from_any_corruption(
+    n, p, topo_seed, fault_seed, values
+) -> None:
+    net = random_connected(n, p, seed=topo_seed)
+    inputs = {
+        node: values.draw(
+            st.integers(min_value=-1000, max_value=1000), label=f"v{node}"
+        )
+        for node in net.nodes
+    }
+    kwargs = dict(
+        daemon=DistributedRandomDaemon(0.6),
+        seed=fault_seed,
+        initial_configuration=_corrupted(net, fault_seed),
+    )
+    assert distributed_sum(net, inputs, **kwargs).value == sum(inputs.values())
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    topo_seed=st.integers(min_value=0, max_value=500),
+    fault_seed=st.integers(min_value=0, max_value=500),
+)
+def test_first_min_correct_from_any_corruption(
+    n, topo_seed, fault_seed
+) -> None:
+    net = random_connected(n, 0.3, seed=topo_seed)
+    inputs = {node: (node * 31 + topo_seed) % 97 for node in net.nodes}
+    result = distributed_min(
+        net,
+        inputs,
+        daemon=DistributedRandomDaemon(0.5),
+        seed=fault_seed,
+        initial_configuration=_corrupted(net, fault_seed),
+    )
+    assert result.ok
+    assert result.value == min(inputs.values())
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    topo_seed=st.integers(min_value=0, max_value=500),
+    fault_seed=st.integers(min_value=0, max_value=500),
+)
+def test_first_snapshot_complete_from_any_corruption(
+    n, topo_seed, fault_seed
+) -> None:
+    net = random_connected(n, 0.25, seed=topo_seed)
+    service = SnapshotService(
+        net,
+        reporter=lambda node: ("report", node),
+        daemon=DistributedRandomDaemon(0.6),
+        seed=fault_seed,
+        initial_configuration=_corrupted(net, fault_seed),
+    )
+    snap = service.take()
+    assert snap.complete(net.n)
+    assert all(snap.reports[node] == ("report", node) for node in net.nodes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    topo_seed=st.integers(min_value=0, max_value=500),
+    fault_seed=st.integers(min_value=0, max_value=500),
+    phases=st.integers(min_value=1, max_value=3),
+)
+def test_barriers_stay_synchronized_from_any_corruption(
+    n, topo_seed, fault_seed, phases
+) -> None:
+    net = random_connected(n, 0.3, seed=topo_seed)
+    sync = BarrierSynchronizer(
+        net,
+        daemon=DistributedRandomDaemon(0.5),
+        seed=fault_seed,
+        initial_configuration=_corrupted(net, fault_seed),
+    )
+    reports = sync.run_phases(phases)
+    assert all(r.synchronized for r in reports)
+    assert set(sync.clocks.values()) == {phases}
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    topo_seed=st.integers(min_value=0, max_value=500),
+    fault_seed=st.integers(min_value=0, max_value=500),
+    arg=st.integers(min_value=-50, max_value=50),
+)
+def test_query_service_every_answer_fresh(
+    n, topo_seed, fault_seed, arg
+) -> None:
+    net = random_connected(n, 0.3, seed=topo_seed)
+    service = QueryService(
+        net,
+        daemon=DistributedRandomDaemon(0.6),
+        seed=fault_seed,
+        initial_configuration=_corrupted(net, fault_seed),
+    )
+    service.register("affine", lambda node, a: 3 * node + a)
+    result = service.query("affine", arg)
+    assert result.complete(net.n)
+    assert result.answers == {node: 3 * node + arg for node in net.nodes}

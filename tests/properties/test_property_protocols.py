@@ -1,0 +1,101 @@
+"""Property-based tests for the baseline protocols."""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import PifCycleMonitor
+from repro.graphs import random_connected
+from repro.protocols import SelfStabPif, SpanningTree, TreeStackPif
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    topo_seed=st.integers(min_value=0, max_value=500),
+    fault_seed=st.integers(min_value=0, max_value=500),
+)
+def test_spanning_tree_always_stabilizes_to_bfs(
+    n, p, topo_seed, fault_seed
+) -> None:
+    net = random_connected(n, p, seed=topo_seed)
+    protocol = SpanningTree(0, net.n)
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.5),
+        configuration=protocol.random_configuration(net, Random(fault_seed)),
+        seed=fault_seed,
+    )
+    result = sim.run(max_steps=100_000)
+    assert result.terminated
+    assert protocol.is_stabilized(result.final, net)
+    levels = net.bfs_levels(0)
+    for node in net.nodes:
+        assert result.final[node].dist == levels[node]  # type: ignore[union-attr]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    topo_seed=st.integers(min_value=0, max_value=300),
+    fault_seed=st.integers(min_value=0, max_value=300),
+)
+def test_selfstab_pif_eventually_correct(n, topo_seed, fault_seed) -> None:
+    """Self-stabilization of the baseline: late waves are correct (the
+    *first* waves may not be — that is experiment E7)."""
+    net = random_connected(n, 0.3, seed=topo_seed)
+    protocol = SelfStabPif(0, net.n)
+    monitor = PifCycleMonitor(protocol, net)
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.6),
+        configuration=protocol.random_configuration(net, Random(fault_seed)),
+        seed=fault_seed,
+        monitors=[monitor],
+    )
+    sim.run(
+        until=lambda _c: len(monitor.completed_cycles) >= 6,
+        max_steps=150_000,
+    )
+    cycles = monitor.completed_cycles
+    assert len(cycles) >= 6
+    assert all(c.ok for c in cycles[-2:])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    topo_seed=st.integers(min_value=0, max_value=300),
+    fault_seed=st.integers(min_value=0, max_value=300),
+)
+def test_tree_stack_eventually_correct_with_correct_tree(
+    n, topo_seed, fault_seed
+) -> None:
+    net = random_connected(n, 0.3, seed=topo_seed)
+    protocol = TreeStackPif(0, net.n)
+    monitor = PifCycleMonitor(protocol, net)
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.6),
+        configuration=protocol.random_configuration(net, Random(fault_seed)),
+        seed=fault_seed,
+        monitors=[monitor],
+    )
+    sim.run(
+        until=lambda _c: len(monitor.completed_cycles) >= 6,
+        max_steps=200_000,
+    )
+    cycles = monitor.completed_cycles
+    assert len(cycles) >= 6
+    assert all(c.ok for c in cycles[-2:])
+    # Once waves are correct, the tree layer must be the BFS tree.
+    assert protocol.tree_is_correct(sim.configuration, net)

@@ -1,0 +1,125 @@
+"""Property-based tests for the runtime substrate."""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_connected
+from repro.runtime.daemons import CentralDaemon, DistributedRandomDaemon
+from repro.runtime.rounds import RoundCounter
+from repro.runtime.simulator import Simulator
+from repro.runtime.state import Configuration
+
+from tests.runtime.toys import IntState, MaxProtocol, UnisonProtocol
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    p=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_max_protocol_always_converges_to_global_max(
+    n: int, p: float, seed: int
+) -> None:
+    net = random_connected(n, p, seed=seed)
+    protocol = MaxProtocol()
+    config = protocol.random_configuration(net, Random(seed))
+    top = max(s.value for s in config)  # type: ignore[union-attr]
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.5),
+        configuration=config,
+        seed=seed,
+    )
+    result = sim.run(max_steps=100_000)
+    assert result.terminated
+    assert all(s.value == top for s in result.final)  # type: ignore[union-attr]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=5000),
+    steps=st.integers(min_value=1, max_value=60),
+)
+def test_unison_clocks_never_drift_more_than_one(
+    n: int, seed: int, steps: int
+) -> None:
+    net = random_connected(n, 0.3, seed=seed)
+    sim = Simulator(UnisonProtocol(), net, DistributedRandomDaemon(0.5), seed=seed)
+    sim.run(max_steps=steps)
+    values = [s.value for s in sim.configuration]  # type: ignore[union-attr]
+    for p, q in net.edges():
+        assert abs(values[p] - values[q]) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_rounds_never_exceed_steps(n: int, seed: int) -> None:
+    net = random_connected(n, 0.3, seed=seed)
+    sim = Simulator(UnisonProtocol(), net, CentralDaemon(), seed=seed)
+    sim.run(max_steps=50)
+    assert sim.rounds <= sim.steps
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.data(),
+    universe=st.integers(min_value=1, max_value=6),
+)
+def test_round_counter_pending_always_subset_of_enabled(
+    data, universe: int
+) -> None:
+    """Whatever step stream is fed, pending stays within the last
+    enabled set plus executions are monotone."""
+    nodes = list(range(universe))
+    enabled = set(
+        data.draw(st.lists(st.sampled_from(nodes), unique=True), label="init")
+    )
+    rc = RoundCounter(enabled)
+    for _ in range(10):
+        if not enabled:
+            break
+        executed = set(
+            data.draw(
+                st.lists(st.sampled_from(sorted(enabled)), unique=True, min_size=1),
+                label="executed",
+            )
+        )
+        enabled = set(
+            data.draw(st.lists(st.sampled_from(nodes), unique=True), label="next")
+        )
+        rc.observe_step(executed, enabled)
+        assert rc.pending <= enabled
+        assert set(rc.ages) == enabled
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_replay_reproduces_any_random_run(n: int, seed: int) -> None:
+    from repro.runtime.daemons import ReplayDaemon
+
+    net = random_connected(n, 0.4, seed=seed)
+    sim = Simulator(
+        UnisonProtocol(),
+        net,
+        DistributedRandomDaemon(0.5),
+        seed=seed,
+        trace_level="selections",
+    )
+    sim.run(max_steps=40)
+    replayed = Simulator(UnisonProtocol(), net, ReplayDaemon(sim.trace.schedule()))
+    replayed.run(max_steps=40)
+    assert replayed.configuration == sim.configuration
+    assert replayed.rounds == sim.rounds

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the snap PIF's core guarantees.
+
+These randomize over topology, initial configuration, daemon and
+schedule seed, and assert the properties the paper proves:
+
+* every root-initiated wave satisfies PIF1 and PIF2 (snap-stabilization);
+* the system normalizes within ``3·L_max + 3`` rounds (Theorem 1);
+* a cycle from the clean configuration fits in ``5h + 5`` rounds
+  (Theorem 4) and builds chordless parent paths;
+* wave members are never demoted, and Properties 1/2 hold along clean
+  runs.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bounds
+from repro.analysis.experiments import measure_stabilization
+from repro.core import definitions as defs
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.core.state import Phase
+from repro.graphs import is_chordless_path, random_connected
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    SynchronousDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.simulator import Simulator
+
+network_strategy = st.builds(
+    random_connected,
+    st.integers(min_value=3, max_value=9),
+    st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+daemon_strategy = st.sampled_from(
+    [
+        lambda: SynchronousDaemon(),
+        lambda: DistributedRandomDaemon(0.5),
+        lambda: LocallyCentralDaemon(),
+        lambda: WeaklyFairDaemon(AdversarialDaemon(patience=4), patience=8),
+    ]
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    net=network_strategy,
+    daemon_factory=daemon_strategy,
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_snap_property_from_arbitrary_configurations(
+    net, daemon_factory, seed: int
+) -> None:
+    """Every completed root-initiated wave is a correct PIF cycle."""
+    protocol = SnapPif.for_network(net)
+    config = protocol.random_configuration(net, Random(seed))
+    monitor = PifCycleMonitor(protocol, net, strict=True)
+    sim = Simulator(
+        protocol,
+        net,
+        daemon_factory(),
+        configuration=config,
+        seed=seed,
+        monitors=[monitor],
+    )
+    sim.run(
+        until=lambda _c: len(monitor.completed_cycles) >= 2,
+        max_steps=60_000,
+    )
+    assert len(monitor.completed_cycles) >= 2
+    assert monitor.all_cycles_ok()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=9),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    topo_seed=st.integers(min_value=0, max_value=1000),
+    fault_seed=st.integers(min_value=0, max_value=1000),
+    mode=st.sampled_from(
+        ["uniform", "fake_wave", "stale_feedback", "deep_garbage"]
+    ),
+)
+def test_stabilization_bounds_hold(
+    n: int, p: float, topo_seed: int, fault_seed: int, mode: str
+) -> None:
+    """Theorem 1 / Property 3 / Theorem 3 bounds, randomized."""
+    net = random_connected(n, p, seed=topo_seed)
+    m = measure_stabilization(net, fault_mode=mode, seed=fault_seed)
+    assert m.rounds_to_good_count <= m.good_count_bound
+    assert m.rounds_to_normal <= m.normalization_bound
+    assert m.rounds_to_good_configuration <= m.glt_bound
+
+
+@settings(max_examples=20, deadline=None)
+@given(net=network_strategy, seed=st.integers(min_value=0, max_value=10_000))
+def test_cycle_bound_and_chordless_parent_paths(net, seed: int) -> None:
+    """Theorem 4: cycle within 5h+5, and all parent paths chordless."""
+    protocol = SnapPif.for_network(net)
+    monitor = PifCycleMonitor(protocol, net)
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.7),
+        seed=seed,
+        monitors=[monitor],
+    )
+
+    observed_paths: list[list[int]] = []
+
+    def capture(configuration) -> None:
+        for node in net.nodes:
+            state = configuration[node]
+            if state.pif is not Phase.C:
+                path = defs.parent_path(
+                    configuration, net, protocol.constants, node
+                )
+                if path is not None and path[-1] == protocol.root:
+                    observed_paths.append(path)
+
+    while len(monitor.completed_cycles) < 1 and sim.steps < 40_000:
+        sim.step()
+        capture(sim.configuration)
+
+    assert monitor.completed_cycles
+    report = monitor.completed_cycles[0]
+    assert report.ok
+    assert report.rounds <= bounds.cycle_bound(report.height)
+    for path in observed_paths:
+        assert is_chordless_path(net, path)
+
+
+@settings(max_examples=15, deadline=None)
+@given(net=network_strategy, seed=st.integers(min_value=0, max_value=10_000))
+def test_invariants_hold_along_clean_runs(net, seed: int) -> None:
+    """Properties 1 and 2 hold in every configuration of a clean run."""
+    from repro.analysis.invariants import InvariantMonitor
+
+    protocol = SnapPif.for_network(net)
+    monitor = InvariantMonitor(net, protocol.constants)
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.6),
+        seed=seed,
+        monitors=[monitor],
+    )
+    sim.run(max_steps=300)
+    assert monitor.violations == []

@@ -1,0 +1,102 @@
+"""Tests for the self-stabilizing (non-snap) baseline PIF."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.errors import ProtocolError
+from repro.graphs import line, random_connected, ring
+from repro.protocols import SelfStabPif
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+
+class TestConstruction:
+    def test_defaults(self) -> None:
+        p = SelfStabPif(0, 8)
+        assert p.l_max == 7
+
+    def test_invalid_n(self) -> None:
+        with pytest.raises(ProtocolError):
+            SelfStabPif(0, 0)
+
+    def test_network_size_checked(self) -> None:
+        p = SelfStabPif(0, 8)
+        with pytest.raises(ProtocolError, match="N=8"):
+            p.initial_configuration(line(5))
+
+
+class TestCleanBehavior:
+    def test_waves_from_clean_start_are_correct(self, small_network) -> None:
+        protocol = SelfStabPif(0, small_network.n)
+        monitor = PifCycleMonitor(protocol, small_network)
+        sim = Simulator(protocol, small_network, monitors=[monitor])
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 3,
+            max_steps=50_000,
+        )
+        assert len(monitor.completed_cycles) == 3
+        assert monitor.all_cycles_ok()
+
+    def test_eventually_correct_from_corruption(self) -> None:
+        """Self-stabilization: after enough cycles, waves become correct."""
+        net = random_connected(8, 0.25, seed=3)
+        protocol = SelfStabPif(0, net.n)
+        config = protocol.random_configuration(net, Random(4))
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(
+            protocol,
+            net,
+            DistributedRandomDaemon(0.5),
+            configuration=config,
+            seed=4,
+            monitors=[monitor],
+        )
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 6,
+            max_steps=100_000,
+        )
+        cycles = monitor.completed_cycles
+        assert len(cycles) >= 6
+        # The *last* cycles are correct (convergence), whatever happened
+        # in the first ones.
+        assert all(c.ok for c in cycles[-2:])
+
+
+class TestStatesAndDomains:
+    def test_initial_all_clean(self) -> None:
+        net = ring(5)
+        protocol = SelfStabPif(0, net.n)
+        cfg = protocol.initial_configuration(net)
+        from repro.core.state import Phase
+
+        assert all(s.pif is Phase.C for s in cfg)  # type: ignore[union-attr]
+
+    def test_random_states_have_valid_parents(self) -> None:
+        net = ring(5)
+        protocol = SelfStabPif(0, net.n)
+        rng = Random(0)
+        for _ in range(30):
+            for p in net.nodes:
+                state = protocol.random_state(p, net, rng)
+                if p == 0:
+                    assert state.par is None
+                else:
+                    assert state.par in net.neighbors(p)
+
+    def test_join_parent_prefers_minimum_level(self) -> None:
+        from repro.runtime.protocol import Context
+        from tests.core.helpers import B, C, S, cfg
+
+        net = line(4)
+        protocol = SelfStabPif(0, net.n)
+        c = cfg(
+            S(B, level=0),
+            S(C, par=0, level=1),
+            S(B, par=3, level=2),
+            S(B, par=2, level=1),
+        )
+        assert protocol.join_parent(Context(1, net, c)) == 0

@@ -1,0 +1,92 @@
+"""Tests for the self-stabilizing BFS spanning tree substrate."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.graphs import complete, grid, line, random_connected, ring
+from repro.protocols import SpanningTree
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+
+class TestStabilization:
+    def test_clean_start_reaches_bfs_tree(self, small_network) -> None:
+        protocol = SpanningTree(0, small_network.n)
+        sim = Simulator(protocol, small_network)
+        result = sim.run(max_steps=10_000)
+        assert result.terminated  # silent protocol
+        assert protocol.is_stabilized(result.final, small_network)
+
+    def test_random_start_reaches_bfs_tree(self) -> None:
+        for seed in range(10):
+            net = random_connected(10, 0.25, seed=seed)
+            protocol = SpanningTree(0, net.n)
+            config = protocol.random_configuration(net, Random(seed))
+            sim = Simulator(
+                protocol,
+                net,
+                DistributedRandomDaemon(0.5),
+                configuration=config,
+                seed=seed,
+            )
+            result = sim.run(max_steps=50_000)
+            assert result.terminated
+            assert protocol.is_stabilized(result.final, net)
+
+    def test_distances_equal_bfs_levels(self) -> None:
+        net = grid(3, 4)
+        protocol = SpanningTree(0, net.n)
+        result = Simulator(protocol, net).run(max_steps=10_000)
+        levels = net.bfs_levels(0)
+        for p in net.nodes:
+            assert result.final[p].dist == levels[p]  # type: ignore[union-attr]
+
+    def test_stabilization_rounds_scale_with_diameter(self) -> None:
+        # O(diameter) rounds: a line is the worst case.
+        net = line(12)
+        protocol = SpanningTree(0, net.n)
+        config = protocol.random_configuration(net, Random(3))
+        sim = Simulator(protocol, net, configuration=config)
+        result = sim.run(max_steps=10_000)
+        assert result.terminated
+        assert result.rounds <= 3 * net.diameter() + 3
+
+
+class TestParentMap:
+    def test_parent_map_is_a_tree_on_stabilization(self) -> None:
+        net = ring(7)
+        protocol = SpanningTree(0, net.n)
+        result = Simulator(protocol, net).run(max_steps=10_000)
+        parents = protocol.parent_map(result.final)
+        assert parents[0] is None
+        # Every node reaches the root.
+        for p in net.nodes:
+            cursor, hops = p, 0
+            while cursor != 0:
+                cursor = parents[cursor]  # type: ignore[assignment]
+                hops += 1
+                assert hops <= net.n
+        # Exactly n - 1 tree edges.
+        assert sum(1 for v in parents.values() if v is not None) == net.n - 1
+
+    def test_root_state_repair(self) -> None:
+        net = complete(4)
+        protocol = SpanningTree(0, net.n)
+        from repro.protocols.spanning_tree import TreeState
+        from repro.runtime.state import Configuration
+
+        corrupted = Configuration(
+            (
+                TreeState(dist=3, par=2),  # corrupted root
+                TreeState(dist=1, par=0),
+                TreeState(dist=1, par=0),
+                TreeState(dist=1, par=0),
+            )
+        )
+        sim = Simulator(protocol, net, configuration=corrupted)
+        result = sim.run(max_steps=1_000)
+        assert result.final[0] == TreeState(dist=0, par=None)
+        assert protocol.is_stabilized(result.final, net)

@@ -1,0 +1,108 @@
+"""Tests for the tree-based PIF baseline."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.errors import ProtocolError, TopologyError
+from repro.graphs import grid, line, star
+from repro.protocols import SpanningTree, TreePif
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+
+def line_parents(n: int) -> dict[int, int | None]:
+    return {0: None, **{p: p - 1 for p in range(1, n)}}
+
+
+class TestConstruction:
+    def test_root_must_have_no_parent(self) -> None:
+        with pytest.raises(ProtocolError, match="must be None"):
+            TreePif(0, {0: 1, 1: None})
+
+    def test_cycle_rejected(self) -> None:
+        with pytest.raises(ProtocolError, match="cycle"):
+            TreePif(0, {0: None, 1: 2, 2: 1})
+
+    def test_unreachable_node_rejected(self) -> None:
+        # parents[2] = None makes node 2 a second root.
+        with pytest.raises(ProtocolError, match="does not reach the root"):
+            TreePif(0, {0: None, 1: 0, 2: None})
+
+    def test_tree_edges_must_be_links(self) -> None:
+        protocol = TreePif(0, {0: None, 1: 0, 2: 0})
+        with pytest.raises(TopologyError, match="not a network link"):
+            protocol.initial_configuration(line(3))  # 2-0 is not an edge
+
+    def test_children_index(self) -> None:
+        protocol = TreePif(0, line_parents(4))
+        assert protocol.children[0] == (1,)
+        assert protocol.children[2] == (3,)
+        assert protocol.children[3] == ()
+
+
+class TestWaves:
+    def test_cycles_on_line(self) -> None:
+        net = line(5)
+        protocol = TreePif(0, line_parents(5))
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 3,
+            max_steps=10_000,
+        )
+        assert len(monitor.completed_cycles) == 3
+        assert monitor.all_cycles_ok()
+
+    def test_cycles_on_star(self) -> None:
+        net = star(6)
+        protocol = TreePif(0, {0: None, **{p: 0 for p in range(1, 6)}})
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 2,
+            max_steps=10_000,
+        )
+        assert monitor.all_cycles_ok()
+
+    def test_recovers_from_random_wave_states(self) -> None:
+        net = line(6)
+        protocol = TreePif(0, line_parents(6))
+        config = protocol.random_configuration(net, Random(5))
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(
+            protocol,
+            net,
+            DistributedRandomDaemon(0.6),
+            configuration=config,
+            seed=5,
+            monitors=[monitor],
+        )
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 3,
+            max_steps=50_000,
+        )
+        cycles = monitor.completed_cycles
+        assert len(cycles) >= 3
+        assert all(c.ok for c in cycles[-2:])
+
+
+class TestComposition:
+    def test_tree_pif_over_stabilized_spanning_tree(self) -> None:
+        """The E11 pipeline: stabilize the substrate, then run waves."""
+        net = grid(3, 3)
+        substrate = SpanningTree(0, net.n)
+        tree_result = Simulator(substrate, net).run(max_steps=10_000)
+        assert tree_result.terminated
+
+        protocol = TreePif(0, substrate.parent_map(tree_result.final))
+        monitor = PifCycleMonitor(protocol, net)
+        sim = Simulator(protocol, net, monitors=[monitor])
+        sim.run(
+            until=lambda _c: len(monitor.completed_cycles) >= 2,
+            max_steps=10_000,
+        )
+        assert monitor.all_cycles_ok()

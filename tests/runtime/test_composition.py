@@ -1,0 +1,106 @@
+"""Tests for fair protocol composition."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.errors import ProtocolError
+from repro.graphs import line, random_connected
+from repro.protocols import SpanningTree
+from repro.runtime.composition import ComposedProtocol, LayeredState
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+from tests.runtime.toys import MaxProtocol, UnisonProtocol
+
+
+class TestConstruction:
+    def test_needs_two_layers(self) -> None:
+        with pytest.raises(ProtocolError, match="two layers"):
+            ComposedProtocol(MaxProtocol())
+
+    def test_name_concatenates(self) -> None:
+        composed = ComposedProtocol(MaxProtocol(), UnisonProtocol())
+        assert composed.name == "max+unison"
+
+    def test_action_names_prefixed(self) -> None:
+        net = line(3)
+        composed = ComposedProtocol(MaxProtocol(), UnisonProtocol())
+        names = [a.name for a in composed.actions(0, net)]
+        assert names == ["max/raise", "unison/tick"]
+
+
+class TestLayeredExecution:
+    def test_both_layers_progress(self) -> None:
+        net = line(4)
+        composed = ComposedProtocol(MaxProtocol(), UnisonProtocol())
+        sim = Simulator(composed, net, seed=1)
+        sim.run(max_steps=60)
+        # Layer 0 (max) converges to the global max; layer 1 (unison)
+        # keeps ticking.
+        max_layer = composed.layer_configuration(sim.configuration, 0)
+        unison_layer = composed.layer_configuration(sim.configuration, 1)
+        assert all(s.value == 3 for s in max_layer)  # type: ignore[union-attr]
+        assert all(s.value > 0 for s in unison_layer)  # type: ignore[union-attr]
+
+    def test_layers_do_not_interfere(self) -> None:
+        """Composing the snap PIF with an unrelated layer must not change
+        its behavior: waves still satisfy the specification."""
+        net = random_connected(7, 0.3, seed=2)
+        pif = SnapPif.for_network(net)
+        composed = ComposedProtocol(pif, UnisonProtocol())
+
+        # A monitor over the projected PIF layer.
+        class Projected:
+            def __init__(self) -> None:
+                self.monitor = PifCycleMonitor(pif, net)
+
+            def on_start(self, configuration) -> None:
+                self.monitor.on_start(
+                    composed.layer_configuration(configuration, 0)
+                )
+
+            def on_step(self, before, record, after) -> None:
+                pif_moves = {
+                    p: name.split("/", 1)[1]
+                    for p, name in record.selection.items()
+                    if name.startswith("snap-pif/")
+                }
+                if not pif_moves:
+                    return
+                from repro.runtime.trace import StepRecord
+
+                self.monitor.on_step(
+                    composed.layer_configuration(before, 0),
+                    StepRecord(record.index, pif_moves, record.rounds_completed),
+                    composed.layer_configuration(after, 0),
+                )
+
+        spy = Projected()
+        sim = Simulator(composed, net, seed=3, monitors=[spy])
+        sim.run(
+            until=lambda _c: len(spy.monitor.completed_cycles) >= 2,
+            max_steps=50_000,
+        )
+        assert len(spy.monitor.completed_cycles) >= 2
+        assert spy.monitor.all_cycles_ok()
+
+    def test_random_states_compose(self) -> None:
+        net = line(5)
+        composed = ComposedProtocol(
+            SpanningTree(0, net.n), MaxProtocol()
+        )
+        state = composed.random_state(2, net, Random(1))
+        assert isinstance(state, LayeredState)
+        assert len(state.layers) == 2
+
+    def test_layer_configuration_roundtrip(self) -> None:
+        net = line(3)
+        composed = ComposedProtocol(MaxProtocol(), UnisonProtocol())
+        cfg = composed.initial_configuration(net)
+        layer0 = composed.layer_configuration(cfg, 0)
+        assert [s.value for s in layer0] == [0, 1, 2]  # type: ignore[union-attr]

@@ -1,0 +1,219 @@
+"""Unit tests for :mod:`repro.runtime.daemons`."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    ReplayDaemon,
+    SynchronousDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action
+from repro.runtime.state import Configuration
+
+from tests.runtime.toys import IntState, UnisonProtocol
+
+
+@pytest.fixture
+def net() -> Network:
+    return Network({0: [1, 2], 1: [0, 2], 2: [0, 1]})
+
+
+def _enabled(net: Network, values: list[int]) -> dict[int, list[Action]]:
+    protocol = UnisonProtocol()
+    cfg = Configuration(tuple(IntState(v) for v in values))
+    return protocol.enabled_map(cfg, net)
+
+
+def _select(daemon, enabled, net, ages=None, step=0, seed=0):
+    return daemon.select(
+        enabled,
+        network=net,
+        step=step,
+        ages=ages if ages is not None else {p: 1 for p in enabled},
+        rng=Random(seed),
+    )
+
+
+class TestSynchronous:
+    def test_selects_all_enabled(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        selection = _select(SynchronousDaemon(), enabled, net)
+        assert set(selection) == set(enabled)
+
+
+class TestCentral:
+    def test_selects_exactly_one(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        selection = _select(CentralDaemon(), enabled, net)
+        assert len(selection) == 1
+
+    def test_lowest_choice_is_deterministic(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        selection = _select(CentralDaemon(choice="lowest"), enabled, net)
+        assert set(selection) == {0}
+
+    def test_oldest_choice_prefers_highest_age(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        ages = {0: 1, 1: 9, 2: 3}
+        selection = _select(CentralDaemon(choice="oldest"), enabled, net, ages)
+        assert set(selection) == {1}
+
+    def test_unknown_choice_rejected(self) -> None:
+        with pytest.raises(ScheduleError, match="unknown central choice"):
+            CentralDaemon(choice="bogus")
+
+
+class TestLocallyCentral:
+    def test_selection_is_independent_set(self) -> None:
+        # A path 0-1-2-3-4: no two adjacent nodes may both fire.
+        net = Network({0: [1], 1: [0, 2], 2: [1, 3], 3: [2, 4], 4: [3]})
+        enabled = _enabled(net, [0, 0, 0, 0, 0])
+        for seed in range(10):
+            selection = _select(LocallyCentralDaemon(), enabled, net, seed=seed)
+            chosen = set(selection)
+            assert chosen
+            for p in chosen:
+                assert not chosen & set(net.neighbors(p))
+
+
+class TestDistributedRandom:
+    def test_never_empty(self, net: Network) -> None:
+        daemon = DistributedRandomDaemon(probability=0.01)
+        enabled = _enabled(net, [0, 0, 0])
+        for seed in range(20):
+            assert _select(daemon, enabled, net, seed=seed)
+
+    def test_probability_one_is_synchronous(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        selection = _select(DistributedRandomDaemon(1.0), enabled, net)
+        assert set(selection) == set(enabled)
+
+    def test_invalid_probability_rejected(self) -> None:
+        with pytest.raises(ScheduleError, match="probability"):
+            DistributedRandomDaemon(0.0)
+        with pytest.raises(ScheduleError, match="probability"):
+            DistributedRandomDaemon(1.5)
+
+
+class TestAdversarial:
+    def test_prefers_youngest(self, net: Network) -> None:
+        daemon = AdversarialDaemon(patience=10)
+        enabled = _enabled(net, [0, 0, 0])
+        ages = {0: 5, 1: 1, 2: 3}
+        selection = _select(daemon, enabled, net, ages)
+        assert set(selection) == {1}
+
+    def test_forces_stale_nodes_at_patience(self, net: Network) -> None:
+        daemon = AdversarialDaemon(patience=4)
+        enabled = _enabled(net, [0, 0, 0])
+        ages = {0: 4, 1: 1, 2: 5}
+        selection = _select(daemon, enabled, net, ages)
+        assert set(selection) == {0, 2}
+
+    def test_patience_validation(self) -> None:
+        with pytest.raises(ScheduleError, match="patience"):
+            AdversarialDaemon(patience=0)
+
+
+class TestWeaklyFair:
+    def test_forces_starved_nodes(self, net: Network) -> None:
+        # Inner daemon always picks node 0 only.
+        inner = CentralDaemon(choice="lowest")
+        daemon = WeaklyFairDaemon(inner, patience=3)
+        enabled = _enabled(net, [0, 0, 0])
+        ages = {0: 1, 1: 3, 2: 2}
+        selection = _select(daemon, enabled, net, ages)
+        assert 0 in selection  # inner choice kept
+        assert 1 in selection  # starved node forced
+        assert 2 not in selection
+
+    def test_name_mentions_inner(self) -> None:
+        daemon = WeaklyFairDaemon(SynchronousDaemon())
+        assert "synchronous" in daemon.name
+
+
+class TestReplay:
+    def test_replays_schedule(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        daemon = ReplayDaemon([{0: "tick"}, {1: "tick", 2: "tick"}])
+        first = _select(daemon, enabled, net, step=0)
+        assert set(first) == {0}
+        second = _select(daemon, enabled, net, step=1)
+        assert set(second) == {1, 2}
+
+    def test_reset_restarts_cursor(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        daemon = ReplayDaemon([{0: "tick"}])
+        _select(daemon, enabled, net)
+        daemon.reset()
+        assert set(_select(daemon, enabled, net)) == {0}
+
+    def test_exhausted_schedule_raises(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        daemon = ReplayDaemon([])
+        with pytest.raises(ScheduleError, match="exhausted"):
+            _select(daemon, enabled, net)
+
+    def test_unenabled_node_raises(self, net: Network) -> None:
+        enabled = _enabled(net, [5, 0, 0])  # node 0 ahead, not enabled
+        daemon = ReplayDaemon([{0: "tick"}])
+        with pytest.raises(ScheduleError, match="not enabled"):
+            _select(daemon, enabled, net)
+
+    def test_wrong_action_name_raises(self, net: Network) -> None:
+        enabled = _enabled(net, [0, 0, 0])
+        daemon = ReplayDaemon([{0: "bogus"}])
+        with pytest.raises(ScheduleError, match="bogus"):
+            _select(daemon, enabled, net)
+
+
+class TestActionPolicy:
+    def test_unknown_policy_rejected(self) -> None:
+        with pytest.raises(ScheduleError, match="action policy"):
+            SynchronousDaemon(action_policy="bogus")
+
+
+class TestRoundRobin:
+    def test_cycles_through_enabled_nodes(self, net) -> None:
+        from repro.runtime.daemons import RoundRobinDaemon
+
+        daemon = RoundRobinDaemon()
+        enabled = _enabled(net, [0, 0, 0])
+        picks = [next(iter(_select(daemon, enabled, net))) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_disabled_nodes(self, net) -> None:
+        from repro.runtime.daemons import RoundRobinDaemon
+
+        daemon = RoundRobinDaemon()
+        enabled = _enabled(net, [0, 5, 0])  # node 1 ahead: disabled
+        picks = [next(iter(_select(daemon, enabled, net))) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_reset(self, net) -> None:
+        from repro.runtime.daemons import RoundRobinDaemon
+
+        daemon = RoundRobinDaemon()
+        enabled = _enabled(net, [0, 0, 0])
+        _select(daemon, enabled, net)
+        daemon.reset()
+        assert next(iter(_select(daemon, enabled, net))) == 0
+
+    def test_drives_unison_fairly(self, net) -> None:
+        from repro.runtime.daemons import RoundRobinDaemon
+        from repro.runtime.simulator import Simulator
+
+        sim = Simulator(UnisonProtocol(), net, RoundRobinDaemon())
+        sim.run(max_steps=30)
+        values = [s.value for s in sim.configuration]
+        assert min(values) >= 9  # every clock advanced ~10 times

@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.runtime.network`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.runtime.network import Network
+
+
+def make_path3() -> Network:
+    return Network({0: [1], 1: [0, 2], 2: [1]}, name="p3")
+
+
+class TestConstruction:
+    def test_basic_properties(self) -> None:
+        net = make_path3()
+        assert net.n == 3
+        assert net.edge_count == 2
+        assert list(net.nodes) == [0, 1, 2]
+        assert net.name == "p3"
+
+    def test_neighbors_are_sorted_by_default(self) -> None:
+        net = Network({0: [2, 1], 1: [0], 2: [0]})
+        assert net.neighbors(0) == (1, 2)
+
+    def test_custom_neighbor_order(self) -> None:
+        net = Network(
+            {0: [1, 2], 1: [0], 2: [0]},
+            neighbor_orders={0: [2, 1]},
+        )
+        assert net.neighbors(0) == (2, 1)
+        assert net.neighbors(1) == (0,)
+
+    def test_custom_order_must_be_permutation(self) -> None:
+        with pytest.raises(TopologyError, match="not a permutation"):
+            Network(
+                {0: [1, 2], 1: [0], 2: [0]},
+                neighbor_orders={0: [1, 1]},
+            )
+
+    def test_empty_network_rejected(self) -> None:
+        with pytest.raises(TopologyError, match="at least one"):
+            Network({})
+
+    def test_nodes_must_be_contiguous(self) -> None:
+        with pytest.raises(TopologyError, match="nodes must be exactly"):
+            Network({0: [2], 2: [0]})
+
+    def test_self_loop_rejected(self) -> None:
+        with pytest.raises(TopologyError, match="self loop"):
+            Network({0: [0, 1], 1: [0]})
+
+    def test_asymmetric_adjacency_rejected(self) -> None:
+        with pytest.raises(TopologyError, match="asymmetric"):
+            Network({0: [1], 1: [], 2: [1]})
+
+    def test_unknown_neighbor_rejected(self) -> None:
+        with pytest.raises(TopologyError, match="unknown neighbor"):
+            Network({0: [5], 1: [0]})
+
+    def test_disconnected_rejected_by_default(self) -> None:
+        with pytest.raises(TopologyError, match="not connected"):
+            Network({0: [1], 1: [0], 2: [3], 3: [2]})
+
+    def test_disconnected_allowed_when_requested(self) -> None:
+        net = Network(
+            {0: [1], 1: [0], 2: [3], 3: [2]}, require_connected=False
+        )
+        assert net.n == 4
+
+
+class TestAccessors:
+    def test_degree_and_has_edge(self) -> None:
+        net = make_path3()
+        assert net.degree(1) == 2
+        assert net.has_edge(0, 1)
+        assert not net.has_edge(0, 2)
+
+    def test_edges_iteration(self) -> None:
+        net = make_path3()
+        assert sorted(net.edges()) == [(0, 1), (1, 2)]
+
+    def test_edges_each_reported_once(self) -> None:
+        net = Network({0: [1, 2], 1: [0, 2], 2: [0, 1]})
+        assert len(list(net.edges())) == 3
+
+
+class TestGraphAlgorithms:
+    def test_bfs_levels(self) -> None:
+        net = make_path3()
+        assert net.bfs_levels(0) == [0, 1, 2]
+        assert net.bfs_levels(1) == [1, 0, 1]
+
+    def test_bfs_unknown_root(self) -> None:
+        with pytest.raises(TopologyError, match="unknown root"):
+            make_path3().bfs_levels(9)
+
+    def test_eccentricity_diameter_radius(self) -> None:
+        net = make_path3()
+        assert net.eccentricity(0) == 2
+        assert net.eccentricity(1) == 1
+        assert net.diameter() == 2
+        assert net.radius() == 1
+
+    def test_tree_detection(self) -> None:
+        assert make_path3().subgraph_is_tree()
+        triangle = Network({0: [1, 2], 1: [0, 2], 2: [0, 1]})
+        assert not triangle.subgraph_is_tree()
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self) -> None:
+        a = make_path3()
+        b = Network({0: [1], 1: [0, 2], 2: [1]}, name="other-name")
+        assert a == b  # names do not affect identity
+        assert hash(a) == hash(b)
+
+    def test_inequality(self) -> None:
+        a = make_path3()
+        c = Network({0: [1, 2], 1: [0, 2], 2: [0, 1]})
+        assert a != c
+
+    def test_repr(self) -> None:
+        assert "n=3" in repr(make_path3())

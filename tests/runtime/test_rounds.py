@@ -1,0 +1,61 @@
+"""Unit tests for the round counter (the paper's time measure)."""
+
+from __future__ import annotations
+
+from repro.runtime.rounds import RoundCounter
+
+
+class TestRoundCounter:
+    def test_round_completes_when_all_initial_enabled_acted(self) -> None:
+        rc = RoundCounter([0, 1, 2])
+        assert rc.completed_rounds == 0
+        assert rc.observe_step({0}, {1, 2}) == 0
+        assert rc.observe_step({1}, {2}) == 0
+        assert rc.observe_step({2}, {0, 1}) == 1
+        assert rc.completed_rounds == 1
+        assert rc.pending == frozenset({0, 1})
+
+    def test_synchronous_step_is_one_round(self) -> None:
+        rc = RoundCounter([0, 1])
+        assert rc.observe_step({0, 1}, {0, 1}) == 1
+        assert rc.observe_step({0, 1}, set()) == 1
+        assert rc.completed_rounds == 2
+
+    def test_disable_action_counts(self) -> None:
+        # Node 1 becomes disabled without acting: that is its "disable
+        # action" and it satisfies the round.
+        rc = RoundCounter([0, 1])
+        assert rc.observe_step({0}, {0}) == 1
+        assert rc.completed_rounds == 1
+
+    def test_reenabled_node_not_owed_in_same_round(self) -> None:
+        # Node 1 is disabled (leaves the round), then re-enabled: the
+        # current round does not wait for it again.
+        rc = RoundCounter([0, 1])
+        assert rc.observe_step({0}, {0, 2}) == 1  # 1 disabled, 0 acted
+        assert rc.pending == frozenset({0, 2})
+
+    def test_newly_enabled_node_joins_next_round(self) -> None:
+        rc = RoundCounter([0])
+        assert rc.observe_step({0}, {1}) == 1
+        assert rc.pending == frozenset({1})
+        assert rc.observe_step({1}, set()) == 1
+        assert rc.completed_rounds == 2
+
+    def test_ages_track_consecutive_enabledness(self) -> None:
+        rc = RoundCounter([0, 1])
+        rc.observe_step({0}, {0, 1})
+        assert rc.ages == {0: 1, 1: 2}  # 0 acted (reset), 1 still waiting
+        rc.observe_step({0}, {0, 1})
+        assert rc.ages == {0: 1, 1: 3}
+
+    def test_age_resets_when_node_disabled(self) -> None:
+        rc = RoundCounter([0, 1])
+        rc.observe_step({0}, {0})  # 1 disabled
+        rc.observe_step({0}, {0, 1})  # 1 re-enabled: age restarts
+        assert rc.ages[1] == 1
+
+    def test_empty_initial_enabled(self) -> None:
+        rc = RoundCounter([])
+        assert rc.pending == frozenset()
+        assert rc.completed_rounds == 0

@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.runtime.state`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime.state import Configuration, NodeState
+
+
+@dataclass(frozen=True, slots=True)
+class Toy(NodeState):
+    x: int
+    y: str = "a"
+
+
+class TestNodeState:
+    def test_replace_returns_modified_copy(self) -> None:
+        s = Toy(x=1)
+        t = s.replace(x=2)
+        assert t.x == 2 and t.y == "a"
+        assert s.x == 1  # original untouched
+
+    def test_states_are_hashable(self) -> None:
+        assert hash(Toy(1)) == hash(Toy(1))
+        assert Toy(1) != Toy(2)
+
+
+class TestConfiguration:
+    def test_indexing_and_iteration(self) -> None:
+        cfg = Configuration((Toy(0), Toy(1), Toy(2)))
+        assert len(cfg) == 3
+        assert cfg[1] == Toy(1)
+        assert [s.x for s in cfg] == [0, 1, 2]
+
+    def test_replace_single_node(self) -> None:
+        cfg = Configuration((Toy(0), Toy(1)))
+        new = cfg.replace({0: Toy(9)})
+        assert new[0] == Toy(9)
+        assert new[1] == Toy(1)
+        assert cfg[0] == Toy(0)  # immutable
+
+    def test_replace_empty_is_identity(self) -> None:
+        cfg = Configuration((Toy(0),))
+        assert cfg.replace({}) is cfg
+
+    def test_replace_unknown_node_rejected(self) -> None:
+        cfg = Configuration((Toy(0),))
+        with pytest.raises(ProtocolError, match="unknown node"):
+            cfg.replace({5: Toy(1)})
+
+    def test_equality_and_hash(self) -> None:
+        a = Configuration((Toy(0), Toy(1)))
+        b = Configuration([Toy(0), Toy(1)])
+        c = Configuration((Toy(0), Toy(2)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_usable_as_dict_key(self) -> None:
+        seen = {Configuration((Toy(0),)): "x"}
+        assert seen[Configuration((Toy(0),))] == "x"
+
+    def test_repr_mentions_states(self) -> None:
+        assert "Toy" in repr(Configuration((Toy(7),)))

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.runtime.trace`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+from repro.runtime.state import Configuration
+from repro.runtime.trace import StepRecord, Trace
+
+from tests.runtime.toys import IntState, MaxProtocol
+
+
+def _cfg(*values: int) -> Configuration:
+    return Configuration(tuple(IntState(v) for v in values))
+
+
+class TestTraceLevels:
+    def test_unknown_level_rejected(self) -> None:
+        with pytest.raises(ReproError, match="unknown trace level"):
+            Trace(_cfg(0), level="everything")
+
+    def test_none_level_records_nothing(self) -> None:
+        trace = Trace(_cfg(0), level="none")
+        trace.append(StepRecord(0, {0: "a"}, 0))
+        assert len(trace) == 0
+
+    def test_selections_level_drops_configurations(self) -> None:
+        trace = Trace(_cfg(0), level="selections")
+        trace.append(StepRecord(0, {0: "a"}, 0, after=_cfg(1)))
+        assert len(trace) == 1
+        assert trace.steps[0].after is None
+
+    def test_configurations_level_keeps_everything(self) -> None:
+        trace = Trace(_cfg(0), level="configurations")
+        trace.append(StepRecord(0, {0: "a"}, 0, after=_cfg(1)))
+        assert trace.configurations() == [_cfg(0), _cfg(1)]
+
+    def test_configurations_unavailable_at_lower_level(self) -> None:
+        trace = Trace(_cfg(0), level="selections")
+        with pytest.raises(ReproError, match="not recorded"):
+            trace.configurations()
+
+
+class TestTraceQueries:
+    def _trace(self) -> Trace:
+        trace = Trace(_cfg(0, 0), level="selections")
+        trace.append(StepRecord(0, {0: "a", 1: "b"}, 1))
+        trace.append(StepRecord(1, {1: "b"}, 0))
+        return trace
+
+    def test_total_moves(self) -> None:
+        assert self._trace().total_moves == 3
+
+    def test_schedule_extraction(self) -> None:
+        assert self._trace().schedule() == [{0: "a", 1: "b"}, {1: "b"}]
+
+    def test_action_counts(self) -> None:
+        assert self._trace().action_counts() == {"a": 1, "b": 2}
+
+    def test_moves_of(self) -> None:
+        trace = self._trace()
+        assert trace.moves_of(0) == 1
+        assert trace.moves_of(1) == 2
+
+    def test_iteration(self) -> None:
+        assert [r.index for r in self._trace()] == [0, 1]
+
+
+class TestIntegrationWithSimulator:
+    def test_simulator_populates_configuration_trace(self) -> None:
+        net = Network({0: [1], 1: [0]})
+        sim = Simulator(MaxProtocol(), net, trace_level="configurations")
+        result = sim.run()
+        configs = sim.trace.configurations()
+        assert configs[0] == result.trace.initial if result.trace else True
+        assert configs[-1] == result.final
+        assert len(configs) == result.steps + 1
+
+
+class TestSchedulePersistence:
+    def test_save_and_load_roundtrip(self, tmp_path) -> None:
+        from repro.runtime.trace import load_schedule
+
+        net = Network({0: [1], 1: [0]})
+        sim = Simulator(MaxProtocol(), net, trace_level="selections")
+        sim.run()
+        path = str(tmp_path / "schedule.jsonl")
+        sim.trace.save_schedule(path)
+        loaded = load_schedule(path)
+        assert loaded == sim.trace.schedule()
+
+    def test_loaded_schedule_replays(self, tmp_path) -> None:
+        from repro.runtime.daemons import CentralDaemon, ReplayDaemon
+        from repro.runtime.trace import load_schedule
+
+        net = Network({0: [1, 2], 1: [0], 2: [0]})
+        sim = Simulator(
+            MaxProtocol(), net, CentralDaemon(), seed=5, trace_level="selections"
+        )
+        sim.run()
+        path = str(tmp_path / "schedule.jsonl")
+        sim.trace.save_schedule(path)
+
+        replay = Simulator(MaxProtocol(), net, ReplayDaemon(load_schedule(path)))
+        replay.run()
+        assert replay.configuration == sim.configuration
+
+    def test_malformed_line_rejected(self, tmp_path) -> None:
+        from repro.errors import ReproError
+        from repro.runtime.trace import load_schedule
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('["not", "a", "dict"]\n')
+        with pytest.raises(ReproError, match="malformed"):
+            load_schedule(str(path))

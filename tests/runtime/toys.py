@@ -1,0 +1,83 @@
+"""Tiny protocols used to test the runtime in isolation from the PIF."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.state import NodeState
+
+
+@dataclass(frozen=True, slots=True)
+class IntState(NodeState):
+    value: int
+
+
+class MaxProtocol(Protocol):
+    """Silent protocol: every node converges to the global maximum.
+
+    A node raises its value to the maximum of its neighborhood; the
+    protocol terminates (no enabled action) once all values agree on the
+    global max.
+    """
+
+    name = "max"
+
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        def guard(ctx: Context) -> bool:
+            own = ctx.state
+            assert isinstance(own, IntState)
+            return any(
+                sq.value > own.value  # type: ignore[union-attr]
+                for _q, sq in ctx.neighbor_states()
+            )
+
+        def statement(ctx: Context) -> IntState:
+            best = max(
+                sq.value for _q, sq in ctx.neighbor_states()  # type: ignore[union-attr]
+            )
+            return IntState(best)
+
+        return (Action("raise", guard, statement),)
+
+    def initial_state(self, node: int, network: Network) -> IntState:
+        return IntState(node)
+
+    def random_state(self, node: int, network: Network, rng: Random) -> IntState:
+        return IntState(rng.randint(0, 100))
+
+
+class UnisonProtocol(Protocol):
+    """Non-terminating protocol: clocks tick, never more than 1 apart.
+
+    A node increments when its clock is at most every neighbor's clock.
+    Under a weakly fair daemon every node ticks forever — used to test
+    round accounting and fairness enforcement.
+    """
+
+    name = "unison"
+
+    def actions(self, node: int, network: Network) -> Sequence[Action]:
+        def guard(ctx: Context) -> bool:
+            own = ctx.state
+            assert isinstance(own, IntState)
+            return all(
+                own.value <= sq.value  # type: ignore[union-attr]
+                for _q, sq in ctx.neighbor_states()
+            )
+
+        def statement(ctx: Context) -> IntState:
+            own = ctx.state
+            assert isinstance(own, IntState)
+            return IntState(own.value + 1)
+
+        return (Action("tick", guard, statement),)
+
+    def initial_state(self, node: int, network: Network) -> IntState:
+        return IntState(0)
+
+    def random_state(self, node: int, network: Network, rng: Random) -> IntState:
+        return IntState(rng.randint(0, 3))

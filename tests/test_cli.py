@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self) -> None:
+        args = build_parser().parse_args(["demo"])
+        assert args.topology == "random-sparse"
+        assert args.size == 8
+        assert args.cycles == 1
+
+    def test_unknown_topology_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--topology", "moebius"])
+
+
+class TestCommands:
+    def test_topologies(self, capsys) -> None:
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "line" in out and "hypercube" in out
+
+    def test_demo(self, capsys) -> None:
+        assert main(["demo", "--topology", "line", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "round | phases" in out
+        assert "PIF1" in out
+
+    def test_demo_async(self, capsys) -> None:
+        assert main(
+            ["demo", "--topology", "star", "--size", "5", "--async-daemon"]
+        ) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_stabilize(self, capsys) -> None:
+        code = main(
+            ["stabilize", "--topology", "ring", "--size", "6", "--mode", "fake_wave"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 1" in out
+        assert "within all bounds: True" in out
+
+    def test_bounds(self, capsys) -> None:
+        assert main(["bounds", "--topology", "line", "--size", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5h+5" in out
+        assert "cycle, measured" in out
+
+    def test_verify_small(self, capsys) -> None:
+        assert main(["verify", "--network", "line-3", "--cap", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "snap safety" in out
+        assert "closure" in out

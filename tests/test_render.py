@@ -1,0 +1,96 @@
+"""Tests for the configuration renderer (:mod:`repro.reporting.render`)."""
+
+from __future__ import annotations
+
+from repro.core.pif import SnapPif
+from repro.graphs import line, star
+from repro.reporting.render import (
+    PhaseTimeline,
+    render_configuration,
+    render_forest,
+    render_phases,
+)
+from repro.runtime.simulator import Simulator
+
+from tests.core.helpers import B, C, F, S, cfg, line_net
+
+
+class TestRenderPhases:
+    def test_phase_map(self) -> None:
+        c = cfg(S(B), S(F, par=0, level=1), S(C, par=1, level=1))
+        assert render_phases(c) == "B F C"
+
+
+class TestRenderConfiguration:
+    def test_contains_all_nodes_and_verdicts(self) -> None:
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        # Node 2 has a wrong level (GoodLevel broken): abnormal.
+        c = cfg(S(B, count=2), S(B, par=0, level=1), S(B, par=1, level=1))
+        out = render_configuration(c, net, k)
+        assert "legal-tree" in out
+        assert "ABNORMAL" in out
+        for p in net.nodes:
+            assert f"\n{p:3d}" in "\n" + out
+
+    def test_root_marker(self) -> None:
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1))
+        out = render_configuration(c, net, k)
+        assert "  0r" in out
+
+
+class TestRenderForest:
+    def test_legal_tree_drawn(self) -> None:
+        net = line_net(4)
+        k = SnapPif.for_network(net).constants
+        c = cfg(
+            S(B, count=4),
+            S(B, par=0, level=1, count=3),
+            S(B, par=1, level=2, count=2),
+            S(B, par=2, level=3, count=1),
+        )
+        out = render_forest(c, net, k)
+        assert "LegalTree rooted at 0" in out
+        assert "└── 3" in out
+
+    def test_stale_tree_drawn(self) -> None:
+        net = line_net(4)
+        k = SnapPif.for_network(net).constants
+        c = cfg(
+            S(C),
+            S(C, par=0, level=1),
+            S(B, par=1, level=1, count=2),  # abnormal (parent clean)
+            S(B, par=2, level=2, count=1),
+        )
+        out = render_forest(c, net, k)
+        assert "stale tree rooted at 2" in out
+
+    def test_all_clean(self) -> None:
+        net = line_net(3)
+        k = SnapPif.for_network(net).constants
+        c = cfg(S(C), S(C, par=0, level=1), S(C, par=1, level=1))
+        out = render_forest(c, net, k)
+        assert "clean (phase C): [0, 1, 2]" in out
+
+
+class TestPhaseTimeline:
+    def test_one_row_per_round(self) -> None:
+        net = star(5)
+        protocol = SnapPif.for_network(net)
+        timeline = PhaseTimeline()
+        sim = Simulator(protocol, net, monitors=[timeline])
+        sim.run(max_rounds=6, max_steps=100)
+        rendered = timeline.render()
+        assert rendered.splitlines()[0] == "round | phases"
+        # Initial row + one per completed round.
+        assert len(timeline.rows) == 7
+        assert timeline.rows[0] == (0, "C C C C C")
+
+    def test_reset_on_start(self) -> None:
+        timeline = PhaseTimeline()
+        net = line(3)
+        protocol = SnapPif.for_network(net)
+        timeline.on_start(protocol.initial_configuration(net))
+        assert timeline.rows == [(0, "C C C")]

@@ -1,0 +1,53 @@
+"""Tests for the reporting helpers and the top-level package surface."""
+
+from __future__ import annotations
+
+import repro
+from repro.reporting import format_check, render_table
+
+
+class TestRenderTable:
+    def test_basic_table(self) -> None:
+        rows = [
+            {"topology": "line-6", "rounds": 23, "bound": 30},
+            {"topology": "ring-7", "rounds": 15, "bound": 20},
+        ]
+        out = render_table(rows, title="E1")
+        lines = out.splitlines()
+        assert lines[0] == "E1"
+        assert "topology" in lines[1]
+        assert "line-6" in out and "ring-7" in out
+
+    def test_column_subset_and_order(self) -> None:
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = render_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_floats_formatted(self) -> None:
+        out = render_table([{"x": 1.23456}])
+        assert "1.23" in out
+
+    def test_missing_cells_blank(self) -> None:
+        out = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in out and "b" in out
+
+    def test_empty_rows(self) -> None:
+        out = render_table([], columns=["a"])
+        assert "a" in out
+
+
+class TestFormatCheck:
+    def test_values(self) -> None:
+        assert format_check(True) == "yes"
+        assert format_check(False) == "NO"
+
+
+class TestPackageSurface:
+    def test_version(self) -> None:
+        assert repro.__version__
+
+    def test_public_names_importable(self) -> None:
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,172 @@
+"""Tests for the exhaustive model checker — including the headline result:
+
+on 3-processor networks, **every** initiated wave from **every**
+initiation configuration under **every** daemon choice satisfies PIF1
+and PIF2 (exhaustive snap-safety), and the ablated protocol (without the
+``Leaf`` joining guard) is caught violating it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.core.state import Phase, PifConstants
+from repro.errors import VerificationError
+from repro.graphs import complete, line
+from repro.verification import (
+    check_cycle_liveness_synchronous,
+    check_snap_safety,
+    enumerate_initiation_configurations,
+    node_state_domain,
+)
+
+
+class TestEnumeration:
+    def test_node_state_domain_sizes(self) -> None:
+        net = line(3)
+        k = PifConstants.for_network(net)
+        # Root: 3 phases x 3 counts x 2 fok.
+        assert len(node_state_domain(net, k, 0)) == 18
+        # Middle node: 3 phases x 2 parents x 2 levels x 3 counts x 2 fok.
+        assert len(node_state_domain(net, k, 1)) == 72
+
+    def test_initiation_configs_have_clean_root_neighborhood(self) -> None:
+        net = line(3)
+        k = PifConstants.for_network(net)
+        count = 0
+        for config in enumerate_initiation_configurations(net, k):
+            count += 1
+            assert config[0].pif is Phase.C  # type: ignore[union-attr]
+            assert config[1].pif is Phase.C  # type: ignore[union-attr]
+            if count > 50:
+                break
+        assert count > 50
+
+
+class TestSnapSafetyExhaustive:
+    def test_line3_fully_verified(self) -> None:
+        result = check_snap_safety(line(3))
+        assert result.ok
+        assert result.complete
+        assert result.configurations_checked == 5184  # 6 x 24 x 36
+        result.raise_on_failure()  # must not raise
+
+    def test_triangle_fully_verified(self) -> None:
+        result = check_snap_safety(complete(3))
+        assert result.ok and result.complete
+
+    def test_budget_reporting(self) -> None:
+        result = check_snap_safety(line(3), max_configurations=10)
+        assert result.configurations_checked == 10
+        assert not result.complete
+
+    def test_raise_on_failure_raises_with_counterexample(self) -> None:
+        from repro.verification.model_check import (
+            Counterexample,
+            ModelCheckResult,
+        )
+        from repro.runtime.state import Configuration
+
+        result = ModelCheckResult(property_name="demo")
+        result.counterexamples.append(
+            Counterexample(Configuration(()), (((0, "B-action"),),), "boom")
+        )
+        with pytest.raises(VerificationError, match="boom"):
+            result.raise_on_failure()
+
+
+class TestAblationIsCaught:
+    def test_leaf_guard_ablation_breaks_snap_safety(self) -> None:
+        """Without the Leaf guard a processor with a stale child joins
+        the wave; the stale child's count then feeds the root's total and
+        the cycle can complete without the stale subtree receiving m."""
+        net = line(3)
+        protocol = SnapPif.for_network(net, leaf_guard=False)
+        result = check_snap_safety(net, protocol=protocol, stop_at_first=True)
+        assert not result.ok
+        assert result.counterexamples
+        ce = result.counterexamples[0]
+        assert "[PIF" in ce.message or "demoted" in ce.message
+        assert ce.pretty()  # renders without crashing
+
+
+class TestLivenessSynchronous:
+    def test_line3_all_initiated_waves_complete(self) -> None:
+        result = check_cycle_liveness_synchronous(line(3))
+        assert result.ok and result.complete
+
+    def test_budget_cap(self) -> None:
+        result = check_cycle_liveness_synchronous(
+            line(3), max_configurations=25
+        )
+        assert result.configurations_checked == 25
+        assert not result.complete
+
+
+class TestWaveTagAgreesWithMonitor:
+    def test_tag_and_monitor_agree_on_random_runs(self) -> None:
+        """The checker's pure WaveTag transition must match the online
+        PifCycleMonitor on real executions."""
+        from random import Random
+
+        from repro.core.monitor import PifCycleMonitor
+        from repro.runtime.daemons import DistributedRandomDaemon
+        from repro.runtime.simulator import Simulator
+        from repro.verification.model_check import WaveTag
+
+        net = line(4)
+        protocol = SnapPif.for_network(net)
+        for seed in range(5):
+            config = protocol.random_configuration(net, Random(seed))
+            monitor = PifCycleMonitor(protocol, net)
+            sim = Simulator(
+                protocol,
+                net,
+                DistributedRandomDaemon(0.6),
+                configuration=config,
+                seed=seed,
+                monitors=[monitor],
+                trace_level="configurations",
+            )
+            sim.run(
+                until=lambda _c: len(monitor.completed_cycles) >= 1,
+                max_steps=20_000,
+            )
+            if not monitor.completed_cycles:
+                continue
+            report = monitor.completed_cycles[0]
+
+            # Replay the trace through WaveTag.
+            configs = sim.trace.configurations()
+            tag: WaveTag | None = None
+            finished = False
+            for record in sim.trace:
+                before = configs[record.index]
+                selection = {
+                    p: next(
+                        a
+                        for a in protocol.node_actions(p, net)
+                        if a.name == name
+                    )
+                    for p, name in record.selection.items()
+                }
+                if tag is None:
+                    if record.selection.get(0) == "B-action" and not finished:
+                        tag = WaveTag(frozenset({0}), frozenset(), False)
+                        rest = {
+                            p: a for p, a in selection.items() if p != 0
+                        }
+                        if rest:
+                            tag, violation = tag.advance(
+                                protocol, net, before, rest
+                            )
+                            assert violation is None
+                    continue
+                tag, violation = tag.advance(protocol, net, before, selection)
+                assert violation is None, violation
+                if tag is None:
+                    finished = True
+                    break
+            assert finished
+            assert report.ok
