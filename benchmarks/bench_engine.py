@@ -1,0 +1,136 @@
+"""E-engine — enabled-set engine throughput: full recompute vs incremental.
+
+Every layer of the reproduction bottlenecks on computing the enabled
+map after each computation step.  The full engine re-evaluates every
+guard at every node; the incremental engine (the default) exploits the
+1-hop locality of the guarded-action model and re-evaluates only the
+dirty region ``U ∪ N(U)`` of the nodes a step actually rewrote (see
+docs/API.md «Performance model»).
+
+This bench drives the snap PIF through steady-state wave cycles under a
+central daemon (one activation per step — the regime where locality
+matters most) on rings and sparse random graphs at N ∈ {16, 64, 256,
+1024}, and reports steps/second for both engines.  The results are
+written to ``BENCH_engine.json`` at the repository root so the perf
+trajectory is tracked PR over PR::
+
+    pytest benchmarks/bench_engine.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.graphs import random_connected, ring
+from repro.runtime.daemons import CentralDaemon
+from repro.runtime.simulator import Simulator
+
+from benchmarks.common import JSON_REPORTS, TableCollector
+
+TABLE = TableCollector(
+    "E-engine — enabled-set engine: steps/sec, full vs incremental",
+    columns=["topology", "n", "engine", "steps", "seconds", "steps/sec"],
+)
+
+#: Steps per timing run, scaled down as the per-step cost grows with N.
+STEPS = {16: 2000, 64: 1000, 256: 500, 1024: 200}
+
+SIZES = (16, 64, 256, 1024)
+
+TOPOLOGIES = {
+    "ring": lambda n: ring(n),
+    "random": lambda n: random_connected(n, 0.05, seed=n),
+}
+
+CASES = [(family, n) for family in TOPOLOGIES for n in SIZES]
+
+#: ``(family, n, engine) -> {"steps": ..., "seconds": ..., "steps_per_sec": ...}``
+RESULTS: dict[tuple[str, int, str], dict[str, float]] = {}
+
+
+def _measure(family: str, n: int, engine: str) -> dict[str, float]:
+    net = TOPOLOGIES[family](n)
+    protocol = SnapPif.for_network(net)
+    sim = Simulator(
+        protocol,
+        net,
+        CentralDaemon(choice="random"),
+        seed=1,
+        engine=engine,
+    )
+    budget = STEPS[n]
+    start = time.perf_counter()
+    done = 0
+    for _ in range(budget):
+        if sim.step() is None:
+            break
+        done += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "steps": done,
+        "seconds": elapsed,
+        "steps_per_sec": done / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+@pytest.mark.parametrize("engine", ["full", "incremental"])
+@pytest.mark.parametrize(
+    "family,n", CASES, ids=[f"{f}-{n}" for f, n in CASES]
+)
+def test_engine_throughput(family: str, n: int, engine: str, benchmark) -> None:
+    measurement = benchmark.pedantic(
+        lambda: _measure(family, n, engine), rounds=1, iterations=1
+    )
+    RESULTS[(family, n, engine)] = measurement
+    TABLE.add(
+        {
+            "topology": family,
+            "n": n,
+            "engine": engine,
+            "steps": int(measurement["steps"]),
+            "seconds": round(measurement["seconds"], 4),
+            "steps/sec": round(measurement["steps_per_sec"]),
+        }
+    )
+    assert measurement["steps"] == STEPS[n]  # a PIF run never terminates
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    cases = [
+        {
+            "topology": family,
+            "n": n,
+            "engine": engine,
+            "steps": int(m["steps"]),
+            "seconds": m["seconds"],
+            "steps_per_sec": m["steps_per_sec"],
+        }
+        for (family, n, engine), m in sorted(RESULTS.items())
+    ]
+    speedups = {}
+    for family, n, engine in RESULTS:
+        if engine != "incremental":
+            continue
+        full = RESULTS.get((family, n, "full"))
+        if full is None or full["steps_per_sec"] == 0:
+            continue
+        speedups[f"{family}-{n}"] = round(
+            RESULTS[(family, n, "incremental")]["steps_per_sec"]
+            / full["steps_per_sec"],
+            2,
+        )
+    return {
+        "benchmark": "enabled-set engine (full vs incremental)",
+        "workload": "snap PIF cycles, central daemon (choice=random), seed 1",
+        "steps_per_size": {str(n): s for n, s in STEPS.items()},
+        "cases": cases,
+        "speedup_incremental_over_full": speedups,
+    }
+
+
+JSON_REPORTS.append(("BENCH_engine.json", _build_report))

@@ -14,12 +14,20 @@ produces both the timing tables and the reproduction tables.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.reporting import render_table
 
-__all__ = ["TableCollector", "ALL_TABLES"]
+__all__ = ["TableCollector", "ALL_TABLES", "JSON_REPORTS"]
 
 #: Global registry of experiment tables, printed by the conftest hook.
 ALL_TABLES: list["TableCollector"] = []
+
+#: Machine-readable reports: ``(filename, build)`` pairs.  At session
+#: end, ``benchmarks/conftest.py`` calls each ``build()`` and writes the
+#: returned payload as JSON to ``<repo root>/<filename>``; a ``None``
+#: payload (no rows collected this session) is skipped.
+JSON_REPORTS: list[tuple[str, Callable[[], dict | None]]] = []
 
 
 class TableCollector:

@@ -1,8 +1,15 @@
-"""Benchmark-suite conftest: print every experiment table in the summary."""
+"""Benchmark-suite conftest: print experiment tables, write JSON reports."""
 
 from __future__ import annotations
 
-from benchmarks.common import ALL_TABLES
+import json
+from pathlib import Path
+
+from benchmarks.common import ALL_TABLES, JSON_REPORTS
+
+#: JSON reports land at the repository root so their trajectory is
+#: tracked PR over PR (BENCH_engine.json et al.).
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
@@ -16,3 +23,11 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
             printed_header = True
         terminalreporter.write_line("")
         terminalreporter.write_line(rendered)
+
+    for filename, build in JSON_REPORTS:
+        payload = build()
+        if payload is None:
+            continue
+        path = REPO_ROOT / filename
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        terminalreporter.write_line(f"wrote {path}")

@@ -16,7 +16,7 @@ without changing state, violating progress.  ``GoodCount`` is unaffected
 from __future__ import annotations
 
 from repro.core import predicates as pred
-from repro.core.macros import chosen_parent, sum_value
+from repro.core.macros import potential_members, sum_value
 from repro.core.state import Phase, PifConstants, PifState
 from repro.errors import ProtocolError
 from repro.runtime.protocol import Action, Context
@@ -140,13 +140,12 @@ def non_root_program(k: PifConstants) -> tuple[Action, ...]:
     """Algorithm 2: the program of every processor ``p ≠ r``."""
 
     def b_statement(ctx: Context) -> PifState:
-        parent = chosen_parent(ctx, k)
-        if parent is None:
+        candidates = potential_members(ctx, k)
+        if not candidates:
             raise ProtocolError(
                 f"B-action at node {ctx.node} with empty Potential set"
             )
-        parent_state = ctx.neighbor_state(parent)
-        assert isinstance(parent_state, PifState)
+        parent, parent_state = candidates[0]
         return _own(ctx).replace(
             par=parent,
             level=parent_state.level + 1,

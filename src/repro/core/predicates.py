@@ -118,15 +118,29 @@ def good_count(ctx: Context, k: PifConstants) -> bool:
 
 
 def normal(ctx: Context, k: PifConstants) -> bool:
-    """``Normal(p)``: the conjunction of the applicable Good* predicates."""
+    """``Normal(p)``: the conjunction of the applicable Good* predicates.
+
+    Memoized per configuration when the context carries an evaluation
+    cache — five of the seven guards conjoin ``Normal(p)``, so one
+    enabled-map pass would otherwise recompute it up to five times.
+    """
+    cache = ctx.cache
+    if cache is not None:
+        hit = cache.get((ctx.node, "normal"))
+        if hit is not None:
+            return hit
     if ctx.node == k.root:
-        return good_fok(ctx, k) and good_count(ctx, k)
-    return (
-        good_pif(ctx, k)
-        and good_level(ctx, k)
-        and good_fok(ctx, k)
-        and good_count(ctx, k)
-    )
+        result = good_fok(ctx, k) and good_count(ctx, k)
+    else:
+        result = (
+            good_pif(ctx, k)
+            and good_level(ctx, k)
+            and good_fok(ctx, k)
+            and good_count(ctx, k)
+        )
+    if cache is not None:
+        cache[(ctx.node, "normal")] = result
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -136,12 +150,24 @@ def leaf(ctx: Context, k: PifConstants) -> bool:
     """``Leaf(p)``: no active neighbor designates ``p`` as its parent.
 
     ``∀q ∈ Neig_p :: (Pif_q ≠ C) ⇒ (Par_q ≠ p)``
+
+    Memoized per configuration (``Broadcast`` and ``Cleaning`` both
+    conjoin it) when the context carries an evaluation cache.
     """
+    cache = ctx.cache
+    if cache is not None:
+        hit = cache.get((ctx.node, "leaf"))
+        if hit is not None:
+            return hit
+    result = True
     for _q, sq in ctx.neighbor_states():
         assert isinstance(sq, PifState)
         if sq.pif is not Phase.C and sq.par == ctx.node:
-            return False
-    return True
+            result = False
+            break
+    if cache is not None:
+        cache[(ctx.node, "leaf")] = result
+    return result
 
 
 def b_leaf(ctx: Context, k: PifConstants) -> bool:

@@ -92,22 +92,29 @@ class SelfStabPif(Protocol):
         return own.level == ps.level + 1
 
     def _potential(self, ctx: Context) -> list[int]:
-        """Minimum-level broadcasting neighbors (no Fok filter, no Leaf guard)."""
+        """Minimum-level broadcasting neighbors (no Fok filter, no Leaf guard).
+
+        Each neighbor state is read once; the result is memoized in the
+        per-configuration evaluation cache when the context carries one.
+        """
+        cache = ctx.cache
+        if cache is not None:
+            hit = cache.get((ctx.node, "ss_potential"))
+            if hit is not None:
+                return hit
         candidates = []
         for q, sq in ctx.neighbor_states():
             assert isinstance(sq, PifState)
             if sq.pif is Phase.B and sq.par != ctx.node and sq.level < self.l_max:
-                candidates.append(q)
-        if not candidates:
-            return []
-        best = min(
-            ctx.neighbor_state(q).level for q in candidates  # type: ignore[union-attr]
-        )
-        return [
-            q
-            for q in candidates
-            if ctx.neighbor_state(q).level == best  # type: ignore[union-attr]
-        ]
+                candidates.append((q, sq.level))
+        if candidates:
+            best = min(level for _q, level in candidates)
+            result = [q for q, level in candidates if level == best]
+        else:
+            result = []
+        if cache is not None:
+            cache[(ctx.node, "ss_potential")] = result
+        return result
 
     def join_parent(self, ctx: Context) -> int | None:
         """The parent B-action would pick (cycle-monitor hook)."""

@@ -41,7 +41,9 @@ class Network:
         only meaningful on connected networks.
     """
 
-    __slots__ = ("_neighbors", "_name", "_edge_count", "_hash")
+    # ``__weakref__`` lets protocols key their per-network action caches
+    # weakly on the Network object (see Protocol.node_actions).
+    __slots__ = ("_neighbors", "_name", "_edge_count", "_hash", "__weakref__")
 
     def __init__(
         self,

@@ -16,16 +16,22 @@ simulation: all dynamic information lives in the configuration.
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ProtocolError
 from repro.runtime.network import Network
 from repro.runtime.state import Configuration, NodeState
 
-__all__ = ["Context", "Action", "Protocol"]
+__all__ = ["Context", "EvalCache", "Action", "Protocol"]
+
+#: Per-configuration evaluation cache: ``(node, macro-name) -> value``.
+#: Valid only for evaluations against a single configuration under a
+#: single protocol instance; see :attr:`Context.cache`.
+EvalCache = dict
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,11 +40,21 @@ class Context:
 
     Matches the locally shared memory model: a processor can read its own
     state and the states of its neighbors, and nothing else.
+
+    ``cache`` is an optional per-configuration memo table shared between
+    all contexts of one guard-evaluation pass.  Macros and predicates
+    that are re-derived by several guards at the same node (``Sum``,
+    ``Potential``, ``Normal``, …) store their results under
+    ``(node, name)`` keys; because every cached value is a pure function
+    of the configuration, the table stays valid for every evaluation —
+    guard or statement — against that same configuration.  ``None``
+    (the default) disables memoization.
     """
 
     node: int
     network: Network
     configuration: Configuration
+    cache: EvalCache | None = None
 
     @property
     def state(self) -> NodeState:
@@ -117,7 +133,12 @@ class Protocol(ABC):
     name: str = "protocol"
 
     def __init__(self) -> None:
-        self._action_cache: dict[tuple[int, int], tuple[Action, ...]] = {}
+        # Keyed on the Network object itself (weakly, so transient
+        # networks do not leak); keying on ``id(network)`` is unsound
+        # because id values are reused after garbage collection.
+        self._action_cache: weakref.WeakKeyDictionary[
+            Network, dict[int, tuple[Action, ...]]
+        ] = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     # Program definition
@@ -153,31 +174,96 @@ class Protocol(ABC):
     # ------------------------------------------------------------------
     def node_actions(self, node: int, network: Network) -> tuple[Action, ...]:
         """Memoized per-node program."""
-        key = (id(network), node)
-        cached = self._action_cache.get(key)
+        per_network = self._action_cache.get(network)
+        if per_network is None:
+            per_network = {}
+            self._action_cache[network] = per_network
+        cached = per_network.get(node)
         if cached is None:
             cached = tuple(self.actions(node, network))
             if not cached:
                 raise ProtocolError(f"node {node} has an empty program")
-            self._action_cache[key] = cached
+            per_network[node] = cached
         return cached
 
     def enabled_actions(
-        self, configuration: Configuration, network: Network, node: int
+        self,
+        configuration: Configuration,
+        network: Network,
+        node: int,
+        *,
+        cache: EvalCache | None = None,
     ) -> list[Action]:
         """Return the actions of ``node`` whose guards hold in ``configuration``."""
-        ctx = Context(node, network, configuration)
+        ctx = Context(node, network, configuration, cache)
         return [a for a in self.node_actions(node, network) if a.enabled(ctx)]
 
     def enabled_map(
-        self, configuration: Configuration, network: Network
+        self,
+        configuration: Configuration,
+        network: Network,
+        *,
+        cache: EvalCache | None = None,
     ) -> dict[int, list[Action]]:
-        """Return ``{node: enabled actions}`` for all enabled nodes."""
+        """Return ``{node: enabled actions}`` for all enabled nodes.
+
+        Pass an empty dict as ``cache`` to memoize repeated macro
+        evaluations across the pass (and to keep the table for executing
+        statements against the same configuration).
+        """
         enabled: dict[int, list[Action]] = {}
         for node in network.nodes:
-            actions = self.enabled_actions(configuration, network, node)
+            actions = self.enabled_actions(
+                configuration, network, node, cache=cache
+            )
             if actions:
                 enabled[node] = actions
+        return enabled
+
+    def enabled_map_incremental(
+        self,
+        prev_enabled: dict[int, list[Action]],
+        configuration: Configuration,
+        network: Network,
+        dirty: Iterable[int],
+        *,
+        cache: EvalCache | None = None,
+    ) -> dict[int, list[Action]]:
+        """Update ``prev_enabled`` after a step that rewrote the ``dirty`` nodes.
+
+        A guard at ``p`` reads only ``p``'s own state and its neighbors'
+        states (the locally shared memory model — :class:`Context`
+        enforces it), so when a step changes exactly the states of the
+        nodes in ``dirty``, enabledness can flip only on
+        ``dirty ∪ N(dirty)``.  Guards are re-evaluated on that region
+        only; every other node keeps its previous entry.
+
+        The returned map lists nodes in ascending identifier order —
+        byte-identical to a full :meth:`enabled_map` recompute — so
+        daemons that iterate or sample the map see the same order under
+        either engine and seeded runs stay reproducible.
+        """
+        affected = set(dirty)
+        for p in tuple(affected):
+            affected.update(network.neighbors(p))
+        if not affected:
+            return dict(prev_enabled)
+
+        fresh: dict[int, list[Action] | None] = {
+            node: self.enabled_actions(configuration, network, node, cache=cache)
+            or None
+            for node in affected
+        }
+        enabled: dict[int, list[Action]] = {}
+        for node in network.nodes:
+            if node in fresh:
+                actions = fresh[node]
+                if actions is not None:
+                    enabled[node] = actions
+            else:
+                prev = prev_enabled.get(node)
+                if prev is not None:
+                    enabled[node] = prev
         return enabled
 
     def is_enabled(

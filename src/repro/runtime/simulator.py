@@ -15,11 +15,12 @@ checker — after every step.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Iterable, Protocol as TypingProtocol, Sequence
 
-from repro.errors import ScheduleError, SimulationLimitError
+from repro.errors import ScheduleError, SimulationLimitError, VerificationError
 from repro.runtime.daemons import Daemon, SynchronousDaemon
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context, Protocol
@@ -93,6 +94,19 @@ class Simulator:
         ``"none"`` (default), ``"selections"`` or ``"configurations"``.
     monitors:
         Observers receiving every step (see :class:`Monitor`).
+    engine:
+        ``"incremental"`` (default) re-evaluates guards only on the
+        1-hop neighborhood of the nodes a step actually rewrote;
+        ``"full"`` re-evaluates every guard at every node after every
+        step (the pre-optimization behavior, kept for benchmarking and
+        cross-validation).  The ``REPRO_ENGINE`` environment variable
+        overrides the default when the parameter is not given.
+    validate_engine:
+        When true, every incremental update is checked in lockstep
+        against a from-scratch recompute; a mismatch raises
+        :class:`~repro.errors.VerificationError`.  Defaults to the
+        ``REPRO_ENGINE_VALIDATE`` environment variable (any value other
+        than empty/``0`` enables it).
     """
 
     def __init__(
@@ -105,7 +119,22 @@ class Simulator:
         seed: int = 0,
         trace_level: str = "none",
         monitors: Iterable[Monitor] = (),
+        engine: str | None = None,
+        validate_engine: bool | None = None,
     ) -> None:
+        if engine is None:
+            # An empty REPRO_ENGINE means "unset", like REPRO_ENGINE_VALIDATE.
+            engine = os.environ.get("REPRO_ENGINE") or "incremental"
+        if engine not in ("incremental", "full"):
+            raise ScheduleError(
+                f"unknown engine {engine!r}; expected 'incremental' or 'full'"
+            )
+        if validate_engine is None:
+            validate_engine = os.environ.get(
+                "REPRO_ENGINE_VALIDATE", ""
+            ) not in ("", "0")
+        self.engine = engine
+        self.validate_engine = validate_engine
         self.protocol = protocol
         self.network = network
         self.daemon = daemon if daemon is not None else SynchronousDaemon()
@@ -122,7 +151,10 @@ class Simulator:
         self.trace = Trace(self._configuration, level=trace_level)
 
         self.daemon.reset()
-        self._enabled = protocol.enabled_map(self._configuration, network)
+        self._eval_cache: dict = {}
+        self._enabled = protocol.enabled_map(
+            self._configuration, network, cache=self._eval_cache
+        )
         self._rounds = RoundCounter(self._enabled)
         for monitor in self._monitors:
             monitor.on_start(self._configuration)
@@ -189,7 +221,12 @@ class Simulator:
                 f"{self.network.n}-processor network"
             )
         self._configuration = configuration
-        self._enabled = self.protocol.enabled_map(configuration, self.network)
+        # A fault can rewrite any subset of the memory, so the dirty-set
+        # argument does not apply: recompute the enabled map from scratch.
+        self._eval_cache = {}
+        self._enabled = self.protocol.enabled_map(
+            configuration, self.network, cache=self._eval_cache
+        )
         self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             monitor.on_start(configuration)
@@ -212,14 +249,43 @@ class Simulator:
         self._validate_selection(selection)
 
         before = self._configuration
+        # Statements execute against ``before`` — the same configuration
+        # the current enabled map was evaluated on — so they share its
+        # evaluation cache.
         updates = {
-            p: action.execute(Context(p, self.network, before))
+            p: action.execute(Context(p, self.network, before, self._eval_cache))
             for p, action in selection.items()
         }
-        after = before.replace(updates)
+        # A write that does not change the state cannot change anyone's
+        # enabledness; dropping it both shrinks the dirty set and lets
+        # Configuration.replace return ``before`` unchanged when the
+        # whole step is a no-op.
+        dirty = {p for p, state in updates.items() if state != before[p]}
+        after = before.replace({p: updates[p] for p in dirty})
 
         self._configuration = after
-        self._enabled = self.protocol.enabled_map(after, self.network)
+        if not dirty:
+            pass  # configuration unchanged: enabled map and cache stay valid
+        elif self.engine == "incremental":
+            cache: dict = {}
+            self._enabled = self.protocol.enabled_map_incremental(
+                self._enabled, after, self.network, dirty, cache=cache
+            )
+            self._eval_cache = cache
+            if self.validate_engine:
+                full = self.protocol.enabled_map(after, self.network)
+                if full != self._enabled or list(full) != list(self._enabled):
+                    raise VerificationError(
+                        f"incremental enabled map diverged from full recompute "
+                        f"at step {self._steps} (dirty={sorted(dirty)}): "
+                        f"incremental={ {p: [a.name for a in v] for p, v in self._enabled.items()} } "
+                        f"full={ {p: [a.name for a in v] for p, v in full.items()} }"
+                    )
+        else:
+            self._eval_cache = {}
+            self._enabled = self.protocol.enabled_map(
+                after, self.network, cache=self._eval_cache
+            )
         rounds_completed = self._rounds.observe_step(
             set(selection), frozenset(self._enabled)
         )

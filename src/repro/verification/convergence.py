@@ -153,10 +153,15 @@ def check_normal_closure(
             result.complete = False
             break
         result.configurations_checked += 1
-        enabled = protocol.enabled_map(config, network)
+        # One evaluation cache per configuration: the guard pass and all
+        # of the exhaustive daemon's selections execute against it.
+        cache: dict = {}
+        enabled = protocol.enabled_map(config, network, cache=cache)
         for selection in _selections(enabled):
             result.transitions_explored += 1
-            after = apply_selection(protocol, network, config, selection)
+            after = apply_selection(
+                protocol, network, config, selection, cache=cache
+            )
             bad = defs.abnormal_nodes(after, network, k)
             if bad:
                 step = tuple(sorted((p, a.name) for p, a in selection.items()))

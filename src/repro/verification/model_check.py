@@ -59,6 +59,7 @@ __all__ = [
     "node_state_domain",
     "enumerate_initiation_configurations",
     "apply_selection",
+    "apply_selection_dirty",
     "check_snap_safety",
     "check_cycle_liveness_synchronous",
 ]
@@ -123,13 +124,38 @@ def apply_selection(
     network: Network,
     configuration: Configuration,
     selection: dict[int, Action],
+    *,
+    cache: dict | None = None,
 ) -> Configuration:
-    """Execute one computation step: all selected actions against ``configuration``."""
-    updates = {
-        p: action.execute(Context(p, network, configuration))
-        for p, action in selection.items()
-    }
-    return configuration.replace(updates)
+    """Execute one computation step: all selected actions against ``configuration``.
+
+    ``cache`` is an optional per-``configuration`` evaluation cache
+    (macro memo table) shared across the many selections the exhaustive
+    daemon executes against the same configuration.
+    """
+    after, _dirty = apply_selection_dirty(
+        protocol, network, configuration, selection, cache=cache
+    )
+    return after
+
+
+def apply_selection_dirty(
+    protocol: SnapPif,
+    network: Network,
+    configuration: Configuration,
+    selection: dict[int, Action],
+    *,
+    cache: dict | None = None,
+) -> tuple[Configuration, set[int]]:
+    """Like :func:`apply_selection`, also returning the set of nodes whose
+    state actually changed (no-op writes excluded) — the dirty set for
+    :meth:`~repro.runtime.protocol.Protocol.enabled_map_incremental`."""
+    updates = {}
+    for p, action in selection.items():
+        state = action.execute(Context(p, network, configuration, cache))
+        if state != configuration[p]:
+            updates[p] = state
+    return configuration.replace(updates), set(updates)
 
 
 @dataclass(frozen=True, slots=True)
@@ -301,8 +327,12 @@ def check_snap_safety(
         result.configurations_checked += 1
 
         # The initiating step: the root's B-action fires, alone or with
-        # any other enabled processors.
-        enabled = protocol.enabled_map(config, network)
+        # any other enabled processors.  Successor enabled maps are
+        # derived incrementally from the predecessor's map and the step's
+        # dirty set — guard evaluation cost scales with the 1-hop
+        # neighborhood of the changed nodes instead of with the network.
+        init_cache: dict = {}
+        enabled = protocol.enabled_map(config, network, cache=init_cache)
         assert root in enabled and root_b_action in enabled[root]
         for first in _selections(enabled):
             if first.get(root) is not root_b_action:
@@ -315,7 +345,9 @@ def check_snap_safety(
                 tag, violation = tag0.advance(protocol, network, config, rest)
             else:
                 tag, violation = tag0, None
-            after = apply_selection(protocol, network, config, first)
+            after, dirty = apply_selection_dirty(
+                protocol, network, config, first, cache=init_cache
+            )
             first_step = tuple(
                 sorted((p, a.name) for p, a in first.items())
             )
@@ -328,7 +360,12 @@ def check_snap_safety(
                 continue
             assert tag is not None  # the wave cannot finish on step one
 
-            stack: list[tuple[Configuration, WaveTag]] = [(after, tag)]
+            after_enabled = protocol.enabled_map_incremental(
+                enabled, after, network, dirty, cache={}
+            )
+            stack: list[
+                tuple[Configuration, WaveTag, dict[int, list[Action]]]
+            ] = [(after, tag, after_enabled)]
             parents: dict[
                 tuple[Configuration, WaveTag],
                 tuple[tuple[Configuration, WaveTag] | None, tuple],
@@ -339,15 +376,17 @@ def check_snap_safety(
                     result.complete = False
                     stack.clear()
                     break
-                state = stack.pop()
+                current, current_tag, current_enabled = stack.pop()
+                state = (current, current_tag)
                 if state in visited:
                     continue
                 visited.add(state)
                 result.states_explored += 1
-                current, current_tag = state
-                for selection in _selections(
-                    protocol.enabled_map(current, network)
-                ):
+                # One evaluation cache for everything executed against
+                # ``current`` — the exhaustive daemon applies every
+                # selection to the same configuration.
+                step_cache: dict = {}
+                for selection in _selections(current_enabled):
                     result.transitions_explored += 1
                     new_tag, violation = current_tag.advance(
                         protocol, network, current, selection
@@ -365,13 +404,20 @@ def check_snap_safety(
                         continue
                     if new_tag is None:
                         continue  # cycle completed cleanly on this path
-                    nxt = (
-                        apply_selection(protocol, network, current, selection),
-                        new_tag,
+                    nxt_config, nxt_dirty = apply_selection_dirty(
+                        protocol, network, current, selection, cache=step_cache
                     )
+                    nxt = (nxt_config, new_tag)
                     if nxt not in visited and nxt not in parents:
+                        nxt_enabled = protocol.enabled_map_incremental(
+                            current_enabled,
+                            nxt_config,
+                            network,
+                            nxt_dirty,
+                            cache={},
+                        )
                         parents[nxt] = (state, step)
-                        stack.append(nxt)
+                        stack.append((nxt_config, new_tag, nxt_enabled))
     return result
 
 

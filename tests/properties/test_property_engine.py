@@ -1,0 +1,128 @@
+"""Randomized equivalence sweep for the incremental enabled-set engine.
+
+For 200 randomized runs (50 seeds × 4 protocols) over mixed daemons,
+mixed topology families and mid-run ``reset_configuration`` faults:
+
+* the incremental run executes in lockstep cross-validation mode, so the
+  incremental enabled map is compared against a from-scratch
+  ``enabled_map`` after **every** step (a mismatch raises
+  :class:`~repro.errors.VerificationError`);
+* a second run of the same seed under the full-recompute engine must
+  produce bit-identical step / round / move counts, action histograms,
+  schedules and final configurations — the incremental engine is
+  observationally indistinguishable from the pre-optimization one.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.graphs import by_name
+from repro.protocols import SelfStabPif, SpanningTree, TreePif
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    SynchronousDaemon,
+)
+from repro.runtime.network import Network
+from repro.runtime.protocol import Protocol
+from repro.runtime.simulator import Simulator
+
+FAMILIES = (
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "random-sparse",
+    "random-dense",
+    "random-tree",
+    "caterpillar",
+)
+
+DAEMONS = (
+    lambda: SynchronousDaemon(),
+    lambda: CentralDaemon(choice="random"),
+    lambda: CentralDaemon(choice="oldest"),
+    lambda: LocallyCentralDaemon(),
+    lambda: DistributedRandomDaemon(0.3),
+    lambda: DistributedRandomDaemon(0.7, action_policy="random"),
+    lambda: AdversarialDaemon(patience=4),
+)
+
+PROTOCOL_KINDS = ("snap-pif", "self-stab-pif", "tree-pif", "spanning-tree")
+
+STEPS = 30
+FAULT_AT = 15
+
+
+def _bfs_parents(net: Network, root: int = 0) -> dict[int, int | None]:
+    levels = net.bfs_levels(root)
+    return {
+        p: (
+            None
+            if p == root
+            else next(q for q in net.neighbors(p) if levels[q] == levels[p] - 1)
+        )
+        for p in net.nodes
+    }
+
+
+def _make_protocol(kind: str, net: Network) -> Protocol:
+    if kind == "snap-pif":
+        return SnapPif.for_network(net)
+    if kind == "self-stab-pif":
+        return SelfStabPif(0, net.n)
+    if kind == "tree-pif":
+        return TreePif(0, _bfs_parents(net))
+    return SpanningTree(0, net.n)
+
+
+def _drive(
+    kind: str, net: Network, seed: int, engine: str, validate: bool
+) -> tuple:
+    """Run a faulted execution; return its observable outcome."""
+    protocol = _make_protocol(kind, net)
+    rng = Random(seed * 7919 + 1)
+    sim = Simulator(
+        protocol,
+        net,
+        DAEMONS[seed % len(DAEMONS)](),
+        configuration=protocol.random_configuration(net, Random(seed)),
+        seed=seed,
+        trace_level="selections",
+        engine=engine,
+        validate_engine=validate,
+    )
+    for step in range(STEPS):
+        if step == FAULT_AT:
+            sim.reset_configuration(protocol.random_configuration(net, rng))
+        if sim.step() is None:
+            break
+    # Closing check on top of the per-step lockstep validation.
+    full_map = protocol.enabled_map(sim.configuration, net)
+    assert full_map == sim._enabled
+    assert list(full_map) == list(sim._enabled)
+    return (
+        sim.steps,
+        sim.rounds,
+        sim.moves,
+        sim.action_counts,
+        sim.trace.schedule(),
+        sim.configuration,
+    )
+
+
+@pytest.mark.parametrize("kind", PROTOCOL_KINDS)
+@pytest.mark.parametrize("seed", range(50))
+def test_incremental_engine_equivalent_under_randomized_runs(
+    kind: str, seed: int
+) -> None:
+    net = by_name(FAMILIES[seed % len(FAMILIES)], 5 + seed % 5)
+    incremental = _drive(kind, net, seed, "incremental", validate=True)
+    full = _drive(kind, net, seed, "full", validate=False)
+    assert incremental == full

@@ -117,3 +117,80 @@ class TestProtocolHelpers:
 
         with pytest.raises(NotImplementedError):
             Bare().random_state(0, net, Random(0))
+
+
+class _OrderProbe(MaxProtocol):
+    """Actions whose names record the neighbor order they were built from."""
+
+    def actions(self, node, network):
+        name = "-".join(str(q) for q in network.neighbors(node))
+        return (Action(name, lambda c: False, lambda c: c.state),)
+
+
+class TestActionCacheKeying:
+    def test_distinct_networks_same_size_get_distinct_entries(self) -> None:
+        """Same n, different neighbor orders — entries must not be shared."""
+        probe = _OrderProbe()
+        a = Network({0: [1, 2], 1: [0, 2], 2: [0, 1]})
+        b = Network(
+            {0: [1, 2], 1: [0, 2], 2: [0, 1]}, neighbor_orders={0: [2, 1]}
+        )
+        assert probe.node_actions(0, a)[0].name == "1-2"
+        assert probe.node_actions(0, b)[0].name == "2-1"
+        # And the first network's entry is still intact.
+        assert probe.node_actions(0, a)[0].name == "1-2"
+
+    def test_cache_entries_die_with_their_network(self) -> None:
+        """Transient networks must not leak cache entries (or, worse,
+        leave stale entries a later network with a recycled ``id`` could
+        inherit, the failure mode of keying on ``id(network)``)."""
+        import gc
+
+        probe = _OrderProbe()
+        for _ in range(32):
+            net = Network({0: [1], 1: [0]})
+            probe.node_actions(0, net)
+            del net
+        gc.collect()
+        assert len(probe._action_cache) == 0
+
+
+class TestIncrementalEnabledMap:
+    def _net(self) -> Network:
+        # 0-1-2-3-4 line: node 4 is two hops from a change at {0, 1}.
+        return Network({0: [1], 1: [0, 2], 2: [1, 3], 3: [2, 4], 4: [3]})
+
+    def test_matches_full_recompute_and_order(self) -> None:
+        net = self._net()
+        protocol = MaxProtocol()
+        before = Configuration(tuple(IntState(v) for v in (9, 0, 0, 0, 5)))
+        enabled = protocol.enabled_map(before, net)
+        after = before.replace({1: IntState(9)})
+        incremental = protocol.enabled_map_incremental(
+            enabled, after, net, {1}
+        )
+        full = protocol.enabled_map(after, net)
+        assert incremental == full
+        assert list(incremental) == list(full)
+
+    def test_nodes_outside_dirty_region_keep_previous_entries(self) -> None:
+        net = self._net()
+        protocol = MaxProtocol()
+        before = Configuration(tuple(IntState(v) for v in (9, 0, 0, 0, 5)))
+        enabled = protocol.enabled_map(before, net)
+        after = before.replace({1: IntState(9)})
+        incremental = protocol.enabled_map_incremental(
+            enabled, after, net, {1}
+        )
+        # Node 3 is outside {1} ∪ N({1}) = {0, 1, 2}: its entry is the
+        # carried-over list object, not a re-evaluated one.
+        assert incremental[3] is enabled[3]
+
+    def test_empty_dirty_set_is_identity(self) -> None:
+        net = self._net()
+        protocol = MaxProtocol()
+        cfg = Configuration(tuple(IntState(v) for v in (9, 0, 0, 0, 5)))
+        enabled = protocol.enabled_map(cfg, net)
+        assert protocol.enabled_map_incremental(enabled, cfg, net, set()) == (
+            enabled
+        )
