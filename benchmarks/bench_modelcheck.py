@@ -1,0 +1,191 @@
+"""M-memo — snap-safety model checker: memoized vs direct enumeration.
+
+The exhaustive snap-safety check enumerates every initiation
+configuration and every daemon selection; PR 2 added a shared
+:class:`~repro.verification.model_check.ModelCheckMemo` engine whose
+local-view memo caches guard/statement/join evaluation per
+``(node, 1-hop view)`` across the whole sweep (see docs/API.md
+«Model-checker memoization»).
+
+This bench runs ``check_snap_safety`` twice per case — memo off, memo
+on — on the standard small networks, asserts the two runs produce
+bit-identical verdicts and coverage counters, and reports wall-clock
+plus states/second for both.  The speedup is locality-dependent: sparse
+topologies (lines) are the headline cases, ``complete-3`` is the dense
+reference where 1-hop views span the whole configuration and the memo
+approaches parity.  Results go to ``BENCH_modelcheck.json`` at the
+repository root::
+
+    pytest benchmarks/bench_modelcheck.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro.graphs import complete, line
+from repro.verification import ModelCheckResult, check_snap_safety
+
+from benchmarks.common import JSON_REPORTS, TableCollector
+
+TABLE = TableCollector(
+    "M-memo — snap-safety checker: wall-clock, memo vs direct",
+    columns=[
+        "case", "engine", "configs", "states", "seconds", "states/sec",
+    ],
+)
+
+#: ``case -> (network factory, max_configurations cap)``.  ``None`` means
+#: the full initiation-configuration sweep.
+CASES: dict[str, tuple] = {
+    "line-3-full": (lambda: line(3), None),
+    "line-5-cap300": (lambda: line(5), 300),
+    "line-4-cap1200": (lambda: line(4), 1200),
+    "complete-3-full": (lambda: complete(3), None),
+}
+
+#: Per-run timing repeats; best-of is reported to damp scheduler noise.
+REPEATS = 3
+
+#: ``(case, engine) -> {"seconds", "states_per_sec", result fields...}``
+RESULTS: dict[tuple[str, str], dict] = {}
+
+
+def _counterexample_key(result: ModelCheckResult) -> list[tuple]:
+    return [
+        (c.initial, c.schedule, c.message) for c in result.counterexamples
+    ]
+
+
+def _measure(case: str, memo: bool) -> dict:
+    build, cap = CASES[case]
+    best: ModelCheckResult | None = None
+    seconds = float("inf")
+    for _ in range(REPEATS):
+        net = build()
+        start = time.perf_counter()
+        result = check_snap_safety(
+            net, max_configurations=cap, memo=memo
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < seconds:
+            seconds = elapsed
+            best = result
+    assert best is not None
+    return {
+        "seconds": seconds,
+        "states_per_sec": (
+            best.states_explored / seconds if seconds > 0 else 0.0
+        ),
+        "result": best,
+    }
+
+
+def _memory_probe(case: str) -> int:
+    """Peak allocation of one memoized run (outside the timing loop —
+    tracemalloc's tracking overhead would skew the clock)."""
+    build, cap = CASES[case]
+    net = build()
+    tracemalloc.start()
+    try:
+        check_snap_safety(net, max_configurations=cap, memo=True)
+        _, peak_bytes = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak_bytes
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_modelcheck_memo_speedup(case: str, benchmark) -> None:
+    direct = _measure(case, memo=False)
+    memoized = benchmark.pedantic(
+        lambda: _measure(case, memo=True), rounds=1, iterations=1
+    )
+    peak_bytes = _memory_probe(case)
+
+    on: ModelCheckResult = memoized["result"]
+    off: ModelCheckResult = direct["result"]
+
+    # Bit-identical semantics: the memo may only change the clock.
+    assert on.ok == off.ok
+    assert on.complete == off.complete
+    assert on.truncation == off.truncation
+    assert on.configurations_checked == off.configurations_checked
+    assert on.states_explored == off.states_explored
+    assert on.transitions_explored == off.transitions_explored
+    assert _counterexample_key(on) == _counterexample_key(off)
+    assert on.ok  # the unablated protocol is snap-safe
+
+    # Satellite 2: schedule reconstruction keeps only compact
+    # (parent id, step) pairs — bounded by the states actually explored.
+    assert on.stats is not None
+    assert on.stats.peak_parent_entries <= on.states_explored + 1
+    # The whole memoized sweep (memo tables included) stays small.
+    assert peak_bytes < 256 * 1024 * 1024
+
+    for engine, m in (("direct", direct), ("memo", memoized)):
+        result: ModelCheckResult = m["result"]
+        RESULTS[(case, engine)] = {
+            "seconds": m["seconds"],
+            "states_per_sec": m["states_per_sec"],
+            "ok": result.ok,
+            "complete": result.complete,
+            "configurations_checked": result.configurations_checked,
+            "states_explored": result.states_explored,
+            "transitions_explored": result.transitions_explored,
+            "view_hit_rate": (
+                result.stats.view_hit_rate if engine == "memo" else None
+            ),
+            "interning_ratio": (
+                result.stats.interning_ratio if engine == "memo" else None
+            ),
+        }
+        TABLE.add(
+            {
+                "case": case,
+                "engine": engine,
+                "configs": result.configurations_checked,
+                "states": result.states_explored,
+                "seconds": round(m["seconds"], 4),
+                "states/sec": round(m["states_per_sec"]),
+            }
+        )
+
+    # Loose in-bench floor (CI-noise tolerant); the recorded baselines
+    # and benchmarks/check_regression.py guard the real ≥2× headline.
+    speedup = direct["seconds"] / memoized["seconds"]
+    assert speedup > 1.0, f"{case}: memo slower than direct ({speedup:.2f}x)"
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    cases = [
+        {"case": case, "engine": engine, **m}
+        for (case, engine), m in sorted(RESULTS.items())
+    ]
+    speedups = {}
+    for case, engine in RESULTS:
+        if engine != "memo":
+            continue
+        direct = RESULTS.get((case, "direct"))
+        if direct is None or direct["seconds"] == 0:
+            continue
+        speedups[case] = round(
+            direct["seconds"] / RESULTS[(case, "memo")]["seconds"], 2
+        )
+    return {
+        "benchmark": "snap-safety model checker (memo vs direct)",
+        "workload": (
+            f"check_snap_safety, best of {REPEATS} runs per engine, "
+            "bit-identical results asserted"
+        ),
+        "cases": cases,
+        "speedup_memo_over_direct": speedups,
+    }
+
+
+JSON_REPORTS.append(("BENCH_modelcheck.json", _build_report))

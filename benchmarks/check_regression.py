@@ -1,0 +1,118 @@
+"""Performance-regression gate over the committed benchmark baselines.
+
+Compares freshly generated benchmark reports (``BENCH_engine.json``,
+``BENCH_modelcheck.json`` at the repository root) against the committed
+baselines in ``benchmarks/baselines/`` and exits non-zero when any
+tracked speedup dropped by more than the threshold (default 10%)::
+
+    pytest benchmarks/ --benchmark-only -q     # regenerate the reports
+    python benchmarks/check_regression.py      # gate against baselines
+
+Only *drops* fail the gate — a faster-than-baseline run passes (refresh
+the baseline when an improvement is intentional).  A report or speedup
+key present in the baseline but missing from the fresh run also fails:
+silently losing coverage is itself a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``report filename -> key of its tracked speedup dict``.
+TRACKED: dict[str, str] = {
+    "BENCH_engine.json": "speedup_incremental_over_full",
+    "BENCH_modelcheck.json": "speedup_memo_over_direct",
+}
+
+__all__ = ["compare_speedups", "main"]
+
+
+def compare_speedups(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Return one failure message per regressed or missing case."""
+    failures = []
+    for case in sorted(baseline):
+        base = baseline[case]
+        if case not in current:
+            failures.append(f"{case}: missing from current report")
+            continue
+        now = current[case]
+        if base <= 0:
+            continue
+        drop = (base - now) / base
+        if drop > threshold:
+            failures.append(
+                f"{case}: {base:.2f}x -> {now:.2f}x ({drop:.0%} drop)"
+            )
+    return failures
+
+
+def _load(path: Path, key: str) -> dict[str, float] | None:
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    speedups = payload.get(key)
+    if not isinstance(speedups, dict):
+        return None
+    return speedups
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold benchmark speedup regressions"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+        help="directory holding the committed baseline reports",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the freshly generated reports",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum tolerated fractional drop (default: 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for filename, key in TRACKED.items():
+        baseline = _load(args.baseline_dir / filename, key)
+        if baseline is None:
+            print(f"{filename}: no baseline with {key!r}; skipped")
+            continue
+        current = _load(args.current_dir / filename, key)
+        if current is None:
+            print(
+                f"{filename}: FAIL — no current report with {key!r} "
+                f"in {args.current_dir} (run the benchmarks first)"
+            )
+            exit_code = 1
+            continue
+        failures = compare_speedups(baseline, current, args.threshold)
+        if failures:
+            print(f"{filename}: FAIL ({key})")
+            for line in failures:
+                print(f"  {line}")
+            exit_code = 1
+        else:
+            print(f"{filename}: ok ({len(baseline)} cases within threshold)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

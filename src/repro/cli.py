@@ -156,6 +156,7 @@ def _cmd_stabilize(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.graphs import complete, line
+    from repro.reporting import render_model_check
     from repro.verification import (
         check_convergence_synchronous,
         check_cycle_liveness_synchronous,
@@ -191,6 +192,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 "violations": len(result.counterexamples),
             }
         )
+        if result.stats is not None:
+            print(render_model_check(result))
+            print()
         if not result.ok:
             failed = True
             print(result.counterexamples[0].pretty(), file=sys.stderr)

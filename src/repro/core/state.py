@@ -44,6 +44,11 @@ class PifState(NodeState):
 
     The root's ``par`` is always ``None`` and its ``level`` always 0
     (the paper's constants ``Par_r = ⊥`` and ``L_r = 0``).
+
+    The hash is computed once and cached: the exhaustive model checker
+    hashes the same state objects millions of times (configuration
+    interning, visited-set and memo lookups), and a configuration shares
+    most of its state objects with its predecessor.
     """
 
     pif: Phase
@@ -51,6 +56,16 @@ class PifState(NodeState):
     level: int
     count: int
     fok: bool
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.pif, self.par, self.level, self.count, self.fok))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def brief(self) -> str:
         """Compact single-state rendering used in debug output."""

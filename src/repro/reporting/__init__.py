@@ -1,8 +1,9 @@
 """Reporting helpers shared by benchmarks and examples."""
 
+from repro.reporting.checks import render_model_check
 from repro.reporting.tables import format_check, render_table
 
-__all__ = ["format_check", "render_table"]
+__all__ = ["format_check", "render_model_check", "render_table"]
 
 from repro.reporting.render import (
     PhaseTimeline,

@@ -266,6 +266,43 @@ class Protocol(ABC):
                     enabled[node] = prev
         return enabled
 
+    def execute_selection(
+        self,
+        configuration: Configuration,
+        network: Network,
+        selection: dict[int, Action],
+        *,
+        cache: EvalCache | None = None,
+        next_state: Callable[[int, Action], NodeState] | None = None,
+    ) -> tuple[Configuration, set[int]]:
+        """Execute one computation step and return ``(after, dirty)``.
+
+        All selected actions read ``configuration`` and their writes land
+        simultaneously in the returned successor.  ``dirty`` is the set
+        of nodes whose state actually changed — writes with
+        ``new == old`` rewrite no variable, so they are excluded, which
+        both shrinks the dirty region for
+        :meth:`enabled_map_incremental` and lets
+        :meth:`Configuration.replace` return ``configuration`` unchanged
+        for a fully no-op step.
+
+        ``next_state`` is the memo-aware variant's hook: when given, it
+        replaces direct statement execution with a callable
+        ``(node, action) -> NodeState`` (e.g. a local-view memo of the
+        model checker).  Because statements are pure functions of the
+        node's 1-hop view, a memoized lookup must return exactly what
+        :meth:`Action.execute` would.
+        """
+        updates: dict[int, NodeState] = {}
+        for p, action in selection.items():
+            if next_state is not None:
+                state = next_state(p, action)
+            else:
+                state = action.execute(Context(p, network, configuration, cache))
+            if state != configuration[p]:
+                updates[p] = state
+        return configuration.replace(updates), set(updates)
+
     def is_enabled(
         self, configuration: Configuration, network: Network, node: int
     ) -> bool:

@@ -23,7 +23,7 @@ from typing import Callable, Iterable, Protocol as TypingProtocol, Sequence
 from repro.errors import ScheduleError, SimulationLimitError, VerificationError
 from repro.runtime.daemons import Daemon, SynchronousDaemon
 from repro.runtime.network import Network
-from repro.runtime.protocol import Action, Context, Protocol
+from repro.runtime.protocol import Action, Protocol
 from repro.runtime.rounds import RoundCounter
 from repro.runtime.state import Configuration
 from repro.runtime.trace import StepRecord, Trace
@@ -251,17 +251,11 @@ class Simulator:
         before = self._configuration
         # Statements execute against ``before`` — the same configuration
         # the current enabled map was evaluated on — so they share its
-        # evaluation cache.
-        updates = {
-            p: action.execute(Context(p, self.network, before, self._eval_cache))
-            for p, action in selection.items()
-        }
-        # A write that does not change the state cannot change anyone's
-        # enabledness; dropping it both shrinks the dirty set and lets
-        # Configuration.replace return ``before`` unchanged when the
-        # whole step is a no-op.
-        dirty = {p for p, state in updates.items() if state != before[p]}
-        after = before.replace({p: updates[p] for p in dirty})
+        # evaluation cache.  No-op writes are excluded from the dirty set
+        # by execute_selection.
+        after, dirty = self.protocol.execute_selection(
+            before, self.network, selection, cache=self._eval_cache
+        )
 
         self._configuration = after
         if not dirty:

@@ -13,7 +13,7 @@ from typing import Any, Iterator, Mapping, TypeVar
 
 from repro.errors import ProtocolError
 
-__all__ = ["NodeState", "Configuration"]
+__all__ = ["NodeState", "Configuration", "InternTable"]
 
 
 class NodeState:
@@ -78,6 +78,8 @@ class Configuration:
         return Configuration(tuple(states))
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Configuration):
             return NotImplemented
         return self._states == other._states
@@ -90,3 +92,37 @@ class Configuration:
     def __repr__(self) -> str:
         inner = ", ".join(f"{i}:{s!r}" for i, s in enumerate(self._states))
         return f"Configuration({inner})"
+
+
+class InternTable:
+    """Canonicalizing table for :class:`Configuration` objects.
+
+    ``intern`` maps every equal configuration to one representative
+    object, so memo keys and visited-set members built from interned
+    configurations share storage, their cached hashes are computed once,
+    and equality checks between them short-circuit on identity.  The
+    table grows with the number of *distinct* configurations seen — the
+    same asymptotic footprint as any visited set holding them.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: dict[Configuration, Configuration] = {}
+        #: Lookups resolved to an already-interned object.
+        self.hits = 0
+        #: Lookups that inserted a new representative.
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def intern(self, configuration: Configuration) -> Configuration:
+        """Return the canonical object equal to ``configuration``."""
+        canonical = self._table.get(configuration)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        self._table[configuration] = configuration
+        self.misses += 1
+        return configuration

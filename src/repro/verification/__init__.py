@@ -2,24 +2,32 @@
 
 from repro.verification.model_check import (
     Counterexample,
+    ModelCheckMemo,
     ModelCheckResult,
+    ModelCheckStats,
     WaveTag,
     apply_selection,
+    apply_selection_dirty,
     check_cycle_liveness_synchronous,
     check_snap_safety,
     enumerate_initiation_configurations,
     node_state_domain,
+    replay_counterexample,
 )
 
 __all__ = [
     "Counterexample",
+    "ModelCheckMemo",
     "ModelCheckResult",
+    "ModelCheckStats",
     "WaveTag",
     "apply_selection",
+    "apply_selection_dirty",
     "check_cycle_liveness_synchronous",
     "check_snap_safety",
     "enumerate_initiation_configurations",
     "node_state_domain",
+    "replay_counterexample",
 ]
 
 from repro.verification.convergence import (

@@ -22,19 +22,27 @@ coverage honestly.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterator
 
 from repro.analysis import bounds
 from repro.core import definitions as defs
 from repro.core.pif import SnapPif
 from repro.core.state import PifConstants, PifState
+from repro.errors import ScheduleError, VerificationError
+from repro.runtime.daemons import ReplayDaemon
 from repro.runtime.network import Network
 from repro.runtime.simulator import Simulator
 from repro.runtime.state import Configuration
 from repro.verification.model_check import (
+    DEFAULT_MEMO_CAPACITY,
     Counterexample,
+    ModelCheckMemo,
     ModelCheckResult,
+    ModelCheckStats,
+    _memo_enabled_default,
     _selections,
+    _validate_default,
     apply_selection,
     node_state_domain,
 )
@@ -87,6 +95,9 @@ def check_convergence_synchronous(
             and result.configurations_checked >= max_configurations
         ):
             result.complete = False
+            result.truncation = (
+                f"max_configurations={max_configurations} reached"
+            )
             break
         result.configurations_checked += 1
 
@@ -122,6 +133,7 @@ def check_convergence_synchronous(
             )
         if len(result.counterexamples) >= 5:
             result.complete = False
+            result.truncation = "stopped after 5 counterexamples"
             break
     return result
 
@@ -132,47 +144,145 @@ def check_normal_closure(
     *,
     protocol: SnapPif | None = None,
     max_configurations: int | None = None,
+    memo: bool | None = None,
+    validate_memo: bool | None = None,
+    replay_counterexamples: bool = True,
 ) -> ModelCheckResult:
     """No daemon choice leads from an all-normal configuration to an abnormal one.
 
     Enumerates every configuration, keeps the normal ones, and applies
-    every possible selection one step.
+    every possible selection one step.  With the memo engine on (the
+    default; ``REPRO_MODELCHECK_MEMO=0`` disables) guard and statement
+    evaluation goes through the local-view memo of
+    :class:`~repro.verification.model_check.ModelCheckMemo`; the
+    ``(configuration, selection)`` pairs of this sweep never recur, so
+    successors bypass the transition memo entirely
+    (:meth:`~repro.verification.model_check.ModelCheckMemo.successor`).
+    Counterexamples are confirmed by replaying the single offending step
+    through the real simulator (``replay_counterexamples``).
     """
     if protocol is None:
         protocol = SnapPif.for_network(network, root)
     k = protocol.constants
+    if memo is None:
+        memo = _memo_enabled_default()
+    if validate_memo is None:
+        validate_memo = _validate_default()
+    engine = (
+        ModelCheckMemo(
+            protocol,
+            network,
+            capacity=DEFAULT_MEMO_CAPACITY,
+            validate=validate_memo,
+        )
+        if memo
+        else None
+    )
     result = ModelCheckResult(property_name="closure of normal configurations")
+    stats = ModelCheckStats(
+        memo_enabled=engine is not None,
+        memo_capacity=DEFAULT_MEMO_CAPACITY if engine is not None else 0,
+    )
+    result.stats = stats
 
-    for config in enumerate_all_configurations(network, k):
-        if not defs.is_normal_configuration(config, network, k):
-            continue
-        if (
-            max_configurations is not None
-            and result.configurations_checked >= max_configurations
-        ):
-            result.complete = False
-            break
-        result.configurations_checked += 1
-        # One evaluation cache per configuration: the guard pass and all
-        # of the exhaustive daemon's selections execute against it.
-        cache: dict = {}
-        enabled = protocol.enabled_map(config, network, cache=cache)
-        for selection in _selections(enabled):
-            result.transitions_explored += 1
-            after = apply_selection(
-                protocol, network, config, selection, cache=cache
+    def emit(config: Configuration, step: tuple, bad: set[int]) -> None:
+        counterexample = Counterexample(
+            config,
+            (step,),
+            f"processors {sorted(bad)} abnormal after a step "
+            f"from a normal configuration",
+        )
+        if replay_counterexamples:
+            _replay_closure_counterexample(
+                protocol, network, k, counterexample
             )
-            bad = defs.abnormal_nodes(after, network, k)
-            if bad:
-                step = tuple(sorted((p, a.name) for p, a in selection.items()))
-                result.counterexamples.append(
-                    Counterexample(
-                        config,
-                        (step,),
-                        f"processors {sorted(bad)} abnormal after a step "
-                        f"from a normal configuration",
-                    )
+        result.counterexamples.append(counterexample)
+
+    start = time.perf_counter()
+    try:
+        for config in enumerate_all_configurations(network, k):
+            if not defs.is_normal_configuration(config, network, k):
+                continue
+            if (
+                max_configurations is not None
+                and result.configurations_checked >= max_configurations
+            ):
+                result.complete = False
+                result.truncation = (
+                    f"max_configurations={max_configurations} reached"
                 )
-                if len(result.counterexamples) >= 5:
-                    return result
+                break
+            result.configurations_checked += 1
+            if engine is not None:
+                config = engine.interner.intern(config)
+                enabled = engine.enabled_map(config)
+                for selection, step in _selections(enabled):
+                    result.transitions_explored += 1
+                    after, _dirty = engine.successor(config, selection)
+                    bad = defs.abnormal_nodes(after, network, k)
+                    if bad:
+                        emit(config, step, bad)
+                        if len(result.counterexamples) >= 5:
+                            return result
+            else:
+                # One evaluation cache per configuration: the guard pass
+                # and all of the exhaustive daemon's selections execute
+                # against it.
+                cache: dict = {}
+                enabled = protocol.enabled_map(config, network, cache=cache)
+                for selection, step in _selections(enabled):
+                    result.transitions_explored += 1
+                    after = apply_selection(
+                        protocol, network, config, selection, cache=cache
+                    )
+                    bad = defs.abnormal_nodes(after, network, k)
+                    if bad:
+                        emit(config, step, bad)
+                        if len(result.counterexamples) >= 5:
+                            return result
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.states_per_second = (
+            result.transitions_explored / stats.elapsed_seconds
+            if stats.elapsed_seconds > 0
+            else 0.0
+        )
+        if engine is not None:
+            engine.fill_stats(stats)
     return result
+
+
+def _replay_closure_counterexample(
+    protocol: SnapPif,
+    network: Network,
+    k: PifConstants,
+    counterexample: Counterexample,
+) -> None:
+    """Confirm a closure counterexample by executing its one step for real.
+
+    Runs the recorded selection through the simulator with a scripted
+    daemon (which verifies every selected action is genuinely enabled)
+    and re-derives the abnormal set on the resulting configuration.
+    """
+    (step,) = counterexample.schedule
+    sim = Simulator(
+        protocol,
+        network,
+        ReplayDaemon([dict(step)]),
+        configuration=counterexample.initial,
+    )
+    try:
+        if sim.step() is None:
+            raise VerificationError(
+                "closure counterexample replays to a terminal configuration"
+            )
+    except ScheduleError as exc:
+        raise VerificationError(
+            f"closure counterexample schedule is not executable: {exc}"
+        ) from exc
+    bad = defs.abnormal_nodes(sim.configuration, network, k)
+    if not bad:
+        raise VerificationError(
+            "closure counterexample did not reproduce: no abnormal "
+            "processor after replaying the recorded step"
+        )

@@ -23,7 +23,9 @@ like :class:`~repro.core.monitor.PifCycleMonitor`:
   never abort or double-start the wave.
 
 Any violation yields a replayable counterexample (initial configuration
-plus schedule).
+plus schedule); by default every counterexample is immediately replayed
+through the real :class:`~repro.runtime.simulator.Simulator` with a
+scripted daemon to confirm it (:func:`replay_counterexample`).
 
 **Liveness** (:func:`check_cycle_liveness_synchronous`).  Under the
 synchronous daemon the system is deterministic (given the program-order
@@ -32,37 +34,91 @@ running every initiation configuration to cycle completion within the
 Theorem 4 + Theorem 3 budget.  Liveness under weakly fair asynchronous
 daemons is exercised statistically by the randomized experiments (E6).
 
+**The memo engine.**  Initiation configurations share most of their
+explored cores, so after the incremental enabled maps of PR 1 the hot
+path is successor computation.  :class:`ModelCheckMemo` removes the
+redundancy at three layers, all exact (see docs/API.md and DESIGN.md §7):
+
+1. an interned-configuration table — equal configurations become
+   pointer-identical, so memo keys and visited-set lookups hash once and
+   compare by identity;
+2. a *local-view* memo — a guard/statement/``join_parent`` of processor
+   ``p`` is a pure function of ``p``'s own state and its neighbors'
+   states (``Context`` enforces the locally-shared-memory footprint), so
+   enabled-action lists, next states and join parents are cached per
+   ``(node, view)``;
+3. a bounded LRU **transition memo** keyed by
+   ``(configuration, selection signature)`` holding the already-computed
+   ``(successor, dirty set, join parents)`` — shared across all
+   initiation configurations and all first selections, so a transition
+   explored from one entry path is never recomputed from another —
+   plus an enabled-map-by-configuration cache for successors.
+
+``REPRO_MODELCHECK_MEMO=0`` disables the engine;
+``REPRO_MODELCHECK_VALIDATE=1`` cross-checks every memoized result
+against the direct path (mirroring ``REPRO_ENGINE_VALIDATE``).
+
 The state space grows as the product of per-node domains; the functions
-take explicit budgets and report exactly what was covered.
+take explicit budgets, terminate the whole enumeration the moment a
+budget is exhausted, and report exactly what was covered
+(:attr:`ModelCheckResult.truncation`).
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.analysis import bounds
 from repro.core.monitor import PifCycleMonitor
 from repro.core.pif import SnapPif
 from repro.core.state import Phase, PifConstants, PifState
-from repro.errors import VerificationError
+from repro.errors import ScheduleError, VerificationError
+from repro.runtime.daemons import ReplayDaemon
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context
 from repro.runtime.simulator import Simulator
-from repro.runtime.state import Configuration
+from repro.runtime.state import Configuration, InternTable
 
 __all__ = [
     "WaveTag",
     "Counterexample",
     "ModelCheckResult",
+    "ModelCheckStats",
+    "ModelCheckMemo",
+    "DEFAULT_MEMO_CAPACITY",
     "node_state_domain",
     "enumerate_initiation_configurations",
     "apply_selection",
     "apply_selection_dirty",
     "check_snap_safety",
     "check_cycle_liveness_synchronous",
+    "replay_counterexample",
 ]
+
+#: Default bound on cached transitions (and cached successor enabled
+#: maps) in :class:`ModelCheckMemo` — keeps memory predictable on
+#: ``max_states``-scale runs; evictions are counted in the stats.
+DEFAULT_MEMO_CAPACITY = 262_144
+
+#: Safety valve on the total number of local-view memo entries.  View
+#: domains are products of tiny per-node state domains, so this is
+#: effectively never hit on the graph sizes the exhaustive checker can
+#: cover; if it is, the view tables are cleared wholesale.
+DEFAULT_VIEW_CAPACITY = 1_048_576
+
+
+def _memo_enabled_default() -> bool:
+    """``REPRO_MODELCHECK_MEMO=0`` is the escape hatch; anything else is on."""
+    return os.environ.get("REPRO_MODELCHECK_MEMO", "") != "0"
+
+
+def _validate_default() -> bool:
+    return os.environ.get("REPRO_MODELCHECK_VALIDATE", "") not in ("", "0")
 
 
 # ----------------------------------------------------------------------
@@ -149,13 +205,15 @@ def apply_selection_dirty(
 ) -> tuple[Configuration, set[int]]:
     """Like :func:`apply_selection`, also returning the set of nodes whose
     state actually changed (no-op writes excluded) — the dirty set for
-    :meth:`~repro.runtime.protocol.Protocol.enabled_map_incremental`."""
-    updates = {}
-    for p, action in selection.items():
-        state = action.execute(Context(p, network, configuration, cache))
-        if state != configuration[p]:
-            updates[p] = state
-    return configuration.replace(updates), set(updates)
+    :meth:`~repro.runtime.protocol.Protocol.enabled_map_incremental`.
+
+    Delegates to :meth:`~repro.runtime.protocol.Protocol.execute_selection`,
+    whose ``next_state`` hook is how :class:`ModelCheckMemo` substitutes
+    local-view lookups for direct statement execution.
+    """
+    return protocol.execute_selection(
+        configuration, network, selection, cache=cache
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,11 +223,24 @@ class WaveTag:
     ``members`` is the set of processors that received ``m`` (the root's
     wave tree, provenance-tracked); ``acked`` the members whose F-action
     has fired; ``feedback_done`` whether the root has fed back.
+
+    The hash is cached like :class:`~repro.core.state.PifState`'s: every
+    visited-set and frontier membership test hashes the tag.
     """
 
     members: frozenset[int]
     acked: frozenset[int]
     feedback_done: bool
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.members, self.acked, self.feedback_done))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def advance(
         self,
@@ -177,12 +248,23 @@ class WaveTag:
         network: Network,
         before: Configuration,
         selection: dict[int, Action],
+        *,
+        joins: Mapping[int, int | None] | None = None,
+        step: tuple[tuple[int, str], ...] | None = None,
     ) -> tuple["WaveTag | None", str | None]:
         """Update the tag across one step.
 
         Returns ``(new_tag, violation)``.  ``new_tag`` is ``None`` when
         the wave is over (root's C-action after feedback).  ``violation``
         is a message when a snap condition failed in this step.
+
+        ``joins`` optionally supplies the precomputed join parent for
+        every non-root B-action in ``selection`` (the only
+        configuration-dependent input of the advance, memoized by the
+        transition memo); without it the parent is derived from
+        ``before`` directly.  ``step`` optionally supplies ``selection``
+        as the already-sorted ``((node, action name), ...)`` signature
+        so the advance need not re-sort it.
         """
         root = protocol.root
         n = network.n
@@ -190,8 +272,11 @@ class WaveTag:
         acked = set(self.acked)
         feedback_done = self.feedback_done
 
-        for node, action in sorted(selection.items()):
-            name = action.name
+        if step is None:
+            step = tuple(
+                sorted((p, a.name) for p, a in selection.items())
+            )
+        for node, name in step:
             if node == root:
                 if name == "F-action":
                     if len(members) != n:
@@ -215,9 +300,12 @@ class WaveTag:
                     return self, "root re-broadcast inside an open cycle"
             else:
                 if name == "B-action":
-                    parent = protocol.join_parent(
-                        Context(node, network, before)
-                    )
+                    if joins is None:
+                        parent = protocol.join_parent(
+                            Context(node, network, before)
+                        )
+                    else:
+                        parent = joins[node]
                     if parent in members:
                         members.add(node)
                 elif name == "F-action":
@@ -251,6 +339,49 @@ class Counterexample:
 
 
 @dataclass
+class ModelCheckStats:
+    """Instrumentation of one exhaustive check (attached to the result).
+
+    ``memo_*`` counters cover the transition memo, ``view_*`` the
+    local-view guard/statement/join memo; ``intern_hits`` counts
+    configuration-intern lookups resolved to an existing object.
+    """
+
+    memo_enabled: bool = False
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
+    memo_entries: int = 0
+    memo_capacity: int = 0
+    view_hits: int = 0
+    view_misses: int = 0
+    view_evictions: int = 0
+    interned_configurations: int = 0
+    intern_hits: int = 0
+    #: Largest per-first-selection schedule-reconstruction table (one
+    #: compact ``(parent id, step)`` entry per discovered state).
+    peak_parent_entries: int = 0
+    elapsed_seconds: float = 0.0
+    states_per_second: float = 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+    @property
+    def view_hit_rate(self) -> float:
+        total = self.view_hits + self.view_misses
+        return self.view_hits / total if total else 0.0
+
+    @property
+    def interning_ratio(self) -> float:
+        """Fraction of intern lookups that deduplicated to an existing object."""
+        total = self.intern_hits + self.interned_configurations
+        return self.intern_hits / total if total else 0.0
+
+
+@dataclass
 class ModelCheckResult:
     """Outcome of an exhaustive check."""
 
@@ -262,6 +393,12 @@ class ModelCheckResult:
     #: True when every enumerated configuration was fully explored
     #: within the budgets.
     complete: bool = True
+    #: When a budget stopped the enumeration, where and why (``None``
+    #: for a fully completed check).
+    truncation: str | None = None
+    #: Memo/interning/throughput instrumentation for the checkers that
+    #: collect it (``None`` otherwise).
+    stats: ModelCheckStats | None = None
 
     @property
     def ok(self) -> bool:
@@ -278,17 +415,417 @@ class ModelCheckResult:
 
 
 # ----------------------------------------------------------------------
+# The memo engine
+# ----------------------------------------------------------------------
+_MISS = object()
+
+
+class _LruCache:
+    """Bounded mapping with LRU eviction and hit/miss/eviction counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+
+
+class ModelCheckMemo:
+    """Global, bounded memoization shared across a whole exhaustive check.
+
+    Everything cached here is a pure function of a configuration (or of
+    a node's 1-hop view of one), so entries stay valid for the lifetime
+    of the ``(protocol, network)`` pair regardless of the path that
+    reached a configuration — the soundness argument is spelled out in
+    DESIGN.md §7.  ``validate=True`` re-derives every memoized answer
+    through the direct path and raises
+    :class:`~repro.errors.VerificationError` on any divergence.
+    """
+
+    def __init__(
+        self,
+        protocol: SnapPif,
+        network: Network,
+        *,
+        capacity: int = DEFAULT_MEMO_CAPACITY,
+        view_capacity: int = DEFAULT_VIEW_CAPACITY,
+        validate: bool = False,
+    ) -> None:
+        self.protocol = protocol
+        self.network = network
+        self.validate = validate
+        self.interner = InternTable()
+        #: ``(configuration, selection signature) -> (successor, dirty, joins)``
+        self.transitions = _LruCache(capacity)
+        self._nodes = tuple(network.nodes)
+        self._neighbors = {p: network.neighbors(p) for p in self._nodes}
+        self._root = protocol.root
+        #: Per-node read footprint: the node itself plus its neighbors,
+        #: as one index tuple so a view is a single C-level ``map``.
+        self._view_idx = {
+            p: (p, *network.neighbors(p)) for p in self._nodes
+        }
+        self._enabled_views: dict[int, dict] = {p: {} for p in self._nodes}
+        #: ``node -> action name -> {view: next state}`` — nested so the
+        #: hot lookup hashes a cached string instead of building a
+        #: ``(name, view)`` tuple per call.
+        self._next_views: dict[int, dict[str, dict]] = {
+            p: {a.name: {} for a in protocol.node_actions(p, network)}
+            for p in self._nodes
+        }
+        self._join_views: dict[int, dict] = {p: {} for p in self._nodes}
+        #: ``(tag, step, join parents) -> (new tag, violation)`` — the
+        #: wave-tag advance is a pure function of those three inputs
+        #: once the join parents are pinned, and the cached result
+        #: canonicalizes tag objects (one object per distinct tag value,
+        #: so visited-set members hash once and compare by identity).
+        self._advance_cache: dict = {}
+        self.view_capacity = view_capacity
+        self.view_hits = 0
+        self.view_misses = 0
+        self.view_evictions = 0
+        self._view_entries = 0
+
+    # -- local views ----------------------------------------------------
+    def _view(self, configuration: Configuration, node: int) -> tuple:
+        """The 1-hop state tuple a guard/statement at ``node`` can read."""
+        return tuple(
+            map(configuration.states.__getitem__, self._view_idx[node])
+        )
+
+    def _note_view_entry(self) -> None:
+        self._view_entries += 1
+        if self._view_entries > self.view_capacity:
+            for family in (self._enabled_views, self._join_views):
+                for table in family.values():
+                    table.clear()
+            for per_action in self._next_views.values():
+                for table in per_action.values():
+                    table.clear()
+            self._advance_cache.clear()
+            self.view_evictions += self._view_entries
+            self._view_entries = 0
+
+    def enabled_actions(
+        self, configuration: Configuration, node: int
+    ) -> list[Action]:
+        """Enabled actions of ``node``, memoized on its local view."""
+        view = self._view(configuration, node)
+        table = self._enabled_views[node]
+        actions = table.get(view, _MISS)
+        if actions is not _MISS:
+            self.view_hits += 1
+            return actions
+        self.view_misses += 1
+        actions = self.protocol.enabled_actions(
+            configuration, self.network, node, cache={}
+        )
+        table[view] = actions
+        self._note_view_entry()
+        return actions
+
+    def next_state(self, configuration: Configuration, node: int, action: Action):
+        """Result of ``action``'s statement at ``node``, memoized on its view."""
+        view = self._view(configuration, node)
+        table = self._next_views[node][action.name]
+        state = table.get(view, _MISS)
+        if state is not _MISS:
+            self.view_hits += 1
+            return state
+        self.view_misses += 1
+        state = action.execute(Context(node, self.network, configuration, {}))
+        table[view] = state
+        self._note_view_entry()
+        return state
+
+    def join_parent(self, configuration: Configuration, node: int) -> int | None:
+        """``protocol.join_parent`` memoized on the node's local view."""
+        view = self._view(configuration, node)
+        table = self._join_views[node]
+        parent = table.get(view, _MISS)
+        if parent is not _MISS:
+            self.view_hits += 1
+            return parent
+        self.view_misses += 1
+        parent = self.protocol.join_parent(
+            Context(node, self.network, configuration)
+        )
+        table[view] = parent
+        self._note_view_entry()
+        return parent
+
+    # -- enabled maps ---------------------------------------------------
+    def enabled_map(self, configuration: Configuration) -> dict[int, list[Action]]:
+        """Full enabled map via the view memo (ascending node order)."""
+        enabled: dict[int, list[Action]] = {}
+        for node in self._nodes:
+            actions = self.enabled_actions(configuration, node)
+            if actions:
+                enabled[node] = actions
+        if self.validate:
+            self._check_enabled(configuration, enabled, "full enabled map")
+        return enabled
+
+    def successor_enabled_map(
+        self,
+        prev_enabled: dict[int, list[Action]],
+        configuration: Configuration,
+        dirty,
+    ) -> dict[int, list[Action]]:
+        """Enabled map of a successor: an incremental dirty-region update
+        through the view memo (same region argument as
+        :meth:`~repro.runtime.protocol.Protocol.enabled_map_incremental`,
+        same ascending node order)."""
+        affected = set(dirty)
+        for p in tuple(affected):
+            affected.update(self._neighbors[p])
+        if affected:
+            enabled: dict[int, list[Action]] = {}
+            for node in self._nodes:
+                if node in affected:
+                    actions = self.enabled_actions(configuration, node)
+                    if actions:
+                        enabled[node] = actions
+                else:
+                    prev = prev_enabled.get(node)
+                    if prev is not None:
+                        enabled[node] = prev
+        else:
+            enabled = dict(prev_enabled)
+        if self.validate:
+            self._check_enabled(
+                configuration, enabled, "incremental enabled map"
+            )
+        return enabled
+
+    # -- transitions ----------------------------------------------------
+    def transition(
+        self,
+        configuration: Configuration,
+        selection: dict[int, Action],
+        signature: tuple,
+    ) -> tuple[Configuration, frozenset[int], dict[int, int | None]]:
+        """Memoized ``(successor, dirty set, join parents)`` of one step.
+
+        ``signature`` is the canonical ``((node, action name), ...)``
+        tuple of ``selection`` — the same object the checker uses as the
+        schedule step.  The join parents (the only configuration-
+        dependent input of :meth:`WaveTag.advance`) are stored for every
+        non-root B-action so a hit needs no guard, statement or macro
+        evaluation at all.
+        """
+        key = (configuration, signature)
+        entry = self.transitions.get(key)
+        if entry is None:
+            # Inlined single pass over the selection (the semantics of
+            # Protocol.execute_selection with the memoized next_state
+            # hook): next states and join parents come from the view
+            # memo; no-op writes stay out of the dirty set.
+            states = configuration.states
+            root = self._root
+            updates: dict[int, PifState] = {}
+            joins: dict[int, int | None] = {}
+            for p, action in selection.items():
+                state = self.next_state(configuration, p, action)
+                if state != states[p]:
+                    updates[p] = state
+                if p != root and action.name == "B-action":
+                    joins[p] = self.join_parent(configuration, p)
+            after = self.interner.intern(configuration.replace(updates))
+            entry = (after, updates, joins, tuple(joins.items()))
+            self.transitions.put(key, entry)
+        if self.validate:
+            self._check_transition(configuration, selection, entry)
+        return entry
+
+    def advance(
+        self,
+        tag: WaveTag,
+        configuration: Configuration,
+        selection: dict[int, Action],
+        step: tuple,
+        joins: dict[int, int | None],
+        joins_key: tuple,
+    ) -> tuple["WaveTag | None", str | None]:
+        """Memoized :meth:`WaveTag.advance`.
+
+        With the join parents pinned by the transition memo, the advance
+        is a pure function of ``(tag, step, joins)`` — the configuration
+        is never consulted.  Beyond skipping recomputation, the cache
+        canonicalizes the resulting tag objects, so visited-set members
+        built from them hash once and usually compare by identity.
+        """
+        key = (tag, step, joins_key)
+        cached = self._advance_cache.get(key, _MISS)
+        if cached is not _MISS:
+            self.view_hits += 1
+            return cached
+        self.view_misses += 1
+        cached = tag.advance(
+            self.protocol,
+            self.network,
+            configuration,
+            selection,
+            joins=joins,
+            step=step,
+        )
+        self._advance_cache[key] = cached
+        self._note_view_entry()
+        return cached
+
+    def successor(
+        self, configuration: Configuration, selection: dict[int, Action]
+    ) -> tuple[Configuration, set[int]]:
+        """Successor via the view memo, without a transition-memo entry.
+
+        Used by sweeps (e.g. the normal-closure checker) whose
+        ``(configuration, selection)`` pairs never recur, where storing
+        them would only churn the LRU.
+        """
+        after, dirty = self.protocol.execute_selection(
+            configuration,
+            self.network,
+            selection,
+            next_state=lambda p, a: self.next_state(configuration, p, a),
+        )
+        return self.interner.intern(after), dirty
+
+    # -- validation + stats ---------------------------------------------
+    def _check_enabled(
+        self, configuration: Configuration, enabled: dict, where: str
+    ) -> None:
+        full = self.protocol.enabled_map(configuration, self.network)
+        if full != enabled or list(full) != list(enabled):
+            raise VerificationError(
+                f"memoized {where} diverged from the direct path: "
+                f"memo={ {p: [a.name for a in v] for p, v in enabled.items()} } "
+                f"direct={ {p: [a.name for a in v] for p, v in full.items()} }"
+            )
+
+    def _check_transition(
+        self, configuration: Configuration, selection: dict, entry: tuple
+    ) -> None:
+        after, dirty, joins, _joins_key = entry
+        direct_after, direct_dirty = self.protocol.execute_selection(
+            configuration, self.network, selection, cache={}
+        )
+        direct_joins = {
+            p: self.protocol.join_parent(
+                Context(p, self.network, configuration)
+            )
+            for p, action in selection.items()
+            if p != self._root and action.name == "B-action"
+        }
+        if (
+            after != direct_after
+            or set(dirty) != direct_dirty
+            or joins != direct_joins
+        ):
+            raise VerificationError(
+                f"memoized transition diverged from the direct path for "
+                f"selection "
+                f"{sorted((p, a.name) for p, a in selection.items())}"
+            )
+
+    def fill_stats(self, stats: ModelCheckStats) -> None:
+        """Copy the engine's counters onto a stats block."""
+        stats.memo_hits = self.transitions.hits
+        stats.memo_misses = self.transitions.misses
+        stats.memo_evictions = self.transitions.evictions
+        stats.memo_entries = len(self.transitions)
+        stats.memo_capacity = self.transitions.capacity
+        stats.view_hits = self.view_hits
+        stats.view_misses = self.view_misses
+        stats.view_evictions = self.view_evictions
+        stats.interned_configurations = len(self.interner)
+        stats.intern_hits = self.interner.hits
+
+
+# ----------------------------------------------------------------------
 # Safety: exhaustive over all daemon choices
 # ----------------------------------------------------------------------
 def _selections(
     enabled: dict[int, list[Action]]
-) -> Iterator[dict[int, Action]]:
-    """Every daemon choice: non-empty node subsets × per-node action choices."""
+) -> Iterator[tuple[dict[int, Action], tuple[tuple[int, str], ...]]]:
+    """Every daemon choice: non-empty node subsets × per-node action choices.
+
+    Yields ``(selection, step)`` where ``step`` is the canonical sorted
+    ``((node, action name), ...)`` signature of the selection — built
+    here, where the subset is already in ascending order, so the hot
+    loops never re-sort it.  The signature doubles as the transition
+    memo key component and the schedule step.
+    """
     nodes = sorted(enabled)
     for size in range(1, len(nodes) + 1):
         for subset in itertools.combinations(nodes, size):
             for combo in itertools.product(*(enabled[p] for p in subset)):
-                yield dict(zip(subset, combo))
+                yield (
+                    dict(zip(subset, combo)),
+                    tuple((p, a.name) for p, a in zip(subset, combo)),
+                )
+
+
+def _initiation_selections(
+    enabled: dict[int, list[Action]], root: int, root_action: Action
+) -> Iterator[
+    tuple[
+        dict[int, Action],
+        tuple[tuple[int, str], ...],
+        tuple[tuple[int, str], ...],
+    ]
+]:
+    """The daemon choices containing the root's initiating action.
+
+    Equivalent to filtering :func:`_selections` down to the selections
+    in which the root executes ``root_action``, without materializing
+    the discarded ones.  Yields ``(selection, step, rest_step)`` with
+    ``step`` the full sorted signature and ``rest_step`` the signature
+    without the root's entry (the portion a :meth:`WaveTag.advance` of
+    the initiating step consumes).
+    """
+    others = sorted(p for p in enabled if p != root)
+    root_pair = (root, root_action.name)
+    for size in range(0, len(others) + 1):
+        for subset in itertools.combinations(others, size):
+            split = sum(1 for p in subset if p < root)
+            for combo in itertools.product(*(enabled[p] for p in subset)):
+                selection = dict(zip(subset, combo))
+                selection[root] = root_action
+                rest_step = tuple(
+                    (p, a.name) for p, a in zip(subset, combo)
+                )
+                step = (
+                    rest_step[:split] + (root_pair,) + rest_step[split:]
+                )
+                yield selection, step, rest_step
 
 
 def check_snap_safety(
@@ -299,6 +836,10 @@ def check_snap_safety(
     max_configurations: int | None = None,
     max_states: int = 5_000_000,
     stop_at_first: bool = True,
+    memo: bool | None = None,
+    memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+    validate_memo: bool | None = None,
+    replay_counterexamples: bool = True,
 ) -> ModelCheckResult:
     """Exhaustively verify PIF1/PIF2 safety for every initiated wave.
 
@@ -306,129 +847,348 @@ def check_snap_safety(
     every execution of the initiated wave under all daemon choices.
     States are memoized globally across initial configurations — the
     tagged state ``(configuration, wave tag)`` fully determines the
-    future, so each is explored once.
+    future, so each is explored once — and, with the memo engine on
+    (the default), so are transitions: a ``(configuration, selection)``
+    pair reached from any entry path reuses the cached successor, dirty
+    set, join parents and successor enabled map (see
+    :class:`ModelCheckMemo`).  The memoized and direct paths visit
+    identical states and transitions and return identical results.
+
+    ``memo`` defaults to the ``REPRO_MODELCHECK_MEMO`` environment
+    variable (``0`` disables); ``validate_memo`` to
+    ``REPRO_MODELCHECK_VALIDATE`` (cross-check every memoized answer
+    against the direct path).  When a budget (``max_states`` /
+    ``max_configurations``) is exhausted the *whole* enumeration stops
+    immediately and :attr:`ModelCheckResult.truncation` records where.
+    With ``replay_counterexamples`` (the default) every counterexample
+    is confirmed through :func:`replay_counterexample` before being
+    reported.
     """
     if protocol is None:
         protocol = SnapPif.for_network(network, root)
     k = protocol.constants
+    if memo is None:
+        memo = _memo_enabled_default()
+    if validate_memo is None:
+        validate_memo = _validate_default()
+    engine = (
+        ModelCheckMemo(
+            protocol, network, capacity=memo_capacity, validate=validate_memo
+        )
+        if memo
+        else None
+    )
     result = ModelCheckResult(property_name="snap-safety (PIF1 ∧ PIF2)")
+    stats = ModelCheckStats(
+        memo_enabled=engine is not None,
+        memo_capacity=memo_capacity if engine is not None else 0,
+    )
+    result.stats = stats
 
     visited: set[tuple[Configuration, WaveTag]] = set()
     root_b_action = protocol.node_actions(root, network)[0]
     assert root_b_action.name == "B-action"
 
-    for config in enumerate_initiation_configurations(network, k):
-        if (
-            max_configurations is not None
-            and result.configurations_checked >= max_configurations
-        ):
+    def out_of_budget() -> bool:
+        """Whole-enumeration budget guard: once ``max_states`` is spent,
+        no further initiation-step work happens anywhere."""
+        if result.states_explored < max_states:
+            return False
+        if result.truncation is None:
             result.complete = False
-            break
-        result.configurations_checked += 1
+            result.truncation = (
+                f"max_states={max_states} exhausted after "
+                f"{result.configurations_checked} initiation "
+                f"configuration(s); enumeration terminated"
+            )
+        return True
 
-        # The initiating step: the root's B-action fires, alone or with
-        # any other enabled processors.  Successor enabled maps are
-        # derived incrementally from the predecessor's map and the step's
-        # dirty set — guard evaluation cost scales with the 1-hop
-        # neighborhood of the changed nodes instead of with the network.
-        init_cache: dict = {}
-        enabled = protocol.enabled_map(config, network, cache=init_cache)
-        assert root in enabled and root_b_action in enabled[root]
-        for first in _selections(enabled):
-            if first.get(root) is not root_b_action:
-                continue
-            # The root's own B-action in this step *is* the initiation;
-            # only the other selected processors are advanced against it.
-            tag0 = WaveTag(frozenset({root}), frozenset(), False)
-            rest = {p: a for p, a in first.items() if p != root}
-            if rest:
-                tag, violation = tag0.advance(protocol, network, config, rest)
-            else:
-                tag, violation = tag0, None
-            after, dirty = apply_selection_dirty(
-                protocol, network, config, first, cache=init_cache
-            )
-            first_step = tuple(
-                sorted((p, a.name) for p, a in first.items())
-            )
-            if violation is not None:
-                result.counterexamples.append(
-                    Counterexample(config, (first_step,), violation)
+    def emit(counterexample: Counterexample) -> None:
+        if replay_counterexamples:
+            replay_counterexample(network, counterexample, protocol=protocol)
+        result.counterexamples.append(counterexample)
+
+    def explore() -> None:
+        # The tag of every freshly initiated wave: only the root is a
+        # member, nothing acknowledged, no feedback yet.
+        tag0 = WaveTag(frozenset({root}), frozenset(), False)
+        for config in enumerate_initiation_configurations(network, k):
+            if (
+                max_configurations is not None
+                and result.configurations_checked >= max_configurations
+            ):
+                result.complete = False
+                result.truncation = (
+                    f"max_configurations={max_configurations} reached"
                 )
-                if stop_at_first:
-                    return result
-                continue
-            assert tag is not None  # the wave cannot finish on step one
+                return
+            if out_of_budget():
+                return
+            result.configurations_checked += 1
 
-            after_enabled = protocol.enabled_map_incremental(
-                enabled, after, network, dirty, cache={}
-            )
-            stack: list[
-                tuple[Configuration, WaveTag, dict[int, list[Action]]]
-            ] = [(after, tag, after_enabled)]
-            parents: dict[
-                tuple[Configuration, WaveTag],
-                tuple[tuple[Configuration, WaveTag] | None, tuple],
-            ] = {(after, tag): (None, first_step)}
+            # The initiating step: the root's B-action fires, alone or
+            # with any other enabled processors.  Successor enabled maps
+            # are derived incrementally from the predecessor's map and
+            # the step's dirty set — guard evaluation cost scales with
+            # the 1-hop neighborhood of the changed nodes instead of
+            # with the network.
+            if engine is not None:
+                config = engine.interner.intern(config)
+                enabled = engine.enabled_map(config)
+                init_cache: dict | None = None
+            else:
+                init_cache = {}
+                enabled = protocol.enabled_map(config, network, cache=init_cache)
+            assert root in enabled and root_b_action in enabled[root]
 
-            while stack:
-                if result.states_explored >= max_states:
-                    result.complete = False
-                    stack.clear()
-                    break
-                current, current_tag, current_enabled = stack.pop()
-                state = (current, current_tag)
-                if state in visited:
+            for first, first_step, rest_step in _initiation_selections(
+                enabled, root, root_b_action
+            ):
+                if out_of_budget():
+                    return
+                # The root's own B-action in this step *is* the
+                # initiation; only the other selected processors
+                # (``rest_step``) are advanced against it.
+                rest = {p: a for p, a in first.items() if p != root}
+                if engine is not None:
+                    after, dirty, joins, joins_key = engine.transition(
+                        config, first, first_step
+                    )
+                    if rest:
+                        tag, violation = engine.advance(
+                            tag0, config, rest, rest_step, joins, joins_key
+                        )
+                    else:
+                        tag, violation = tag0, None
+                else:
+                    if rest:
+                        tag, violation = tag0.advance(
+                            protocol, network, config, rest, step=rest_step
+                        )
+                    else:
+                        tag, violation = tag0, None
+                    after, dirty = apply_selection_dirty(
+                        protocol, network, config, first, cache=init_cache
+                    )
+                if violation is not None:
+                    emit(Counterexample(config, (first_step,), violation))
+                    if stop_at_first:
+                        return
                     continue
-                visited.add(state)
-                result.states_explored += 1
-                # One evaluation cache for everything executed against
-                # ``current`` — the exhaustive daemon applies every
-                # selection to the same configuration.
-                step_cache: dict = {}
-                for selection in _selections(current_enabled):
-                    result.transitions_explored += 1
-                    new_tag, violation = current_tag.advance(
-                        protocol, network, current, selection
-                    )
-                    step = tuple(
-                        sorted((p, a.name) for p, a in selection.items())
-                    )
-                    if violation is not None:
-                        schedule = _reconstruct(parents, state) + (step,)
-                        result.counterexamples.append(
-                            Counterexample(config, schedule, violation)
-                        )
-                        if stop_at_first:
-                            return result
+                assert tag is not None  # the wave cannot finish on step one
+
+                start_state = (after, tag)
+                if engine is not None:
+                    if start_state in visited:
+                        # The entire subtree behind this initiation step
+                        # was already explored from another entry path —
+                        # the cross-initiation dedup the memo is for.
                         continue
-                    if new_tag is None:
-                        continue  # cycle completed cleanly on this path
-                    nxt_config, nxt_dirty = apply_selection_dirty(
-                        protocol, network, current, selection, cache=step_cache
+                    after_enabled = engine.successor_enabled_map(
+                        enabled, after, dirty
                     )
-                    nxt = (nxt_config, new_tag)
-                    if nxt not in visited and nxt not in parents:
-                        nxt_enabled = protocol.enabled_map_incremental(
-                            current_enabled,
-                            nxt_config,
-                            network,
-                            nxt_dirty,
-                            cache={},
+                else:
+                    after_enabled = protocol.enabled_map_incremental(
+                        enabled, after, network, dirty, cache={}
+                    )
+
+                # Schedule-reconstruction data, compact: states are
+                # numbered in discovery order and each holds one
+                # ``(parent id, step)`` pair; with interned
+                # configurations the step tuples are the only per-state
+                # payload.  Both tables are dropped as soon as this
+                # first-selection's DFS finishes — the only moment a
+                # schedule can still be requested from them.
+                parent_steps: list[tuple[int, tuple]] = [(-1, first_step)]
+                discovered: set[tuple[Configuration, WaveTag]] = {start_state}
+                stack: list[
+                    tuple[Configuration, WaveTag, dict[int, list[Action]], int]
+                ] = [(after, tag, after_enabled, 0)]
+
+                while stack:
+                    if out_of_budget():
+                        return
+                    current, current_tag, current_enabled, state_id = (
+                        stack.pop()
+                    )
+                    state = (current, current_tag)
+                    if state in visited:
+                        continue
+                    visited.add(state)
+                    result.states_explored += 1
+                    # One evaluation cache for everything executed
+                    # against ``current`` (direct path only — the memo
+                    # engine keys evaluations by local view instead).
+                    step_cache: dict | None = {} if engine is None else None
+                    for selection, step in _selections(current_enabled):
+                        result.transitions_explored += 1
+                        if engine is not None:
+                            nxt_config, nxt_dirty, joins, joins_key = (
+                                engine.transition(current, selection, step)
+                            )
+                            new_tag, violation = engine.advance(
+                                current_tag, current, selection, step,
+                                joins, joins_key,
+                            )
+                        else:
+                            new_tag, violation = current_tag.advance(
+                                protocol, network, current, selection,
+                                step=step,
+                            )
+                        if violation is not None:
+                            schedule = _reconstruct(
+                                parent_steps, state_id
+                            ) + (step,)
+                            emit(Counterexample(config, schedule, violation))
+                            if stop_at_first:
+                                return
+                            continue
+                        if new_tag is None:
+                            continue  # cycle completed cleanly on this path
+                        if engine is None:
+                            nxt_config, nxt_dirty = apply_selection_dirty(
+                                protocol,
+                                network,
+                                current,
+                                selection,
+                                cache=step_cache,
+                            )
+                        nxt = (nxt_config, new_tag)
+                        if nxt in visited or nxt in discovered:
+                            continue
+                        if engine is not None:
+                            nxt_enabled = engine.successor_enabled_map(
+                                current_enabled, nxt_config, nxt_dirty
+                            )
+                        else:
+                            nxt_enabled = protocol.enabled_map_incremental(
+                                current_enabled,
+                                nxt_config,
+                                network,
+                                nxt_dirty,
+                                cache={},
+                            )
+                        discovered.add(nxt)
+                        nxt_id = len(parent_steps)
+                        parent_steps.append((state_id, step))
+                        stack.append(
+                            (nxt_config, new_tag, nxt_enabled, nxt_id)
                         )
-                        parents[nxt] = (state, step)
-                        stack.append((nxt_config, new_tag, nxt_enabled))
+                if len(parent_steps) > stats.peak_parent_entries:
+                    stats.peak_parent_entries = len(parent_steps)
+
+    start = time.perf_counter()
+    try:
+        explore()
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.states_per_second = (
+            result.states_explored / stats.elapsed_seconds
+            if stats.elapsed_seconds > 0
+            else 0.0
+        )
+        if engine is not None:
+            engine.fill_stats(stats)
     return result
 
 
-def _reconstruct(parents: dict, state: tuple) -> tuple:
+def _reconstruct(
+    parent_steps: list[tuple[int, tuple]], state_id: int
+) -> tuple:
+    """Walk the compact id-based parent table back to the first step."""
     steps: list[tuple] = []
-    cursor = state
-    while cursor is not None:
-        parent, step = parents[cursor]
+    cursor = state_id
+    while cursor != -1:
+        cursor, step = parent_steps[cursor]
         steps.append(step)
-        cursor = parent
     return tuple(reversed(steps))
+
+
+# ----------------------------------------------------------------------
+# Counterexample replay
+# ----------------------------------------------------------------------
+def replay_counterexample(
+    network: Network,
+    counterexample: Counterexample,
+    *,
+    protocol: SnapPif | None = None,
+    root: int = 0,
+) -> str:
+    """Re-execute a counterexample through the real simulator and confirm it.
+
+    The schedule is replayed with a scripted daemon
+    (:class:`~repro.runtime.daemons.ReplayDaemon`) from the
+    counterexample's initial configuration — which proves every selected
+    action is genuinely enabled when scheduled — and the resulting trace
+    is walked with :meth:`WaveTag.advance` (direct evaluation, no memo)
+    to confirm the recorded PIF1/PIF2 violation occurs on the final
+    step.  This is the guard against a (hypothetically stale) memoized
+    transition producing a schedule that does not actually execute.
+
+    Returns the reproduced violation message; raises
+    :class:`~repro.errors.VerificationError` when the schedule is not
+    executable or reproduces a different outcome.
+    """
+    if protocol is None:
+        protocol = SnapPif.for_network(network, root)
+    ce = counterexample
+    if not ce.schedule:
+        raise VerificationError(
+            "counterexample has an empty schedule; nothing to replay"
+        )
+    schedule = [dict(step) for step in ce.schedule]
+    sim = Simulator(
+        protocol,
+        network,
+        ReplayDaemon(schedule),
+        configuration=ce.initial,
+        trace_level="configurations",
+    )
+    try:
+        for _ in schedule:
+            if sim.step() is None:
+                raise VerificationError(
+                    "counterexample schedule reached a terminal "
+                    "configuration before completing"
+                )
+    except ScheduleError as exc:
+        raise VerificationError(
+            f"counterexample schedule is not executable: {exc}"
+        ) from exc
+
+    actions = {
+        p: {a.name: a for a in protocol.node_actions(p, network)}
+        for p in network.nodes
+    }
+    configs = sim.trace.configurations()
+    root_id = protocol.root
+    tag: WaveTag | None = None
+    violation: str | None = None
+    for record in sim.trace:
+        before = configs[record.index]
+        selection = {
+            p: actions[p][name] for p, name in record.selection.items()
+        }
+        if tag is None:
+            if record.selection.get(root_id) != "B-action":
+                raise VerificationError(
+                    "counterexample schedule does not start with the "
+                    "root's B-action"
+                )
+            tag = WaveTag(frozenset({root_id}), frozenset(), False)
+            rest = {p: a for p, a in selection.items() if p != root_id}
+            if rest:
+                tag, violation = tag.advance(protocol, network, before, rest)
+        else:
+            tag, violation = tag.advance(protocol, network, before, selection)
+        if violation is not None or tag is None:
+            break
+    if violation != ce.message:
+        raise VerificationError(
+            f"counterexample did not reproduce: recorded "
+            f"{ce.message!r}, replay produced {violation!r}"
+        )
+    return violation
 
 
 # ----------------------------------------------------------------------
@@ -459,6 +1219,9 @@ def check_cycle_liveness_synchronous(
             and result.configurations_checked >= max_configurations
         ):
             result.complete = False
+            result.truncation = (
+                f"max_configurations={max_configurations} reached"
+            )
             break
         result.configurations_checked += 1
         monitor = PifCycleMonitor(protocol, network)

@@ -1,0 +1,116 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.check_regression import TRACKED, compare_speedups, main
+
+
+class TestCompareSpeedups:
+    def test_identical_passes(self) -> None:
+        base = {"line-3": 2.1, "ring-16": 3.3}
+        assert compare_speedups(base, dict(base), 0.10) == []
+
+    def test_small_drop_within_threshold_passes(self) -> None:
+        assert (
+            compare_speedups({"a": 2.0}, {"a": 1.85}, 0.10) == []
+        )  # 7.5% drop
+
+    def test_large_drop_fails(self) -> None:
+        failures = compare_speedups({"a": 2.0}, {"a": 1.7}, 0.10)  # 15% drop
+        assert len(failures) == 1
+        assert "a" in failures[0] and "drop" in failures[0]
+
+    def test_improvement_passes(self) -> None:
+        assert compare_speedups({"a": 2.0}, {"a": 3.0}, 0.10) == []
+
+    def test_missing_case_fails(self) -> None:
+        failures = compare_speedups({"a": 2.0, "b": 1.5}, {"a": 2.0}, 0.10)
+        assert failures == ["b: missing from current report"]
+
+    def test_extra_current_case_ignored(self) -> None:
+        assert compare_speedups({"a": 2.0}, {"a": 2.0, "new": 9.0}, 0.10) == []
+
+    def test_boundary_exactly_threshold_passes(self) -> None:
+        assert compare_speedups({"a": 2.0}, {"a": 1.8}, 0.10) == []
+
+
+class TestMainEndToEnd:
+    def _write(self, directory: Path, speedups: dict[str, float]) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        for filename, key in TRACKED.items():
+            (directory / filename).write_text(
+                json.dumps({key: speedups})
+            )
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys) -> None:
+        self._write(tmp_path / "baselines", {"case": 2.0})
+        self._write(tmp_path / "current", {"case": 2.0})
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+            ]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys) -> None:
+        self._write(tmp_path / "baselines", {"case": 2.0})
+        self._write(tmp_path / "current", {"case": 1.0})
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_current_report_exits_nonzero(self, tmp_path) -> None:
+        self._write(tmp_path / "baselines", {"case": 2.0})
+        (tmp_path / "current").mkdir()
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+            ]
+        )
+        assert code == 1
+
+    def test_missing_baseline_is_skipped(self, tmp_path, capsys) -> None:
+        (tmp_path / "baselines").mkdir()
+        self._write(tmp_path / "current", {"case": 2.0})
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+            ]
+        )
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_threshold_flag_respected(self, tmp_path) -> None:
+        self._write(tmp_path / "baselines", {"case": 2.0})
+        self._write(tmp_path / "current", {"case": 1.9})  # 5% drop
+        args = [
+            "--baseline-dir", str(tmp_path / "baselines"),
+            "--current-dir", str(tmp_path / "current"),
+        ]
+        assert main(args) == 0
+        assert main(args + ["--threshold", "0.01"]) == 1
+
+    def test_committed_baselines_are_valid(self) -> None:
+        """The committed baseline files parse and carry the tracked keys."""
+        for filename, key in TRACKED.items():
+            path = REPO_ROOT / "benchmarks" / "baselines" / filename
+            payload = json.loads(path.read_text())
+            assert isinstance(payload[key], dict) and payload[key]

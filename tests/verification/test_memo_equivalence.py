@@ -1,0 +1,139 @@
+"""Memoized-vs-direct equivalence sweep for the exhaustive checkers.
+
+The :class:`~repro.verification.model_check.ModelCheckMemo` engine is a
+pure performance layer: for every checker and every workload — full
+sweeps, capped runs, the ablated (unsafe) protocol — the memoized and
+direct paths must produce bit-identical verdicts, coverage counters and
+counterexamples.  Stats are explicitly *not* compared: instrumentation
+is the one thing the memo is allowed to change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.graphs import complete, line
+from repro.verification import (
+    ModelCheckResult,
+    check_normal_closure,
+    check_snap_safety,
+)
+
+
+def _comparable(result: ModelCheckResult) -> dict:
+    """Everything that must be identical across engines (not stats)."""
+    return {
+        "property_name": result.property_name,
+        "ok": result.ok,
+        "complete": result.complete,
+        "truncation": result.truncation,
+        "configurations_checked": result.configurations_checked,
+        "states_explored": result.states_explored,
+        "transitions_explored": result.transitions_explored,
+        "counterexamples": [
+            (c.initial, c.schedule, c.message)
+            for c in result.counterexamples
+        ],
+    }
+
+
+def _assert_equivalent(run) -> None:
+    on = run(memo=True)
+    off = run(memo=False)
+    assert _comparable(on) == _comparable(off)
+    assert on.stats is not None and on.stats.memo_enabled
+    assert off.stats is not None and not off.stats.memo_enabled
+
+
+class TestSnapSafetyEquivalence:
+    def test_line3_full(self) -> None:
+        _assert_equivalent(lambda memo: check_snap_safety(line(3), memo=memo))
+
+    def test_complete3_full(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_snap_safety(complete(3), memo=memo)
+        )
+
+    def test_line4_capped(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_snap_safety(
+                line(4), max_configurations=400, memo=memo
+            )
+        )
+
+    def test_max_states_capped(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_snap_safety(line(4), max_states=200, memo=memo)
+        )
+
+    def test_ablated_protocol_all_counterexamples(self) -> None:
+        """The unsafe protocol must yield the *same* counterexamples —
+        same initial configurations, schedules and messages, in the same
+        order — from both engines."""
+        net = line(3)
+
+        def run(memo: bool) -> ModelCheckResult:
+            protocol = SnapPif.for_network(net, leaf_guard=False)
+            return check_snap_safety(
+                net,
+                protocol=protocol,
+                stop_at_first=False,
+                max_configurations=200,
+                memo=memo,
+            )
+
+        on, off = run(True), run(False)
+        assert _comparable(on) == _comparable(off)
+        assert not on.ok and on.counterexamples
+
+    def test_ablated_protocol_stop_at_first(self) -> None:
+        net = line(3)
+
+        def run(memo: bool) -> ModelCheckResult:
+            protocol = SnapPif.for_network(net, leaf_guard=False)
+            return check_snap_safety(
+                net, protocol=protocol, stop_at_first=True, memo=memo
+            )
+
+        on, off = run(True), run(False)
+        assert _comparable(on) == _comparable(off)
+        assert len(on.counterexamples) == 1
+
+
+class TestClosureEquivalence:
+    def test_line3_capped(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_normal_closure(
+                line(3), max_configurations=800, memo=memo
+            )
+        )
+
+    def test_complete3_capped(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_normal_closure(
+                complete(3), max_configurations=800, memo=memo
+            )
+        )
+
+
+class TestValidateMode:
+    """``validate_memo=True`` cross-checks every memoized answer against
+    the direct evaluation in-line; a clean run is itself the assertion."""
+
+    def test_snap_safety_validated(self) -> None:
+        result = check_snap_safety(
+            line(3), max_configurations=60, memo=True, validate_memo=True
+        )
+        assert result.ok
+
+    def test_closure_validated(self) -> None:
+        result = check_normal_closure(
+            line(3), max_configurations=200, memo=True, validate_memo=True
+        )
+        assert result.ok
+
+    def test_validate_env_default(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_MODELCHECK_VALIDATE", "1")
+        result = check_snap_safety(line(3), max_configurations=30)
+        assert result.ok

@@ -60,6 +60,75 @@ class TestSnapSafetyExhaustive:
         result = check_snap_safety(line(3), max_configurations=10)
         assert result.configurations_checked == 10
         assert not result.complete
+        assert result.truncation == "max_configurations=10 reached"
+
+    def test_max_states_terminates_whole_enumeration(self, monkeypatch) -> None:
+        """Exhausting ``max_states`` must stop the *entire* enumeration,
+        not just the inner DFS: no further initiation configuration may
+        be pulled from the generator once the budget is spent."""
+        import repro.verification.model_check as mc
+
+        pulled = {"configs": 0}
+        original = mc.enumerate_initiation_configurations
+
+        def counting(network, k):
+            for config in original(network, k):
+                pulled["configs"] += 1
+                yield config
+
+        monkeypatch.setattr(
+            mc, "enumerate_initiation_configurations", counting
+        )
+        result = mc.check_snap_safety(line(3), max_states=5)
+        assert not result.complete
+        assert result.truncation is not None
+        assert "max_states=5 exhausted" in result.truncation
+        assert "enumeration terminated" in result.truncation
+        assert result.states_explored >= 5
+        # The first initiation configuration alone explores dozens of
+        # states; the budget guard must have cut the sweep off before a
+        # second one was even requested (+1 for the generator look-ahead).
+        assert pulled["configs"] <= result.configurations_checked + 1
+        assert result.configurations_checked <= 2
+
+    def test_max_states_identical_across_engines(self) -> None:
+        capped_on = check_snap_safety(line(3), max_states=50, memo=True)
+        capped_off = check_snap_safety(line(3), max_states=50, memo=False)
+        assert capped_on.truncation == capped_off.truncation
+        assert capped_on.states_explored == capped_off.states_explored
+        assert (
+            capped_on.configurations_checked
+            == capped_off.configurations_checked
+        )
+
+    def test_stats_attached_and_consistent(self) -> None:
+        result = check_snap_safety(line(3), max_configurations=50)
+        stats = result.stats
+        assert stats is not None
+        assert stats.memo_enabled
+        assert stats.elapsed_seconds > 0
+        assert stats.states_per_second > 0
+        assert stats.view_hits + stats.view_misses > 0
+        assert 0.0 < stats.view_hit_rate < 1.0
+        assert stats.interned_configurations > 0
+        # Compact parent table: bounded by the states actually explored.
+        assert 0 < stats.peak_parent_entries <= result.states_explored + 1
+
+    def test_memo_env_toggle_disables_engine(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_MODELCHECK_MEMO", "0")
+        result = check_snap_safety(line(3), max_configurations=20)
+        assert result.stats is not None
+        assert not result.stats.memo_enabled
+        monkeypatch.setenv("REPRO_MODELCHECK_MEMO", "1")
+        result = check_snap_safety(line(3), max_configurations=20)
+        assert result.stats is not None
+        assert result.stats.memo_enabled
+
+    def test_validate_memo_cross_checks_clean(self) -> None:
+        result = check_snap_safety(
+            line(3), max_configurations=40, validate_memo=True
+        )
+        assert result.ok
 
     def test_raise_on_failure_raises_with_counterexample(self) -> None:
         from repro.verification.model_check import (
@@ -89,6 +158,63 @@ class TestAblationIsCaught:
         ce = result.counterexamples[0]
         assert "[PIF" in ce.message or "demoted" in ce.message
         assert ce.pretty()  # renders without crashing
+
+
+class TestCounterexampleReplay:
+    @pytest.fixture()
+    def ablated(self):
+        net = line(3)
+        protocol = SnapPif.for_network(net, leaf_guard=False)
+        result = check_snap_safety(
+            net,
+            protocol=protocol,
+            stop_at_first=True,
+            replay_counterexamples=False,
+        )
+        assert result.counterexamples
+        return net, protocol, result.counterexamples[0]
+
+    def test_round_trip_reproduces_violation(self, ablated) -> None:
+        """Every emitted counterexample executes for real: the schedule
+        runs through the Simulator with a scripted daemon and the replay
+        reproduces the recorded violation verbatim."""
+        from repro.verification import replay_counterexample
+
+        net, protocol, ce = ablated
+        message = replay_counterexample(net, ce, protocol=protocol)
+        assert message == ce.message
+
+    def test_checker_replays_by_default(self) -> None:
+        net = line(3)
+        protocol = SnapPif.for_network(net, leaf_guard=False)
+        # replay_counterexamples defaults to True: emission would raise
+        # VerificationError if any counterexample failed to reproduce.
+        result = check_snap_safety(net, protocol=protocol, stop_at_first=False)
+        assert result.counterexamples
+
+    def test_tampered_schedule_is_rejected(self, ablated) -> None:
+        from repro.verification import Counterexample, replay_counterexample
+
+        net, protocol, ce = ablated
+        truncated = Counterexample(ce.initial, ce.schedule[:-1], ce.message)
+        with pytest.raises(VerificationError):
+            replay_counterexample(net, truncated, protocol=protocol)
+
+    def test_tampered_message_is_rejected(self, ablated) -> None:
+        from repro.verification import Counterexample, replay_counterexample
+
+        net, protocol, ce = ablated
+        wrong = Counterexample(ce.initial, ce.schedule, "some other violation")
+        with pytest.raises(VerificationError, match="did not reproduce"):
+            replay_counterexample(net, wrong, protocol=protocol)
+
+    def test_empty_schedule_is_rejected(self, ablated) -> None:
+        from repro.verification import Counterexample, replay_counterexample
+
+        net, protocol, ce = ablated
+        empty = Counterexample(ce.initial, (), ce.message)
+        with pytest.raises(VerificationError, match="empty schedule"):
+            replay_counterexample(net, empty, protocol=protocol)
 
 
 class TestLivenessSynchronous:
