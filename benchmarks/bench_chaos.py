@@ -1,0 +1,111 @@
+"""C-chaos — chaos campaign throughput per scenario shape.
+
+Drives the genuine snap PIF through every standard fault-scenario shape
+(mid-run corruption, crash/recover, link churn, daemon swaps, rolling
+outage, full chaos) under two daemons on a ring and a sparse random
+graph, and reports campaign steps/second per shape.  Each measurement is
+also a correctness canary: the campaign must finish with zero
+specification violations — snap stabilization under fire, at benchmark
+scale.
+
+Results are written to ``BENCH_chaos.json`` at the repository root and
+gated by ``benchmarks/check_regression.py``::
+
+    pytest benchmarks/bench_chaos.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import SCENARIO_SHAPES, run_campaign
+from repro.graphs import random_connected, ring
+
+from benchmarks.common import JSON_REPORTS, TableCollector
+
+TABLE = TableCollector(
+    "C-chaos — campaign throughput per fault-scenario shape",
+    columns=[
+        "scenario", "runs", "steps", "faults", "seconds", "steps/sec",
+    ],
+)
+
+NETWORKS = [ring(12), random_connected(16, 0.2, seed=7)]
+DAEMONS = ("central", "distributed-random")
+BUDGET = 400
+
+#: ``scenario -> {"steps": ..., "seconds": ..., "steps_per_sec": ...}``
+RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _measure(shape_name: str) -> dict[str, float]:
+    scenario = SCENARIO_SHAPES[shape_name]().seeded(0)
+    start = time.perf_counter()
+    result = run_campaign(
+        None,
+        NETWORKS,
+        [scenario],
+        daemons=DAEMONS,
+        seeds=(0,),
+        budget=BUDGET,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.ok, [r.violation for r in result.violations]
+    return {
+        "runs": len(result.runs),
+        "steps": result.total_steps,
+        "faults": result.total_faults,
+        "seconds": elapsed,
+        "steps_per_sec": result.total_steps / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+@pytest.mark.parametrize("shape", sorted(SCENARIO_SHAPES))
+def test_campaign_throughput(shape: str, benchmark) -> None:
+    measurement = benchmark.pedantic(
+        lambda: _measure(shape), rounds=1, iterations=1
+    )
+    RESULTS[shape] = measurement
+    TABLE.add(
+        {
+            "scenario": shape,
+            "runs": int(measurement["runs"]),
+            "steps": int(measurement["steps"]),
+            "faults": int(measurement["faults"]),
+            "seconds": round(measurement["seconds"], 4),
+            "steps/sec": round(measurement["steps_per_sec"]),
+        }
+    )
+    assert measurement["steps"] > 0 and measurement["faults"] > 0
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    return {
+        "benchmark": "chaos campaign throughput per scenario shape",
+        "workload": (
+            f"snap PIF, ring-12 + random-16, daemons {list(DAEMONS)}, "
+            f"budget {BUDGET} steps/run, seed 0"
+        ),
+        "cases": [
+            {
+                "scenario": shape,
+                "runs": int(m["runs"]),
+                "steps": int(m["steps"]),
+                "faults": int(m["faults"]),
+                "seconds": m["seconds"],
+                "steps_per_sec": m["steps_per_sec"],
+            }
+            for shape, m in sorted(RESULTS.items())
+        ],
+        "campaign_steps_per_sec": {
+            shape: round(m["steps_per_sec"], 2)
+            for shape, m in sorted(RESULTS.items())
+        },
+    }
+
+
+JSON_REPORTS.append(("BENCH_chaos.json", _build_report))

@@ -27,6 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 TRACKED: dict[str, str] = {
     "BENCH_engine.json": "speedup_incremental_over_full",
     "BENCH_modelcheck.json": "speedup_memo_over_direct",
+    "BENCH_chaos.json": "campaign_steps_per_sec",
 }
 
 __all__ = ["compare_speedups", "main"]

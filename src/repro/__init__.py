@@ -18,6 +18,12 @@ Most users need only the re-exports below::
     print(monitor.completed_cycles[0].rounds, "rounds for the first cycle")
 """
 
+from repro.chaos import (
+    FaultScenario,
+    run_campaign,
+    run_chaos,
+    standard_scenarios,
+)
 from repro.core import (
     NO_ACK,
     CycleReport,
@@ -87,6 +93,7 @@ __all__ = [
     "Daemon",
     "DistributedRandomDaemon",
     "FairnessError",
+    "FaultScenario",
     "GraphMetrics",
     "LocallyCentralDaemon",
     "NO_ACK",
@@ -125,6 +132,9 @@ __all__ = [
     "random_connected",
     "random_tree",
     "ring",
+    "run_campaign",
+    "run_chaos",
+    "standard_scenarios",
     "star",
     "torus",
     "wheel",

@@ -1,0 +1,109 @@
+"""Chaos campaigns: composable mid-run fault scenarios for live runs.
+
+Snap-stabilization quantifies over *arbitrary* configurations — i.e.
+the system state immediately after a transient fault strikes a running
+system.  This package realizes that adversary as a first-class engine:
+
+* :mod:`~repro.chaos.events` — declarative, seeded fault events
+  (corruption, crash/recover, link churn, daemon swaps);
+* :mod:`~repro.chaos.scenario` — the scenario DSL: JSON-serializable
+  schedules composable sequentially (``>>``) and in parallel (``|``),
+  plus the builtin shapes in ``SCENARIO_SHAPES``;
+* :mod:`~repro.chaos.campaign` — the campaign runner sweeping
+  scenarios × topologies × daemons × seeds under the PIF specification
+  monitor;
+* :mod:`~repro.chaos.shrink` — ddmin counterexample shrinking and the
+  JSON reproducer corpus replayed by tier-1.
+
+Quick start::
+
+    from repro.chaos import run_campaign, standard_scenarios
+    from repro.graphs import ring
+
+    result = run_campaign(
+        None,                      # default: SnapPif.for_network
+        [ring(6)],
+        standard_scenarios(),
+        daemons=("synchronous", "central", "adversarial"),
+        seeds=(0, 1),
+    )
+    assert result.ok, result.violations[0].violation
+"""
+
+from repro.chaos.campaign import (
+    DAEMON_FACTORIES,
+    CampaignResult,
+    ChaosRun,
+    make_daemon,
+    run_campaign,
+    run_chaos,
+)
+from repro.chaos.events import (
+    EVENT_KINDS,
+    AddLink,
+    CorruptNodes,
+    CrashNodes,
+    FaultEvent,
+    RecoverNodes,
+    RemoveLink,
+    SwapDaemon,
+    event_from_dict,
+)
+from repro.chaos.scenario import (
+    SCENARIO_SHAPES,
+    FaultScenario,
+    corruption_burst,
+    crash_recover,
+    daemon_flip,
+    full_chaos,
+    link_churn,
+    rolling_crash,
+    standard_scenarios,
+)
+from repro.chaos.shrink import (
+    Repro,
+    ddmin,
+    falsify,
+    load_repro,
+    network_from_adjacency,
+    replay_repro,
+    replay_tape,
+    save_repro,
+    shrink_run,
+)
+
+__all__ = [
+    "FaultEvent",
+    "CorruptNodes",
+    "CrashNodes",
+    "RecoverNodes",
+    "RemoveLink",
+    "AddLink",
+    "SwapDaemon",
+    "EVENT_KINDS",
+    "event_from_dict",
+    "FaultScenario",
+    "SCENARIO_SHAPES",
+    "corruption_burst",
+    "crash_recover",
+    "rolling_crash",
+    "link_churn",
+    "daemon_flip",
+    "full_chaos",
+    "standard_scenarios",
+    "DAEMON_FACTORIES",
+    "make_daemon",
+    "ChaosRun",
+    "CampaignResult",
+    "run_chaos",
+    "run_campaign",
+    "Repro",
+    "ddmin",
+    "replay_tape",
+    "shrink_run",
+    "falsify",
+    "save_repro",
+    "load_repro",
+    "network_from_adjacency",
+    "replay_repro",
+]

@@ -1,0 +1,276 @@
+"""Campaign runner: sweep scenarios × topologies × daemons × seeds.
+
+:func:`run_chaos` drives one protocol instance through one seeded
+scenario, recording the *tape* — the interleaved sequence of executed
+daemon selections and applied fault events — and watching a
+:class:`~repro.core.monitor.PifCycleMonitor` for specification
+violations.  :func:`run_campaign` sweeps a grid of scenarios,
+topologies, daemons and seeds and aggregates the outcomes; a violating
+run's tape is what the shrinker (:mod:`repro.chaos.shrink`) minimizes
+into a corpus reproducer.
+
+The tape is the ground truth for replay: fault events are recorded *as
+resolved* (random victims pinned where needed), so replaying the tape
+through a :class:`~repro.runtime.daemons.ReplayDaemon` — applying the
+fault entries between the scheduled steps — reproduces the run exactly,
+with no daemon and no wall-clock nondeterminism left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.chaos.events import FaultEvent
+from repro.chaos.scenario import FaultScenario
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.errors import ScheduleError
+from repro.runtime.daemons import (
+    AdversarialDaemon,
+    CentralDaemon,
+    Daemon,
+    DistributedRandomDaemon,
+    LocallyCentralDaemon,
+    RoundRobinDaemon,
+    SynchronousDaemon,
+    WeaklyFairDaemon,
+)
+from repro.runtime.network import Network
+from repro.runtime.protocol import Protocol
+from repro.runtime.simulator import Simulator
+
+__all__ = [
+    "DAEMON_FACTORIES",
+    "make_daemon",
+    "ChaosRun",
+    "CampaignResult",
+    "run_chaos",
+    "run_campaign",
+]
+
+#: Daemon-name registry shared by campaigns, the CLI and ``SwapDaemon``
+#: events.  Every factory builds a *fresh* daemon (daemons carry
+#: scheduling state); randomized daemons draw from the simulator's
+#: seeded RNG, so runs stay deterministic per seed.
+DAEMON_FACTORIES: dict[str, Callable[[], Daemon]] = {
+    "synchronous": SynchronousDaemon,
+    "central": lambda: CentralDaemon(choice="random"),
+    "central-oldest": lambda: CentralDaemon(choice="oldest"),
+    "locally-central": LocallyCentralDaemon,
+    "distributed-random": lambda: DistributedRandomDaemon(0.6),
+    "round-robin": RoundRobinDaemon,
+    "adversarial": lambda: WeaklyFairDaemon(
+        AdversarialDaemon(patience=6), patience=24
+    ),
+}
+
+
+def make_daemon(name: str) -> Daemon:
+    """Instantiate a daemon by registry name."""
+    factory = DAEMON_FACTORIES.get(name)
+    if factory is None:
+        raise ScheduleError(
+            f"unknown daemon {name!r}; known: {sorted(DAEMON_FACTORIES)}"
+        )
+    return factory()
+
+
+@dataclass
+class ChaosRun:
+    """Outcome of one scenario run (one cell of the campaign grid)."""
+
+    scenario: str
+    topology: str
+    daemon: str
+    seed: int
+    protocol_name: str
+    root: int
+    steps: int = 0
+    faults_applied: int = 0
+    faults_skipped: int = 0
+    cycles_completed: int = 0
+    violation: str | None = None
+    violation_step: int | None = None
+    #: Serialized tape: ``{"kind": "step", "selection": {...}}`` and
+    #: ``{"kind": "fault", "event": {...}}`` entries in execution order.
+    tape: list[dict] = field(default_factory=list)
+    #: The (initial) network the run started on — churn events replace
+    #: the live network, but replay always restarts from this one.
+    network: Network | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run finished without a specification violation."""
+        return self.violation is None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a scenario × topology × daemon × seed sweep."""
+
+    runs: list[ChaosRun] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[ChaosRun]:
+        return [r for r in self.runs if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_steps(self) -> int:
+        return sum(r.steps for r in self.runs)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(r.faults_applied for r in self.runs)
+
+
+def _first_violation(monitor: PifCycleMonitor) -> str | None:
+    for report in monitor.reports:
+        if report.violations:
+            return report.violations[0]
+    return None
+
+
+def run_chaos(
+    protocol: Protocol,
+    network: Network,
+    scenario: FaultScenario,
+    *,
+    daemon: str = "synchronous",
+    seed: int = 0,
+    budget: int = 1500,
+    engine: str | None = None,
+    validate_engine: bool | None = None,
+) -> ChaosRun:
+    """Drive ``protocol`` through one seeded fault scenario.
+
+    The scenario is seeded with ``seed`` (events that already carry a
+    seed keep it), the simulator's daemon RNG with the same ``seed``.
+    The run ends at the first monitor violation, when the step
+    ``budget`` is exhausted, or when the computation can no longer
+    advance and no fault event remains to unblock it.
+    """
+    run = ChaosRun(
+        scenario=scenario.name,
+        topology=network.name,
+        daemon=daemon,
+        seed=seed,
+        protocol_name=protocol.name,
+        root=getattr(protocol, "root", 0),
+        network=network,
+    )
+    monitor = PifCycleMonitor(protocol, network)
+    sim = Simulator(
+        protocol,
+        network,
+        make_daemon(daemon),
+        seed=seed,
+        monitors=[monitor],
+        engine=engine,
+        validate_engine=validate_engine,
+    )
+
+    queue: list[FaultEvent] = scenario.seeded(seed).timeline()
+
+    def fire(event: FaultEvent) -> None:
+        resolved, followups = event.apply(sim)
+        if resolved is None:
+            run.faults_skipped += 1
+        else:
+            run.faults_applied += 1
+            run.tape.append({"kind": "fault", "event": resolved.to_dict()})
+        for extra in followups:
+            # Keep the queue sorted by firing time (stable insertion).
+            at = next(
+                (
+                    i
+                    for i, pending in enumerate(queue)
+                    if pending.at_step > extra.at_step
+                ),
+                len(queue),
+            )
+            queue.insert(at, extra)
+
+    while sim.steps < budget:
+        while queue and queue[0].at_step <= sim.steps:
+            fire(queue.pop(0))
+        run.violation = _first_violation(monitor)
+        if run.violation is not None:
+            break
+        record = sim.step()
+        if record is None:
+            # Stalled (all enabled processors crashed) or terminal:
+            # fast-forward to the next fault event, which is the only
+            # thing that can change anything.
+            if queue:
+                fire(queue.pop(0))
+                continue
+            break
+        run.tape.append(
+            {
+                "kind": "step",
+                "selection": {
+                    str(p): name for p, name in record.selection.items()
+                },
+            }
+        )
+        run.violation = _first_violation(monitor)
+        if run.violation is not None:
+            run.violation_step = record.index
+            break
+
+    run.steps = sim.steps
+    run.cycles_completed = len(monitor.completed_cycles)
+    return run
+
+
+def run_campaign(
+    protocol_factory: Callable[[Network], Protocol] | None,
+    networks: Mapping[str, Network] | Iterable[Network],
+    scenarios: Iterable[FaultScenario],
+    *,
+    daemons: Sequence[str] = ("synchronous", "central", "distributed-random"),
+    seeds: Sequence[int] = (0,),
+    budget: int = 1500,
+    engine: str | None = None,
+    validate_engine: bool | None = None,
+    stop_on_violation: bool = False,
+) -> CampaignResult:
+    """Sweep scenarios × topologies × daemons × seeds.
+
+    ``protocol_factory`` builds a protocol per network
+    (default: ``SnapPif.for_network``).  ``networks`` is a name → network
+    mapping or an iterable of networks (keyed by their ``name``).
+    """
+    if protocol_factory is None:
+        protocol_factory = SnapPif.for_network
+    if isinstance(networks, Mapping):
+        grid = list(networks.values())
+    else:
+        grid = list(networks)
+    scenarios = list(scenarios)
+
+    result = CampaignResult()
+    for network in grid:
+        protocol = protocol_factory(network)
+        for scenario in scenarios:
+            for daemon in daemons:
+                for seed in seeds:
+                    run = run_chaos(
+                        protocol,
+                        network,
+                        scenario,
+                        daemon=daemon,
+                        seed=seed,
+                        budget=budget,
+                        engine=engine,
+                        validate_engine=validate_engine,
+                    )
+                    result.runs.append(run)
+                    if stop_on_violation and not run.ok:
+                        return result
+    return result

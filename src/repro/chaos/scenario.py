@@ -1,0 +1,237 @@
+"""Fault scenarios: composable, seeded schedules of fault events.
+
+A :class:`FaultScenario` is a named, immutable bag of
+:class:`~repro.chaos.events.FaultEvent` values, each scheduled at a step
+count.  Scenarios compose:
+
+* **sequentially** — ``a >> b`` (or ``a.then(b, gap=...)``) shifts ``b``
+  past ``a``'s horizon so its faults strike strictly after ``a``'s;
+* **in parallel** — ``a | b`` (or ``a.alongside(b)``) interleaves both
+  schedules on the shared step clock.
+
+Scenarios serialize to/from JSON and are made deterministic by
+:meth:`FaultScenario.seeded`, which pins a distinct sub-seed (derived
+from the campaign seed and the event's position) on every event that
+does not already carry one.  The module also ships the builtin *scenario
+shapes* — parameterized generators covering the adversary classes the
+snap-stabilization literature cares about — in :data:`SCENARIO_SHAPES`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.chaos.events import (
+    AddLink,
+    CorruptNodes,
+    CrashNodes,
+    FaultEvent,
+    RemoveLink,
+    SwapDaemon,
+    event_from_dict,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "FaultScenario",
+    "SCENARIO_SHAPES",
+    "corruption_burst",
+    "crash_recover",
+    "rolling_crash",
+    "link_churn",
+    "daemon_flip",
+    "full_chaos",
+]
+
+#: Multiplier decorrelating per-event sub-seeds from the campaign seed.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, deterministic schedule of fault events."""
+
+    name: str
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """The latest scheduled step (0 for an empty scenario)."""
+        return max((e.at_step for e in self.events), default=0)
+
+    def shift(self, delta: int) -> "FaultScenario":
+        """Return a copy with every event delayed by ``delta`` steps."""
+        return FaultScenario(self.name, tuple(e.shift(delta) for e in self.events))
+
+    def then(self, other: "FaultScenario", *, gap: int = 1) -> "FaultScenario":
+        """Sequential composition: ``other`` starts after this scenario."""
+        shifted = other.shift(self.horizon + gap)
+        return FaultScenario(
+            f"{self.name}>>{other.name}", self.events + shifted.events
+        )
+
+    def alongside(self, other: "FaultScenario") -> "FaultScenario":
+        """Parallel composition on the shared step clock."""
+        merged = sorted(self.events + other.events, key=lambda e: e.at_step)
+        return FaultScenario(f"{self.name}|{other.name}", tuple(merged))
+
+    def __rshift__(self, other: "FaultScenario") -> "FaultScenario":
+        return self.then(other)
+
+    def __or__(self, other: "FaultScenario") -> "FaultScenario":
+        return self.alongside(other)
+
+    def renamed(self, name: str) -> "FaultScenario":
+        """Return a copy under a new name (for composed scenarios)."""
+        return FaultScenario(name, self.events)
+
+    # ------------------------------------------------------------------
+    # Determinism
+    # ------------------------------------------------------------------
+    def seeded(self, seed: int) -> "FaultScenario":
+        """Pin a distinct deterministic sub-seed on every unseeded event."""
+        return FaultScenario(
+            self.name,
+            tuple(
+                e.seeded(seed * _SEED_STRIDE + index * 7919 + 1)
+                for index, e in enumerate(self.events)
+            ),
+        )
+
+    def timeline(self) -> list[FaultEvent]:
+        """Events in firing order (stable sort by ``at_step``)."""
+        return sorted(self.events, key=lambda e: e.at_step)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultScenario":
+        try:
+            name = payload["name"]
+            raw_events = payload["events"]
+        except (KeyError, TypeError):
+            raise ReproError(
+                f"malformed scenario payload: {payload!r}"
+            ) from None
+        return cls(str(name), tuple(event_from_dict(e) for e in raw_events))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultScenario":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Builtin scenario shapes
+# ----------------------------------------------------------------------
+def corruption_burst(
+    *, at: int = 30, bursts: int = 3, gap: int = 45, fraction: float = 0.4,
+    mode: str = "random",
+) -> FaultScenario:
+    """Repeated transient faults striking a live run — the core snap claim."""
+    return FaultScenario(
+        "corruption-burst",
+        tuple(
+            CorruptNodes(at_step=at + i * gap, mode=mode, fraction=fraction)
+            for i in range(bursts)
+        ),
+    )
+
+
+def crash_recover(
+    *, at: int = 25, count: int = 2, duration: int = 50, waves: int = 2,
+    gap: int = 90,
+) -> FaultScenario:
+    """Groups of processors fail-stop and later resume from stale memory."""
+    return FaultScenario(
+        "crash-recover",
+        tuple(
+            CrashNodes(at_step=at + i * gap, count=count, duration=duration)
+            for i in range(waves)
+        ),
+    )
+
+
+def rolling_crash(
+    *, at: int = 20, gap: int = 30, duration: int = 65, waves: int = 3,
+) -> FaultScenario:
+    """Single-node crashes marching across the network with overlap."""
+    return FaultScenario(
+        "rolling-crash",
+        tuple(
+            CrashNodes(at_step=at + i * gap, count=1, duration=duration)
+            for i in range(waves)
+        ),
+    )
+
+
+def link_churn(*, at: int = 25, flips: int = 3, gap: int = 50) -> FaultScenario:
+    """Alternating link removals and additions (dynamic topology)."""
+    events: list[FaultEvent] = []
+    for i in range(flips):
+        start = at + i * gap
+        events.append(RemoveLink(at_step=start))
+        events.append(AddLink(at_step=start + gap // 2))
+    return FaultScenario("link-churn", tuple(events))
+
+
+def daemon_flip(
+    *, at: int = 20, gap: int = 60,
+    daemons: Sequence[str] = ("central", "adversarial", "synchronous"),
+) -> FaultScenario:
+    """The adversary switches scheduling strategy mid-run."""
+    return FaultScenario(
+        "daemon-flip",
+        tuple(
+            SwapDaemon(at_step=at + i * gap, daemon=d)
+            for i, d in enumerate(daemons)
+        ),
+    )
+
+
+def full_chaos(*, at: int = 20) -> FaultScenario:
+    """Corruption, link churn and crash/recovery all at once."""
+    combined = (
+        corruption_burst(at=at + 10, bursts=2, gap=70)
+        | link_churn(at=at, flips=2, gap=60)
+        | crash_recover(at=at + 25, count=1, duration=40, waves=2, gap=80)
+    )
+    return combined.renamed("full-chaos")
+
+
+#: Named generators for campaign grids (each returns a fresh scenario).
+SCENARIO_SHAPES: dict[str, Callable[..., FaultScenario]] = {
+    "corruption-burst": corruption_burst,
+    "crash-recover": crash_recover,
+    "rolling-crash": rolling_crash,
+    "link-churn": link_churn,
+    "daemon-flip": daemon_flip,
+    "full-chaos": full_chaos,
+}
+
+
+def standard_scenarios(seed: int = 0) -> list[FaultScenario]:
+    """One seeded instance of every builtin shape (campaign default)."""
+    return [
+        SCENARIO_SHAPES[name]().seeded(seed) for name in sorted(SCENARIO_SHAPES)
+    ]
+
+
+__all__.append("standard_scenarios")

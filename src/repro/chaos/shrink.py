@@ -1,0 +1,348 @@
+"""Counterexample shrinking and the regression corpus.
+
+When a campaign run violates the PIF specification, its *tape* — the
+interleaved record of daemon selections and resolved fault events — is a
+complete, deterministic reproducer, but usually a long one.
+:func:`shrink_run` minimizes it with the classic ddmin delta-debugging
+algorithm: candidate sub-tapes are re-replayed through a
+:class:`~repro.runtime.daemons.ReplayDaemon` (fault entries applied
+between the scheduled steps) and a candidate survives only if it
+reproduces the *identical* violation message.  The result is a locally
+minimal :class:`Repro` artifact: removing any single tested chunk makes
+the violation disappear.
+
+Reproducers serialize to small JSON files under ``tests/corpus/`` and
+are replayed forever after by tier-1 (:func:`replay_repro`), so a
+once-found protocol bug can never silently return.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.chaos.campaign import ChaosRun
+from repro.chaos.events import event_from_dict
+from repro.core.monitor import PifCycleMonitor
+from repro.errors import ReplayError, ReproError
+from repro.runtime.daemons import ReplayDaemon
+from repro.runtime.network import Network
+from repro.runtime.protocol import Protocol
+from repro.runtime.simulator import Simulator
+
+__all__ = [
+    "replay_tape",
+    "ddmin",
+    "Repro",
+    "shrink_run",
+    "falsify",
+    "save_repro",
+    "load_repro",
+    "network_from_adjacency",
+    "replay_repro",
+]
+
+
+def replay_tape(
+    protocol: Protocol,
+    network: Network,
+    tape: Sequence[Mapping],
+    *,
+    strict: bool = False,
+    validate_engine: bool | None = None,
+) -> str | None:
+    """Deterministically re-execute a tape; return the violation message.
+
+    Steps are driven through a :class:`ReplayDaemon`; fault entries are
+    applied between them exactly as recorded (``swap-daemon`` entries
+    are no-ops — the schedule already encodes the swapped daemon's
+    choices).  Returns the first violation message, or ``None`` if the
+    tape replays cleanly.
+
+    With ``strict=False`` (the shrinker's oracle mode), a tape that
+    *diverges* — a recorded selection no longer enabled, a stall with
+    steps left — counts as "does not reproduce" and returns ``None``;
+    with ``strict=True`` the underlying
+    :class:`~repro.errors.ReplayError` propagates.
+    """
+    schedule = [
+        {int(p): str(name) for p, name in item["selection"].items()}
+        for item in tape
+        if item["kind"] == "step"
+    ]
+    monitor = PifCycleMonitor(protocol, network)
+    sim = Simulator(
+        protocol,
+        network,
+        ReplayDaemon(schedule),
+        seed=0,
+        monitors=[monitor],
+        validate_engine=validate_engine,
+    )
+    step_index = 0
+    try:
+        for item in tape:
+            if item["kind"] == "fault":
+                event = event_from_dict(item["event"])
+                if event.kind != "swap-daemon":
+                    event.apply(sim)
+            elif item["kind"] == "step":
+                if sim.step() is None:
+                    raise ReplayError(
+                        f"replay stalled before scheduled step {step_index} "
+                        f"(crashed: {sorted(sim.crashed)})",
+                        step_index=step_index,
+                        reason="stalled",
+                    )
+                step_index += 1
+            else:
+                raise ReproError(f"malformed tape entry: {item!r}")
+            for report in monitor.reports:
+                if report.violations:
+                    return report.violations[0]
+    except ReproError:
+        if strict:
+            raise
+        return None
+    return None
+
+
+def ddmin(
+    items: list,
+    test: Callable[[list], bool],
+    *,
+    max_tests: int = 1000,
+) -> tuple[list, int]:
+    """Zeller–Hildebrandt delta debugging over a list of tape entries.
+
+    ``test(candidate)`` must return True when the candidate still
+    reproduces the failure; ``test(items)`` is assumed True.  Returns
+    ``(minimal, tests_run)``; when the test budget runs out the
+    best-so-far reduction is returned (still a valid reproducer, merely
+    not guaranteed 1-minimal).
+    """
+    tests_run = 0
+
+    def check(candidate: list) -> bool:
+        nonlocal tests_run
+        tests_run += 1
+        return test(candidate)
+
+    granularity = 2
+    while len(items) >= 2 and tests_run < max_tests:
+        size = len(items) // granularity
+        chunks = [
+            items[i : i + size] for i in range(0, len(items), size)
+        ] if size else [items]
+        reduced = False
+
+        for chunk in chunks:
+            if tests_run >= max_tests:
+                return items, tests_run
+            if len(chunk) < len(items) and check(chunk):
+                items = chunk
+                granularity = 2
+                reduced = True
+                break
+
+        if not reduced and granularity > 2:
+            for index in range(len(chunks)):
+                if tests_run >= max_tests:
+                    return items, tests_run
+                complement = [
+                    entry
+                    for j, chunk in enumerate(chunks)
+                    if j != index
+                    for entry in chunk
+                ]
+                if len(complement) < len(items) and check(complement):
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items, tests_run
+
+
+@dataclass
+class Repro:
+    """A minimized, self-contained, deterministic reproducer."""
+
+    protocol: str
+    topology: str
+    #: Node → neighbor list *in local order* (rebuilds the exact network).
+    adjacency: dict[int, list[int]]
+    root: int
+    scenario: str
+    daemon: str
+    seed: int
+    violation: str
+    original_entries: int
+    shrunk_entries: int
+    shrink_tests: int
+    tape: list[dict] = field(default_factory=list)
+
+    @property
+    def strictly_smaller(self) -> bool:
+        """The shrinker actually removed something."""
+        return self.shrunk_entries < self.original_entries
+
+
+def shrink_run(
+    protocol: Protocol,
+    run: ChaosRun,
+    *,
+    max_tests: int = 1000,
+) -> Repro | None:
+    """Minimize a violating run's tape into a :class:`Repro`.
+
+    The oracle accepts a candidate only if it replays to the *identical*
+    violation message.  Returns ``None`` when the original tape itself
+    fails to re-reproduce (which would indicate nondeterminism — worth a
+    bug report of its own).
+    """
+    if run.ok or run.network is None:
+        raise ReproError("shrink_run needs a violating run with its network")
+    network = run.network
+    target = run.violation
+
+    def reproduces(candidate: list) -> bool:
+        return replay_tape(protocol, network, candidate) == target
+
+    if not reproduces(run.tape):
+        return None
+    minimal, tests_run = ddmin(list(run.tape), reproduces, max_tests=max_tests)
+    return Repro(
+        protocol=run.protocol_name,
+        topology=network.name,
+        adjacency={p: list(network.neighbors(p)) for p in network.nodes},
+        root=run.root,
+        scenario=run.scenario,
+        daemon=run.daemon,
+        seed=run.seed,
+        violation=target,
+        original_entries=len(run.tape),
+        shrunk_entries=len(minimal),
+        shrink_tests=tests_run + 1,
+        tape=minimal,
+    )
+
+
+def falsify(
+    protocol_factory: Callable[..., Protocol],
+    networks: Sequence[Network],
+    scenarios: Sequence,
+    *,
+    daemons: Sequence[str] = ("central", "adversarial", "distributed-random"),
+    seeds: Sequence[int] = (0, 1, 2),
+    budget: int = 400,
+    max_tests: int = 3000,
+    require_strictly_smaller: bool = True,
+) -> Repro | None:
+    """Hunt the grid for a violation and return its shrunk reproducer.
+
+    Sweeps ``networks × daemons × seeds × scenarios`` (in that nesting)
+    until a violating run shrinks to a reproducer — by default one that
+    is *strictly smaller* than the original failing tape, so violations
+    whose first witness is already minimal keep being hunted until a
+    witness with removable slack turns up.  Returns ``None`` when the
+    whole grid passes (the protocol survived falsification).
+    """
+    from repro.chaos.campaign import run_chaos
+
+    for network in networks:
+        protocol = protocol_factory(network)
+        for daemon in daemons:
+            for seed in seeds:
+                for scenario in scenarios:
+                    run = run_chaos(
+                        protocol,
+                        network,
+                        scenario,
+                        daemon=daemon,
+                        seed=seed,
+                        budget=budget,
+                    )
+                    if run.ok:
+                        continue
+                    repro = shrink_run(protocol, run, max_tests=max_tests)
+                    if repro is None:
+                        continue
+                    if repro.strictly_smaller or not require_strictly_smaller:
+                        return repro
+    return None
+
+
+# ----------------------------------------------------------------------
+# Corpus persistence
+# ----------------------------------------------------------------------
+def save_repro(repro: Repro, path: str | Path) -> None:
+    """Write a reproducer as indented JSON (corpus-friendly diffs)."""
+    payload = asdict(repro)
+    payload["adjacency"] = {
+        str(p): neighbors for p, neighbors in repro.adjacency.items()
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_repro(path: str | Path) -> Repro:
+    """Read a reproducer written by :func:`save_repro`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        payload["adjacency"] = {
+            int(p): [int(q) for q in neighbors]
+            for p, neighbors in payload["adjacency"].items()
+        }
+        return Repro(**payload)
+    except (KeyError, TypeError, ValueError):
+        raise ReproError(f"malformed reproducer file: {path}") from None
+
+
+def network_from_adjacency(
+    adjacency: Mapping[int, Sequence[int]], name: str
+) -> Network:
+    """Rebuild a network preserving the recorded local neighbor orders."""
+    return Network(
+        {p: tuple(qs) for p, qs in adjacency.items()},
+        neighbor_orders={p: list(qs) for p, qs in adjacency.items()},
+        name=name,
+    )
+
+
+def replay_repro(
+    repro: Repro,
+    protocol_registry: Mapping[str, Callable[[Network, int], Protocol]],
+    *,
+    validate_engine: bool | None = None,
+) -> str | None:
+    """Replay a corpus reproducer and return the violation it produces.
+
+    ``protocol_registry`` maps protocol names (``Repro.protocol``) to
+    ``(network, root) -> Protocol`` factories; mutants used by the
+    falsifiability tests register here too.  Replay is strict: a
+    diverging tape raises :class:`~repro.errors.ReplayError` instead of
+    silently passing.
+    """
+    factory = protocol_registry.get(repro.protocol)
+    if factory is None:
+        raise ReproError(
+            f"no protocol factory registered for {repro.protocol!r}; "
+            f"known: {sorted(protocol_registry)}"
+        )
+    network = network_from_adjacency(repro.adjacency, repro.topology)
+    protocol = factory(network, repro.root)
+    return replay_tape(
+        protocol,
+        network,
+        repro.tape,
+        strict=True,
+        validate_engine=validate_engine,
+    )

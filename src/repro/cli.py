@@ -13,6 +13,10 @@ Commands
     closure) on a small network.
 ``bounds``
     Print the paper's bound sheet for a topology plus one measured cycle.
+``chaos``
+    Run a seeded chaos campaign (mid-run corruption, crash/recover,
+    link churn, daemon swaps) against the snap-stabilizing PIF and
+    report violations of the PIF specification.
 ``topologies``
     List the available topology families.
 """
@@ -84,6 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     bounds_cmd = sub.add_parser("bounds", help="bound sheet + measured cycle")
     add_topology_args(bounds_cmd)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos campaign against the PIF specification"
+    )
+    add_topology_args(chaos)
+    chaos.add_argument(
+        "--budget",
+        type=int,
+        default=1500,
+        help="step budget per run (default: 1500)",
+    )
+    chaos.add_argument(
+        "--daemons",
+        nargs="+",
+        default=["synchronous", "central", "distributed-random"],
+        help="daemon names to sweep (default: synchronous central "
+        "distributed-random)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable campaign summary instead of tables",
+    )
 
     sub.add_parser("topologies", help="list topology families")
     return parser
@@ -227,6 +254,33 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import run_campaign, standard_scenarios
+    from repro.reporting.campaign import campaign_to_dict, render_campaign
+
+    net = by_name(args.topology, args.size)
+    result = run_campaign(
+        None,  # the genuine SnapPif
+        [net],
+        standard_scenarios(args.seed),
+        daemons=tuple(args.daemons),
+        seeds=(args.seed,),
+        budget=args.budget,
+    )
+    if args.json:
+        print(json.dumps(campaign_to_dict(result), indent=2, sort_keys=True))
+    else:
+        print(
+            render_campaign(
+                result, title=f"{net.name}, seed {args.seed}, "
+                f"budget {args.budget}"
+            )
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_topologies(_args: argparse.Namespace) -> int:
     rows = [
         {"family": name, "example (size 9)": TOPOLOGY_FAMILIES[name](9).name}
@@ -241,6 +295,7 @@ _COMMANDS = {
     "stabilize": _cmd_stabilize,
     "verify": _cmd_verify,
     "bounds": _cmd_bounds,
+    "chaos": _cmd_chaos,
     "topologies": _cmd_topologies,
 }
 

@@ -142,6 +142,18 @@ class PifCycleMonitor:
         self._rounds_seen = 0
         self._feedback_done = False
 
+    def on_network(self, network: Network) -> None:
+        """Follow a live topology change (chaos campaigns).
+
+        The monitor judges [PIF1]/[PIF2] against ``network.nodes`` and
+        reads parent choices through the network, so it must track the
+        simulator's current topology.  The simulator restarts monitors
+        (:meth:`on_start`) right after calling this — a wave straddling
+        a topology change is not judged (the specification quantifies
+        over waves initiated in a fixed topology).
+        """
+        self.network = network
+
     def on_step(
         self, before: Configuration, record: StepRecord, after: Configuration
     ) -> None:

@@ -117,6 +117,26 @@ class SnapPif(Protocol):
             fok=fok,
         )
 
+    def sanitize_state(
+        self, node: int, state: PifState, network: Network
+    ) -> PifState:
+        """Re-domain a state after topology churn.
+
+        ``Par_p ∈ Neig_p`` is the only topology-dependent domain; a
+        parent pointer dangling across a removed edge is re-pointed at
+        the locally smallest neighbor.  The value is deliberately
+        arbitrary — it is garbage either way, and the snap guarantees
+        cover arbitrary garbage — but it must be *in domain* so guards
+        can legally read it (``Context.neighbor_state`` refuses
+        non-neighbor reads).
+        """
+        self._check_network(network)
+        if node == self.constants.root:
+            return state
+        if state.par is not None and not network.has_edge(node, state.par):
+            return state.replace(par=network.neighbors(node)[0])
+        return state
+
     # ------------------------------------------------------------------
     # PIF-specific helpers
     # ------------------------------------------------------------------

@@ -36,6 +36,37 @@ class ScheduleError(ReproError):
     """
 
 
+class ReplayError(ScheduleError):
+    """A recorded schedule could not be replayed against the live run.
+
+    Carries enough structure for tooling (the chaos shrinker, corpus
+    replay) to distinguish a genuinely divergent reproducer from a
+    candidate that merely drifted: the 0-based ``step_index`` into the
+    schedule, a machine-readable ``reason`` (``"exhausted"``,
+    ``"node-not-enabled"``, ``"action-not-enabled"``, ``"empty-step"``
+    or ``"stalled"``), the offending ``node``/``action`` when
+    applicable, and the ``enabled`` map (node → enabled action names)
+    observed at the point of divergence.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step_index: int,
+        reason: str,
+        node: int | None = None,
+        action: str | None = None,
+        enabled: dict[int, list[str]] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.step_index = step_index
+        self.reason = reason
+        self.node = node
+        self.action = action
+        self.enabled = {} if enabled is None else enabled
+
+
 class FairnessError(ReproError):
     """Weak fairness was violated by a schedule.
 

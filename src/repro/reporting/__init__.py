@@ -18,3 +18,7 @@ __all__ += [
     "render_forest",
     "render_phases",
 ]
+
+from repro.reporting.campaign import campaign_to_dict, render_campaign
+
+__all__ += ["campaign_to_dict", "render_campaign"]

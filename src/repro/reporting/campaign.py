@@ -1,0 +1,91 @@
+"""Rendering of chaos-campaign results.
+
+The chaos CLI (``repro chaos``) and the examples print
+:class:`~repro.chaos.campaign.CampaignResult` objects with
+:func:`render_campaign`: one verdict line, a scenario × daemon summary
+table aggregating the sweep, and a detail line per violating run (the
+data a reader needs to re-run :func:`~repro.chaos.shrink.shrink_run`).
+"""
+
+from __future__ import annotations
+
+from repro.chaos.campaign import CampaignResult
+from repro.reporting.tables import render_table
+
+__all__ = ["render_campaign", "campaign_to_dict"]
+
+
+def render_campaign(result: CampaignResult, *, title: str | None = None) -> str:
+    """Render a campaign result as a verdict plus a summary table."""
+    verdict = "PASS" if result.ok else "FAIL"
+    lines = [
+        f"chaos campaign: {verdict} — {len(result.runs)} runs, "
+        f"{len(result.violations)} violation(s), "
+        f"{result.total_steps} steps, {result.total_faults} faults applied"
+    ]
+
+    grouped: dict[tuple[str, str], dict[str, int]] = {}
+    for run in result.runs:
+        agg = grouped.setdefault(
+            (run.scenario, run.daemon),
+            {
+                "runs": 0,
+                "violations": 0,
+                "steps": 0,
+                "faults": 0,
+                "cycles": 0,
+            },
+        )
+        agg["runs"] += 1
+        agg["violations"] += 0 if run.ok else 1
+        agg["steps"] += run.steps
+        agg["faults"] += run.faults_applied
+        agg["cycles"] += run.cycles_completed
+    rows = [
+        {
+            "scenario": scenario,
+            "daemon": daemon,
+            "runs": agg["runs"],
+            "violations": agg["violations"],
+            "steps": agg["steps"],
+            "faults": agg["faults"],
+            "cycles": agg["cycles"],
+        }
+        for (scenario, daemon), agg in sorted(grouped.items())
+    ]
+    if rows:
+        lines.append(render_table(rows, title=title))
+
+    for run in result.violations:
+        lines.append(
+            f"  VIOLATION [{run.scenario} × {run.daemon} × {run.topology} "
+            f"× seed {run.seed}] at step {run.violation_step}: {run.violation}"
+        )
+    return "\n".join(lines)
+
+
+def campaign_to_dict(result: CampaignResult) -> dict:
+    """JSON-friendly summary of a campaign (``repro chaos --json``)."""
+    return {
+        "ok": result.ok,
+        "runs": len(result.runs),
+        "violations": len(result.violations),
+        "total_steps": result.total_steps,
+        "total_faults": result.total_faults,
+        "per_run": [
+            {
+                "scenario": run.scenario,
+                "topology": run.topology,
+                "daemon": run.daemon,
+                "seed": run.seed,
+                "protocol": run.protocol_name,
+                "steps": run.steps,
+                "faults_applied": run.faults_applied,
+                "faults_skipped": run.faults_skipped,
+                "cycles_completed": run.cycles_completed,
+                "violation": run.violation,
+                "violation_step": run.violation_step,
+            }
+            for run in result.runs
+        ],
+    }

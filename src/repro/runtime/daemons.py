@@ -36,7 +36,7 @@ from abc import ABC, abstractmethod
 from random import Random
 from typing import Mapping, Sequence
 
-from repro.errors import ScheduleError
+from repro.errors import ReplayError, ScheduleError
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action
 
@@ -304,8 +304,10 @@ class ReplayDaemon(Daemon):
 
     ``schedule`` is a sequence of ``{node: action name}`` mappings, one
     per step (e.g. taken from a :class:`~repro.runtime.trace.Trace`).
-    Raises :class:`~repro.errors.ScheduleError` if the recorded selection
-    is no longer enabled — replay is only meaningful on the same initial
+    Raises :class:`~repro.errors.ReplayError` — carrying the schedule
+    step index, the offending node/action, and the expected-vs-enabled
+    map — if the schedule is exhausted or the recorded selection is no
+    longer enabled.  Replay is only meaningful on the same initial
     configuration and protocol.
     """
 
@@ -319,6 +321,22 @@ class ReplayDaemon(Daemon):
     def reset(self) -> None:
         self._cursor = 0
 
+    @property
+    def cursor(self) -> int:
+        """Index of the next schedule entry to replay."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled step has been replayed."""
+        return self._cursor >= len(self._schedule)
+
+    @staticmethod
+    def _enabled_names(
+        enabled: Mapping[int, Sequence[Action]]
+    ) -> dict[int, list[str]]:
+        return {p: [a.name for a in actions] for p, actions in enabled.items()}
+
     def select(
         self,
         enabled: Mapping[int, Sequence[Action]],
@@ -328,26 +346,50 @@ class ReplayDaemon(Daemon):
         ages: Mapping[int, int],
         rng: Random,
     ) -> dict[int, Action]:
-        if self._cursor >= len(self._schedule):
-            raise ScheduleError("replay schedule exhausted")
-        wanted = self._schedule[self._cursor]
+        index = self._cursor
+        if index >= len(self._schedule):
+            raise ReplayError(
+                f"replay schedule exhausted after {len(self._schedule)} "
+                f"step(s) but the computation wants step {step}",
+                step_index=index,
+                reason="exhausted",
+                enabled=self._enabled_names(enabled),
+            )
+        wanted = self._schedule[index]
         self._cursor += 1
         chosen: dict[int, Action] = {}
         for p, action_name in wanted.items():
             actions = enabled.get(p)
             if actions is None:
-                raise ScheduleError(
-                    f"replay step {step}: node {p} is not enabled"
+                raise ReplayError(
+                    f"replay step {index}: node {p} expected to execute "
+                    f"{action_name!r} but is not enabled "
+                    f"(enabled: {sorted(enabled)})",
+                    step_index=index,
+                    reason="node-not-enabled",
+                    node=p,
+                    action=action_name,
+                    enabled=self._enabled_names(enabled),
                 )
             match = next((a for a in actions if a.name == action_name), None)
             if match is None:
-                raise ScheduleError(
-                    f"replay step {step}: action {action_name!r} not enabled "
-                    f"at node {p} (enabled: {[a.name for a in actions]})"
+                raise ReplayError(
+                    f"replay step {index}: action {action_name!r} not enabled "
+                    f"at node {p} (enabled: {[a.name for a in actions]})",
+                    step_index=index,
+                    reason="action-not-enabled",
+                    node=p,
+                    action=action_name,
+                    enabled=self._enabled_names(enabled),
                 )
             chosen[p] = match
         if not chosen:
-            raise ScheduleError(f"replay step {step}: empty selection")
+            raise ReplayError(
+                f"replay step {index}: empty selection",
+                step_index=index,
+                reason="empty-step",
+                enabled=self._enabled_names(enabled),
+            )
         return chosen
 
 

@@ -139,6 +139,100 @@ class Network:
                     yield (p, q)
 
     # ------------------------------------------------------------------
+    # Topology churn (chaos campaigns)
+    # ------------------------------------------------------------------
+    def with_edge(self, p: int, q: int, *, name: str | None = None) -> "Network":
+        """Return a copy of this network with the edge ``{p, q}`` added.
+
+        The two endpoints' local neighbor orders gain the new neighbor at
+        its ascending-identifier position; every other node keeps its
+        order untouched.  This is the *only* locality an edge flip has in
+        the locally-shared-memory model, which is what lets the
+        incremental engine treat ``{p, q}`` as the dirty set of the flip.
+        """
+        if p == q:
+            raise TopologyError(f"self loop at node {p}")
+        if p not in self.nodes or q not in self.nodes:
+            raise TopologyError(f"unknown endpoint in edge ({p}, {q})")
+        if self.has_edge(p, q):
+            raise TopologyError(f"edge ({p}, {q}) already present")
+        return self._with_flipped_edge(
+            p, q, add=True, name=name or f"{self._name}+{p}-{q}"
+        )
+
+    def without_edge(
+        self,
+        p: int,
+        q: int,
+        *,
+        name: str | None = None,
+        require_connected: bool = True,
+    ) -> "Network":
+        """Return a copy of this network with the edge ``{p, q}`` removed.
+
+        Raises :class:`~repro.errors.TopologyError` if the edge does not
+        exist, or (by default) if removing it would disconnect the
+        network — the PIF specification is only meaningful on connected
+        graphs, so chaos scenarios never cut bridges.
+        """
+        if not self.has_edge(p, q):
+            raise TopologyError(f"edge ({p}, {q}) not present")
+        return self._with_flipped_edge(
+            p,
+            q,
+            add=False,
+            name=name or f"{self._name}~{p}-{q}",
+            require_connected=require_connected,
+        )
+
+    def _with_flipped_edge(
+        self,
+        p: int,
+        q: int,
+        *,
+        add: bool,
+        name: str,
+        require_connected: bool = True,
+    ) -> "Network":
+        orders: dict[int, list[int]] = {}
+        for node in self.nodes:
+            order = list(self._neighbors[node])
+            if node in (p, q):
+                other = q if node == p else p
+                if add:
+                    at = next(
+                        (i for i, x in enumerate(order) if x > other), len(order)
+                    )
+                    order.insert(at, other)
+                else:
+                    order.remove(other)
+            orders[node] = order
+        return Network(
+            {node: tuple(qs) for node, qs in orders.items()},
+            neighbor_orders=orders,
+            name=name,
+            require_connected=require_connected,
+        )
+
+    def changed_nodes(self, other: "Network") -> frozenset[int]:
+        """Nodes whose neighbor view differs between ``self`` and ``other``.
+
+        The sound dirty set for swapping ``self`` out for ``other`` under
+        the incremental enabled-set engine (a guard at ``p`` reads only
+        ``p``'s 1-hop view, so enabledness can flip only on the changed
+        nodes and their neighbors).
+        """
+        if other.n != self.n:
+            raise TopologyError(
+                f"cannot diff networks of different sizes ({self.n} vs {other.n})"
+            )
+        return frozenset(
+            node
+            for node in self.nodes
+            if self._neighbors[node] != other._neighbors[node]
+        )
+
+    # ------------------------------------------------------------------
     # Graph algorithms used throughout the library
     # ------------------------------------------------------------------
     def _is_connected(self) -> bool:

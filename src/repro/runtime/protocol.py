@@ -169,6 +169,23 @@ class Protocol(ABC):
             f"{type(self).__name__} does not define random_state"
         )
 
+    def sanitize_state(
+        self, node: int, state: NodeState, network: Network
+    ) -> NodeState:
+        """Coerce ``state`` back into ``node``'s variable domains on ``network``.
+
+        Called when the topology changes under a live run: a variable
+        whose domain depends on the neighbor set (e.g. a parent pointer
+        ``Par_p ∈ Neig_p``) may be left pointing at a node that is no
+        longer a neighbor.  In the shared-memory model such a value is
+        simply *arbitrary garbage in the domain of the new topology* —
+        exactly the transient-fault semantics snap-stabilization already
+        absorbs — so protocols map it to some in-domain value and let
+        their corrections handle the rest.  The default returns the
+        state unchanged (protocols with topology-independent domains).
+        """
+        return state
+
     # ------------------------------------------------------------------
     # Derived helpers (shared by the simulator and the model checker)
     # ------------------------------------------------------------------

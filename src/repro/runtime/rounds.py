@@ -30,10 +30,16 @@ class RoundCounter:
     configuration.
     """
 
-    __slots__ = ("_pending", "_completed", "_ages")
+    __slots__ = ("_pending", "_completed", "_ages", "_excluded")
 
-    def __init__(self, initially_enabled: Iterable[int]) -> None:
-        self._pending: set[int] = set(initially_enabled)
+    def __init__(
+        self,
+        initially_enabled: Iterable[int],
+        *,
+        excluded: Iterable[int] = (),
+    ) -> None:
+        self._excluded: frozenset[int] = frozenset(excluded)
+        self._pending: set[int] = set(initially_enabled) - self._excluded
         self._completed = 0
         # Consecutive steps each processor has been enabled (>= 1 when
         # enabled); shared with daemons for fairness decisions.
@@ -54,15 +60,59 @@ class RoundCounter:
         """Consecutive-steps-enabled per currently enabled processor."""
         return self._ages
 
+    @property
+    def excluded(self) -> frozenset[int]:
+        """Processors excluded from round accounting (crashed)."""
+        return self._excluded
+
     def restart(self, enabled: Iterable[int]) -> None:
         """Restart the round in progress from a new enabled set.
 
         Used when a transient fault replaces the configuration mid-run:
         the completed-round count is preserved, the interrupted round's
-        bookkeeping is discarded.
+        bookkeeping is discarded.  The excluded (crashed) set survives
+        the restart — a memory fault does not revive a dead processor.
         """
-        self._pending = set(enabled)
+        self._pending = set(enabled) - self._excluded
         self._ages = {p: 1 for p in self._pending}
+
+    def set_excluded(
+        self, excluded: Iterable[int], enabled_now: Iterable[int]
+    ) -> int:
+        """Replace the excluded set mid-run (crash / recovery).
+
+        A crashed processor is no longer *continuously enabled* — its
+        pending obligation is dropped exactly as if it had executed the
+        disable action, and its enabled-age streak resets.  A recovered
+        processor that is enabled re-enters the age table at 1 but joins
+        round bookkeeping only from the *next* round (it was not
+        continuously enabled from the current round's start).
+
+        Returns the number of rounds completed by this change (1 when
+        dropping crashed processors emptied the current round's pending
+        set, else 0).
+        """
+        excluded = frozenset(excluded)
+        newly = excluded - self._excluded
+        self._excluded = excluded
+
+        emptied = bool(self._pending) and not (self._pending - newly)
+        self._pending -= newly
+        for p in newly:
+            self._ages.pop(p, None)
+        for p in enabled_now:
+            if p not in excluded and p not in self._ages:
+                self._ages[p] = 1
+
+        completed = 0
+        if not self._pending:
+            if emptied:
+                completed = 1
+                self._completed += 1
+            self._pending = {
+                p for p in enabled_now if p not in excluded
+            }
+        return completed
 
     def observe_step(
         self, executed: AbstractSet[int], enabled_after: AbstractSet[int]
@@ -82,8 +132,13 @@ class RoundCounter:
         enabled set means the computation is terminal).
         """
         # Ages: executing or becoming disabled resets the streak.
+        # Excluded (crashed) processors carry no age at all — daemons
+        # must not count them against fairness.
+        excluded = self._excluded
         new_ages: dict[int, int] = {}
         for p in enabled_after:
+            if p in excluded:
+                continue
             if p in executed or p not in self._ages:
                 new_ages[p] = 1
             else:
@@ -101,5 +156,5 @@ class RoundCounter:
         if not self._pending:
             completed = 1
             self._completed += 1
-            self._pending = set(enabled_after)
+            self._pending = {p for p in enabled_after if p not in excluded}
         return completed

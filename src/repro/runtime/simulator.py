@@ -18,14 +18,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Iterable, Protocol as TypingProtocol, Sequence
+from typing import Callable, Iterable, Mapping, Protocol as TypingProtocol, Sequence
 
 from repro.errors import ScheduleError, SimulationLimitError, VerificationError
 from repro.runtime.daemons import Daemon, SynchronousDaemon
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Protocol
 from repro.runtime.rounds import RoundCounter
-from repro.runtime.state import Configuration
+from repro.runtime.state import Configuration, NodeState
 from repro.runtime.trace import StepRecord, Trace
 
 __all__ = ["Monitor", "RunResult", "Simulator"]
@@ -148,6 +148,10 @@ class Simulator:
         self._moves = 0
         self._action_counts: dict[str, int] = {}
         self._monitors = list(monitors)
+        #: Crashed processors: excluded from daemon selection and round
+        #: accounting, but their memory stays readable by neighbors (the
+        #: locally-shared-memory analogue of a fail-stop crash).
+        self._crashed: set[int] = set()
         self.trace = Trace(self._configuration, level=trace_level)
 
         self.daemon.reset()
@@ -195,9 +199,32 @@ class Simulator:
         """Processors with at least one enabled action."""
         return frozenset(self._enabled)
 
+    @property
+    def crashed(self) -> frozenset[int]:
+        """Processors currently crashed (see :meth:`crash`)."""
+        return frozenset(self._crashed)
+
     def is_terminal(self) -> bool:
         """True if no action is enabled (the computation is maximal)."""
         return not self._enabled
+
+    def is_stalled(self) -> bool:
+        """True if actions are enabled but every enabled processor is crashed.
+
+        A stalled simulator cannot step until some processor recovers —
+        campaign runners fast-forward to the next recovery event.
+        """
+        return bool(self._enabled) and not self._selectable()
+
+    def _selectable(self) -> dict[int, list[Action]]:
+        """The enabled map minus crashed processors (what daemons see)."""
+        if not self._crashed:
+            return self._enabled
+        return {
+            p: actions
+            for p, actions in self._enabled.items()
+            if p not in self._crashed
+        }
 
     def add_monitor(self, monitor: Monitor) -> None:
         """Attach a monitor; it sees the current configuration as start."""
@@ -230,23 +257,178 @@ class Simulator:
         self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             monitor.on_start(configuration)
+        self.trace.mark_fault(self._steps, "corrupt", "configuration replaced")
+
+    # ------------------------------------------------------------------
+    # Fault-event hooks (chaos campaigns)
+    # ------------------------------------------------------------------
+    def perturb_configuration(self, updates: Mapping[int, NodeState]) -> set[int]:
+        """Overwrite a *subset* of processor memories — a targeted fault.
+
+        The incremental-engine counterpart of :meth:`reset_configuration`:
+        only the touched nodes form the dirty set, so the enabled map is
+        repaired on ``U ∪ N(U)`` instead of recomputed from scratch.
+        Like any transient fault it restarts the round in progress and
+        every monitor.  Returns the set of nodes whose state actually
+        changed (no-op writes are dropped).
+        """
+        for p in updates:
+            if p not in self.network.nodes:
+                raise ScheduleError(f"perturbation targets unknown node {p}")
+        effective = {
+            p: state
+            for p, state in updates.items()
+            if state != self._configuration[p]
+        }
+        if not effective:
+            return set()
+        after = self._configuration.replace(effective)
+        self._configuration = after
+        self._refresh_enabled(set(effective))
+        self._rounds.restart(frozenset(self._enabled))
+        for monitor in self._monitors:
+            monitor.on_start(after)
+        self.trace.mark_fault(
+            self._steps, "corrupt", f"nodes {sorted(effective)}"
+        )
+        return set(effective)
+
+    def crash(self, nodes: Iterable[int]) -> frozenset[int]:
+        """Crash processors: they stop executing but their memory persists.
+
+        Crashed processors are excluded from daemon selection and from
+        round accounting's "continuously enabled" bookkeeping (a crash
+        plays the disable action); neighbors keep reading their frozen
+        state — the locally-shared-memory model has no way to make
+        memory disappear.  Monitors are *not* restarted: the
+        configuration is unchanged.  Returns the newly crashed set.
+        """
+        nodes = frozenset(nodes)
+        unknown = nodes - set(self.network.nodes)
+        if unknown:
+            raise ScheduleError(f"cannot crash unknown nodes {sorted(unknown)}")
+        newly = nodes - self._crashed
+        if not newly:
+            return frozenset()
+        self._crashed |= newly
+        self._rounds.set_excluded(
+            frozenset(self._crashed), frozenset(self._enabled)
+        )
+        self.trace.mark_fault(self._steps, "crash", f"nodes {sorted(newly)}")
+        return newly
+
+    def recover(self, nodes: Iterable[int] | None = None) -> frozenset[int]:
+        """Recover crashed processors (all of them when ``nodes`` is None).
+
+        A recovered processor resumes from its pre-crash memory — the
+        snap guarantees treat that memory as arbitrary, so nothing needs
+        resetting — and re-enters fairness accounting with a fresh
+        enabled-age of 1.  It joins round bookkeeping from the next
+        round.  Returns the set that actually recovered.
+        """
+        wanted = self._crashed if nodes is None else frozenset(nodes)
+        back = frozenset(wanted) & self._crashed
+        if not back:
+            return frozenset()
+        self._crashed -= back
+        self._rounds.set_excluded(
+            frozenset(self._crashed), frozenset(self._enabled)
+        )
+        self.trace.mark_fault(self._steps, "recover", f"nodes {sorted(back)}")
+        return back
+
+    def apply_topology(self, network: Network) -> frozenset[int]:
+        """Swap the network under the live run — link churn.
+
+        ``network`` must have the same processor set (links change,
+        processors do not).  States whose domains depend on the neighbor
+        set are re-domained via the protocol's
+        :meth:`~repro.runtime.protocol.Protocol.sanitize_state`; the
+        incremental engine is repaired with the changed endpoints (plus
+        sanitized nodes) as the dirty set — an edge flip dirties exactly
+        its two endpoints.  Monitors are told the new topology and
+        restarted.  Returns the dirty set used.
+        """
+        if network.n != self.network.n:
+            raise ScheduleError(
+                f"topology change must preserve the processor set "
+                f"(have {self.network.n}, got {network.n})"
+            )
+        touched = self.network.changed_nodes(network)
+        old_name = self.network.name
+        updates: dict[int, NodeState] = {}
+        for p in touched:
+            state = self._configuration[p]
+            fixed = self.protocol.sanitize_state(p, state, network)
+            if fixed != state:
+                updates[p] = fixed
+        dirty = set(touched) | set(updates)
+        self.network = network
+        if updates:
+            self._configuration = self._configuration.replace(updates)
+        if dirty:
+            self._refresh_enabled(dirty)
+            self._rounds.restart(frozenset(self._enabled))
+        for monitor in self._monitors:
+            on_network = getattr(monitor, "on_network", None)
+            if on_network is not None:
+                on_network(network)
+            monitor.on_start(self._configuration)
+        self.trace.mark_fault(
+            self._steps,
+            "topology",
+            f"{old_name} -> {network.name} (dirty {sorted(dirty)})",
+        )
+        return frozenset(dirty)
+
+    def swap_daemon(self, daemon: Daemon) -> None:
+        """Replace the scheduler mid-run (the adversary changes strategy)."""
+        self.daemon = daemon
+        daemon.reset()
+        self.trace.mark_fault(self._steps, "swap-daemon", daemon.name)
+
+    def _refresh_enabled(self, dirty: set[int]) -> None:
+        """Repair the enabled map after ``dirty`` nodes changed state/views."""
+        if self.engine == "incremental":
+            cache: dict = {}
+            self._enabled = self.protocol.enabled_map_incremental(
+                self._enabled,
+                self._configuration,
+                self.network,
+                dirty,
+                cache=cache,
+            )
+            self._eval_cache = cache
+            if self.validate_engine:
+                self._check_against_full(dirty)
+        else:
+            self._eval_cache = {}
+            self._enabled = self.protocol.enabled_map(
+                self._configuration, self.network, cache=self._eval_cache
+            )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> StepRecord | None:
-        """Execute one computation step; ``None`` on a terminal configuration."""
-        if not self._enabled:
+        """Execute one computation step.
+
+        Returns ``None`` on a terminal configuration, and also when the
+        run is *stalled* — actions are enabled but every enabled
+        processor is crashed (check :meth:`is_stalled` to distinguish).
+        """
+        selectable = self._selectable()
+        if not selectable:
             return None
 
         selection = self.daemon.select(
-            self._enabled,
+            selectable,
             network=self.network,
             step=self._steps,
             ages=self._rounds.ages,
             rng=self.rng,
         )
-        self._validate_selection(selection)
+        self._validate_selection(selection, selectable)
 
         before = self._configuration
         # Statements execute against ``before`` — the same configuration
@@ -267,14 +449,7 @@ class Simulator:
             )
             self._eval_cache = cache
             if self.validate_engine:
-                full = self.protocol.enabled_map(after, self.network)
-                if full != self._enabled or list(full) != list(self._enabled):
-                    raise VerificationError(
-                        f"incremental enabled map diverged from full recompute "
-                        f"at step {self._steps} (dirty={sorted(dirty)}): "
-                        f"incremental={ {p: [a.name for a in v] for p, v in self._enabled.items()} } "
-                        f"full={ {p: [a.name for a in v] for p, v in full.items()} }"
-                    )
+                self._check_against_full(dirty)
         else:
             self._eval_cache = {}
             self._enabled = self.protocol.enabled_map(
@@ -322,8 +497,10 @@ class Simulator:
             if until is not None and until(self._configuration):
                 satisfied = True
                 break
-            if not self._enabled:
-                terminated = True
+            if not self._selectable():
+                # Terminal, or stalled with every enabled processor
+                # crashed — either way the run cannot advance by itself.
+                terminated = not self._enabled
                 break
             if self._steps >= max_steps or (
                 max_rounds is not None and self.rounds >= max_rounds
@@ -350,12 +527,20 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _validate_selection(self, selection: dict[int, Action]) -> None:
+    def _validate_selection(
+        self,
+        selection: dict[int, Action],
+        selectable: Mapping[int, Sequence[Action]],
+    ) -> None:
         if not selection:
             raise ScheduleError("daemon returned an empty selection")
         for p, action in selection.items():
-            enabled_here: Sequence[Action] | None = self._enabled.get(p)
+            enabled_here: Sequence[Action] | None = selectable.get(p)
             if enabled_here is None:
+                if p in self._crashed:
+                    raise ScheduleError(
+                        f"daemon selected crashed processor {p}"
+                    )
                 raise ScheduleError(
                     f"daemon selected disabled processor {p}"
                 )
@@ -364,3 +549,13 @@ class Simulator:
                     f"daemon selected action {action.name!r} not enabled at "
                     f"processor {p}"
                 )
+
+    def _check_against_full(self, dirty: set[int]) -> None:
+        full = self.protocol.enabled_map(self._configuration, self.network)
+        if full != self._enabled or list(full) != list(self._enabled):
+            raise VerificationError(
+                f"incremental enabled map diverged from full recompute "
+                f"at step {self._steps} (dirty={sorted(dirty)}): "
+                f"incremental={ {p: [a.name for a in v] for p, v in self._enabled.items()} } "
+                f"full={ {p: [a.name for a in v] for p, v in full.items()} }"
+            )

@@ -20,7 +20,7 @@ from typing import Iterator, Mapping, Sequence
 from repro.errors import ReproError
 from repro.runtime.state import Configuration
 
-__all__ = ["StepRecord", "Trace", "TRACE_LEVELS", "load_schedule"]
+__all__ = ["StepRecord", "FaultMark", "Trace", "TRACE_LEVELS", "load_schedule"]
 
 TRACE_LEVELS = ("none", "selections", "configurations")
 
@@ -46,6 +46,22 @@ class StepRecord:
         return len(self.selection)
 
 
+@dataclass(frozen=True, slots=True)
+class FaultMark:
+    """Annotation that a fault event struck the run between steps.
+
+    ``at_step`` is the step count at the moment the event was applied
+    (the event happened after step ``at_step - 1`` and before step
+    ``at_step``).  ``kind`` is the event family (``"corrupt"``,
+    ``"crash"``, ``"recover"``, ``"remove-link"``, ``"add-link"``,
+    ``"swap-daemon"``) and ``detail`` a short human-readable summary.
+    """
+
+    at_step: int
+    kind: str
+    detail: str = ""
+
+
 @dataclass
 class Trace:
     """A recorded computation."""
@@ -53,6 +69,9 @@ class Trace:
     initial: Configuration
     level: str = "selections"
     steps: list[StepRecord] = field(default_factory=list)
+    #: Fault events applied during the run, in order.  Recorded at every
+    #: trace level (marks are tiny and essential for post-mortems).
+    marks: list[FaultMark] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.level not in TRACE_LEVELS:
@@ -72,6 +91,10 @@ class Trace:
                 after=None,
             )
         self.steps.append(record)
+
+    def mark_fault(self, at_step: int, kind: str, detail: str = "") -> None:
+        """Record that a fault event was applied at step count ``at_step``."""
+        self.marks.append(FaultMark(at_step=at_step, kind=kind, detail=detail))
 
     def __len__(self) -> int:
         return len(self.steps)

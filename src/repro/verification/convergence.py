@@ -45,6 +45,7 @@ from repro.verification.model_check import (
     _validate_default,
     apply_selection,
     node_state_domain,
+    synchronous_selection,
 )
 
 __all__ = [
@@ -70,71 +71,157 @@ def check_convergence_synchronous(
     protocol: SnapPif | None = None,
     max_configurations: int | None = None,
     stride: int = 1,
+    memo: bool | None = None,
+    validate_memo: bool | None = None,
 ) -> ModelCheckResult:
     """Theorem 1 + return-to-SBN, from every configuration, synchronously.
 
     ``stride`` subsamples the enumeration (every ``stride``-th
     configuration) to trade coverage for time on larger state spaces;
     ``stride=1`` is exhaustive.
+
+    With the memo engine on (the default; same ``memo`` /
+    ``validate_memo`` semantics as
+    :func:`~repro.verification.model_check.check_snap_safety`) the
+    synchronous trajectories step through the shared
+    :class:`~repro.verification.model_check.ModelCheckMemo` — distinct
+    starting configurations funnel into the same convergence suffixes,
+    so each transition is computed once — and the per-configuration
+    abnormality / SBN classifications are memoized per interned
+    configuration.  Verdicts, counterexamples and counters are
+    bit-identical to the direct simulator path (one synchronous step is
+    one round, so the step count *is* the round count).
     """
     if protocol is None:
         protocol = SnapPif.for_network(network, root)
     k = protocol.constants
+    if memo is None:
+        memo = _memo_enabled_default()
+    if validate_memo is None:
+        validate_memo = _validate_default()
+    engine = (
+        ModelCheckMemo(
+            protocol,
+            network,
+            capacity=DEFAULT_MEMO_CAPACITY,
+            validate=validate_memo,
+        )
+        if memo
+        else None
+    )
     result = ModelCheckResult(
         property_name="convergence (synchronous): normal within 3L+3, "
         "SBN within 8L+7 + 5L+5"
     )
+    stats = ModelCheckStats(
+        memo_enabled=engine is not None,
+        memo_capacity=DEFAULT_MEMO_CAPACITY if engine is not None else 0,
+    )
+    result.stats = stats
     normal_budget = bounds.normalization_bound(k.l_max)
     sbn_budget = bounds.glt_bound(k.l_max) + bounds.cycle_bound(k.l_max) + 4
 
-    for index, config in enumerate(enumerate_all_configurations(network, k)):
-        if stride > 1 and index % stride:
-            continue
-        if (
-            max_configurations is not None
-            and result.configurations_checked >= max_configurations
+    #: Interned configuration -> (is all-normal, is SBN).  Both are pure
+    #: functions of the configuration, so entries never go stale; with
+    #: interning the lookups hash once and hit across trajectories.
+    classified: dict[Configuration, tuple[bool, bool]] = {}
+
+    def classify(config: Configuration) -> tuple[bool, bool]:
+        flags = classified.get(config)
+        if flags is None:
+            flags = (
+                not defs.abnormal_nodes(config, network, k),
+                defs.is_sbn_configuration(config, network, k),
+            )
+            classified[config] = flags
+        return flags
+
+    start = time.perf_counter()
+    try:
+        for index, config in enumerate(
+            enumerate_all_configurations(network, k)
         ):
-            result.complete = False
-            result.truncation = (
-                f"max_configurations={max_configurations} reached"
-            )
-            break
-        result.configurations_checked += 1
-
-        sim = Simulator(protocol, network, configuration=config)
-        normal_round: int | None = None
-        sbn_round: int | None = None
-        while sim.rounds <= sbn_budget:
-            if normal_round is None and not defs.abnormal_nodes(
-                sim.configuration, network, k
+            if stride > 1 and index % stride:
+                continue
+            if (
+                max_configurations is not None
+                and result.configurations_checked >= max_configurations
             ):
-                normal_round = sim.rounds
-            if defs.is_sbn_configuration(sim.configuration, network, k):
-                sbn_round = sim.rounds
+                result.complete = False
+                result.truncation = (
+                    f"max_configurations={max_configurations} reached"
+                )
                 break
-            if sim.step() is None:  # terminal without SBN: impossible
-                break
-        result.states_explored += sim.steps
+            result.configurations_checked += 1
 
-        if normal_round is None or normal_round > normal_budget:
-            result.counterexamples.append(
-                Counterexample(
-                    config,
-                    (),
-                    f"not all-normal within {normal_budget} rounds "
-                    f"(first normal: {normal_round})",
+            normal_round: int | None = None
+            sbn_round: int | None = None
+            if engine is not None:
+                # Synchronous rounds == steps, so the step counter below
+                # is exactly ``sim.rounds`` of the direct path.
+                current = engine.interner.intern(config)
+                enabled = engine.enabled_map(current)
+                steps = 0
+                while steps <= sbn_budget:
+                    is_normal, is_sbn = classify(current)
+                    if normal_round is None and is_normal:
+                        normal_round = steps
+                    if is_sbn:
+                        sbn_round = steps
+                        break
+                    if not enabled:  # terminal without SBN: impossible
+                        break
+                    selection, signature = synchronous_selection(enabled)
+                    current, dirty, _joins, _joins_key = engine.transition(
+                        current, selection, signature
+                    )
+                    enabled = engine.successor_enabled_map(
+                        enabled, current, dirty
+                    )
+                    steps += 1
+                result.states_explored += steps
+            else:
+                sim = Simulator(protocol, network, configuration=config)
+                while sim.rounds <= sbn_budget:
+                    if normal_round is None and not defs.abnormal_nodes(
+                        sim.configuration, network, k
+                    ):
+                        normal_round = sim.rounds
+                    if defs.is_sbn_configuration(sim.configuration, network, k):
+                        sbn_round = sim.rounds
+                        break
+                    if sim.step() is None:  # terminal without SBN: impossible
+                        break
+                result.states_explored += sim.steps
+
+            if normal_round is None or normal_round > normal_budget:
+                result.counterexamples.append(
+                    Counterexample(
+                        config,
+                        (),
+                        f"not all-normal within {normal_budget} rounds "
+                        f"(first normal: {normal_round})",
+                    )
                 )
-            )
-        if sbn_round is None:
-            result.counterexamples.append(
-                Counterexample(
-                    config, (), f"SBN not reached within {sbn_budget} rounds"
+            if sbn_round is None:
+                result.counterexamples.append(
+                    Counterexample(
+                        config, (), f"SBN not reached within {sbn_budget} rounds"
+                    )
                 )
-            )
-        if len(result.counterexamples) >= 5:
-            result.complete = False
-            result.truncation = "stopped after 5 counterexamples"
-            break
+            if len(result.counterexamples) >= 5:
+                result.complete = False
+                result.truncation = "stopped after 5 counterexamples"
+                break
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.states_per_second = (
+            result.states_explored / stats.elapsed_seconds
+            if stats.elapsed_seconds > 0
+            else 0.0
+        )
+        if engine is not None:
+            engine.fill_stats(stats)
     return result
 
 

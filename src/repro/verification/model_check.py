@@ -71,7 +71,7 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.analysis import bounds
 from repro.core.monitor import PifCycleMonitor
@@ -83,6 +83,7 @@ from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context
 from repro.runtime.simulator import Simulator
 from repro.runtime.state import Configuration, InternTable
+from repro.runtime.trace import StepRecord
 
 __all__ = [
     "WaveTag",
@@ -97,6 +98,8 @@ __all__ = [
     "apply_selection_dirty",
     "check_snap_safety",
     "check_cycle_liveness_synchronous",
+    "synchronous_selection",
+    "run_synchronous_memo",
     "replay_counterexample",
 ]
 
@@ -1194,58 +1197,172 @@ def replay_counterexample(
 # ----------------------------------------------------------------------
 # Liveness under the synchronous daemon
 # ----------------------------------------------------------------------
+def synchronous_selection(
+    enabled: dict[int, list[Action]]
+) -> tuple[dict[int, Action], tuple[tuple[int, str], ...]]:
+    """The synchronous daemon's deterministic choice on an enabled map.
+
+    Every enabled processor fires its first enabled action (program
+    order — exactly :class:`~repro.runtime.daemons.SynchronousDaemon`
+    with the default ``action_policy="first"``).  Returns ``(selection,
+    signature)`` with the signature in ascending node order — the order
+    :meth:`ModelCheckMemo.enabled_map` and
+    :meth:`ModelCheckMemo.successor_enabled_map` guarantee — so it can
+    key the transition memo directly.
+    """
+    selection = {p: actions[0] for p, actions in enabled.items()}
+    signature = tuple((p, actions[0].name) for p, actions in enabled.items())
+    return selection, signature
+
+
+def run_synchronous_memo(
+    engine: ModelCheckMemo,
+    configuration: Configuration,
+    *,
+    max_steps: int,
+    monitor: PifCycleMonitor | None = None,
+    stop: "Callable[[Configuration], bool] | None" = None,
+) -> tuple[Configuration, int]:
+    """Synchronous execution driven entirely through the memo engine.
+
+    Replicates :meth:`~repro.runtime.simulator.Simulator.run` under the
+    synchronous daemon step for step: ``stop`` is evaluated on the
+    current configuration *before* each step, a terminal configuration
+    ends the run, and each step feeds the optional ``monitor`` a
+    synthesized :class:`~repro.runtime.trace.StepRecord` with
+    ``rounds_completed=1`` (one synchronous step is exactly one round —
+    every pending processor is selected, so the round closes every
+    step).  Returns ``(final configuration, steps executed)``.
+    """
+    config = engine.interner.intern(configuration)
+    if monitor is not None:
+        monitor.on_start(config)
+    enabled = engine.enabled_map(config)
+    steps = 0
+    while True:
+        if stop is not None and stop(config):
+            break
+        if not enabled or steps >= max_steps:
+            break
+        selection, signature = synchronous_selection(enabled)
+        after, dirty, _joins, _joins_key = engine.transition(
+            config, selection, signature
+        )
+        if monitor is not None:
+            record = StepRecord(
+                index=steps,
+                selection={p: a.name for p, a in selection.items()},
+                rounds_completed=1,
+                after=after,
+            )
+            monitor.on_step(config, record, after)
+        enabled = engine.successor_enabled_map(enabled, after, dirty)
+        config = after
+        steps += 1
+    return config, steps
+
+
 def check_cycle_liveness_synchronous(
     network: Network,
     root: int = 0,
     *,
     protocol: SnapPif | None = None,
     max_configurations: int | None = None,
+    memo: bool | None = None,
+    memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+    validate_memo: bool | None = None,
 ) -> ModelCheckResult:
     """From every initiation configuration, the synchronous execution completes the cycle.
 
     Deterministic (program-order action choice), so one run per
     configuration suffices.  The budget is the Theorem 3 + Theorem 4
     worst case, in steps (one round per synchronous step), with slack.
+
+    With the memo engine on (the default; same ``memo`` /
+    ``validate_memo`` semantics as :func:`check_snap_safety`) the
+    synchronous executions run through :func:`run_synchronous_memo`:
+    initiation configurations converge onto shared suffixes, so
+    transitions and enabled maps are computed once across the whole
+    enumeration while a real :class:`~repro.core.monitor.PifCycleMonitor`
+    consumes the synthesized step records — verdicts, counterexamples
+    and counters are bit-identical to the direct simulator path.
     """
     if protocol is None:
         protocol = SnapPif.for_network(network, root)
     k = protocol.constants
+    if memo is None:
+        memo = _memo_enabled_default()
+    if validate_memo is None:
+        validate_memo = _validate_default()
+    engine = (
+        ModelCheckMemo(
+            protocol, network, capacity=memo_capacity, validate=validate_memo
+        )
+        if memo
+        else None
+    )
     result = ModelCheckResult(property_name="cycle-liveness (synchronous)")
+    stats = ModelCheckStats(
+        memo_enabled=engine is not None,
+        memo_capacity=memo_capacity if engine is not None else 0,
+    )
+    result.stats = stats
     budget = bounds.glt_bound(k.l_max) + bounds.cycle_bound(k.l_max) + 8
 
-    for config in enumerate_initiation_configurations(network, k):
-        if (
-            max_configurations is not None
-            and result.configurations_checked >= max_configurations
-        ):
-            result.complete = False
-            result.truncation = (
-                f"max_configurations={max_configurations} reached"
-            )
-            break
-        result.configurations_checked += 1
-        monitor = PifCycleMonitor(protocol, network)
-        sim = Simulator(
-            protocol, network, configuration=config, monitors=[monitor]
-        )
-        sim.run(
-            until=lambda _c: len(monitor.completed_cycles) >= 1,
-            max_steps=budget,
-        )
-        result.states_explored += sim.steps
-        cycles = monitor.completed_cycles
-        if not cycles:
-            result.counterexamples.append(
-                Counterexample(
-                    config, (), "initiated wave did not complete in budget"
+    start = time.perf_counter()
+    try:
+        for config in enumerate_initiation_configurations(network, k):
+            if (
+                max_configurations is not None
+                and result.configurations_checked >= max_configurations
+            ):
+                result.complete = False
+                result.truncation = (
+                    f"max_configurations={max_configurations} reached"
                 )
-            )
-            if len(result.counterexamples) >= 5:
                 break
-        elif not cycles[0].ok:
-            result.counterexamples.append(
-                Counterexample(config, (), "; ".join(cycles[0].violations))
-            )
-            if len(result.counterexamples) >= 5:
-                break
+            result.configurations_checked += 1
+            monitor = PifCycleMonitor(protocol, network)
+            if engine is not None:
+                _final, steps = run_synchronous_memo(
+                    engine,
+                    config,
+                    max_steps=budget,
+                    monitor=monitor,
+                    stop=lambda _c: len(monitor.completed_cycles) >= 1,
+                )
+                result.states_explored += steps
+            else:
+                sim = Simulator(
+                    protocol, network, configuration=config, monitors=[monitor]
+                )
+                sim.run(
+                    until=lambda _c: len(monitor.completed_cycles) >= 1,
+                    max_steps=budget,
+                )
+                result.states_explored += sim.steps
+            cycles = monitor.completed_cycles
+            if not cycles:
+                result.counterexamples.append(
+                    Counterexample(
+                        config, (), "initiated wave did not complete in budget"
+                    )
+                )
+                if len(result.counterexamples) >= 5:
+                    break
+            elif not cycles[0].ok:
+                result.counterexamples.append(
+                    Counterexample(config, (), "; ".join(cycles[0].violations))
+                )
+                if len(result.counterexamples) >= 5:
+                    break
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.states_per_second = (
+            result.states_explored / stats.elapsed_seconds
+            if stats.elapsed_seconds > 0
+            else 0.0
+        )
+        if engine is not None:
+            engine.fill_stats(stats)
     return result

@@ -1,0 +1,136 @@
+"""Chaos campaigns against the genuine SnapPif: the protocol must survive.
+
+The headline acceptance test for the chaos engine: a seeded campaign
+sweeping every scenario shape over several topologies and daemons must
+complete with **zero** specification violations — snap stabilization
+means the PIF guarantees hold from the very first post-fault
+configuration, so no mid-run corruption, crash, churn or daemon swap
+may ever produce a violated cycle report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    SCENARIO_SHAPES,
+    CrashNodes,
+    FaultScenario,
+    run_campaign,
+    run_chaos,
+    standard_scenarios,
+)
+from repro.chaos.campaign import DAEMON_FACTORIES, make_daemon
+from repro.core.pif import SnapPif
+from repro.errors import ScheduleError
+from repro.graphs import line, random_connected, ring
+from repro.reporting import campaign_to_dict, render_campaign
+
+NETWORKS = [line(6), ring(7), random_connected(8, 0.35, seed=3)]
+DAEMONS = ("synchronous", "central", "distributed-random")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(
+        None,
+        NETWORKS,
+        standard_scenarios(0),
+        daemons=DAEMONS,
+        seeds=(0,),
+        budget=600,
+    )
+
+
+class TestSnapPifSurvives:
+    def test_zero_violations(self, campaign) -> None:
+        assert campaign.ok, [
+            (r.scenario, r.topology, r.daemon, r.violation)
+            for r in campaign.violations
+        ]
+
+    def test_grid_is_full(self, campaign) -> None:
+        assert len(campaign.runs) == (
+            len(NETWORKS) * len(SCENARIO_SHAPES) * len(DAEMONS)
+        )
+
+    def test_faults_actually_fired(self, campaign) -> None:
+        assert campaign.total_faults >= len(campaign.runs)
+        assert all(r.steps > 0 for r in campaign.runs)
+
+    def test_waves_complete_despite_faults(self, campaign) -> None:
+        # The vast majority of runs should still complete PIF cycles.
+        with_cycles = sum(1 for r in campaign.runs if r.cycles_completed > 0)
+        assert with_cycles >= len(campaign.runs) * 3 // 4
+
+    def test_render_and_dict(self, campaign) -> None:
+        text = render_campaign(campaign, title="smoke")
+        assert "chaos campaign: PASS" in text
+        payload = campaign_to_dict(campaign)
+        assert payload["ok"] is True
+        assert payload["runs"] == len(campaign.runs)
+        assert len(payload["per_run"]) == len(campaign.runs)
+
+
+class TestChurnLockstep:
+    """Topology churn must keep the incremental engine bit-identical to
+    full re-evaluation: ``validate_engine=True`` cross-checks every
+    enabled-set after every step, including the mutation steps."""
+
+    @pytest.mark.parametrize("daemon", ["central", "distributed-random"])
+    def test_link_churn_validated(self, daemon: str) -> None:
+        net = ring(6)
+        run = run_chaos(
+            SnapPif.for_network(net),
+            net,
+            SCENARIO_SHAPES["link-churn"]().seeded(5),
+            daemon=daemon,
+            seed=5,
+            budget=300,
+            validate_engine=True,
+        )
+        assert run.ok
+        assert run.faults_applied > 0
+
+
+class TestStallFastForward:
+    def test_all_crashed_fast_forwards_to_recovery(self) -> None:
+        net = line(4)
+        scenario = FaultScenario(
+            name="total-blackout",
+            events=(CrashNodes(at_step=5, nodes=(0, 1, 2, 3), duration=500),),
+        )
+        run = run_chaos(
+            SnapPif.for_network(net), net, scenario, seed=0, budget=200
+        )
+        # The recovery is scheduled far past the stall point; the runner
+        # must fast-forward to it instead of spinning or giving up.
+        assert run.ok
+        assert run.faults_applied == 2  # crash + recovery
+        assert run.steps > 5
+        kinds = [e["kind"] for e in run.tape]
+        assert kinds.count("fault") == 2
+        assert kinds[-1] == "step"  # computation resumed after recovery
+
+    def test_no_events_left_ends_run(self) -> None:
+        net = line(3)
+        scenario = FaultScenario(
+            name="permanent-blackout",
+            events=(CrashNodes(at_step=2, nodes=(0, 1, 2)),),
+        )
+        run = run_chaos(
+            SnapPif.for_network(net), net, scenario, seed=0, budget=200
+        )
+        assert run.ok
+        assert run.steps < 200  # ended at the stall, not the budget
+
+
+class TestDaemonRegistry:
+    def test_every_factory_builds(self) -> None:
+        for name in DAEMON_FACTORIES:
+            daemon = make_daemon(name)
+            assert daemon is not make_daemon(name)  # fresh per call
+
+    def test_unknown_daemon(self) -> None:
+        with pytest.raises(ScheduleError, match="unknown daemon"):
+            make_daemon("maxwells")

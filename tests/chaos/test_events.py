@@ -1,0 +1,174 @@
+"""Fault events and the scenario DSL: serialization, composition, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    SCENARIO_SHAPES,
+    AddLink,
+    CorruptNodes,
+    CrashNodes,
+    FaultScenario,
+    RecoverNodes,
+    RemoveLink,
+    SwapDaemon,
+    corruption_burst,
+    crash_recover,
+    event_from_dict,
+    full_chaos,
+    link_churn,
+    standard_scenarios,
+)
+from repro.core.pif import SnapPif
+from repro.errors import ReproError
+from repro.graphs import line, ring
+from repro.runtime.simulator import Simulator
+
+
+def _sim(net):
+    return Simulator(SnapPif.for_network(net), net)
+
+
+class TestEventSerialization:
+    EVENTS = [
+        CorruptNodes(at_step=3, seed=7, mode="random", fraction=0.5),
+        CorruptNodes(at_step=1, mode="uniform", nodes=(1, 2)),
+        CrashNodes(at_step=9, seed=2, count=2, duration=40),
+        CrashNodes(at_step=9, nodes=(1, 3)),
+        RecoverNodes(at_step=50, nodes=(1, 3)),
+        RecoverNodes(at_step=50),
+        RemoveLink(at_step=4, seed=5),
+        RemoveLink(at_step=4, u=0, v=1),
+        AddLink(at_step=6, seed=1),
+        SwapDaemon(at_step=2, daemon="central"),
+    ]
+
+    @pytest.mark.parametrize(
+        "event", EVENTS, ids=lambda e: f"{e.kind}@{e.at_step}"
+    )
+    def test_round_trip(self, event) -> None:
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(ReproError, match="unknown fault event kind"):
+            event_from_dict({"kind": "meteor-strike"})
+
+    def test_unknown_field_rejected(self) -> None:
+        with pytest.raises(ReproError, match="unknown field"):
+            event_from_dict({"kind": "crash", "blast_radius": 3})
+
+    def test_none_fields_omitted(self) -> None:
+        payload = CrashNodes(at_step=1).to_dict()
+        assert "nodes" not in payload and "duration" not in payload
+
+
+class TestScenarioComposition:
+    def test_sequential_shifts_past_horizon(self) -> None:
+        a = corruption_burst(at=10, bursts=2, gap=30)  # horizon 40
+        b = crash_recover(at=5, waves=1)
+        combined = a >> b
+        assert combined.name == "corruption-burst>>crash-recover"
+        assert min(e.at_step for e in combined.events[2:]) == 40 + 1 + 5
+
+    def test_parallel_merges_on_shared_clock(self) -> None:
+        a = corruption_burst(at=10, bursts=1)
+        b = link_churn(at=5, flips=1)
+        combined = a | b
+        assert [e.at_step for e in combined.events] == sorted(
+            e.at_step for e in a.events + b.events
+        )
+
+    def test_shift_and_horizon(self) -> None:
+        scenario = corruption_burst(at=10, bursts=3, gap=20)
+        assert scenario.horizon == 50
+        assert scenario.shift(7).horizon == 57
+
+    def test_seeded_pins_distinct_subseeds(self) -> None:
+        scenario = full_chaos().seeded(3)
+        seeds = [e.seed for e in scenario.events]
+        assert None not in seeds
+        assert len(set(seeds)) == len(seeds)
+        # Seeding is idempotent: already-pinned events keep their seed.
+        assert scenario.seeded(99) == scenario
+
+    def test_json_round_trip(self) -> None:
+        for name, shape in SCENARIO_SHAPES.items():
+            scenario = shape().seeded(11)
+            again = FaultScenario.from_json(scenario.to_json())
+            assert again == scenario, name
+
+    def test_malformed_scenario_rejected(self) -> None:
+        with pytest.raises(ReproError, match="malformed scenario"):
+            FaultScenario.from_dict({"title": "nope"})
+
+    def test_standard_scenarios_cover_all_shapes(self) -> None:
+        names = [s.name for s in standard_scenarios()]
+        assert names == sorted(SCENARIO_SHAPES)
+
+
+class TestEventApplication:
+    def test_corrupt_random_is_deterministic(self) -> None:
+        event = CorruptNodes(at_step=0, seed=42, fraction=0.6)
+        sims = [_sim(line(5)) for _ in range(2)]
+        for sim in sims:
+            resolved, followups = event.apply(sim)
+            assert resolved is event and followups == ()
+        assert sims[0].configuration == sims[1].configuration
+
+    def test_crash_resolves_pinned_and_plants_recovery(self) -> None:
+        sim = _sim(line(5))
+        event = CrashNodes(at_step=0, seed=3, count=2, duration=25)
+        resolved, followups = event.apply(sim)
+        assert resolved is not None
+        assert resolved.nodes == tuple(sorted(sim.crashed))
+        assert resolved.duration is None  # recovery is its own tape entry
+        (recovery,) = followups
+        assert isinstance(recovery, RecoverNodes)
+        assert recovery.at_step == sim.steps + 25
+        assert recovery.nodes == resolved.nodes
+
+    def test_crash_all_then_recover_none_left(self) -> None:
+        sim = _sim(line(3))
+        CrashNodes(at_step=0, nodes=(0, 1, 2)).apply(sim)
+        assert sim.is_stalled()
+        resolved, _ = RecoverNodes(at_step=0).apply(sim)
+        assert resolved is not None and resolved.nodes == (0, 1, 2)
+        assert not sim.crashed and not sim.is_stalled()
+
+    def test_crash_already_crashed_is_noop(self) -> None:
+        sim = _sim(line(4))
+        CrashNodes(at_step=0, nodes=(2,)).apply(sim)
+        resolved, followups = CrashNodes(at_step=5, nodes=(2,)).apply(sim)
+        assert resolved is None and followups == ()
+
+    def test_remove_link_skips_bridges(self) -> None:
+        # Every edge of a line is a bridge: the event must no-op.
+        sim = _sim(line(4))
+        resolved, _ = RemoveLink(at_step=0, seed=1).apply(sim)
+        assert resolved is None
+
+    def test_remove_link_pins_endpoints_on_ring(self) -> None:
+        sim = _sim(ring(5))
+        resolved, _ = RemoveLink(at_step=0, seed=1).apply(sim)
+        assert resolved is not None
+        assert not sim.network.has_edge(resolved.u, resolved.v)
+
+    def test_add_link_pins_endpoints(self) -> None:
+        sim = _sim(line(4))
+        resolved, _ = AddLink(at_step=0, seed=1).apply(sim)
+        assert resolved is not None
+        assert sim.network.has_edge(resolved.u, resolved.v)
+
+    def test_add_link_noop_on_complete_graph(self) -> None:
+        from repro.graphs import complete
+
+        sim = _sim(complete(4))
+        resolved, _ = AddLink(at_step=0, seed=1).apply(sim)
+        assert resolved is None
+
+    def test_swap_daemon(self) -> None:
+        sim = _sim(line(4))
+        resolved, _ = SwapDaemon(at_step=0, daemon="round-robin").apply(sim)
+        assert resolved is not None
+        assert sim.daemon.name == "round-robin"

@@ -1,0 +1,127 @@
+"""Deliberately broken PIF variants — the falsifiability harness.
+
+A chaos campaign that never finds anything could be a strong protocol or
+a blind campaign.  These mutants pin it down: each one breaks the snap
+guarantees in a distinct, *plausible-bug* way, and the test suite
+asserts the campaign finds (and the shrinker minimizes) a violation on
+every one of them.
+
+* :class:`EagerFokPif` — the root's ``Count-action`` raises ``Fok_r``
+  unconditionally instead of when ``Sum_r = N`` (a classic off-by-one in
+  the termination-detection condition): the root turns abnormal mid-wave
+  and aborts its own broadcast.
+* :class:`LaxLevelPif` — a joining processor at depth ≥ 3 copies its
+  parent's level instead of ``level + 1`` (a weakened level computation
+  that only manifests deep in the wave tree): ``GoodLevel`` breaks
+  inside legitimate waves and corrections demote wave members, but only
+  after the broadcast has propagated several hops — so counterexamples
+  necessarily contain removable off-path steps.
+* :class:`NoLeafGuardPif` — drops the ``Leaf(p)`` conjunct from the
+  broadcast guard (the paper's guard ablated): sound from clean starts,
+  but corrupted configurations let processors re-join stale trees, which
+  only mid-run corruption exposes.
+
+``MUTANT_FACTORIES`` maps mutant names to ``(network, root) -> Protocol``
+factories, the same registry shape :func:`repro.chaos.replay_repro`
+consumes; ``REGISTRY`` additionally includes the genuine ``snap-pif``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.pif import SnapPif
+from repro.core.state import PifConstants, PifState
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Context
+
+
+def _patch(actions: tuple[Action, ...], name: str, wrap) -> tuple[Action, ...]:
+    """Replace the statement of the action called ``name`` with ``wrap(base)``."""
+    patched = []
+    for action in actions:
+        if action.name == name:
+            patched.append(
+                Action(
+                    action.name,
+                    guard=action.guard,
+                    statement=wrap(action.statement),
+                    correction=action.correction,
+                )
+            )
+        else:
+            patched.append(action)
+    return tuple(patched)
+
+
+class EagerFokPif(SnapPif):
+    """Root raises ``Fok_r`` before the count completes."""
+
+    name = "mutant-eager-fok"
+
+    def __init__(self, constants: PifConstants) -> None:
+        super().__init__(constants)
+
+        def eager(base) -> Callable[[Context], PifState]:
+            return lambda ctx: base(ctx).replace(fok=True)
+
+        self._root_program = _patch(self._root_program, "Count-action", eager)
+
+
+class LaxLevelPif(SnapPif):
+    """Deep joiners copy the parent's level instead of ``level + 1``."""
+
+    name = "mutant-lax-level"
+
+    def __init__(self, constants: PifConstants) -> None:
+        super().__init__(constants)
+
+        def lax(base) -> Callable[[Context], PifState]:
+            def statement(ctx: Context) -> PifState:
+                state = base(ctx)
+                if state.level >= 3:
+                    return state.replace(level=state.level - 1)
+                return state
+
+            return statement
+
+        self._non_root_program = _patch(
+            self._non_root_program, "B-action", lax
+        )
+
+
+class NoLeafGuardPif(SnapPif):
+    """The ``leaf_guard`` ablation: stale-tree members count as leaves."""
+
+    name = "mutant-no-leaf-guard"
+
+
+def _eager_fok(network: Network, root: int = 0) -> SnapPif:
+    return EagerFokPif(PifConstants.for_network(network, root))
+
+
+def _lax_level(network: Network, root: int = 0) -> SnapPif:
+    return LaxLevelPif(PifConstants.for_network(network, root))
+
+
+def _no_leaf_guard(network: Network, root: int = 0) -> SnapPif:
+    return NoLeafGuardPif(
+        PifConstants.for_network(network, root, leaf_guard=False)
+    )
+
+
+def _snap_pif(network: Network, root: int = 0) -> SnapPif:
+    return SnapPif.for_network(network, root)
+
+
+MUTANT_FACTORIES: dict[str, Callable[..., SnapPif]] = {
+    "mutant-eager-fok": _eager_fok,
+    "mutant-lax-level": _lax_level,
+    "mutant-no-leaf-guard": _no_leaf_guard,
+}
+
+#: Full protocol registry for corpus replay (mutants + the real thing).
+REGISTRY: dict[str, Callable[..., SnapPif]] = {
+    "snap-pif": _snap_pif,
+    **MUTANT_FACTORIES,
+}

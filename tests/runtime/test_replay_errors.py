@@ -1,0 +1,111 @@
+"""Structured replay divergence: every ReplayError carries forensics.
+
+The chaos shrinker's oracle distinguishes "candidate tape drifted"
+(expected during ddmin) from "corpus reproducer broke" (a regression)
+purely from the :class:`~repro.errors.ReplayError` structure, so the
+step index, reason code and expected-vs-enabled map are API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pif import SnapPif
+from repro.errors import ReplayError, ReproError, ScheduleError
+from repro.graphs import line
+from repro.runtime.daemons import ReplayDaemon, SynchronousDaemon
+from repro.runtime.simulator import Simulator
+
+
+def _recorded_schedule(net, steps: int) -> list[dict[int, str]]:
+    sim = Simulator(
+        SnapPif.for_network(net),
+        net,
+        SynchronousDaemon(),
+        trace_level="selections",
+    )
+    sim.run(max_steps=steps)
+    return sim.trace.schedule()
+
+
+class TestReplayErrorStructure:
+    def test_inheritance(self) -> None:
+        assert issubclass(ReplayError, ScheduleError)
+        assert issubclass(ScheduleError, ReproError)
+
+    def test_exhausted(self) -> None:
+        net = line(3)
+        schedule = _recorded_schedule(net, 2)
+        daemon = ReplayDaemon(schedule)
+        sim = Simulator(SnapPif.for_network(net), net, daemon)
+        with pytest.raises(ReplayError) as exc:
+            sim.run(max_steps=10)
+        err = exc.value
+        assert err.reason == "exhausted"
+        assert err.step_index == len(schedule) == 2
+        assert err.node is None and err.action is None
+        assert err.enabled  # the computation had somewhere to go
+        assert daemon.exhausted and daemon.cursor == 2
+
+    def test_node_not_enabled(self) -> None:
+        net = line(3)
+        # Node 2 (the leaf) is initially disabled in the SBN start.
+        daemon = ReplayDaemon([{2: "B-action"}])
+        sim = Simulator(SnapPif.for_network(net), net, daemon)
+        with pytest.raises(ReplayError) as exc:
+            sim.step()
+        err = exc.value
+        assert err.reason == "node-not-enabled"
+        assert err.step_index == 0
+        assert err.node == 2
+        assert err.action == "B-action"
+        assert 2 not in err.enabled
+        assert err.enabled, "divergence forensics need the enabled map"
+
+    def test_action_not_enabled(self) -> None:
+        net = line(3)
+        schedule = _recorded_schedule(net, 1)
+        node = next(iter(schedule[0]))
+        daemon = ReplayDaemon([{node: "no-such-action"}])
+        sim = Simulator(SnapPif.for_network(net), net, daemon)
+        with pytest.raises(ReplayError) as exc:
+            sim.step()
+        err = exc.value
+        assert err.reason == "action-not-enabled"
+        assert err.node == node
+        assert err.action == "no-such-action"
+        assert "no-such-action" not in err.enabled[node]
+
+    def test_empty_step(self) -> None:
+        net = line(3)
+        daemon = ReplayDaemon([{}])
+        sim = Simulator(SnapPif.for_network(net), net, daemon)
+        with pytest.raises(ReplayError) as exc:
+            sim.step()
+        assert exc.value.reason == "empty-step"
+        assert exc.value.step_index == 0
+
+    def test_cursor_advances_only_on_replayed_steps(self) -> None:
+        net = line(3)
+        schedule = _recorded_schedule(net, 3)
+        daemon = ReplayDaemon(schedule)
+        sim = Simulator(SnapPif.for_network(net), net, daemon)
+        assert daemon.cursor == 0 and not daemon.exhausted
+        sim.step()
+        assert daemon.cursor == 1
+        daemon.reset()
+        assert daemon.cursor == 0
+
+    def test_faithful_replay_reproduces_configurations(self) -> None:
+        net = line(4)
+        sim = Simulator(
+            SnapPif.for_network(net),
+            net,
+            SynchronousDaemon(),
+            trace_level="selections",
+        )
+        sim.run(max_steps=6)
+        schedule = sim.trace.schedule()
+        replay = Simulator(SnapPif.for_network(net), net, ReplayDaemon(schedule))
+        replay.run(max_steps=len(schedule))
+        assert replay.configuration == sim.configuration

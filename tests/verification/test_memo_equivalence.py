@@ -13,9 +13,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.pif import SnapPif
-from repro.graphs import complete, line
+from repro.graphs import complete, line, ring, star
 from repro.verification import (
     ModelCheckResult,
+    check_convergence_synchronous,
+    check_cycle_liveness_synchronous,
     check_normal_closure,
     check_snap_safety,
 )
@@ -117,6 +119,51 @@ class TestClosureEquivalence:
         )
 
 
+class TestSynchronousCheckerEquivalence:
+    """The synchronous checkers (liveness, convergence) drive their
+    deterministic executions through the memo engine; verdicts, coverage
+    counters and counterexamples must match the simulator path exactly."""
+
+    def test_liveness_line3_full(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_cycle_liveness_synchronous(line(3), memo=memo)
+        )
+
+    def test_liveness_ring4_capped(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_cycle_liveness_synchronous(
+                ring(4), max_configurations=300, memo=memo
+            )
+        )
+
+    def test_liveness_no_leaf_guard_same_verdict(self) -> None:
+        """The ablated protocol must fail (or pass) identically."""
+        net = line(3)
+
+        def run(memo: bool) -> ModelCheckResult:
+            protocol = SnapPif.for_network(net, leaf_guard=False)
+            return check_cycle_liveness_synchronous(
+                net, protocol=protocol, max_configurations=600, memo=memo
+            )
+
+        on, off = run(True), run(False)
+        assert _comparable(on) == _comparable(off)
+
+    def test_convergence_line3_strided(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_convergence_synchronous(
+                line(3), stride=13, memo=memo
+            )
+        )
+
+    def test_convergence_star4_capped(self) -> None:
+        _assert_equivalent(
+            lambda memo: check_convergence_synchronous(
+                star(4), max_configurations=200, stride=17, memo=memo
+            )
+        )
+
+
 class TestValidateMode:
     """``validate_memo=True`` cross-checks every memoized answer against
     the direct evaluation in-line; a clean run is itself the assertion."""
@@ -130,6 +177,22 @@ class TestValidateMode:
     def test_closure_validated(self) -> None:
         result = check_normal_closure(
             line(3), max_configurations=200, memo=True, validate_memo=True
+        )
+        assert result.ok
+
+    def test_liveness_validated(self) -> None:
+        result = check_cycle_liveness_synchronous(
+            line(3), max_configurations=120, memo=True, validate_memo=True
+        )
+        assert result.ok
+
+    def test_convergence_validated(self) -> None:
+        result = check_convergence_synchronous(
+            line(3),
+            max_configurations=120,
+            stride=19,
+            memo=True,
+            validate_memo=True,
         )
         assert result.ok
 

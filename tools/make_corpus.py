@@ -1,0 +1,56 @@
+"""Regenerate the chaos regression corpus under ``tests/corpus/``.
+
+For every broken protocol mutant, hunt the standard falsification grid
+for a violation, shrink its tape with ddmin, and persist the reproducer
+as ``tests/corpus/<mutant>.json``.  Tier-1
+(``tests/chaos/test_corpus.py``) replays every file in that directory
+forever after, so a once-found bug signature can never silently return.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python tools/make_corpus.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from repro.chaos import falsify, replay_repro, save_repro, standard_scenarios
+from repro.graphs import line, random_connected, ring
+
+from tests.mutants.protocols import MUTANT_FACTORIES, REGISTRY
+
+NETWORKS = [line(5), ring(6), random_connected(7, 0.4, seed=2)]
+
+
+def main() -> int:
+    corpus = ROOT / "tests" / "corpus"
+    corpus.mkdir(parents=True, exist_ok=True)
+    failed = False
+    for name, factory in sorted(MUTANT_FACTORIES.items()):
+        repro = falsify(
+            factory, NETWORKS, standard_scenarios(), budget=400, max_tests=3000
+        )
+        if repro is None:
+            print(f"{name}: falsification FAILED — no shrinkable violation")
+            failed = True
+            continue
+        replayed = replay_repro(repro, REGISTRY)
+        assert replayed == repro.violation, (name, replayed)
+        path = corpus / f"{name}.json"
+        save_repro(repro, path)
+        print(
+            f"{name}: {repro.original_entries} -> {repro.shrunk_entries} "
+            f"entries ({repro.shrink_tests} tests) on {repro.topology} / "
+            f"{repro.daemon} / {repro.scenario} seed {repro.seed} -> {path}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
