@@ -12,6 +12,11 @@ Results are written to ``BENCH_chaos.json`` at the repository root and
 gated by ``benchmarks/check_regression.py``::
 
     pytest benchmarks/bench_chaos.py --benchmark-only -q
+
+The campaigns honor the ``REPRO_JOBS`` jobs axis (``repro bench chaos
+--jobs N`` sets it), fanning grid cells across a process pool with
+results identical to the serial run; ``benchmarks/bench_parallel.py``
+measures that axis explicitly.
 """
 
 from __future__ import annotations

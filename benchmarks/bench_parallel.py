@@ -1,0 +1,170 @@
+"""C-parallel — process-pool speedup and determinism across the jobs axis.
+
+Runs the two heaviest wired workloads — a chaos campaign grid and the
+sharded snap-safety sweep — serially and at ``jobs`` ∈ {1, 2, 4}, and
+reports wall-clock seconds plus parallel-over-serial speedup per case.
+Every measurement doubles as the determinism canary: the parallel
+results must be *identical* to the serial ones (same runs, tapes and
+violations for the campaign; same verdict, counterexamples and coverage
+for the sweep), so a scheduling bug can never hide behind a speedup.
+
+Speedups are only meaningful relative to the host (a single-core
+container cannot beat serial), which is why every report embeds the
+host shape (see ``benchmarks/common.host_metadata``) and
+``check_regression.py`` compares against baselines from the same shape.
+
+Results are written to ``BENCH_parallel.json`` at the repository root
+and gated by ``benchmarks/check_regression.py``::
+
+    pytest benchmarks/bench_parallel.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import SCENARIO_SHAPES, run_campaign
+from repro.graphs import line, random_connected, ring
+from repro.verification import check_snap_safety
+
+from benchmarks.common import JSON_REPORTS, TableCollector
+
+TABLE = TableCollector(
+    "C-parallel — parallel vs serial across the jobs axis",
+    columns=["case", "jobs", "seconds", "speedup vs serial", "identical"],
+)
+
+#: The jobs axis every workload is measured on (serial is the baseline).
+JOBS_AXIS = (1, 2, 4)
+
+CAMPAIGN_NETWORKS = [ring(12), random_connected(16, 0.2, seed=7)]
+CAMPAIGN_DAEMONS = ("central", "distributed-random")
+CAMPAIGN_SEEDS = (0, 1)
+CAMPAIGN_BUDGET = 400
+
+SAFETY_NETWORK = line(3)
+SAFETY_MAX_STATES = 200_000
+
+#: ``case -> {"serial_seconds": ..., "jobs": {j: seconds}}``
+RESULTS: dict[str, dict] = {}
+
+
+def _campaign_sig(result):
+    return [
+        (r.scenario, r.topology, r.daemon, r.seed, r.steps, r.violation, r.tape)
+        for r in result.runs
+    ]
+
+
+def _run_campaign(jobs=None):
+    scenario = SCENARIO_SHAPES["corruption-burst"]().seeded(0)
+    return run_campaign(
+        None,
+        CAMPAIGN_NETWORKS,
+        [scenario],
+        daemons=CAMPAIGN_DAEMONS,
+        seeds=CAMPAIGN_SEEDS,
+        budget=CAMPAIGN_BUDGET,
+        jobs=jobs,
+    )
+
+
+def _safety_sig(result):
+    return (
+        result.complete,
+        result.configurations_checked,
+        [(c.initial, c.schedule, c.message) for c in result.counterexamples],
+    )
+
+
+def _run_safety(jobs=None):
+    return check_snap_safety(
+        SAFETY_NETWORK, max_states=SAFETY_MAX_STATES, jobs=jobs
+    )
+
+
+WORKLOADS = {
+    "campaign": (_run_campaign, _campaign_sig),
+    "snap-safety": (_run_safety, _safety_sig),
+}
+
+
+@pytest.mark.parametrize("case", sorted(WORKLOADS))
+def test_jobs_axis(case: str, benchmark) -> None:
+    run, sig = WORKLOADS[case]
+
+    def measure():
+        start = time.perf_counter()
+        serial = run()
+        serial_seconds = time.perf_counter() - start
+        timings = {}
+        identical = True
+        reference = sig(serial)
+        for jobs in JOBS_AXIS:
+            start = time.perf_counter()
+            result = run(jobs=jobs)
+            timings[jobs] = time.perf_counter() - start
+            identical = identical and sig(result) == reference
+        return {
+            "serial_seconds": serial_seconds,
+            "jobs": timings,
+            "identical": identical,
+        }
+
+    measurement = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert measurement["identical"], f"{case}: parallel != serial"
+    RESULTS[case] = measurement
+    for jobs in JOBS_AXIS:
+        seconds = measurement["jobs"][jobs]
+        TABLE.add(
+            {
+                "case": case,
+                "jobs": jobs,
+                "seconds": round(seconds, 4),
+                "speedup vs serial": round(
+                    measurement["serial_seconds"] / seconds, 2
+                )
+                if seconds > 0
+                else 0.0,
+                "identical": measurement["identical"],
+            }
+        )
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    speedups = {}
+    cases = []
+    for case, m in sorted(RESULTS.items()):
+        for jobs in JOBS_AXIS:
+            seconds = m["jobs"][jobs]
+            speedup = m["serial_seconds"] / seconds if seconds > 0 else 0.0
+            cases.append(
+                {
+                    "case": case,
+                    "jobs": jobs,
+                    "seconds": seconds,
+                    "serial_seconds": m["serial_seconds"],
+                    "speedup_over_serial": speedup,
+                    "identical_to_serial": m["identical"],
+                }
+            )
+            speedups[f"{case}_jobs{jobs}"] = round(speedup, 2)
+    return {
+        "benchmark": "process-pool parallelism across the jobs axis",
+        "workload": (
+            "campaign: ring-12 + random-16, corruption-burst, "
+            f"daemons {list(CAMPAIGN_DAEMONS)}, seeds {list(CAMPAIGN_SEEDS)}, "
+            f"budget {CAMPAIGN_BUDGET}; snap-safety: {SAFETY_NETWORK.name}, "
+            f"max_states {SAFETY_MAX_STATES}"
+        ),
+        "jobs_axis": list(JOBS_AXIS),
+        "cases": cases,
+        "speedup_parallel_over_serial": speedups,
+    }
+
+
+JSON_REPORTS.append(("BENCH_parallel.json", _build_report))

@@ -9,15 +9,22 @@ tracked speedup dropped by more than the threshold (default 10%)::
     python benchmarks/check_regression.py      # gate against baselines
 
 Only *drops* fail the gate — a faster-than-baseline run passes (refresh
-the baseline when an improvement is intentional).  A report or speedup
-key present in the baseline but missing from the fresh run also fails:
-silently losing coverage is itself a regression.
+the baselines with ``--update-baselines`` when an improvement is
+intentional).  A report or speedup key present in the baseline but
+missing from the fresh run also fails: silently losing coverage is
+itself a regression.
+
+Reports embed the host shape they were measured on; when the current
+host differs from the baseline's (different CPU model or core count)
+the gate still runs but prints a warning — cross-host comparisons are
+informative, not authoritative.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
 
@@ -28,9 +35,10 @@ TRACKED: dict[str, str] = {
     "BENCH_engine.json": "speedup_incremental_over_full",
     "BENCH_modelcheck.json": "speedup_memo_over_direct",
     "BENCH_chaos.json": "campaign_steps_per_sec",
+    "BENCH_parallel.json": "speedup_parallel_over_serial",
 }
 
-__all__ = ["compare_speedups", "main"]
+__all__ = ["compare_speedups", "host_mismatch", "main"]
 
 
 def compare_speedups(
@@ -56,14 +64,55 @@ def compare_speedups(
     return failures
 
 
-def _load(path: Path, key: str) -> dict[str, float] | None:
+def host_mismatch(baseline: dict, current: dict) -> list[str]:
+    """Human-readable differences between two reports' host shapes.
+
+    Compares the fields that change what a speedup means (CPU model,
+    core count, python version).  Either report missing its ``host``
+    block counts as a mismatch — old baselines predate the metadata.
+    """
+    base_host = baseline.get("host")
+    cur_host = current.get("host")
+    if not isinstance(base_host, dict) or not isinstance(cur_host, dict):
+        return ["host metadata missing from baseline or current report"]
+    notes = []
+    for field in ("cpu_model", "cpu_count", "python"):
+        base, cur = base_host.get(field), cur_host.get(field)
+        if base != cur:
+            notes.append(f"{field}: baseline {base!r} vs current {cur!r}")
+    return notes
+
+
+def _load_payload(path: Path) -> dict | None:
     if not path.exists():
         return None
     payload = json.loads(path.read_text())
+    return payload if isinstance(payload, dict) else None
+
+
+def _load(path: Path, key: str) -> dict[str, float] | None:
+    payload = _load_payload(path)
+    if payload is None:
+        return None
     speedups = payload.get(key)
     if not isinstance(speedups, dict):
         return None
     return speedups
+
+
+def update_baselines(baseline_dir: Path, current_dir: Path) -> int:
+    """Copy every tracked fresh report over its committed baseline."""
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    copied = 0
+    for filename, key in TRACKED.items():
+        source = current_dir / filename
+        if _load(source, key) is None:
+            print(f"{filename}: no fresh report with {key!r}; not updated")
+            continue
+        shutil.copyfile(source, baseline_dir / filename)
+        print(f"{filename}: baseline updated from {source}")
+        copied += 1
+    return copied
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,7 +137,17 @@ def main(argv: list[str] | None = None) -> int:
         default=0.10,
         help="maximum tolerated fractional drop (default: 0.10)",
     )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy the fresh tracked reports over the committed baselines "
+        "instead of gating",
+    )
     args = parser.parse_args(argv)
+
+    if args.update_baselines:
+        update_baselines(args.baseline_dir, args.current_dir)
+        return 0
 
     exit_code = 0
     for filename, key in TRACKED.items():
@@ -104,6 +163,12 @@ def main(argv: list[str] | None = None) -> int:
             )
             exit_code = 1
             continue
+        mismatches = host_mismatch(
+            _load_payload(args.baseline_dir / filename) or {},
+            _load_payload(args.current_dir / filename) or {},
+        )
+        for note in mismatches:
+            print(f"{filename}: WARNING host shape differs — {note}")
         failures = compare_speedups(baseline, current, args.threshold)
         if failures:
             print(f"{filename}: FAIL ({key})")

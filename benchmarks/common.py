@@ -14,11 +14,41 @@ produces both the timing tables and the reproduction tables.
 
 from __future__ import annotations
 
+import os
+import platform
 from typing import Callable
 
 from repro.reporting import render_table
 
-__all__ = ["TableCollector", "ALL_TABLES", "JSON_REPORTS"]
+__all__ = ["TableCollector", "ALL_TABLES", "JSON_REPORTS", "host_metadata"]
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def host_metadata() -> dict:
+    """The host shape a benchmark ran on, embedded in every report.
+
+    Speedup numbers — especially the parallel ones — are only
+    interpretable relative to the machine that produced them;
+    ``check_regression.py`` warns (without failing) when the current
+    host shape differs from the baseline's.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
 
 #: Global registry of experiment tables, printed by the conftest hook.
 ALL_TABLES: list["TableCollector"] = []

@@ -5,7 +5,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from benchmarks.common import ALL_TABLES, JSON_REPORTS
+from benchmarks.common import ALL_TABLES, JSON_REPORTS, host_metadata
 
 #: JSON reports land at the repository root so their trajectory is
 #: tracked PR over PR (BENCH_engine.json et al.).
@@ -28,6 +28,9 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
         payload = build()
         if payload is None:
             continue
+        # Every report carries the host shape it was measured on —
+        # injected here so no bench module can forget it.
+        payload.setdefault("host", host_metadata())
         path = REPO_ROOT / filename
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         terminalreporter.write_line(f"wrote {path}")

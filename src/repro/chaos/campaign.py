@@ -239,21 +239,53 @@ def run_campaign(
     engine: str | None = None,
     validate_engine: bool | None = None,
     stop_on_violation: bool = False,
+    jobs: int | None = None,
+    task_timeout: float | None = None,
 ) -> CampaignResult:
     """Sweep scenarios × topologies × daemons × seeds.
 
     ``protocol_factory`` builds a protocol per network
     (default: ``SnapPif.for_network``).  ``networks`` is a name → network
     mapping or an iterable of networks (keyed by their ``name``).
+
+    ``jobs`` fans the grid cells out across a process pool (``None``
+    falls back to the ``REPRO_JOBS`` environment variable, then to the
+    in-process serial loop).  Every cell is an independent deterministic
+    run and the merged result preserves grid order, so parallel and
+    serial campaigns are bit-identical — same runs, same tapes, same
+    violations — for the same seeds.  With ``jobs``, ``protocol_factory``
+    must be picklable (a module-level callable); a permanently failing
+    cell raises :class:`~repro.parallel.executor.ParallelError` carrying
+    the grid-cell identity.  ``task_timeout`` bounds each cell's
+    wall-clock seconds in pool mode (timed-out cells are retried once,
+    then reported).
     """
-    if protocol_factory is None:
-        protocol_factory = SnapPif.for_network
+    from repro.parallel.executor import resolve_jobs
+
     if isinstance(networks, Mapping):
         grid = list(networks.values())
     else:
         grid = list(networks)
     scenarios = list(scenarios)
 
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs is not None and n_jobs > 1:
+        return _run_campaign_parallel(
+            protocol_factory,
+            grid,
+            scenarios,
+            daemons=daemons,
+            seeds=seeds,
+            budget=budget,
+            engine=engine,
+            validate_engine=validate_engine,
+            stop_on_violation=stop_on_violation,
+            jobs=n_jobs,
+            task_timeout=task_timeout,
+        )
+
+    if protocol_factory is None:
+        protocol_factory = SnapPif.for_network
     result = CampaignResult()
     for network in grid:
         protocol = protocol_factory(network)
@@ -273,4 +305,66 @@ def run_campaign(
                     result.runs.append(run)
                     if stop_on_violation and not run.ok:
                         return result
+    return result
+
+
+def _run_campaign_parallel(
+    protocol_factory: Callable[[Network], Protocol] | None,
+    grid: list[Network],
+    scenarios: list[FaultScenario],
+    *,
+    daemons: Sequence[str],
+    seeds: Sequence[int],
+    budget: int,
+    engine: str | None,
+    validate_engine: bool | None,
+    stop_on_violation: bool,
+    jobs: int,
+    task_timeout: float | None,
+) -> CampaignResult:
+    """Fan the campaign grid out across a process pool.
+
+    One task per grid cell, in the exact nesting order of the serial
+    loop; results merge back in that order, so the returned
+    :class:`CampaignResult` is bit-identical to the serial one.  With
+    ``stop_on_violation`` the whole grid still executes (there is no
+    cross-worker cancellation), but the merged run list is truncated at
+    the first violating cell — exactly the prefix the serial loop would
+    have produced.
+    """
+    from repro.parallel.executor import (
+        ParallelExecutor,
+        raise_failures,
+    )
+    from repro.parallel.workers import campaign_cell
+
+    tasks = []
+    for network in grid:
+        for scenario in scenarios:
+            for daemon in daemons:
+                for seed in seeds:
+                    key = (network.name, scenario.name, daemon, seed)
+                    payload = {
+                        "factory": protocol_factory,
+                        "network": network,
+                        "scenario": scenario,
+                        "daemon": daemon,
+                        "seed": seed,
+                        "budget": budget,
+                        "engine": engine,
+                        "validate_engine": validate_engine,
+                    }
+                    tasks.append((key, payload))
+
+    executor = ParallelExecutor(
+        campaign_cell, jobs=jobs, timeout=task_timeout
+    )
+    outcomes = executor.map(tasks)
+    raise_failures(outcomes)
+
+    result = CampaignResult()
+    for run in outcomes:
+        result.runs.append(run)
+        if stop_on_violation and not run.ok:
+            break
     return result

@@ -35,6 +35,7 @@ from repro.runtime.simulator import Simulator
 __all__ = [
     "replay_tape",
     "ddmin",
+    "shrink_entry_payloads",
     "Repro",
     "shrink_run",
     "falsify",
@@ -170,6 +171,82 @@ def ddmin(
     return items, tests_run
 
 
+def _entry_reductions(entry: Mapping, all_nodes: Sequence[int]):
+    """Smaller same-position variants of one tape entry, in deterministic order.
+
+    * A multi-node **step** sheds one selected processor at a time
+      (canonicalization: the surviving selection is what the violation
+      actually needs, not what the daemon happened to pick).
+    * A **fault** event with an explicit multi-node victim list sheds one
+      victim at a time (magnitude lowering).
+    * An *unpinned* ``corrupt`` event (``nodes`` absent: victims are
+      re-derived from the seed at replay) is offered pinned to each
+      single node — the strongest magnitude reduction, and it makes the
+      reproducer's blast radius explicit in the artifact.
+    """
+    if entry["kind"] == "step":
+        selection = entry["selection"]
+        if len(selection) > 1:
+            for node in sorted(selection, key=int):
+                yield {
+                    "kind": "step",
+                    "selection": {
+                        p: a for p, a in selection.items() if p != node
+                    },
+                }
+    elif entry["kind"] == "fault":
+        event = entry["event"]
+        nodes = event.get("nodes")
+        if isinstance(nodes, list) and len(nodes) > 1:
+            for node in nodes:
+                smaller = dict(event)
+                smaller["nodes"] = [q for q in nodes if q != node]
+                yield {"kind": "fault", "event": smaller}
+        elif nodes is None and event.get("kind") == "corrupt":
+            for node in sorted(all_nodes):
+                pinned = dict(event)
+                pinned["nodes"] = [node]
+                yield {"kind": "fault", "event": pinned}
+
+
+def shrink_entry_payloads(
+    tape: Sequence[Mapping],
+    test: Callable[[list], bool],
+    *,
+    nodes: Sequence[int] = (),
+    max_tests: int = 1000,
+) -> tuple[list, int]:
+    """Second shrinking pass: minimize *inside* the surviving entries.
+
+    ddmin removes whole tape entries; this pass then greedily applies
+    :func:`_entry_reductions` to each entry in turn, keeping a reduction
+    only when ``test`` confirms the identical violation still
+    reproduces, and repeats to a fixpoint (or until ``max_tests``
+    oracle calls).  The entry count never changes, so the result is
+    never larger than its input — it is the same reproducer with
+    smaller selections and smaller fault blast radii.
+
+    ``nodes`` is the network's node set, needed to propose singleton
+    pinnings for unpinned ``corrupt`` events.
+    """
+    items = list(tape)
+    tests_run = 0
+    progress = True
+    while progress and tests_run < max_tests:
+        progress = False
+        for index in range(len(items)):
+            for candidate in _entry_reductions(items[index], nodes):
+                if tests_run >= max_tests:
+                    return items, tests_run
+                trial = items[:index] + [candidate] + items[index + 1 :]
+                tests_run += 1
+                if test(trial):
+                    items = trial
+                    progress = True
+                    break
+    return items, tests_run
+
+
 @dataclass
 class Repro:
     """A minimized, self-contained, deterministic reproducer."""
@@ -203,9 +280,13 @@ def shrink_run(
     """Minimize a violating run's tape into a :class:`Repro`.
 
     The oracle accepts a candidate only if it replays to the *identical*
-    violation message.  Returns ``None`` when the original tape itself
-    fails to re-reproduce (which would indicate nondeterminism — worth a
-    bug report of its own).
+    violation message.  After ddmin has removed every removable entry, a
+    second pass (:func:`shrink_entry_payloads`) minimizes inside the
+    survivors — dropping processors from multi-node steps and lowering
+    fault magnitudes — under the same oracle and the same shared test
+    budget.  Returns ``None`` when the original tape itself fails to
+    re-reproduce (which would indicate nondeterminism — worth a bug
+    report of its own).
     """
     if run.ok or run.network is None:
         raise ReproError("shrink_run needs a violating run with its network")
@@ -218,6 +299,13 @@ def shrink_run(
     if not reproduces(run.tape):
         return None
     minimal, tests_run = ddmin(list(run.tape), reproduces, max_tests=max_tests)
+    minimal, payload_tests = shrink_entry_payloads(
+        minimal,
+        reproduces,
+        nodes=list(network.nodes),
+        max_tests=max(0, max_tests - tests_run),
+    )
+    tests_run += payload_tests
     return Repro(
         protocol=run.protocol_name,
         topology=network.name,

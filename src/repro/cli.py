@@ -17,8 +17,16 @@ Commands
     Run a seeded chaos campaign (mid-run corruption, crash/recover,
     link churn, daemon swaps) against the snap-stabilizing PIF and
     report violations of the PIF specification.
+``bench``
+    Run benchmark modules from ``benchmarks/`` (requires a source
+    checkout) and write their ``BENCH_*.json`` artifacts.
 ``topologies``
     List the available topology families.
+
+``verify`` and ``chaos`` accept ``--jobs N`` to fan their sweeps across
+a process pool; results are identical to the serial run (see
+``repro.parallel``).  The ``REPRO_JOBS`` environment variable is the
+fallback when the flag is omitted.
 """
 
 from __future__ import annotations
@@ -47,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Snap-stabilizing PIF in arbitrary networks (ICDCS 2002)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="process-pool workers (default: REPRO_JOBS env, else "
+            "serial); results are identical to the serial run",
+        )
 
     def add_topology_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -85,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap on checked configurations (line-4 defaults to 2000)",
     )
+    add_jobs_arg(verify)
 
     bounds_cmd = sub.add_parser("bounds", help="bound sheet + measured cycle")
     add_topology_args(bounds_cmd)
@@ -111,6 +129,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable campaign summary instead of tables",
     )
+    add_jobs_arg(chaos)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark modules and write BENCH_*.json artifacts"
+    )
+    bench.add_argument(
+        "modules",
+        nargs="*",
+        help="benchmark module names (e.g. 'parallel' for "
+        "benchmarks/bench_parallel.py); default: all",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_modules",
+        help="list the available benchmark modules and exit",
+    )
+    add_jobs_arg(bench)
 
     sub.add_parser("topologies", help="list topology families")
     return parser
@@ -198,13 +234,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     else:
         net, cap = line(4), args.cap if args.cap is not None else 2000
 
+    jobs = args.jobs
     checks = [
-        ("snap safety (all daemon choices)", check_snap_safety),
-        ("wave liveness (synchronous)", check_cycle_liveness_synchronous),
+        (
+            "snap safety (all daemon choices)",
+            lambda n, **kw: check_snap_safety(n, jobs=jobs, **kw),
+        ),
+        (
+            "wave liveness (synchronous)",
+            lambda n, **kw: check_cycle_liveness_synchronous(
+                n, jobs=jobs, **kw
+            ),
+        ),
         (
             "convergence to SBN (synchronous)",
-            lambda n, **kw: check_convergence_synchronous(n, stride=3, **kw),
+            lambda n, **kw: check_convergence_synchronous(
+                n, stride=3, jobs=jobs, **kw
+            ),
         ),
+        # Closure stays serial: its sweep filters to normal
+        # configurations, which is cheap relative to the others.
         ("closure of normal configurations", check_normal_closure),
     ]
     rows = []
@@ -268,6 +317,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         daemons=tuple(args.daemons),
         seeds=(args.seed,),
         budget=args.budget,
+        jobs=args.jobs,
     )
     if args.json:
         print(json.dumps(campaign_to_dict(result), indent=2, sort_keys=True))
@@ -279,6 +329,67 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             )
         )
     return 0 if result.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run benchmark modules through pytest, writing BENCH_*.json artifacts.
+
+    The benchmark suite lives in ``benchmarks/`` next to ``src/`` (not
+    inside the package), so this command needs a source checkout; the
+    JSON artifacts land at the repository root exactly as they do when
+    invoking pytest directly.  ``--jobs`` is forwarded to the wired
+    parallel layers via the ``REPRO_JOBS`` environment variable, so
+    every campaign and sweep a benchmark runs picks it up.
+    """
+    import os
+    import subprocess
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    if not bench_dir.is_dir():
+        print(
+            f"no benchmarks/ directory at {repo_root} — 'repro bench' "
+            "requires a source checkout",
+            file=sys.stderr,
+        )
+        return 2
+    available = sorted(
+        path.stem[len("bench_") :] for path in bench_dir.glob("bench_*.py")
+    )
+    if args.list_modules:
+        for name in available:
+            print(name)
+        return 0
+    selected = list(args.modules) or available
+    unknown = sorted(set(selected) - set(available))
+    if unknown:
+        print(
+            f"unknown benchmark module(s) {unknown}; available: {available}",
+            file=sys.stderr,
+        )
+        return 2
+    env = dict(os.environ)
+    if args.jobs is not None:
+        env["REPRO_JOBS"] = str(args.jobs)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (
+            str(repo_root / "src"),
+            str(repo_root),
+            env.get("PYTHONPATH", ""),
+        )
+        if p
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "--benchmark-only",
+        "-q",
+        *(str(bench_dir / f"bench_{name}.py") for name in selected),
+    ]
+    return subprocess.call(command, cwd=repo_root, env=env)
 
 
 def _cmd_topologies(_args: argparse.Namespace) -> int:
@@ -296,6 +407,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "bounds": _cmd_bounds,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
     "topologies": _cmd_topologies,
 }
 

@@ -1,0 +1,42 @@
+"""Deterministic process-pool parallelism for the heavy sweeps.
+
+Every heavy workload in the repository — chaos campaigns, the snap-safety
+model-check sweep, the synchronous convergence/liveness sweeps, the
+benchmark grids — is embarrassingly parallel per grid cell or per
+enumeration shard.  This package provides the one executor they all
+share:
+
+* :class:`~repro.parallel.executor.ParallelExecutor` — deterministic
+  work partitioning over :class:`concurrent.futures.ProcessPoolExecutor`
+  with stable, order-independent result merging (results come back in
+  task-submission order no matter which worker finished first), per-task
+  timeouts with retry-once-then-record semantics, and a graceful
+  in-process serial path for ``jobs=1``;
+* :mod:`~repro.parallel.workers` — the top-level (hence picklable)
+  worker functions for the wired layers, each owning its *worker-local*
+  warm state (protocol instances, memo engines); nothing mutable ever
+  crosses the pickle boundary;
+* :func:`~repro.parallel.executor.resolve_jobs` — the single knob
+  resolution used everywhere: explicit ``jobs=`` argument, else the
+  ``REPRO_JOBS`` environment variable, else ``None`` (the classic
+  serial code path).
+
+The non-negotiable contract (tested by ``tests/parallel/``): for every
+wired entry point, parallel and serial execution produce the same
+verdicts, counterexamples and tapes for the same seeds — parallelism
+never changes *what* is explored or reported, only *how fast*.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    TaskFailure,
+    chunk_ranges,
+    resolve_jobs,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "TaskFailure",
+    "chunk_ranges",
+    "resolve_jobs",
+]

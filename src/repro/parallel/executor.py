@@ -1,0 +1,330 @@
+"""The deterministic process-pool executor.
+
+Design constraints (why this looks the way it does):
+
+* **Determinism.**  Task results are returned in *submission order*
+  regardless of worker scheduling, so any aggregation over them is
+  automatically order-stable.  Work partitioning (:func:`chunk_ranges`)
+  depends only on the workload size and the shard count — never on the
+  worker count — so the same sweep sharded for 1, 2 or 4 workers
+  produces bit-identical shard results and therefore bit-identical
+  merged results.
+* **Pickle boundary.**  Worker functions must be module-level callables
+  (pickled by reference); payloads must be plain picklable values.
+  Workers build their own warm state (protocol instances, memo engines)
+  locally — nothing mutable crosses the boundary in either direction.
+* **Failure containment.**  Worker exceptions and per-task timeouts are
+  caught *inside* the worker and shipped back as data, so one bad grid
+  cell can neither poison the pool nor lose its identity.  A failed
+  task is retried once; a second failure is recorded as a
+  :class:`TaskFailure` carrying the task key (the grid-cell identity)
+  and the worker-side traceback.
+* **Serial fallback.**  ``jobs=1`` runs every task in-process through
+  the same code path (same chunking, same merge order, no pool, no
+  pickling), so ``jobs=1`` output is bit-identical to ``jobs=N`` and
+  the pool is a pure throughput knob.
+
+``resolve_jobs`` is the single knob resolution: an explicit ``jobs=``
+argument wins, else the ``REPRO_JOBS`` environment variable, else
+``None`` — which every wired entry point treats as "use the classic
+serial code path".
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ParallelError",
+    "TaskFailure",
+    "ParallelExecutor",
+    "resolve_jobs",
+    "chunk_ranges",
+]
+
+
+class ParallelError(ReproError):
+    """A parallel task failed permanently (after its retry)."""
+
+
+def resolve_jobs(jobs: int | None = None) -> int | None:
+    """Resolve the worker-count knob.
+
+    An explicit ``jobs`` wins; otherwise the ``REPRO_JOBS`` environment
+    variable; otherwise ``None`` (callers interpret ``None`` as "run
+    the classic serial path").  ``jobs`` must be a positive integer.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return None
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"REPRO_JOBS must be a positive integer, got {raw!r}"
+            ) from None
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ParallelError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Partition ``range(total)`` into ``chunks`` contiguous half-open ranges.
+
+    The partition depends only on ``(total, chunks)`` — never on the
+    worker count — and the union of the returned ranges is exactly
+    ``range(total)``, each index in exactly one range.  Sizes differ by
+    at most one (the first ``total % chunks`` ranges are one longer).
+    Empty ranges are dropped, so fewer than ``chunks`` ranges come back
+    when ``total < chunks``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    base, extra = divmod(total, chunks)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that failed permanently, with its identity attached.
+
+    ``key`` is the caller-supplied task identity (e.g. the campaign
+    grid cell ``(topology, scenario, daemon, seed)``); ``kind`` is
+    ``"error"`` or ``"timeout"``; ``traceback`` carries the worker-side
+    traceback text for ``"error"`` failures.
+    """
+
+    key: object
+    kind: str
+    message: str
+    attempts: int
+    traceback: str = ""
+
+    def raise_(self) -> None:
+        detail = f"\n{self.traceback}" if self.traceback else ""
+        raise ParallelError(
+            f"task {self.key!r} failed permanently after "
+            f"{self.attempts} attempt(s) ({self.kind}): "
+            f"{self.message}{detail}"
+        )
+
+
+class _TaskTimeout(Exception):
+    """Internal: raised by the worker-side SIGALRM handler."""
+
+
+def _call_guarded(
+    fn: Callable, key: object, payload: object, timeout: float | None
+) -> tuple[str, object, str]:
+    """Run one task, converting every failure into data.
+
+    Returns ``(status, value, traceback_text)`` with status ``"ok"``,
+    ``"timeout"`` or ``"error"``.  The per-task timeout is enforced with
+    ``SIGALRM`` (worker processes execute tasks on their main thread),
+    so a wedged task interrupts itself instead of blocking the pool.
+    """
+    previous = None
+    if timeout is not None:
+
+        def _on_alarm(signum, frame):  # pragma: no cover - signal path
+            raise _TaskTimeout()
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.alarm(max(1, math.ceil(timeout)))
+    try:
+        return "ok", fn(payload), ""
+    except _TaskTimeout:
+        return (
+            "timeout",
+            f"exceeded the per-task timeout of {timeout}s",
+            "",
+        )
+    except Exception as exc:
+        return (
+            "error",
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        )
+    finally:
+        if timeout is not None:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_entry(
+    fn: Callable, key: object, payload: object, timeout: float | None
+) -> tuple[str, object, str]:
+    """Top-level pool entry point (must be picklable by reference)."""
+    return _call_guarded(fn, key, payload, timeout)
+
+
+class ParallelExecutor:
+    """Run independent tasks across a process pool, deterministically.
+
+    Parameters
+    ----------
+    worker:
+        A module-level callable ``payload -> result``.  With ``jobs>1``
+        it is pickled by reference into the pool workers, so it must be
+        importable from the worker process (see
+        :mod:`repro.parallel.workers` for the wired ones).
+    jobs:
+        Worker-count knob, resolved via :func:`resolve_jobs`; ``None``
+        here resolves the ``REPRO_JOBS`` environment variable and
+        defaults to ``1`` (in-process serial execution).
+    timeout:
+        Optional per-task wall-clock timeout in seconds, enforced
+        worker-side via ``SIGALRM`` (pool mode only — the in-process
+        serial path never alarms, since that would clobber the caller's
+        signal handling).
+    retries:
+        How many times a failed (errored or timed-out) task is retried
+        before being recorded as a :class:`TaskFailure`.  The default is
+        the retry-once-then-record contract.
+    """
+
+    def __init__(
+        self,
+        worker: Callable,
+        *,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+    ) -> None:
+        self.worker = worker
+        self.jobs = resolve_jobs(jobs) or 1
+        self.timeout = timeout
+        if retries < 0:
+            raise ParallelError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+
+    # ------------------------------------------------------------------
+    def map(
+        self, tasks: Sequence[tuple[object, object]]
+    ) -> list[object]:
+        """Execute ``(key, payload)`` tasks; results in submission order.
+
+        Each slot of the returned list holds the worker's return value
+        for the task at the same index, or a :class:`TaskFailure` when
+        the task failed permanently.  Use :func:`raise_failures` to turn
+        any failure into a :class:`ParallelError`.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.jobs == 1:
+            return [self._run_inline(key, payload) for key, payload in tasks]
+        return self._run_pool(tasks)
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, key: object, payload: object) -> object:
+        last: tuple[str, object, str] | None = None
+        for attempt in range(1 + self.retries):
+            status, value, tb = _call_guarded(self.worker, key, payload, None)
+            if status == "ok":
+                return value
+            last = (status, value, tb)
+        status, value, tb = last  # type: ignore[misc]
+        return TaskFailure(
+            key=key,
+            kind=status,
+            message=str(value),
+            attempts=1 + self.retries,
+            traceback=tb,
+        )
+
+    def _run_pool(self, tasks: list[tuple[object, object]]) -> list[object]:
+        results: list[object] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        failures: list[tuple[str, object, str] | None] = [None] * len(tasks)
+        try:
+            context = __import__("multiprocessing").get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = None
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks)), mp_context=context
+        ) as pool:
+
+            def submit(index: int):
+                key, payload = tasks[index]
+                attempts[index] += 1
+                future = pool.submit(
+                    _pool_entry, self.worker, key, payload, self.timeout
+                )
+                return future
+
+            pending = {submit(i): i for i in range(len(tasks))}
+            done_mask = [False] * len(tasks)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        status, value, tb = future.result()
+                    except BrokenProcessPool:
+                        # The worker process died (OOM-kill, hard crash).
+                        # The pool is unusable from here on; everything
+                        # still pending is recorded as failed.
+                        failures[index] = (
+                            "error",
+                            "worker process died (broken pool)",
+                            "",
+                        )
+                        done_mask[index] = True
+                        for other in list(pending):
+                            j = pending.pop(other)
+                            failures[j] = (
+                                "error",
+                                "worker process died (broken pool)",
+                                "",
+                            )
+                            done_mask[j] = True
+                        pending = {}
+                        break
+                    if status == "ok":
+                        results[index] = value
+                        done_mask[index] = True
+                    elif attempts[index] <= self.retries:
+                        pending[submit(index)] = index
+                    else:
+                        failures[index] = (status, str(value), tb)
+                        done_mask[index] = True
+        for index, failure in enumerate(failures):
+            if failure is not None:
+                status, message, tb = failure
+                results[index] = TaskFailure(
+                    key=tasks[index][0],
+                    kind=status,
+                    message=message,
+                    attempts=attempts[index],
+                    traceback=tb,
+                )
+        return results
+
+
+def raise_failures(results: Sequence[object]) -> None:
+    """Raise :class:`ParallelError` on the first :class:`TaskFailure`."""
+    for item in results:
+        if isinstance(item, TaskFailure):
+            item.raise_()

@@ -1,0 +1,150 @@
+"""Top-level worker functions for the wired parallel layers.
+
+Every function here is module-level (hence picklable by reference into
+pool workers) and takes one plain-dict payload.  Workers own their warm
+state: protocol instances are rebuilt *inside* the worker from the
+pickled ``(factory, network)`` pair and cached per worker process in
+:data:`_PROTOCOL_CACHE`, and each model-check shard builds its own
+:class:`~repro.verification.model_check.ModelCheckMemo` — nothing
+mutable ever crosses the pickle boundary.
+
+Payload shapes
+--------------
+``campaign_cell``
+    ``{"factory", "network", "scenario", "daemon", "seed", "budget",
+    "engine", "validate_engine"}`` — one campaign grid cell; returns the
+    :class:`~repro.chaos.campaign.ChaosRun`.
+``snap_safety_shard`` / ``liveness_shard`` / ``convergence_shard``
+    ``{"factory", "network", "root", "config_slice", ...check kwargs}``
+    — one contiguous enumeration shard; returns the shard's
+    :class:`~repro.verification.model_check.ModelCheckResult`.
+
+The shard workers call back into the public check functions with
+``config_slice`` set, which forces the serial single-sweep path — a
+worker never re-fans-out, even when ``REPRO_JOBS`` is inherited from
+the parent environment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.network import Network
+
+__all__ = [
+    "campaign_cell",
+    "snap_safety_shard",
+    "liveness_shard",
+    "convergence_shard",
+]
+
+#: Worker-local protocol cache: ``(factory, network) -> protocol``.
+#: Networks are immutable and hashable, factories are module-level
+#: callables, and protocols are deterministic functions of both, so
+#: reuse across the tasks one worker processes never changes results —
+#: it only keeps the per-network action/macro caches warm.
+_PROTOCOL_CACHE: dict = {}
+
+
+def _protocol_for(
+    factory: Callable | None, network: Network, root: int | None = None
+):
+    """Build (or reuse) a protocol for ``network``.
+
+    ``root=None`` mirrors :func:`~repro.chaos.campaign.run_campaign`'s
+    factory contract (``factory(network)``); an explicit root mirrors
+    the model-check factories (``factory(network, root)``).
+    """
+    from repro.core.pif import SnapPif
+
+    if factory is None:
+        factory = SnapPif.for_network
+        if root is None:
+            root = 0
+
+    def build():
+        return factory(network) if root is None else factory(network, root)
+
+    try:
+        key = (factory, network, root)
+        cached = _PROTOCOL_CACHE.get(key)
+    except TypeError:  # unhashable factory: build fresh every time
+        return build()
+    if cached is None:
+        cached = build()
+        _PROTOCOL_CACHE[key] = cached
+    return cached
+
+
+def campaign_cell(payload: dict):
+    """Run one campaign grid cell (scenario × topology × daemon × seed)."""
+    from repro.chaos.campaign import run_chaos
+
+    network = payload["network"]
+    protocol = _protocol_for(payload.get("factory"), network)
+    return run_chaos(
+        protocol,
+        network,
+        payload["scenario"],
+        daemon=payload["daemon"],
+        seed=payload["seed"],
+        budget=payload["budget"],
+        engine=payload.get("engine"),
+        validate_engine=payload.get("validate_engine"),
+    )
+
+
+def snap_safety_shard(payload: dict):
+    """Run one contiguous initiation-configuration shard of the safety check."""
+    from repro.verification.model_check import check_snap_safety
+
+    network = payload["network"]
+    root = payload["root"]
+    return check_snap_safety(
+        network,
+        root,
+        protocol=_protocol_for(payload.get("factory"), network, root),
+        config_slice=payload["config_slice"],
+        max_states=payload["max_states"],
+        stop_at_first=payload["stop_at_first"],
+        memo=payload["memo"],
+        memo_capacity=payload["memo_capacity"],
+        validate_memo=payload["validate_memo"],
+        replay_counterexamples=payload["replay_counterexamples"],
+    )
+
+
+def liveness_shard(payload: dict):
+    """Run one contiguous shard of the synchronous cycle-liveness sweep."""
+    from repro.verification.model_check import (
+        check_cycle_liveness_synchronous,
+    )
+
+    network = payload["network"]
+    root = payload["root"]
+    return check_cycle_liveness_synchronous(
+        network,
+        root,
+        protocol=_protocol_for(payload.get("factory"), network, root),
+        config_slice=payload["config_slice"],
+        memo=payload["memo"],
+        memo_capacity=payload["memo_capacity"],
+        validate_memo=payload["validate_memo"],
+    )
+
+
+def convergence_shard(payload: dict):
+    """Run one contiguous shard of the synchronous convergence sweep."""
+    from repro.verification.convergence import check_convergence_synchronous
+
+    network = payload["network"]
+    root = payload["root"]
+    return check_convergence_synchronous(
+        network,
+        root,
+        protocol=_protocol_for(payload.get("factory"), network, root),
+        config_slice=payload["config_slice"],
+        stride=payload["stride"],
+        memo=payload["memo"],
+        validate_memo=payload["validate_memo"],
+    )

@@ -41,15 +41,18 @@ from repro.verification.model_check import (
     ModelCheckResult,
     ModelCheckStats,
     _memo_enabled_default,
+    _resolve_parallel_jobs,
     _selections,
     _validate_default,
     apply_selection,
+    merge_model_check_results,
     node_state_domain,
     synchronous_selection,
 )
 
 __all__ = [
     "enumerate_all_configurations",
+    "count_all_configurations",
     "check_convergence_synchronous",
     "check_normal_closure",
 ]
@@ -64,15 +67,33 @@ def enumerate_all_configurations(
         yield Configuration(states)
 
 
+_CONVERGENCE_PROPERTY = (
+    "convergence (synchronous): normal within 3L+3, SBN within 8L+7 + 5L+5"
+)
+
+
+def count_all_configurations(network: Network, k: PifConstants) -> int:
+    """``len(list(enumerate_all_configurations(...)))`` without the list."""
+    total = 1
+    for p in network.nodes:
+        total *= len(node_state_domain(network, k, p))
+    return total
+
+
 def check_convergence_synchronous(
     network: Network,
     root: int = 0,
     *,
     protocol: SnapPif | None = None,
+    protocol_factory=None,
     max_configurations: int | None = None,
     stride: int = 1,
     memo: bool | None = None,
     validate_memo: bool | None = None,
+    jobs: int | None = None,
+    shards: int | None = None,
+    config_slice: tuple[int, int] | None = None,
+    task_timeout: float | None = None,
 ) -> ModelCheckResult:
     """Theorem 1 + return-to-SBN, from every configuration, synchronously.
 
@@ -91,9 +112,33 @@ def check_convergence_synchronous(
     configuration.  Verdicts, counterexamples and counters are
     bit-identical to the direct simulator path (one synchronous step is
     one round, so the step count *is* the round count).
+
+    ``jobs`` / ``shards`` / ``task_timeout`` shard the sweep across a
+    process pool exactly like
+    :func:`~repro.verification.model_check.check_snap_safety`.
+    ``config_slice`` is a half-open window in *raw* enumeration index
+    space (before the stride filter), so a sharded strided sweep checks
+    exactly the serial stride-hit set.
     """
+    if config_slice is None:
+        n_jobs = _resolve_parallel_jobs(jobs)
+        if n_jobs is not None:
+            return _check_convergence_parallel(
+                network,
+                root,
+                protocol=protocol,
+                protocol_factory=protocol_factory,
+                max_configurations=max_configurations,
+                stride=stride,
+                memo=memo,
+                validate_memo=validate_memo,
+                jobs=n_jobs,
+                shards=shards,
+                task_timeout=task_timeout,
+            )
     if protocol is None:
-        protocol = SnapPif.for_network(network, root)
+        factory = protocol_factory or SnapPif.for_network
+        protocol = factory(network, root)
     k = protocol.constants
     if memo is None:
         memo = _memo_enabled_default()
@@ -109,10 +154,7 @@ def check_convergence_synchronous(
         if memo
         else None
     )
-    result = ModelCheckResult(
-        property_name="convergence (synchronous): normal within 3L+3, "
-        "SBN within 8L+7 + 5L+5"
-    )
+    result = ModelCheckResult(property_name=_CONVERGENCE_PROPERTY)
     stats = ModelCheckStats(
         memo_enabled=engine is not None,
         memo_capacity=DEFAULT_MEMO_CAPACITY if engine is not None else 0,
@@ -136,11 +178,16 @@ def check_convergence_synchronous(
             classified[config] = flags
         return flags
 
+    #: ``enumerate`` before ``islice`` keeps the *global* raw index on
+    #: every item, so ``index % stride`` picks the same configurations
+    #: inside a shard window as it does in the full serial sweep.
+    indexed = enumerate(enumerate_all_configurations(network, k))
+    if config_slice is not None:
+        indexed = itertools.islice(indexed, *config_slice)
+
     start = time.perf_counter()
     try:
-        for index, config in enumerate(
-            enumerate_all_configurations(network, k)
-        ):
+        for index, config in indexed:
             if stride > 1 and index % stride:
                 continue
             if (
@@ -223,6 +270,126 @@ def check_convergence_synchronous(
         if engine is not None:
             engine.fill_stats(stats)
     return result
+
+
+def _check_convergence_parallel(
+    network: Network,
+    root: int,
+    *,
+    protocol: SnapPif | None,
+    protocol_factory,
+    max_configurations: int | None,
+    stride: int,
+    memo: bool | None,
+    validate_memo: bool | None,
+    jobs: int,
+    shards: int | None,
+    task_timeout: float | None,
+) -> ModelCheckResult:
+    """Shard the convergence sweep over raw enumeration windows and merge.
+
+    Sharding happens in *raw* index space: the serial sweep checks the
+    stride hits ``0, s, 2s, …`` and (under ``max_configurations=M``)
+    stops after ``M`` of them, i.e. it never looks past raw index
+    ``(M-1)·s``.  The parallel window is therefore
+    ``min(total_raw, (M-1)·s + 1)``; partitioned into contiguous raw
+    ranges, the union of per-shard stride hits is exactly the serial
+    stride-hit set.  The merged counterexample list is cut where the
+    serial sweep's five-counterexample stop would have cut it (whole
+    configurations, so the normal/SBN pair a single configuration emits
+    is never split).
+    """
+    from repro.parallel.executor import (
+        ParallelError,
+        ParallelExecutor,
+        chunk_ranges,
+        raise_failures,
+    )
+    from repro.parallel.workers import convergence_shard
+    from repro.verification.model_check import DEFAULT_SHARDS
+
+    if protocol is not None and protocol_factory is None:
+        raise ParallelError(
+            "sharded check_convergence_synchronous cannot ship a protocol "
+            "instance across the pickle boundary; pass protocol_factory= "
+            "(a module-level (network, root) -> protocol callable) instead"
+        )
+    if stride < 1:
+        raise VerificationError(f"stride must be >= 1, got {stride}")
+    factory = protocol_factory or SnapPif.for_network
+    k = factory(network, root).constants
+    total_raw = count_all_configurations(network, k)
+    if max_configurations is None:
+        window = total_raw
+        capped = False
+    else:
+        window = min(total_raw, max(0, max_configurations - 1) * stride + 1)
+        capped = total_raw > max_configurations * stride
+    cap_note = f"max_configurations={max_configurations} reached"
+
+    tasks = []
+    for start, stop in chunk_ranges(window, shards or DEFAULT_SHARDS):
+        payload = {
+            "factory": protocol_factory,
+            "network": network,
+            "root": root,
+            "config_slice": (start, stop),
+            "stride": stride,
+            "memo": memo,
+            "validate_memo": validate_memo,
+        }
+        tasks.append(((network.name, "convergence", start, stop), payload))
+
+    if not tasks:
+        result = ModelCheckResult(property_name=_CONVERGENCE_PROPERTY)
+        result.stats = ModelCheckStats()
+        if capped:
+            result.complete = False
+            result.truncation = cap_note
+        return result
+    executor = ParallelExecutor(
+        convergence_shard, jobs=jobs, timeout=task_timeout
+    )
+    outcomes = executor.map(tasks)
+    raise_failures(outcomes)
+    merged = merge_model_check_results(
+        outcomes, property_name=_CONVERGENCE_PROPERTY
+    )
+    if _cut_at_five_counterexamples(merged):
+        return merged
+    if capped:
+        merged.complete = False
+        merged.truncation = (
+            f"{merged.truncation}; {cap_note}" if merged.truncation else cap_note
+        )
+    return merged
+
+
+def _cut_at_five_counterexamples(merged: ModelCheckResult) -> bool:
+    """Re-apply the serial five-counterexample stop to a merged sweep.
+
+    Counterexamples arrive in enumeration order (shards merge in range
+    order); the serial sweep stops after the first *configuration* whose
+    counterexamples bring the running total to five or more, so the cut
+    lands on a configuration boundary.  Returns True when the cut was
+    applied (the merged result then matches the serial early stop,
+    truncation message included).
+    """
+    items = merged.counterexamples
+    count = 0
+    i = 0
+    while i < len(items):
+        j = i + 1
+        while j < len(items) and items[j].initial == items[i].initial:
+            j += 1
+        count += j - i
+        if count >= 5:
+            merged.counterexamples = items[:j]
+            merged.complete = False
+            merged.truncation = "stopped after 5 counterexamples"
+            return True
+        i = j
+    return False
 
 
 def check_normal_closure(

@@ -92,8 +92,11 @@ __all__ = [
     "ModelCheckStats",
     "ModelCheckMemo",
     "DEFAULT_MEMO_CAPACITY",
+    "DEFAULT_SHARDS",
     "node_state_domain",
     "enumerate_initiation_configurations",
+    "count_initiation_configurations",
+    "merge_model_check_results",
     "apply_selection",
     "apply_selection_dirty",
     "check_snap_safety",
@@ -114,10 +117,24 @@ DEFAULT_MEMO_CAPACITY = 262_144
 #: cover; if it is, the view tables are cleared wholesale.
 DEFAULT_VIEW_CAPACITY = 1_048_576
 
+#: Default shard count for the parallel sweeps.  Shards partition the
+#: *enumeration*, not the workers: the partition depends only on the
+#: workload, so the same sweep run with 1, 2 or 4 workers produces
+#: bit-identical shard results and therefore bit-identical merged
+#: results (see DESIGN.md §9).
+DEFAULT_SHARDS = 8
+
 
 def _memo_enabled_default() -> bool:
     """``REPRO_MODELCHECK_MEMO=0`` is the escape hatch; anything else is on."""
     return os.environ.get("REPRO_MODELCHECK_MEMO", "") != "0"
+
+
+def _resolve_parallel_jobs(jobs: int | None) -> int | None:
+    """Late-bound :func:`repro.parallel.executor.resolve_jobs` (no cycle)."""
+    from repro.parallel.executor import resolve_jobs
+
+    return resolve_jobs(jobs)
 
 
 def _validate_default() -> bool:
@@ -173,6 +190,24 @@ def enumerate_initiation_configurations(
             domains.append(node_state_domain(network, k, p))
     for states in itertools.product(*domains):
         yield Configuration(states)
+
+
+def count_initiation_configurations(network: Network, k: PifConstants) -> int:
+    """``len(list(enumerate_initiation_configurations(...)))`` in O(n).
+
+    The enumeration is a cartesian product of per-node domains, so its
+    size is the product of the domain sizes — computable without
+    materializing a single configuration.  The parallel sweeps use this
+    to partition the enumeration index space into contiguous shards.
+    """
+    root_neighbors = set(network.neighbors(k.root))
+    total = 1
+    for p in network.nodes:
+        if p == k.root or p in root_neighbors:
+            total *= len(node_state_domain(network, k, p, phases=(Phase.C,)))
+        else:
+            total *= len(node_state_domain(network, k, p))
+    return total
 
 
 # ----------------------------------------------------------------------
@@ -773,6 +808,110 @@ class ModelCheckMemo:
 
 
 # ----------------------------------------------------------------------
+# Shard merging (parallel sweeps)
+# ----------------------------------------------------------------------
+def merge_model_check_results(
+    results: Sequence[ModelCheckResult],
+    *,
+    property_name: str | None = None,
+    stop_at_first: bool = False,
+) -> ModelCheckResult:
+    """Merge per-shard results in stable shard order.
+
+    ``results`` must be ordered by shard (i.e. by enumeration range), so
+    counterexamples concatenate in enumeration order and the merged
+    result is a deterministic function of the shard results alone —
+    independent of which worker computed which shard, and therefore of
+    the worker count.  Counters sum; ``complete`` holds only when every
+    shard completed; shard truncations are aggregated into one message.
+    With ``stop_at_first`` only the earliest shard's counterexample is
+    kept (each shard stopped at its own first, and shards earlier in
+    enumeration order that returned none genuinely have none — so the
+    survivor is exactly the serial sweep's first counterexample).
+
+    Timing fields (``elapsed_seconds`` summed across shards,
+    ``states_per_second`` derived) are the only merged values that are
+    not bit-deterministic.
+    """
+    if not results:
+        raise ValueError("merge_model_check_results needs at least one shard")
+    merged = ModelCheckResult(
+        property_name=property_name or results[0].property_name
+    )
+    stats = ModelCheckStats()
+    merged.stats = stats
+    truncations: list[str] = []
+    for index, shard in enumerate(results):
+        merged.configurations_checked += shard.configurations_checked
+        merged.states_explored += shard.states_explored
+        merged.transitions_explored += shard.transitions_explored
+        merged.counterexamples.extend(shard.counterexamples)
+        if not shard.complete:
+            merged.complete = False
+            if shard.truncation:
+                truncations.append(f"shard {index}: {shard.truncation}")
+        s = shard.stats
+        if s is None:
+            continue
+        stats.memo_enabled = stats.memo_enabled or s.memo_enabled
+        stats.memo_hits += s.memo_hits
+        stats.memo_misses += s.memo_misses
+        stats.memo_evictions += s.memo_evictions
+        stats.memo_entries += s.memo_entries
+        stats.memo_capacity = max(stats.memo_capacity, s.memo_capacity)
+        stats.view_hits += s.view_hits
+        stats.view_misses += s.view_misses
+        stats.view_evictions += s.view_evictions
+        stats.interned_configurations += s.interned_configurations
+        stats.intern_hits += s.intern_hits
+        stats.peak_parent_entries = max(
+            stats.peak_parent_entries, s.peak_parent_entries
+        )
+        stats.elapsed_seconds += s.elapsed_seconds
+    if stop_at_first and merged.counterexamples:
+        merged.counterexamples = merged.counterexamples[:1]
+    if truncations:
+        merged.truncation = "; ".join(truncations)
+    stats.states_per_second = (
+        merged.states_explored / stats.elapsed_seconds
+        if stats.elapsed_seconds > 0
+        else 0.0
+    )
+    return merged
+
+
+def _shard_tasks(
+    network: Network,
+    root: int,
+    worker_kind: str,
+    total: int,
+    shards: int | None,
+    protocol_factory,
+    common: dict,
+) -> list[tuple[tuple, dict]]:
+    """Build ``(key, payload)`` tasks for a sharded enumeration sweep.
+
+    The shard count defaults to :data:`DEFAULT_SHARDS` and is clamped to
+    the workload — crucially it never depends on the worker count, so
+    the shard results (and their merge) are identical for any ``jobs``.
+    """
+    from repro.parallel.executor import chunk_ranges
+
+    ranges = chunk_ranges(total, shards or DEFAULT_SHARDS)
+    tasks = []
+    for start, stop in ranges:
+        payload = {
+            "factory": protocol_factory,
+            "network": network,
+            "root": root,
+            "config_slice": (start, stop),
+            **common,
+        }
+        tasks.append(((network.name, worker_kind, start, stop), payload))
+    return tasks
+
+
+# ----------------------------------------------------------------------
 # Safety: exhaustive over all daemon choices
 # ----------------------------------------------------------------------
 def _selections(
@@ -836,6 +975,7 @@ def check_snap_safety(
     root: int = 0,
     *,
     protocol: SnapPif | None = None,
+    protocol_factory: "Callable[[Network, int], SnapPif] | None" = None,
     max_configurations: int | None = None,
     max_states: int = 5_000_000,
     stop_at_first: bool = True,
@@ -843,6 +983,10 @@ def check_snap_safety(
     memo_capacity: int = DEFAULT_MEMO_CAPACITY,
     validate_memo: bool | None = None,
     replay_counterexamples: bool = True,
+    jobs: int | None = None,
+    shards: int | None = None,
+    config_slice: tuple[int, int] | None = None,
+    task_timeout: float | None = None,
 ) -> ModelCheckResult:
     """Exhaustively verify PIF1/PIF2 safety for every initiated wave.
 
@@ -866,9 +1010,47 @@ def check_snap_safety(
     With ``replay_counterexamples`` (the default) every counterexample
     is confirmed through :func:`replay_counterexample` before being
     reported.
+
+    ``jobs`` shards the sweep across a process pool (``None`` falls back
+    to the ``REPRO_JOBS`` environment variable, then to the classic
+    single-sweep path): the enumeration index space is partitioned into
+    ``shards`` contiguous worker-owned DFS partitions whose union is the
+    serial enumeration, each worker owns a fresh :class:`ModelCheckMemo`
+    and visited set, ``max_states`` is split evenly across the shards,
+    and the merged result (see :func:`merge_model_check_results`) is a
+    deterministic function of the shard partition alone — bit-identical
+    for any ``jobs`` ≥ 1, and verdict/counterexample-identical to the
+    serial sweep.  Cross-shard visited-set dedup is lost, so the merged
+    ``states_explored`` may exceed the serial count; the soundness
+    argument is DESIGN.md §9.  In sharded mode use ``protocol_factory``
+    (module-level ``(network, root) -> SnapPif``) rather than a
+    ``protocol`` instance (instances do not cross the pickle boundary).
+    ``config_slice`` restricts the sweep to a half-open window of the
+    enumeration index space — it is how workers receive their shard, and
+    it forces the serial path.
     """
+    if config_slice is None:
+        n_jobs = _resolve_parallel_jobs(jobs)
+        if n_jobs is not None:
+            return _check_snap_safety_parallel(
+                network,
+                root,
+                protocol=protocol,
+                protocol_factory=protocol_factory,
+                max_configurations=max_configurations,
+                max_states=max_states,
+                stop_at_first=stop_at_first,
+                memo=memo,
+                memo_capacity=memo_capacity,
+                validate_memo=validate_memo,
+                replay_counterexamples=replay_counterexamples,
+                jobs=n_jobs,
+                shards=shards,
+                task_timeout=task_timeout,
+            )
     if protocol is None:
-        protocol = SnapPif.for_network(network, root)
+        factory = protocol_factory or SnapPif.for_network
+        protocol = factory(network, root)
     k = protocol.constants
     if memo is None:
         memo = _memo_enabled_default()
@@ -915,7 +1097,10 @@ def check_snap_safety(
         # The tag of every freshly initiated wave: only the root is a
         # member, nothing acknowledged, no feedback yet.
         tag0 = WaveTag(frozenset({root}), frozenset(), False)
-        for config in enumerate_initiation_configurations(network, k):
+        config_iter = enumerate_initiation_configurations(network, k)
+        if config_slice is not None:
+            config_iter = itertools.islice(config_iter, *config_slice)
+        for config in config_iter:
             if (
                 max_configurations is not None
                 and result.configurations_checked >= max_configurations
@@ -1095,6 +1280,171 @@ def check_snap_safety(
     return result
 
 
+def _check_snap_safety_parallel(
+    network: Network,
+    root: int,
+    *,
+    protocol: SnapPif | None,
+    protocol_factory,
+    max_configurations: int | None,
+    max_states: int,
+    stop_at_first: bool,
+    memo: bool | None,
+    memo_capacity: int,
+    validate_memo: bool | None,
+    replay_counterexamples: bool,
+    jobs: int,
+    shards: int | None,
+    task_timeout: float | None,
+) -> ModelCheckResult:
+    """Shard the safety sweep into worker-owned DFS partitions and merge.
+
+    The partition covers exactly the first ``min(total,
+    max_configurations)`` enumeration indices — the same set the serial
+    sweep checks — split into contiguous ranges whose count depends only
+    on the workload (never on ``jobs``).  Each shard receives an even
+    split of the ``max_states`` budget, so the sharded sweep never
+    explores more than the serial budget and a shard that exhausts its
+    share truncates honestly (``complete=False`` on the merge).
+    """
+    from repro.parallel.executor import (
+        ParallelError,
+        ParallelExecutor,
+        raise_failures,
+    )
+    from repro.parallel.workers import snap_safety_shard
+
+    if protocol is not None and protocol_factory is None:
+        raise ParallelError(
+            "sharded check_snap_safety cannot ship a protocol instance "
+            "across the pickle boundary; pass protocol_factory= (a "
+            "module-level (network, root) -> SnapPif callable) instead"
+        )
+    factory = protocol_factory or SnapPif.for_network
+    k = factory(network, root).constants
+    total = count_initiation_configurations(network, k)
+    effective = (
+        total if max_configurations is None else min(total, max_configurations)
+    )
+    tasks = _shard_tasks(
+        network,
+        root,
+        "snap-safety",
+        effective,
+        shards,
+        protocol_factory,
+        {
+            "max_states": max(1, max_states // max(1, shards or DEFAULT_SHARDS)),
+            "stop_at_first": stop_at_first,
+            "memo": memo,
+            "memo_capacity": memo_capacity,
+            "validate_memo": validate_memo,
+            "replay_counterexamples": replay_counterexamples,
+        },
+    )
+    if not tasks:
+        result = ModelCheckResult(property_name="snap-safety (PIF1 ∧ PIF2)")
+        result.stats = ModelCheckStats()
+        if effective < total:
+            result.complete = False
+            result.truncation = (
+                f"max_configurations={max_configurations} reached"
+            )
+        return result
+    executor = ParallelExecutor(
+        snap_safety_shard, jobs=jobs, timeout=task_timeout
+    )
+    outcomes = executor.map(tasks)
+    raise_failures(outcomes)
+    merged = merge_model_check_results(
+        outcomes,
+        property_name="snap-safety (PIF1 ∧ PIF2)",
+        stop_at_first=stop_at_first,
+    )
+    if effective < total:
+        merged.complete = False
+        cap_note = f"max_configurations={max_configurations} reached"
+        merged.truncation = (
+            f"{merged.truncation}; {cap_note}" if merged.truncation else cap_note
+        )
+    return merged
+
+
+def _check_sharded_sweep(
+    network: Network,
+    root: int,
+    *,
+    worker_kind: str,
+    protocol: SnapPif | None,
+    protocol_factory,
+    max_configurations: int | None,
+    jobs: int,
+    shards: int | None,
+    task_timeout: float | None,
+    property_name: str,
+    common: dict,
+    counterexample_cap: int = 5,
+) -> ModelCheckResult:
+    """Shard a per-configuration sweep over initiation configurations.
+
+    Shared by the cycle-liveness parallel path (and structured so the
+    convergence sweep in :mod:`repro.verification.convergence` follows
+    the same recipe): partition the first ``min(total,
+    max_configurations)`` enumeration indices into contiguous shards
+    whose count depends only on the workload, run each shard through the
+    serial single-sweep path, and merge in shard order.  The merged
+    counterexample list is capped at ``counterexample_cap`` — the serial
+    sweeps stop at five counterexamples, and because shards are merged
+    in enumeration order the capped list is exactly the serial one.
+    """
+    from repro.parallel.executor import (
+        ParallelError,
+        ParallelExecutor,
+        raise_failures,
+    )
+    from repro.parallel import workers as _workers
+
+    worker = {
+        "cycle-liveness": _workers.liveness_shard,
+    }[worker_kind]
+    if protocol is not None and protocol_factory is None:
+        raise ParallelError(
+            f"sharded {worker_kind} sweep cannot ship a protocol instance "
+            "across the pickle boundary; pass protocol_factory= (a "
+            "module-level (network, root) -> protocol callable) instead"
+        )
+    factory = protocol_factory or SnapPif.for_network
+    k = factory(network, root).constants
+    total = count_initiation_configurations(network, k)
+    effective = (
+        total if max_configurations is None else min(total, max_configurations)
+    )
+    tasks = _shard_tasks(
+        network, root, worker_kind, effective, shards, protocol_factory, common
+    )
+    capped = effective < total
+    cap_note = f"max_configurations={max_configurations} reached"
+    if not tasks:
+        result = ModelCheckResult(property_name=property_name)
+        result.stats = ModelCheckStats()
+        if capped:
+            result.complete = False
+            result.truncation = cap_note
+        return result
+    executor = ParallelExecutor(worker, jobs=jobs, timeout=task_timeout)
+    outcomes = executor.map(tasks)
+    raise_failures(outcomes)
+    merged = merge_model_check_results(outcomes, property_name=property_name)
+    if len(merged.counterexamples) > counterexample_cap:
+        merged.counterexamples = merged.counterexamples[:counterexample_cap]
+    if capped:
+        merged.complete = False
+        merged.truncation = (
+            f"{merged.truncation}; {cap_note}" if merged.truncation else cap_note
+        )
+    return merged
+
+
 def _reconstruct(
     parent_steps: list[tuple[int, tuple]], state_id: int
 ) -> tuple:
@@ -1267,10 +1617,15 @@ def check_cycle_liveness_synchronous(
     root: int = 0,
     *,
     protocol: SnapPif | None = None,
+    protocol_factory: "Callable[[Network, int], SnapPif] | None" = None,
     max_configurations: int | None = None,
     memo: bool | None = None,
     memo_capacity: int = DEFAULT_MEMO_CAPACITY,
     validate_memo: bool | None = None,
+    jobs: int | None = None,
+    shards: int | None = None,
+    config_slice: tuple[int, int] | None = None,
+    task_timeout: float | None = None,
 ) -> ModelCheckResult:
     """From every initiation configuration, the synchronous execution completes the cycle.
 
@@ -1286,9 +1641,37 @@ def check_cycle_liveness_synchronous(
     enumeration while a real :class:`~repro.core.monitor.PifCycleMonitor`
     consumes the synthesized step records — verdicts, counterexamples
     and counters are bit-identical to the direct simulator path.
+
+    ``jobs`` / ``shards`` / ``config_slice`` / ``task_timeout`` shard
+    the sweep exactly like :func:`check_snap_safety`.  Each per-
+    configuration run is deterministic and the step counts do not depend
+    on the memo engine, so the sharded sweep's merged coverage counters
+    (not just its verdicts) match the serial sweep whenever neither path
+    stops early on counterexamples.
     """
+    if config_slice is None:
+        n_jobs = _resolve_parallel_jobs(jobs)
+        if n_jobs is not None:
+            return _check_sharded_sweep(
+                network,
+                root,
+                worker_kind="cycle-liveness",
+                protocol=protocol,
+                protocol_factory=protocol_factory,
+                max_configurations=max_configurations,
+                jobs=n_jobs,
+                shards=shards,
+                task_timeout=task_timeout,
+                property_name="cycle-liveness (synchronous)",
+                common={
+                    "memo": memo,
+                    "memo_capacity": memo_capacity,
+                    "validate_memo": validate_memo,
+                },
+            )
     if protocol is None:
-        protocol = SnapPif.for_network(network, root)
+        factory = protocol_factory or SnapPif.for_network
+        protocol = factory(network, root)
     k = protocol.constants
     if memo is None:
         memo = _memo_enabled_default()
@@ -1309,9 +1692,15 @@ def check_cycle_liveness_synchronous(
     result.stats = stats
     budget = bounds.glt_bound(k.l_max) + bounds.cycle_bound(k.l_max) + 8
 
+    config_iter: Iterator[Configuration] = enumerate_initiation_configurations(
+        network, k
+    )
+    if config_slice is not None:
+        config_iter = itertools.islice(config_iter, *config_slice)
+
     start = time.perf_counter()
     try:
-        for config in enumerate_initiation_configurations(network, k):
+        for config in config_iter:
             if (
                 max_configurations is not None
                 and result.configurations_checked >= max_configurations

@@ -144,3 +144,90 @@ class TestShrinkMechanics:
         assert run.ok
         with pytest.raises(ReproError, match="violating run"):
             shrink_run(REGISTRY["snap-pif"](net), run)
+
+
+class TestEntryPayloadPass:
+    """The second shrinking pass: minimize *inside* surviving entries."""
+
+    @staticmethod
+    def _tape():
+        return [
+            {"kind": "step", "selection": {"0": "B-action", "1": "B-action"}},
+            {
+                "kind": "fault",
+                "event": {"kind": "crash", "nodes": [1, 2, 3], "seed": 5},
+            },
+            {"kind": "step", "selection": {"2": "Count-action"}},
+        ]
+
+    def test_drops_nodes_from_multi_node_steps(self) -> None:
+        from repro.chaos.shrink import shrink_entry_payloads
+
+        # Oracle: the violation only needs processor 1's move and the
+        # crash of processor 2.
+        def oracle(tape) -> bool:
+            steps_ok = any(
+                e["kind"] == "step" and "1" in e["selection"]
+                for e in tape
+            )
+            crash_ok = any(
+                e["kind"] == "fault" and 2 in e["event"].get("nodes", [])
+                for e in tape
+            )
+            return steps_ok and crash_ok
+
+        minimal, tests = shrink_entry_payloads(
+            self._tape(), oracle, nodes=[0, 1, 2, 3]
+        )
+        assert len(minimal) == 3  # entry count never changes
+        assert minimal[0]["selection"] == {"1": "B-action"}
+        assert minimal[1]["event"]["nodes"] == [2]
+        assert minimal[1]["event"]["seed"] == 5  # other fields preserved
+        assert minimal[2] == self._tape()[2]  # singleton untouched
+        assert tests > 0
+
+    def test_pins_unpinned_corrupt_events(self) -> None:
+        from repro.chaos.shrink import shrink_entry_payloads
+
+        tape = [
+            {
+                "kind": "fault",
+                "event": {"kind": "corrupt", "mode": "random", "seed": 9},
+            }
+        ]
+
+        def oracle(candidate) -> bool:
+            event = candidate[0]["event"]
+            nodes = event.get("nodes")
+            return nodes is None or nodes == [2]
+
+        minimal, _tests = shrink_entry_payloads(
+            tape, oracle, nodes=[0, 1, 2, 3]
+        )
+        assert minimal[0]["event"]["nodes"] == [2]
+        assert minimal[0]["event"]["seed"] == 9
+
+    def test_no_reduction_when_oracle_needs_everything(self) -> None:
+        from repro.chaos.shrink import shrink_entry_payloads
+
+        tape = self._tape()
+
+        def oracle(candidate) -> bool:
+            return candidate == tape
+
+        minimal, _tests = shrink_entry_payloads(
+            tape, oracle, nodes=[0, 1, 2, 3]
+        )
+        assert minimal == tape
+
+    def test_budget_respected(self) -> None:
+        from repro.chaos.shrink import shrink_entry_payloads
+
+        calls = []
+
+        def oracle(candidate) -> bool:
+            calls.append(1)
+            return True
+
+        shrink_entry_payloads(self._tape(), oracle, nodes=[0, 1], max_tests=3)
+        assert len(calls) <= 3

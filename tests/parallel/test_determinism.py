@@ -1,0 +1,220 @@
+"""The non-negotiable contract: parallel ≡ serial, bit for bit.
+
+Every wired entry point — campaigns, the snap-safety sweep, the
+synchronous liveness and convergence sweeps — must produce identical
+verdicts, counterexamples and tapes at ``jobs`` ∈ {1, 2, 4}, and
+(except for memo-dependent coverage counters on the safety sweep,
+see DESIGN.md §9) identical results to the classic serial path.
+A permanently failing worker must surface the failing grid cell's
+identity, not a bare exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import SCENARIO_SHAPES, run_campaign
+from repro.chaos.campaign import CampaignResult
+from repro.graphs import line, ring
+from repro.parallel.executor import ParallelError
+from repro.verification import (
+    check_convergence_synchronous,
+    check_cycle_liveness_synchronous,
+    check_snap_safety,
+)
+
+from tests.mutants.protocols import MUTANT_FACTORIES
+
+JOBS = (1, 2, 4)
+
+
+def _failing_factory(network, root=0):
+    raise RuntimeError("factory exploded")
+
+
+def _campaign_sig(result: CampaignResult):
+    return [
+        (
+            r.scenario,
+            r.topology,
+            r.daemon,
+            r.seed,
+            r.steps,
+            r.faults_applied,
+            r.violation,
+            r.violation_step,
+            r.tape,
+        )
+        for r in result.runs
+    ]
+
+
+def _check_sig(result):
+    return (
+        result.complete,
+        result.configurations_checked,
+        [(c.initial, c.schedule, c.message) for c in result.counterexamples],
+    )
+
+
+class TestCampaign:
+    NETWORKS = [line(4), ring(5)]
+    DAEMONS = ("central", "distributed-random")
+    SEEDS = (0, 1)
+
+    def _run(self, **kwargs) -> CampaignResult:
+        scenario = SCENARIO_SHAPES["corruption-burst"]().seeded(0)
+        return run_campaign(
+            None,
+            self.NETWORKS,
+            [scenario],
+            daemons=self.DAEMONS,
+            seeds=self.SEEDS,
+            budget=150,
+            **kwargs,
+        )
+
+    def test_serial_equals_every_jobs_level(self) -> None:
+        reference = _campaign_sig(self._run())
+        for jobs in JOBS:
+            assert _campaign_sig(self._run(jobs=jobs)) == reference, jobs
+
+    def test_env_knob_matches_flag(self, monkeypatch) -> None:
+        reference = _campaign_sig(self._run(jobs=2))
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert _campaign_sig(self._run()) == reference
+
+    def test_worker_error_surfaces_grid_cell_identity(self) -> None:
+        scenario = SCENARIO_SHAPES["corruption-burst"]().seeded(0)
+        with pytest.raises(ParallelError) as err:
+            run_campaign(
+                _failing_factory,
+                [line(4)],
+                [scenario],
+                daemons=("central",),
+                seeds=(3,),
+                budget=50,
+                jobs=2,
+            )
+        message = str(err.value)
+        # The grid-cell identity: (topology, scenario, daemon, seed).
+        assert "line-4" in message
+        assert "corruption-burst" in message
+        assert "central" in message
+        assert "3" in message
+        assert "factory exploded" in message
+
+    def test_stop_on_violation_truncates_like_serial(self) -> None:
+        scenario = SCENARIO_SHAPES["corruption-burst"]().seeded(0)
+        factory = MUTANT_FACTORIES["mutant-eager-fok"]
+        serial = run_campaign(
+            factory,
+            [line(5)],
+            [scenario],
+            daemons=("central", "distributed-random"),
+            seeds=(0, 1),
+            budget=400,
+            stop_on_violation=True,
+        )
+        assert serial.violations, "mutant must violate for this test to bite"
+        for jobs in JOBS:
+            parallel = run_campaign(
+                factory,
+                [line(5)],
+                [scenario],
+                daemons=("central", "distributed-random"),
+                seeds=(0, 1),
+                budget=400,
+                stop_on_violation=True,
+                jobs=jobs,
+            )
+            assert _campaign_sig(parallel) == _campaign_sig(serial), jobs
+
+
+class TestSnapSafety:
+    def test_sharded_equals_across_jobs(self) -> None:
+        net = line(3)
+        reference = None
+        for jobs in JOBS:
+            sig = _check_sig(check_snap_safety(net, max_states=50_000, jobs=jobs))
+            if reference is None:
+                reference = sig
+            assert sig == reference, jobs
+
+    def test_sharded_matches_serial_verdict(self) -> None:
+        net = line(3)
+        serial = check_snap_safety(net, max_states=50_000)
+        sharded = check_snap_safety(net, max_states=50_000, jobs=2)
+        assert _check_sig(serial) == _check_sig(sharded)
+
+    def test_mutant_counterexample_identical(self) -> None:
+        factory = MUTANT_FACTORIES["mutant-eager-fok"]
+        net = line(3)
+        serial = check_snap_safety(
+            net, protocol=factory(net, 0), max_states=50_000, stop_at_first=True
+        )
+        assert serial.counterexamples
+
+        def ctx_sig(result):
+            # With stop_at_first every shard stops at its own first hit,
+            # so the summed coverage counters legitimately exceed the
+            # serial early stop — the counterexample must still be the
+            # serial one (the earliest in enumeration order).
+            return (
+                result.complete,
+                [
+                    (c.initial, c.schedule, c.message)
+                    for c in result.counterexamples
+                ],
+            )
+
+        reference = None
+        for jobs in JOBS:
+            sharded = check_snap_safety(
+                net,
+                protocol_factory=factory,
+                max_states=50_000,
+                stop_at_first=True,
+                jobs=jobs,
+            )
+            if reference is None:
+                reference = ctx_sig(sharded)
+                assert reference == ctx_sig(serial)
+            assert ctx_sig(sharded) == reference, jobs
+
+    def test_protocol_instance_rejected_in_parallel(self) -> None:
+        net = line(3)
+        protocol = MUTANT_FACTORIES["mutant-eager-fok"](net, 0)
+        with pytest.raises(ParallelError):
+            check_snap_safety(net, protocol=protocol, jobs=2)
+
+
+class TestSynchronousSweeps:
+    def test_liveness_identical_across_jobs_and_serial(self) -> None:
+        net = line(3)
+        serial = _check_sig(check_cycle_liveness_synchronous(net))
+        for jobs in JOBS:
+            assert (
+                _check_sig(check_cycle_liveness_synchronous(net, jobs=jobs))
+                == serial
+            ), jobs
+
+    def test_convergence_identical_across_jobs_and_serial(self) -> None:
+        net = line(3)
+        kwargs = dict(max_configurations=120, stride=7)
+        serial = _check_sig(check_convergence_synchronous(net, **kwargs))
+        for jobs in JOBS:
+            assert (
+                _check_sig(
+                    check_convergence_synchronous(net, jobs=jobs, **kwargs)
+                )
+                == serial
+            ), jobs
+
+    def test_convergence_truncation_fields_match_serial(self) -> None:
+        net = line(3)
+        kwargs = dict(max_configurations=50, stride=3)
+        serial = check_convergence_synchronous(net, **kwargs)
+        parallel = check_convergence_synchronous(net, jobs=2, **kwargs)
+        assert parallel.complete == serial.complete
+        assert parallel.configurations_checked == serial.configurations_checked

@@ -114,3 +114,117 @@ class TestMainEndToEnd:
             path = REPO_ROOT / "benchmarks" / "baselines" / filename
             payload = json.loads(path.read_text())
             assert isinstance(payload[key], dict) and payload[key]
+
+
+class TestHostMismatch:
+    def test_identical_hosts_silent(self) -> None:
+        from benchmarks.check_regression import host_mismatch
+
+        host = {"cpu_model": "X", "cpu_count": 4, "python": "3.11.7"}
+        assert host_mismatch({"host": dict(host)}, {"host": dict(host)}) == []
+
+    def test_differing_fields_reported(self) -> None:
+        from benchmarks.check_regression import host_mismatch
+
+        base = {"host": {"cpu_model": "X", "cpu_count": 4, "python": "3.11.7"}}
+        cur = {"host": {"cpu_model": "Y", "cpu_count": 1, "python": "3.11.7"}}
+        notes = host_mismatch(base, cur)
+        assert len(notes) == 2
+        assert any("cpu_model" in n for n in notes)
+        assert any("cpu_count" in n for n in notes)
+
+    def test_missing_metadata_is_a_mismatch(self) -> None:
+        from benchmarks.check_regression import host_mismatch
+
+        assert host_mismatch({}, {"host": {}}) == [
+            "host metadata missing from baseline or current report"
+        ]
+
+
+class TestUpdateBaselines:
+    def test_copies_tracked_reports(self, tmp_path) -> None:
+        from benchmarks.check_regression import TRACKED, update_baselines
+
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        filename, key = next(iter(TRACKED.items()))
+        (current / filename).write_text(
+            json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 1}})
+        )
+        copied = update_baselines(baselines, current)
+        assert copied == 1
+        assert json.loads((baselines / filename).read_text())[key] == {
+            "case": 2.0
+        }
+
+    def test_skips_malformed_reports(self, tmp_path) -> None:
+        from benchmarks.check_regression import TRACKED, update_baselines
+
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        filename = next(iter(TRACKED))
+        (current / filename).write_text(json.dumps({"unrelated": 1}))
+        assert update_baselines(baselines, current) == 0
+        assert not (baselines / filename).exists()
+
+    def test_parallel_report_is_tracked(self) -> None:
+        from benchmarks.check_regression import TRACKED
+
+        assert TRACKED["BENCH_parallel.json"] == "speedup_parallel_over_serial"
+
+
+class TestMainUpdateFlag:
+    def test_update_then_gate_passes(self, tmp_path, capsys) -> None:
+        from benchmarks.check_regression import TRACKED, main
+
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        for filename, key in TRACKED.items():
+            (current / filename).write_text(
+                json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 1}})
+            )
+        assert (
+            main(
+                [
+                    "--baseline-dir", str(baselines),
+                    "--current-dir", str(current),
+                    "--update-baselines",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["--baseline-dir", str(baselines), "--current-dir", str(current)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "WARNING" not in out
+
+    def test_host_warning_printed_on_mismatch(self, tmp_path, capsys) -> None:
+        from benchmarks.check_regression import TRACKED, main
+
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        baselines.mkdir()
+        filename, key = next(iter(TRACKED.items()))
+        (baselines / filename).write_text(
+            json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 8}})
+        )
+        (current / filename).write_text(
+            json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 1}})
+        )
+        assert (
+            main(
+                ["--baseline-dir", str(baselines), "--current-dir", str(current)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "WARNING host shape differs" in out
+        assert "cpu_count" in out
