@@ -2,7 +2,9 @@
 
 Runs the two heaviest wired workloads — a chaos campaign grid and the
 sharded snap-safety sweep — serially and at ``jobs`` ∈ {1, 2, 4}, and
-reports wall-clock seconds plus parallel-over-serial speedup per case.
+reports the parallel-over-serial speedup per case as a **median over
+repeats** with min/max spread (single-shot speedups on a shared host
+are noise; see :func:`benchmarks.common.repeat_median`).
 Every measurement doubles as the determinism canary: the parallel
 results must be *identical* to the serial ones (same runs, tapes and
 violations for the campaign; same verdict, counterexamples and coverage
@@ -29,15 +31,21 @@ from repro.chaos import SCENARIO_SHAPES, run_campaign
 from repro.graphs import line, random_connected, ring
 from repro.verification import check_snap_safety
 
-from benchmarks.common import JSON_REPORTS, TableCollector
+from benchmarks.common import JSON_REPORTS, TableCollector, repeat_median
 
 TABLE = TableCollector(
     "C-parallel — parallel vs serial across the jobs axis",
-    columns=["case", "jobs", "seconds", "speedup vs serial", "identical"],
+    columns=[
+        "case", "jobs", "seconds", "speedup vs serial",
+        "speedup min", "speedup max", "identical",
+    ],
 )
 
 #: The jobs axis every workload is measured on (serial is the baseline).
 JOBS_AXIS = (1, 2, 4)
+
+#: Samples per case; reported numbers are medians with min/max spread.
+REPEATS = 5
 
 CAMPAIGN_NETWORKS = [ring(12), random_connected(16, 0.2, seed=7)]
 CAMPAIGN_DAEMONS = ("central", "distributed-random")
@@ -47,7 +55,7 @@ CAMPAIGN_BUDGET = 400
 SAFETY_NETWORK = line(3)
 SAFETY_MAX_STATES = 200_000
 
-#: ``case -> {"serial_seconds": ..., "jobs": {j: seconds}}``
+#: ``case -> {"identical": ..., "jobs": {j: repeat_median stats}}``
 RESULTS: dict[str, dict] = {}
 
 
@@ -99,38 +107,47 @@ def test_jobs_axis(case: str, benchmark) -> None:
         start = time.perf_counter()
         serial = run()
         serial_seconds = time.perf_counter() - start
-        timings = {}
         identical = True
         reference = sig(serial)
+        sample = {"serial_seconds": serial_seconds}
         for jobs in JOBS_AXIS:
             start = time.perf_counter()
             result = run(jobs=jobs)
-            timings[jobs] = time.perf_counter() - start
+            seconds = time.perf_counter() - start
+            sample[f"seconds_jobs{jobs}"] = seconds
+            sample[f"speedup_jobs{jobs}"] = (
+                serial_seconds / seconds if seconds > 0 else 0.0
+            )
             identical = identical and sig(result) == reference
-        return {
-            "serial_seconds": serial_seconds,
-            "jobs": timings,
-            "identical": identical,
-        }
+        sample["identical"] = identical
+        return sample
 
-    measurement = benchmark.pedantic(measure, rounds=1, iterations=1)
-    assert measurement["identical"], f"{case}: parallel != serial"
-    RESULTS[case] = measurement
+    # One set of heavy samples per case; repeat_median then computes the
+    # per-jobs spread over those same samples (the iterator closure hands
+    # it one precollected sample per "run").
+    samples = benchmark.pedantic(
+        lambda: [measure() for _ in range(REPEATS)], rounds=1, iterations=1
+    )
+    assert all(s["identical"] for s in samples), f"{case}: parallel != serial"
+    per_jobs = {}
     for jobs in JOBS_AXIS:
-        seconds = measurement["jobs"][jobs]
+        replay = iter(samples)
+        stats = repeat_median(
+            lambda: next(replay), key=f"speedup_jobs{jobs}", repeats=REPEATS
+        )
+        per_jobs[jobs] = stats
         TABLE.add(
             {
                 "case": case,
                 "jobs": jobs,
-                "seconds": round(seconds, 4),
-                "speedup vs serial": round(
-                    measurement["serial_seconds"] / seconds, 2
-                )
-                if seconds > 0
-                else 0.0,
-                "identical": measurement["identical"],
+                "seconds": round(stats["sample"][f"seconds_jobs{jobs}"], 4),
+                "speedup vs serial": round(stats["median"], 2),
+                "speedup min": round(stats["min"], 2),
+                "speedup max": round(stats["max"], 2),
+                "identical": True,
             }
         )
+    RESULTS[case] = {"identical": True, "jobs": per_jobs}
 
 
 def _build_report() -> dict | None:
@@ -140,26 +157,30 @@ def _build_report() -> dict | None:
     cases = []
     for case, m in sorted(RESULTS.items()):
         for jobs in JOBS_AXIS:
-            seconds = m["jobs"][jobs]
-            speedup = m["serial_seconds"] / seconds if seconds > 0 else 0.0
+            stats = m["jobs"][jobs]
+            sample = stats["sample"]
             cases.append(
                 {
                     "case": case,
                     "jobs": jobs,
-                    "seconds": seconds,
-                    "serial_seconds": m["serial_seconds"],
-                    "speedup_over_serial": speedup,
+                    "seconds": sample[f"seconds_jobs{jobs}"],
+                    "serial_seconds": sample["serial_seconds"],
+                    "speedup_over_serial": stats["median"],
+                    "speedup_min": stats["min"],
+                    "speedup_max": stats["max"],
+                    "repeats": stats["repeats"],
                     "identical_to_serial": m["identical"],
                 }
             )
-            speedups[f"{case}_jobs{jobs}"] = round(speedup, 2)
+            speedups[f"{case}_jobs{jobs}"] = round(stats["median"], 2)
     return {
         "benchmark": "process-pool parallelism across the jobs axis",
         "workload": (
             "campaign: ring-12 + random-16, corruption-burst, "
             f"daemons {list(CAMPAIGN_DAEMONS)}, seeds {list(CAMPAIGN_SEEDS)}, "
             f"budget {CAMPAIGN_BUDGET}; snap-safety: {SAFETY_NETWORK.name}, "
-            f"max_states {SAFETY_MAX_STATES}"
+            f"max_states {SAFETY_MAX_STATES}; "
+            f"speedups are medians over {REPEATS} repeats"
         ),
         "jobs_axis": list(JOBS_AXIS),
         "cases": cases,

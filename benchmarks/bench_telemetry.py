@@ -1,0 +1,198 @@
+"""E-telemetry — instrumentation overhead: disabled vs enabled.
+
+The telemetry contract is that disabled instrumentation costs ~one
+module-attribute check per call site, so the hot paths instrumented in
+PR 5 (``Simulator.step``, the model-check memo counters) must run at
+effectively the pre-instrumentation throughput when telemetry is off.
+This bench measures the two hottest workloads in both modes:
+
+* **engine** — snap PIF steady-state cycles on ``ring(64)`` under a
+  central daemon (the BENCH_engine regime, where ``Simulator.step``
+  dominates);
+* **modelcheck** — an exhaustive ``check_snap_safety`` sweep on
+  ``line(3)`` (where the memo counters dominate).
+
+Each mode is measured as a median over repeats
+(:func:`benchmarks.common.repeat_median`), and the report records the
+disabled-mode throughput (gated by ``check_regression.py`` — a >10%
+drop in the disabled hot path fails CI) plus the enabled-vs-disabled
+overhead percentage.  The enabled runs also assert the recorded
+counters match the work actually performed, and the disabled runs
+assert the registry stays untouched — overhead numbers for
+instrumentation that did not record anything would be meaningless::
+
+    pytest benchmarks/bench_telemetry.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.core.pif import SnapPif
+from repro.graphs import line, ring
+from repro.runtime.daemons import CentralDaemon
+from repro.runtime.simulator import Simulator
+from repro.verification.model_check import check_snap_safety
+
+from benchmarks.common import JSON_REPORTS, TableCollector, repeat_median
+
+TABLE = TableCollector(
+    "E-telemetry — instrumentation overhead: disabled vs enabled",
+    columns=["workload", "mode", "metric/sec", "min", "max", "overhead %"],
+)
+
+ENGINE_N = 64
+ENGINE_STEPS = 1000
+SAFETY_MAX_STATES = 4000
+REPEATS = 5
+
+#: ``(workload, mode) -> repeat_median result``
+RESULTS: dict[tuple[str, str], dict] = {}
+
+
+def _measure_engine() -> dict:
+    net = ring(ENGINE_N)
+    protocol = SnapPif.for_network(net)
+    sim = Simulator(
+        protocol, net, CentralDaemon(choice="random"), seed=1
+    )
+    start = time.perf_counter()
+    done = 0
+    for _ in range(ENGINE_STEPS):
+        if sim.step() is None:
+            break
+        done += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "steps": done,
+        "seconds": elapsed,
+        "per_sec": done / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def _measure_modelcheck() -> dict:
+    start = time.perf_counter()
+    result = check_snap_safety(line(3), max_states=SAFETY_MAX_STATES)
+    elapsed = time.perf_counter() - start
+    return {
+        "states": result.states_explored,
+        "seconds": elapsed,
+        "per_sec": (
+            result.states_explored / elapsed if elapsed > 0 else 0.0
+        ),
+    }
+
+
+WORKLOADS = {
+    "engine": _measure_engine,
+    "modelcheck": _measure_modelcheck,
+}
+
+
+class _telemetry_mode:
+    """Force telemetry on/off for one measurement, restoring prior state."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.target = enabled
+
+    def __enter__(self) -> None:
+        self.was_enabled = telemetry.enabled
+        self.prior_registry = telemetry.registry
+        telemetry.enabled = self.target
+        telemetry.registry = telemetry.MetricsRegistry()
+
+    def __exit__(self, *exc) -> None:
+        telemetry.enabled = self.was_enabled
+        telemetry.registry = self.prior_registry
+
+
+@pytest.mark.parametrize("mode", ["disabled", "enabled"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_telemetry_overhead(workload: str, mode: str, benchmark) -> None:
+    measure = WORKLOADS[workload]
+
+    def instrumented() -> dict:
+        with _telemetry_mode(mode == "enabled"):
+            sample = measure()
+            snapshot = telemetry.registry.snapshot()
+        sample["metrics"] = snapshot.metrics
+        return sample
+
+    stats = benchmark.pedantic(
+        lambda: repeat_median(instrumented, key="per_sec", repeats=REPEATS),
+        rounds=1,
+        iterations=1,
+    )
+    sample = stats["sample"]
+    if mode == "enabled":
+        # The run must actually have recorded: counters match the work.
+        if workload == "engine":
+            assert sample["metrics"]["sim.steps"]["value"] == sample["steps"]
+        else:
+            key = "check.snap-safety (PIF1 ∧ PIF2).states_explored"
+            assert sample["metrics"][key]["value"] == sample["states"]
+    else:
+        assert sample["metrics"] == {}, "disabled telemetry recorded metrics"
+    RESULTS[(workload, mode)] = stats
+
+    disabled = RESULTS.get((workload, "disabled"))
+    overhead = ""
+    if mode == "enabled" and disabled is not None:
+        overhead = round(
+            100.0 * (1.0 - stats["median"] / disabled["median"]), 2
+        )
+    TABLE.add(
+        {
+            "workload": workload,
+            "mode": mode,
+            "metric/sec": round(stats["median"]),
+            "min": round(stats["min"]),
+            "max": round(stats["max"]),
+            "overhead %": overhead,
+        }
+    )
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    cases = []
+    throughput = {}
+    for (workload, mode), stats in sorted(RESULTS.items()):
+        cases.append(
+            {
+                "workload": workload,
+                "mode": mode,
+                "median_per_sec": stats["median"],
+                "min_per_sec": stats["min"],
+                "max_per_sec": stats["max"],
+                "repeats": stats["repeats"],
+            }
+        )
+        if mode == "disabled":
+            throughput[workload] = round(stats["median"], 2)
+    overhead = {}
+    for workload in WORKLOADS:
+        disabled = RESULTS.get((workload, "disabled"))
+        enabled = RESULTS.get((workload, "enabled"))
+        if disabled and enabled and disabled["median"] > 0:
+            overhead[workload] = round(
+                100.0 * (1.0 - enabled["median"] / disabled["median"]), 2
+            )
+    return {
+        "benchmark": "telemetry overhead (disabled vs enabled)",
+        "workload": (
+            f"engine: ring({ENGINE_N}) central daemon {ENGINE_STEPS} steps; "
+            f"modelcheck: snap safety line(3) "
+            f"max_states={SAFETY_MAX_STATES}; medians over {REPEATS} repeats"
+        ),
+        "cases": cases,
+        "telemetry_throughput": throughput,
+        "overhead_enabled_pct": overhead,
+    }
+
+
+JSON_REPORTS.append(("BENCH_telemetry.json", _build_report))

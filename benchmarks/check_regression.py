@@ -36,6 +36,7 @@ TRACKED: dict[str, str] = {
     "BENCH_modelcheck.json": "speedup_memo_over_direct",
     "BENCH_chaos.json": "campaign_steps_per_sec",
     "BENCH_parallel.json": "speedup_parallel_over_serial",
+    "BENCH_telemetry.json": "telemetry_throughput",
 }
 
 __all__ = ["compare_speedups", "host_mismatch", "main"]

@@ -20,7 +20,13 @@ from typing import Callable
 
 from repro.reporting import render_table
 
-__all__ = ["TableCollector", "ALL_TABLES", "JSON_REPORTS", "host_metadata"]
+__all__ = [
+    "TableCollector",
+    "ALL_TABLES",
+    "JSON_REPORTS",
+    "host_metadata",
+    "repeat_median",
+]
 
 
 def _cpu_model() -> str:
@@ -49,6 +55,41 @@ def host_metadata() -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
+
+def repeat_median(
+    measure: Callable[[], dict], *, key: str, repeats: int = 5
+) -> dict:
+    """Run a measurement several times and report the median of ``key``.
+
+    Single-shot timings on multi-core hosts are noisy — scheduler
+    interference, turbo states, page-cache effects — so speedup claims
+    need medians over repeats (the ROADMAP's multi-run statistical
+    benchmarking item).  ``measure`` returns a measurement dict whose
+    ``key`` entry is the metric of interest; the result carries the
+    median/min/max of that metric across ``repeats`` runs, all raw
+    values, and ``sample`` — the run whose metric is closest to the
+    median (use its other fields for reporting, so every reported
+    number comes from one actual run).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples = [measure() for _ in range(repeats)]
+    values = sorted(float(s[key]) for s in samples)
+    mid = len(values) // 2
+    if len(values) % 2:
+        median = values[mid]
+    else:
+        median = (values[mid - 1] + values[mid]) / 2
+    sample = min(samples, key=lambda s: abs(float(s[key]) - median))
+    return {
+        "median": median,
+        "min": values[0],
+        "max": values[-1],
+        "repeats": repeats,
+        "values": values,
+        "sample": sample,
+    }
+
 
 #: Global registry of experiment tables, printed by the conftest hook.
 ALL_TABLES: list["TableCollector"] = []

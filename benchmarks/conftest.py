@@ -6,13 +6,27 @@ import json
 from pathlib import Path
 
 from benchmarks.common import ALL_TABLES, JSON_REPORTS, host_metadata
+from repro import telemetry
 
 #: JSON reports land at the repository root so their trajectory is
 #: tracked PR over PR (BENCH_engine.json et al.).
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def pytest_configure(config) -> None:
+    # ``repro bench --telemetry PATH`` forwards the trace path to this
+    # subprocess via REPRO_TELEMETRY; benchmarks then run instrumented.
+    telemetry.enable_from_env()
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if telemetry.enabled:
+        telemetry.write_snapshot(label="bench-final")
+        if telemetry.sink is not None:
+            terminalreporter.write_line(
+                f"telemetry trace: {telemetry.sink.path}"
+            )
+        telemetry.disable()
     printed_header = False
     for collector in ALL_TABLES:
         rendered = collector.render()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.chaos.events import FaultEvent
 from repro.chaos.scenario import FaultScenario
 from repro.core.monitor import PifCycleMonitor
@@ -175,6 +176,14 @@ def run_chaos(
     )
 
     queue: list[FaultEvent] = scenario.seeded(seed).timeline()
+    cell_span = (
+        _telemetry.span("chaos.cell")
+        .set("scenario", scenario.name)
+        .set("topology", network.name)
+        .set("daemon", daemon)
+        .set("seed", seed)
+    )
+    cell_span.__enter__()
 
     def fire(event: FaultEvent) -> None:
         resolved, followups = event.apply(sim)
@@ -225,6 +234,15 @@ def run_chaos(
 
     run.steps = sim.steps
     run.cycles_completed = len(monitor.completed_cycles)
+    cell_span.set("violation", run.violation)
+    cell_span.__exit__(None, None, None)
+    if _telemetry.enabled:
+        reg = _telemetry.registry
+        reg.inc("chaos.runs")
+        reg.inc("chaos.faults_applied", run.faults_applied)
+        reg.inc("chaos.faults_skipped", run.faults_skipped)
+        if run.violation is not None:
+            reg.inc("chaos.violations")
     return run
 
 
@@ -268,20 +286,26 @@ def run_campaign(
         grid = list(networks)
     scenarios = list(scenarios)
 
+    # Any explicit jobs (including 1) goes through the executor path, so
+    # the executor's telemetry counters (parallel.tasks, …) accumulate
+    # identically for jobs ∈ {1, 2, 4}; jobs=1 runs the tasks in-process
+    # (no pool) and is bit-identical to the serial loop.
     n_jobs = resolve_jobs(jobs)
-    if n_jobs is not None and n_jobs > 1:
-        return _run_campaign_parallel(
-            protocol_factory,
-            grid,
-            scenarios,
-            daemons=daemons,
-            seeds=seeds,
-            budget=budget,
-            engine=engine,
-            validate_engine=validate_engine,
-            stop_on_violation=stop_on_violation,
-            jobs=n_jobs,
-            task_timeout=task_timeout,
+    if n_jobs is not None:
+        return _publish_campaign(
+            _run_campaign_parallel(
+                protocol_factory,
+                grid,
+                scenarios,
+                daemons=daemons,
+                seeds=seeds,
+                budget=budget,
+                engine=engine,
+                validate_engine=validate_engine,
+                stop_on_violation=stop_on_violation,
+                jobs=n_jobs,
+                task_timeout=task_timeout,
+            )
         )
 
     if protocol_factory is None:
@@ -304,7 +328,23 @@ def run_campaign(
                     )
                     result.runs.append(run)
                     if stop_on_violation and not run.ok:
-                        return result
+                        return _publish_campaign(result)
+    return _publish_campaign(result)
+
+
+def _publish_campaign(result: CampaignResult) -> CampaignResult:
+    """Fold campaign-level counters into the telemetry registry.
+
+    Cell-level metrics are published by :func:`run_chaos` itself — in
+    the parallel path that happens inside the worker's captured
+    registry, which the executor merges back in grid order, so these
+    campaign-level counters are the only parent-side addition and the
+    aggregate stays identical across ``jobs``.
+    """
+    if _telemetry.enabled:
+        reg = _telemetry.registry
+        reg.inc("chaos.campaigns")
+        reg.inc("chaos.cells", len(result.runs))
     return result
 
 

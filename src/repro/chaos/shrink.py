@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.chaos.campaign import ChaosRun
 from repro.chaos.events import event_from_dict
 from repro.core.monitor import PifCycleMonitor
@@ -298,14 +299,24 @@ def shrink_run(
 
     if not reproduces(run.tape):
         return None
-    minimal, tests_run = ddmin(list(run.tape), reproduces, max_tests=max_tests)
-    minimal, payload_tests = shrink_entry_payloads(
-        minimal,
-        reproduces,
-        nodes=list(network.nodes),
-        max_tests=max(0, max_tests - tests_run),
-    )
-    tests_run += payload_tests
+    with _telemetry.span("chaos.shrink") as shrink_span:
+        minimal, tests_run = ddmin(
+            list(run.tape), reproduces, max_tests=max_tests
+        )
+        minimal, payload_tests = shrink_entry_payloads(
+            minimal,
+            reproduces,
+            nodes=list(network.nodes),
+            max_tests=max(0, max_tests - tests_run),
+        )
+        tests_run += payload_tests
+        shrink_span.set("scenario", run.scenario).set("tests", tests_run)
+    if _telemetry.enabled:
+        reg = _telemetry.registry
+        reg.inc("chaos.shrinks")
+        reg.inc("chaos.shrink_iterations", tests_run)
+        reg.inc("chaos.shrink_entries_removed",
+                len(run.tape) - len(minimal))
     return Repro(
         protocol=run.protocol_name,
         topology=network.name,

@@ -20,6 +20,9 @@ Commands
 ``bench``
     Run benchmark modules from ``benchmarks/`` (requires a source
     checkout) and write their ``BENCH_*.json`` artifacts.
+``stats``
+    Render the metrics and span tables from a telemetry JSONL trace
+    (written by ``--telemetry PATH``).
 ``topologies``
     List the available topology families.
 
@@ -27,6 +30,12 @@ Commands
 a process pool; results are identical to the serial run (see
 ``repro.parallel``).  The ``REPRO_JOBS`` environment variable is the
 fallback when the flag is omitted.
+
+``verify``, ``chaos`` and ``bench`` accept ``--telemetry PATH``: the
+command runs with telemetry enabled, appends spans plus a final metrics
+snapshot to ``PATH`` as JSONL, and ``repro stats PATH`` renders it.
+``bench`` forwards the path to its pytest subprocess via the
+``REPRO_TELEMETRY`` environment variable.
 """
 
 from __future__ import annotations
@@ -63,6 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="process-pool workers (default: REPRO_JOBS env, else "
             "serial); results are identical to the serial run",
+        )
+
+    def add_telemetry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry",
+            metavar="PATH",
+            default=None,
+            help="enable telemetry and append spans plus a final metrics "
+            "snapshot to PATH as JSONL (render with 'repro stats PATH')",
         )
 
     def add_topology_args(p: argparse.ArgumentParser) -> None:
@@ -103,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on checked configurations (line-4 defaults to 2000)",
     )
     add_jobs_arg(verify)
+    add_telemetry_arg(verify)
 
     bounds_cmd = sub.add_parser("bounds", help="bound sheet + measured cycle")
     add_topology_args(bounds_cmd)
@@ -130,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable campaign summary instead of tables",
     )
     add_jobs_arg(chaos)
+    add_telemetry_arg(chaos)
 
     bench = sub.add_parser(
         "bench", help="run benchmark modules and write BENCH_*.json artifacts"
@@ -147,9 +167,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the available benchmark modules and exit",
     )
     add_jobs_arg(bench)
+    add_telemetry_arg(bench)
+
+    stats = sub.add_parser(
+        "stats", help="render metrics/span tables from a telemetry trace"
+    )
+    stats.add_argument("trace", help="path to a telemetry JSONL trace")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged metrics snapshot as JSON instead of tables",
+    )
 
     sub.add_parser("topologies", help="list topology families")
     return parser
+
+
+def _telemetry_session(path: str | None):
+    """Context manager enabling telemetry for one CLI command.
+
+    On exit, appends the final metrics snapshot to the trace and
+    disables telemetry (closing the sink).  A no-op when ``path`` is
+    None.
+    """
+    import contextlib
+
+    from repro import telemetry
+
+    @contextlib.contextmanager
+    def session():
+        if path is None:
+            yield
+            return
+        telemetry.enable(path)
+        try:
+            yield
+            telemetry.write_snapshot(label="final")
+        finally:
+            telemetry.disable()
+
+    return session()
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -258,22 +315,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     ]
     rows = []
     failed = False
-    for label, check in checks:
-        result = check(net, max_configurations=cap)
-        rows.append(
-            {
-                "check": label,
-                "configurations": result.configurations_checked,
-                "complete": result.complete,
-                "violations": len(result.counterexamples),
-            }
-        )
-        if result.stats is not None:
-            print(render_model_check(result))
-            print()
-        if not result.ok:
-            failed = True
-            print(result.counterexamples[0].pretty(), file=sys.stderr)
+    with _telemetry_session(args.telemetry):
+        for label, check in checks:
+            result = check(net, max_configurations=cap)
+            rows.append(
+                {
+                    "check": label,
+                    "configurations": result.configurations_checked,
+                    "complete": result.complete,
+                    "violations": len(result.counterexamples),
+                }
+            )
+            if result.stats is not None:
+                print(render_model_check(result))
+                print()
+            if not result.ok:
+                failed = True
+                print(result.counterexamples[0].pretty(), file=sys.stderr)
     print(render_table(rows, title=f"exhaustive checks on {net.name}"))
     return 1 if failed else 0
 
@@ -310,15 +368,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.reporting.campaign import campaign_to_dict, render_campaign
 
     net = by_name(args.topology, args.size)
-    result = run_campaign(
-        None,  # the genuine SnapPif
-        [net],
-        standard_scenarios(args.seed),
-        daemons=tuple(args.daemons),
-        seeds=(args.seed,),
-        budget=args.budget,
-        jobs=args.jobs,
-    )
+    with _telemetry_session(args.telemetry):
+        result = run_campaign(
+            None,  # the genuine SnapPif
+            [net],
+            standard_scenarios(args.seed),
+            daemons=tuple(args.daemons),
+            seeds=(args.seed,),
+            budget=args.budget,
+            jobs=args.jobs,
+        )
     if args.json:
         print(json.dumps(campaign_to_dict(result), indent=2, sort_keys=True))
     else:
@@ -372,6 +431,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     env = dict(os.environ)
     if args.jobs is not None:
         env["REPRO_JOBS"] = str(args.jobs)
+    if args.telemetry is not None:
+        # benchmarks/conftest.py enables telemetry from this variable in
+        # the pytest subprocess (the sink is owned by that process).
+        env["REPRO_TELEMETRY"] = str(Path(args.telemetry).resolve())
     env["PYTHONPATH"] = os.pathsep.join(
         p
         for p in (
@@ -392,6 +455,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return subprocess.call(command, cwd=repo_root, env=env)
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.reporting.telemetry import merge_trace, render_trace
+    from repro.telemetry import read_trace
+
+    try:
+        records = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                merge_trace(records).to_dict(), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(render_trace(records))
+    return 0
+
+
 def _cmd_topologies(_args: argparse.Namespace) -> int:
     rows = [
         {"family": name, "example (size 9)": TOPOLOGY_FAMILIES[name](9).name}
@@ -408,6 +493,7 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "stats": _cmd_stats,
     "topologies": _cmd_topologies,
 }
 

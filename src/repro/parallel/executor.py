@@ -35,12 +35,14 @@ from __future__ import annotations
 import math
 import os
 import signal
+import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import telemetry as _telemetry
 from repro.errors import ReproError
 
 __all__ = [
@@ -61,19 +63,31 @@ def resolve_jobs(jobs: int | None = None) -> int | None:
 
     An explicit ``jobs`` wins; otherwise the ``REPRO_JOBS`` environment
     variable; otherwise ``None`` (callers interpret ``None`` as "run
-    the classic serial path").  ``jobs`` must be a positive integer.
+    the classic serial path").  ``jobs`` must be a positive integer —
+    zero, negatives, non-integers (including bools) and garbage
+    environment values all raise :class:`ParallelError` naming the
+    offending value and where it came from.
     """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "").strip()
         if not raw:
             return None
         try:
-            jobs = int(raw)
+            value = int(raw)
         except ValueError:
             raise ParallelError(
                 f"REPRO_JOBS must be a positive integer, got {raw!r}"
             ) from None
-    jobs = int(jobs)
+        if value < 1:
+            raise ParallelError(
+                f"REPRO_JOBS must be a positive integer, got {raw!r}"
+            )
+        return value
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ParallelError(
+            f"jobs must be a positive integer, got {jobs!r} "
+            f"({type(jobs).__name__})"
+        )
     if jobs < 1:
         raise ParallelError(f"jobs must be >= 1, got {jobs}")
     return jobs
@@ -136,13 +150,23 @@ class _TaskTimeout(Exception):
 
 def _call_guarded(
     fn: Callable, key: object, payload: object, timeout: float | None
-) -> tuple[str, object, str]:
+) -> tuple[str, object, str, float, object]:
     """Run one task, converting every failure into data.
 
-    Returns ``(status, value, traceback_text)`` with status ``"ok"``,
-    ``"timeout"`` or ``"error"``.  The per-task timeout is enforced with
-    ``SIGALRM`` (worker processes execute tasks on their main thread),
-    so a wedged task interrupts itself instead of blocking the pool.
+    Returns ``(status, value, traceback_text, seconds, snapshot)`` with
+    status ``"ok"``, ``"timeout"`` or ``"error"``.  The per-task timeout
+    is enforced with ``SIGALRM`` (worker processes execute tasks on
+    their main thread), so a wedged task interrupts itself instead of
+    blocking the pool.
+
+    With telemetry enabled the task runs under
+    :func:`repro.telemetry.capture` — a fresh registry scoped to this
+    task — and the resulting :class:`~repro.telemetry.MetricsSnapshot`
+    travels back in the last slot (it is plain picklable data).  Worker
+    processes inherit the parent's enabled flag at fork, so workers
+    record even though only the parent owns the JSONL sink.  Failed
+    attempts ship ``snapshot=None`` — a retried task contributes its
+    metrics exactly once, from the attempt whose result is kept.
     """
     previous = None
     if timeout is not None:
@@ -153,18 +177,28 @@ def _call_guarded(
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.alarm(max(1, math.ceil(timeout)))
     try:
-        return "ok", fn(payload), ""
+        if _telemetry.enabled:
+            start = time.perf_counter()
+            with _telemetry.capture() as task_registry:
+                value = fn(payload)
+                snapshot = task_registry.snapshot()
+            return "ok", value, "", time.perf_counter() - start, snapshot
+        return "ok", fn(payload), "", 0.0, None
     except _TaskTimeout:
         return (
             "timeout",
             f"exceeded the per-task timeout of {timeout}s",
             "",
+            0.0,
+            None,
         )
     except Exception as exc:
         return (
             "error",
             f"{type(exc).__name__}: {exc}",
             traceback.format_exc(),
+            0.0,
+            None,
         )
     finally:
         if timeout is not None:
@@ -174,7 +208,7 @@ def _call_guarded(
 
 def _pool_entry(
     fn: Callable, key: object, payload: object, timeout: float | None
-) -> tuple[str, object, str]:
+) -> tuple[str, object, str, float, object]:
     """Top-level pool entry point (must be picklable by reference)."""
     return _call_guarded(fn, key, payload, timeout)
 
@@ -234,29 +268,80 @@ class ParallelExecutor:
         if not tasks:
             return []
         if self.jobs == 1:
-            return [self._run_inline(key, payload) for key, payload in tasks]
+            results = []
+            snapshots: list[object] = []
+            durations: list[float] = []
+            attempts: list[int] = []
+            for key, payload in tasks:
+                value, snapshot, seconds, used = self._run_inline(key, payload)
+                results.append(value)
+                snapshots.append(snapshot)
+                durations.append(seconds)
+                attempts.append(used)
+            self._absorb(results, snapshots, durations, attempts)
+            return results
         return self._run_pool(tasks)
 
     # ------------------------------------------------------------------
-    def _run_inline(self, key: object, payload: object) -> object:
+    def _absorb(
+        self,
+        results: list[object],
+        snapshots: list[object],
+        durations: list[float],
+        attempts: list[int],
+    ) -> None:
+        """Merge task snapshots and record executor metrics (parent side).
+
+        Snapshots merge in submission order — the same order for any
+        worker count, so the aggregated registry is a deterministic
+        function of the workload alone.  Wall-clock task durations land
+        in the ``parallel.task.seconds`` histogram, which the
+        deterministic snapshot view excludes.
+        """
+        if not _telemetry.enabled:
+            return
+        reg = _telemetry.registry
+        for snapshot in snapshots:
+            if snapshot is not None:
+                reg.merge_snapshot(snapshot)
+        reg.inc("parallel.tasks", len(results))
+        reg.inc("parallel.retries", sum(attempts) - len(results))
+        for value, seconds in zip(results, durations):
+            if isinstance(value, TaskFailure):
+                reg.inc("parallel.failures")
+                if value.kind == "timeout":
+                    reg.inc("parallel.timeouts")
+            if seconds > 0.0:
+                reg.observe(
+                    "parallel.task.seconds", seconds, _telemetry.TIME_BOUNDS
+                )
+
+    def _run_inline(
+        self, key: object, payload: object
+    ) -> tuple[object, object, float, int]:
         last: tuple[str, object, str] | None = None
         for attempt in range(1 + self.retries):
-            status, value, tb = _call_guarded(self.worker, key, payload, None)
+            status, value, tb, seconds, snapshot = _call_guarded(
+                self.worker, key, payload, None
+            )
             if status == "ok":
-                return value
+                return value, snapshot, seconds, attempt + 1
             last = (status, value, tb)
         status, value, tb = last  # type: ignore[misc]
-        return TaskFailure(
+        failure = TaskFailure(
             key=key,
             kind=status,
             message=str(value),
             attempts=1 + self.retries,
             traceback=tb,
         )
+        return failure, None, 0.0, 1 + self.retries
 
     def _run_pool(self, tasks: list[tuple[object, object]]) -> list[object]:
         results: list[object] = [None] * len(tasks)
         attempts = [0] * len(tasks)
+        snapshots: list[object] = [None] * len(tasks)
+        durations: list[float] = [0.0] * len(tasks)
         failures: list[tuple[str, object, str] | None] = [None] * len(tasks)
         try:
             context = __import__("multiprocessing").get_context("fork")
@@ -281,7 +366,7 @@ class ParallelExecutor:
                 for future in done:
                     index = pending.pop(future)
                     try:
-                        status, value, tb = future.result()
+                        status, value, tb, seconds, snapshot = future.result()
                     except BrokenProcessPool:
                         # The worker process died (OOM-kill, hard crash).
                         # The pool is unusable from here on; everything
@@ -304,6 +389,8 @@ class ParallelExecutor:
                         break
                     if status == "ok":
                         results[index] = value
+                        snapshots[index] = snapshot
+                        durations[index] = seconds
                         done_mask[index] = True
                     elif attempts[index] <= self.retries:
                         pending[submit(index)] = index
@@ -320,6 +407,7 @@ class ParallelExecutor:
                     attempts=attempts[index],
                     traceback=tb,
                 )
+        self._absorb(results, snapshots, durations, attempts)
         return results
 
 

@@ -22,3 +22,12 @@ __all__ += [
 from repro.reporting.campaign import campaign_to_dict, render_campaign
 
 __all__ += ["campaign_to_dict", "render_campaign"]
+
+from repro.reporting.telemetry import (
+    merge_trace,
+    render_metrics,
+    render_spans,
+    render_trace,
+)
+
+__all__ += ["merge_trace", "render_metrics", "render_spans", "render_trace"]

@@ -1,0 +1,102 @@
+"""Table renderers for telemetry traces and metric snapshots.
+
+``repro stats`` feeds a JSONL trace (written by the telemetry sink)
+through these helpers; benchmarks and tests can call them directly on a
+live :class:`~repro.telemetry.MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.tables import render_table
+from repro.telemetry import MetricsSnapshot
+
+__all__ = ["render_metrics", "render_spans", "render_trace", "merge_trace"]
+
+
+def render_metrics(
+    snapshot: MetricsSnapshot, *, title: str | None = "metrics"
+) -> str:
+    """Render a metrics snapshot as one table, one row per metric.
+
+    Counters show their value; gauges their last value; histograms
+    their observation count, mean, and total.
+    """
+    rows = []
+    for name in sorted(snapshot.metrics):
+        payload = snapshot.metrics[name]
+        kind = payload.get("kind")
+        if kind == "counter":
+            rows.append({"metric": name, "kind": kind,
+                         "value": payload["value"]})
+        elif kind == "gauge":
+            rows.append({"metric": name, "kind": kind,
+                         "value": payload["value"]})
+        elif kind == "histogram":
+            count = payload["count"]
+            mean = payload["total"] / count if count else 0.0
+            rows.append({
+                "metric": name,
+                "kind": kind,
+                "value": count,
+                "mean": f"{mean:.6g}",
+                "total": f"{payload['total']:.6g}",
+            })
+        else:
+            rows.append({"metric": name, "kind": str(kind), "value": "?"})
+    if not rows:
+        return f"{title}: (empty)" if title else "(empty)"
+    return render_table(
+        rows, columns=["metric", "kind", "value", "mean", "total"],
+        title=title,
+    )
+
+
+def render_spans(records: list[dict], *, title: str | None = "spans") -> str:
+    """Aggregate span records from a trace into a per-name table."""
+    by_name: dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = record.get("name", "?")
+        agg = by_name.setdefault(
+            name, {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        seconds = float(record.get("seconds", 0.0))
+        agg["count"] += 1
+        agg["total"] += seconds
+        agg["max"] = max(agg["max"], seconds)
+    rows = [
+        {
+            "span": name,
+            "count": agg["count"],
+            "mean s": f"{agg['total'] / agg['count']:.6g}",
+            "max s": f"{agg['max']:.6g}",
+            "total s": f"{agg['total']:.6g}",
+        }
+        for name, agg in sorted(by_name.items())
+    ]
+    if not rows:
+        return f"{title}: (none)" if title else "(none)"
+    return render_table(rows, title=title)
+
+
+def merge_trace(records: list[dict]) -> MetricsSnapshot:
+    """Merge every metrics record in a trace, in file order.
+
+    Traces usually hold one final snapshot per command, but a long
+    session may append several; merging in file order follows the same
+    serial-order rule as the cross-shard aggregation.
+    """
+    merged = MetricsSnapshot()
+    for record in records:
+        if record.get("type") == "metrics":
+            merged.merge(MetricsSnapshot(metrics=record.get("metrics", {})))
+    return merged
+
+
+def render_trace(records: list[dict]) -> str:
+    """Render a whole JSONL trace: merged metrics plus span aggregates."""
+    sections = [render_metrics(merge_trace(records))]
+    spans = render_spans(records)
+    sections.append(spans)
+    return "\n\n".join(sections)

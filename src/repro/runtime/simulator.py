@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Iterable, Mapping, Protocol as TypingProtocol, Sequence
 
+from repro import telemetry as _telemetry
 from repro.errors import ScheduleError, SimulationLimitError, VerificationError
 from repro.runtime.daemons import Daemon, SynchronousDaemon
 from repro.runtime.network import Network
@@ -257,11 +258,19 @@ class Simulator:
         self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             monitor.on_start(configuration)
-        self.trace.mark_fault(self._steps, "corrupt", "configuration replaced")
+        self._mark_fault("corrupt", "configuration replaced")
 
     # ------------------------------------------------------------------
     # Fault-event hooks (chaos campaigns)
     # ------------------------------------------------------------------
+    def _mark_fault(self, kind: str, detail: str) -> None:
+        """Record a fault event in the trace and (if on) telemetry."""
+        self.trace.mark_fault(self._steps, kind, detail)
+        if _telemetry.enabled:
+            reg = _telemetry.registry
+            reg.inc("sim.faults")
+            reg.inc(f"sim.faults.{kind}")
+
     def perturb_configuration(self, updates: Mapping[int, NodeState]) -> set[int]:
         """Overwrite a *subset* of processor memories — a targeted fault.
 
@@ -288,9 +297,7 @@ class Simulator:
         self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             monitor.on_start(after)
-        self.trace.mark_fault(
-            self._steps, "corrupt", f"nodes {sorted(effective)}"
-        )
+        self._mark_fault("corrupt", f"nodes {sorted(effective)}")
         return set(effective)
 
     def crash(self, nodes: Iterable[int]) -> frozenset[int]:
@@ -314,7 +321,7 @@ class Simulator:
         self._rounds.set_excluded(
             frozenset(self._crashed), frozenset(self._enabled)
         )
-        self.trace.mark_fault(self._steps, "crash", f"nodes {sorted(newly)}")
+        self._mark_fault("crash", f"nodes {sorted(newly)}")
         return newly
 
     def recover(self, nodes: Iterable[int] | None = None) -> frozenset[int]:
@@ -334,7 +341,7 @@ class Simulator:
         self._rounds.set_excluded(
             frozenset(self._crashed), frozenset(self._enabled)
         )
-        self.trace.mark_fault(self._steps, "recover", f"nodes {sorted(back)}")
+        self._mark_fault("recover", f"nodes {sorted(back)}")
         return back
 
     def apply_topology(self, network: Network) -> frozenset[int]:
@@ -374,8 +381,7 @@ class Simulator:
             if on_network is not None:
                 on_network(network)
             monitor.on_start(self._configuration)
-        self.trace.mark_fault(
-            self._steps,
+        self._mark_fault(
             "topology",
             f"{old_name} -> {network.name} (dirty {sorted(dirty)})",
         )
@@ -385,7 +391,7 @@ class Simulator:
         """Replace the scheduler mid-run (the adversary changes strategy)."""
         self.daemon = daemon
         daemon.reset()
-        self.trace.mark_fault(self._steps, "swap-daemon", daemon.name)
+        self._mark_fault("swap-daemon", daemon.name)
 
     def _refresh_enabled(self, dirty: set[int]) -> None:
         """Repair the enabled map after ``dirty`` nodes changed state/views."""
@@ -465,6 +471,15 @@ class Simulator:
             self._action_counts[action.name] = (
                 self._action_counts.get(action.name, 0) + 1
             )
+
+        if _telemetry.enabled:
+            reg = _telemetry.registry
+            reg.inc("sim.steps")
+            reg.inc("sim.moves", len(selection))
+            reg.inc("sim.rounds", rounds_completed)
+            reg.observe("sim.selection_size", len(selection))
+            reg.observe("sim.enabled_set_size", len(self._enabled))
+            reg.observe("sim.dirty_set_size", len(dirty))
 
         record = StepRecord(
             index=self._steps - 1,

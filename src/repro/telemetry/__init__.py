@@ -1,0 +1,182 @@
+"""repro.telemetry — zero-dependency metrics and span tracing.
+
+The module itself is the switchboard.  All instrumented call sites in
+the engine guard on the module-level :data:`enabled` flag::
+
+    from repro import telemetry as _telemetry
+    ...
+    if _telemetry.enabled:
+        _telemetry.registry.inc("sim.steps")
+
+so with telemetry off (the default) the cost per call site is one
+module-attribute check — verified by ``benchmarks/bench_telemetry.py``.
+Hot loops that fire many times per step should hoist metric objects
+(``Counter``/``Histogram``) once and bump ``.value`` directly.
+
+State model
+-----------
+
+* :data:`enabled` — bool, flipped by :func:`enable` / :func:`disable`.
+* :data:`registry` — the active :class:`MetricsRegistry`.  Never
+  rebound while enabled except by :func:`capture`, which swaps in a
+  fresh registry around a unit of work (the executor uses this to give
+  every parallel task its own snapshot, shipped back across the pickle
+  boundary and merged in serial submission order — DESIGN.md §10).
+* :data:`sink` — optional :class:`JsonlSink`; only the process that
+  opened it writes (fork guard), so worker processes under the
+  ``fork`` start method inherit an enabled flag but never corrupt the
+  trace file.
+
+``REPRO_TELEMETRY=/path/to/trace.jsonl`` in the environment enables
+telemetry via :func:`enable_from_env` — the hand-off used by
+``repro bench --telemetry`` whose benchmarks run in a pytest
+subprocess.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+
+from repro.telemetry.registry import (
+    SIZE_BOUNDS,
+    TIME_BOUNDS,
+    TIMING_SUFFIX,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    JsonlSink,
+    NullSpan,
+    Span,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_SPAN",
+    "NullSpan",
+    "SIZE_BOUNDS",
+    "Span",
+    "TIME_BOUNDS",
+    "TIMING_SUFFIX",
+    "capture",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "enabled",
+    "read_trace",
+    "registry",
+    "sink",
+    "span",
+    "write_snapshot",
+]
+
+#: The one flag every instrumented call site checks.
+enabled: bool = False
+
+#: The active registry.  Instrumentation must re-read this module
+#: attribute (not hold a stale reference) unless inside a region it
+#: knows :func:`capture` cannot interleave with.
+registry: MetricsRegistry = MetricsRegistry()
+
+#: The active JSONL sink, or None.
+sink: JsonlSink | None = None
+
+
+def enable(trace_path: str | None = None) -> None:
+    """Turn telemetry on, optionally opening a JSONL sink at ``trace_path``."""
+    global enabled, sink
+    if trace_path is not None:
+        if sink is not None:
+            sink.close()
+        sink = JsonlSink(trace_path)
+    enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off, close the sink, and reset the registry."""
+    global enabled, sink
+    enabled = False
+    if sink is not None:
+        sink.close()
+        sink = None
+    registry.clear()
+
+
+def enable_from_env() -> bool:
+    """Enable telemetry if ``REPRO_TELEMETRY`` names a trace path.
+
+    Returns True when telemetry was enabled.  An empty value is
+    treated as unset.
+    """
+    path = os.environ.get("REPRO_TELEMETRY", "").strip()
+    if not path:
+        return False
+    enable(path)
+    return True
+
+
+def span(name: str):
+    """A context-manager span, or the shared no-op when disabled."""
+    if not enabled:
+        return NULL_SPAN
+    return Span(name, sys.modules[__name__])
+
+
+def _finish_span(name: str, seconds: float, attrs: dict) -> None:
+    """Called by Span.__exit__: record into the registry and the sink."""
+    registry.observe(f"span.{name}{TIMING_SUFFIX}", seconds, TIME_BOUNDS)
+    if sink is not None:
+        record = {"type": "span", "name": name, "seconds": seconds}
+        if attrs:
+            record["attrs"] = attrs
+        sink.write(record)
+
+
+@contextmanager
+def capture():
+    """Swap in a fresh registry for the duration of the block.
+
+    Yields the temporary :class:`MetricsRegistry`; the previous one is
+    restored on exit (even on error).  The caller snapshots the yielded
+    registry to get the block's metrics in isolation — this is how the
+    parallel executor gives each task its own snapshot regardless of
+    which worker process (or the inline path) runs it.
+
+    No-op-ish when disabled: still swaps, but nothing records.
+    """
+    global registry
+    previous = registry
+    fresh = MetricsRegistry()
+    registry = fresh
+    try:
+        yield fresh
+    finally:
+        registry = previous
+
+
+def write_snapshot(
+    snapshot: MetricsSnapshot | None = None, *, label: str = "metrics"
+) -> None:
+    """Append a metrics snapshot record to the sink (if open and owned).
+
+    With no explicit ``snapshot``, snapshots the active registry.
+    """
+    if sink is None:
+        return
+    if snapshot is None:
+        snapshot = registry.snapshot()
+    sink.write(
+        {"type": "metrics", "label": label, "metrics": snapshot.metrics}
+    )

@@ -1,0 +1,130 @@
+"""Span-based structured tracing with a JSONL sink.
+
+A *span* wraps a unit of work (a campaign cell, a sharded sweep, one
+parallel task) and records its wall time plus arbitrary attributes.
+Spans serve two audiences:
+
+* the **JSONL sink** — each finished span appends one JSON object to
+  the trace file (``{"type": "span", "name": ..., "seconds": ...,
+  "attrs": {...}}``), readable later by ``repro stats``;
+* the **registry** — each finished span observes its duration into a
+  ``span.<name>.seconds`` histogram, so per-shard task times survive
+  the pickle boundary inside metric snapshots even when the worker
+  process has no sink open.
+
+When telemetry is disabled, :func:`repro.telemetry.span` returns the
+:data:`NULL_SPAN` singleton whose every method is a no-op — the call
+site pays one module-attribute check and nothing else.
+
+Fork safety: the sink records the PID that opened it.  A forked worker
+inheriting the parent's module state will refuse to write (its spans
+still land in the worker registry, which ships back through the
+executor), so the trace file is only ever written by one process and
+stays well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["JsonlSink", "NULL_SPAN", "NullSpan", "Span", "read_trace"]
+
+
+class NullSpan:
+    """The disabled-telemetry span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """A live span.  Use as a context manager; attributes via :meth:`set`."""
+
+    __slots__ = ("name", "attrs", "_start", "_telemetry")
+
+    def __init__(self, name: str, telemetry) -> None:
+        self.name = name
+        self.attrs: dict = {}
+        self._start = 0.0
+        # The repro.telemetry module object — late-bound so a span
+        # always finishes against the state that created it.
+        self._telemetry = telemetry
+
+    def set(self, key: str, value) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._telemetry._finish_span(
+            self.name, time.perf_counter() - self._start, self.attrs
+        )
+
+
+class JsonlSink:
+    """An append-only JSONL trace writer owned by the opening process."""
+
+    __slots__ = ("path", "_fh", "_pid")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+
+    @property
+    def owned(self) -> bool:
+        """True in the process that opened the sink (fork guard)."""
+        return os.getpid() == self._pid
+
+    def write(self, record: dict) -> None:
+        if not self.owned or self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None and self.owned:
+            self._fh.close()
+        self._fh = None
+
+
+def read_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into a list of records.
+
+    Malformed lines raise ``ValueError`` naming the line number — a
+    truncated trace is a bug worth surfacing, not skipping.
+    """
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: trace record is not an object"
+                )
+            records.append(record)
+    return records

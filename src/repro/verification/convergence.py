@@ -48,6 +48,7 @@ from repro.verification.model_check import (
     merge_model_check_results,
     node_state_domain,
     synchronous_selection,
+    _publish_check,
 )
 
 __all__ = [
@@ -269,6 +270,7 @@ def check_convergence_synchronous(
         )
         if engine is not None:
             engine.fill_stats(stats)
+        _publish_check(result)
     return result
 
 
@@ -503,6 +505,7 @@ def check_normal_closure(
         )
         if engine is not None:
             engine.fill_stats(stats)
+        _publish_check(result)
     return result
 
 

@@ -73,6 +73,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.analysis import bounds
 from repro.core.monitor import PifCycleMonitor
 from repro.core.pif import SnapPif
@@ -459,7 +460,15 @@ _MISS = object()
 
 
 class _LruCache:
-    """Bounded mapping with LRU eviction and hit/miss/eviction counters."""
+    """Bounded mapping with LRU eviction and hit/miss/eviction counters.
+
+    The counters are :class:`repro.telemetry.Counter` objects (slotted,
+    bumped via ``.value += 1`` — the same cost as a plain int
+    attribute), so the memo's instrumentation *is* its telemetry:
+    :meth:`ModelCheckMemo.fill_stats` copies ``.value`` onto the public
+    :class:`ModelCheckStats` ints, and :func:`_publish_check` folds the
+    same numbers into the active telemetry registry when enabled.
+    """
 
     __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
 
@@ -467,9 +476,9 @@ class _LruCache:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = _telemetry.Counter("modelcheck.memo.hits")
+        self.misses = _telemetry.Counter("modelcheck.memo.misses")
+        self.evictions = _telemetry.Counter("modelcheck.memo.evictions")
         self._data: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:
@@ -478,10 +487,10 @@ class _LruCache:
     def get(self, key):
         value = self._data.get(key, _MISS)
         if value is _MISS:
-            self.misses += 1
+            self.misses.value += 1
             return None
         self._data.move_to_end(key)
-        self.hits += 1
+        self.hits.value += 1
         return value
 
     def put(self, key, value) -> None:
@@ -493,7 +502,7 @@ class _LruCache:
         data[key] = value
         if len(data) > self.capacity:
             data.popitem(last=False)
-            self.evictions += 1
+            self.evictions.value += 1
 
 
 class ModelCheckMemo:
@@ -547,9 +556,12 @@ class ModelCheckMemo:
         #: so visited-set members hash once and compare by identity).
         self._advance_cache: dict = {}
         self.view_capacity = view_capacity
-        self.view_hits = 0
-        self.view_misses = 0
-        self.view_evictions = 0
+        # Telemetry-backed counters: hot paths bump ``.value`` directly
+        # (one attribute store — see repro.telemetry), fill_stats reads
+        # ``.value`` back onto the public ModelCheckStats ints.
+        self.view_hits = _telemetry.Counter("modelcheck.view.hits")
+        self.view_misses = _telemetry.Counter("modelcheck.view.misses")
+        self.view_evictions = _telemetry.Counter("modelcheck.view.evictions")
         self._view_entries = 0
 
     # -- local views ----------------------------------------------------
@@ -569,7 +581,7 @@ class ModelCheckMemo:
                 for table in per_action.values():
                     table.clear()
             self._advance_cache.clear()
-            self.view_evictions += self._view_entries
+            self.view_evictions.value += self._view_entries
             self._view_entries = 0
 
     def enabled_actions(
@@ -580,9 +592,9 @@ class ModelCheckMemo:
         table = self._enabled_views[node]
         actions = table.get(view, _MISS)
         if actions is not _MISS:
-            self.view_hits += 1
+            self.view_hits.value += 1
             return actions
-        self.view_misses += 1
+        self.view_misses.value += 1
         actions = self.protocol.enabled_actions(
             configuration, self.network, node, cache={}
         )
@@ -596,9 +608,9 @@ class ModelCheckMemo:
         table = self._next_views[node][action.name]
         state = table.get(view, _MISS)
         if state is not _MISS:
-            self.view_hits += 1
+            self.view_hits.value += 1
             return state
-        self.view_misses += 1
+        self.view_misses.value += 1
         state = action.execute(Context(node, self.network, configuration, {}))
         table[view] = state
         self._note_view_entry()
@@ -610,9 +622,9 @@ class ModelCheckMemo:
         table = self._join_views[node]
         parent = table.get(view, _MISS)
         if parent is not _MISS:
-            self.view_hits += 1
+            self.view_hits.value += 1
             return parent
-        self.view_misses += 1
+        self.view_misses.value += 1
         parent = self.protocol.join_parent(
             Context(node, self.network, configuration)
         )
@@ -724,9 +736,9 @@ class ModelCheckMemo:
         key = (tag, step, joins_key)
         cached = self._advance_cache.get(key, _MISS)
         if cached is not _MISS:
-            self.view_hits += 1
+            self.view_hits.value += 1
             return cached
-        self.view_misses += 1
+        self.view_misses.value += 1
         cached = tag.advance(
             self.protocol,
             self.network,
@@ -795,16 +807,55 @@ class ModelCheckMemo:
 
     def fill_stats(self, stats: ModelCheckStats) -> None:
         """Copy the engine's counters onto a stats block."""
-        stats.memo_hits = self.transitions.hits
-        stats.memo_misses = self.transitions.misses
-        stats.memo_evictions = self.transitions.evictions
+        stats.memo_hits = self.transitions.hits.value
+        stats.memo_misses = self.transitions.misses.value
+        stats.memo_evictions = self.transitions.evictions.value
         stats.memo_entries = len(self.transitions)
         stats.memo_capacity = self.transitions.capacity
-        stats.view_hits = self.view_hits
-        stats.view_misses = self.view_misses
-        stats.view_evictions = self.view_evictions
+        stats.view_hits = self.view_hits.value
+        stats.view_misses = self.view_misses.value
+        stats.view_evictions = self.view_evictions.value
         stats.interned_configurations = len(self.interner)
         stats.intern_hits = self.interner.hits
+
+
+def _publish_check(result: ModelCheckResult) -> None:
+    """Fold a finished check's counters into the telemetry registry.
+
+    Called from the serial exploration paths only: the sharded sweeps
+    run their shards through the serial path inside worker processes
+    whose registries the executor captures and merges in shard order, so
+    publishing the parent's merged result as well would double-count.
+    The published keys are deterministic functions of the workload
+    (wall time lands in a ``*.seconds`` histogram, which the
+    deterministic snapshot view excludes).
+    """
+    if not _telemetry.enabled:
+        return
+    reg = _telemetry.registry
+    base = f"check.{result.property_name}"
+    reg.inc(f"{base}.runs")
+    reg.inc(f"{base}.configurations_checked", result.configurations_checked)
+    reg.inc(f"{base}.states_explored", result.states_explored)
+    reg.inc(f"{base}.transitions_explored", result.transitions_explored)
+    reg.inc(f"{base}.counterexamples", len(result.counterexamples))
+    stats = result.stats
+    if stats is None:
+        return
+    reg.inc("modelcheck.memo.hits", stats.memo_hits)
+    reg.inc("modelcheck.memo.misses", stats.memo_misses)
+    reg.inc("modelcheck.memo.evictions", stats.memo_evictions)
+    reg.inc("modelcheck.view.hits", stats.view_hits)
+    reg.inc("modelcheck.view.misses", stats.view_misses)
+    reg.inc("modelcheck.view.evictions", stats.view_evictions)
+    reg.inc("modelcheck.interned_configurations",
+            stats.interned_configurations)
+    reg.inc("modelcheck.intern_hits", stats.intern_hits)
+    reg.observe(
+        f"{base}.elapsed{_telemetry.TIMING_SUFFIX}",
+        stats.elapsed_seconds,
+        _telemetry.TIME_BOUNDS,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1277,6 +1328,7 @@ def check_snap_safety(
         )
         if engine is not None:
             engine.fill_stats(stats)
+        _publish_check(result)
     return result
 
 
@@ -1754,4 +1806,5 @@ def check_cycle_liveness_synchronous(
         )
         if engine is not None:
             engine.fill_stats(stats)
+        _publish_check(result)
     return result

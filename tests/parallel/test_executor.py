@@ -83,6 +83,35 @@ class TestResolveJobs:
         with pytest.raises(ParallelError):
             resolve_jobs(0)
 
+    def test_zero_rejected_with_value_in_message(self) -> None:
+        with pytest.raises(ParallelError, match="got 0"):
+            resolve_jobs(0)
+
+    def test_negative_rejected_with_value_in_message(self) -> None:
+        with pytest.raises(ParallelError, match="got -3"):
+            resolve_jobs(-3)
+
+    def test_non_integer_rejected(self) -> None:
+        with pytest.raises(ParallelError, match="2.5"):
+            resolve_jobs(2.5)  # type: ignore[arg-type]
+        with pytest.raises(ParallelError, match="True"):
+            resolve_jobs(True)  # type: ignore[arg-type]
+        with pytest.raises(ParallelError, match="'4'"):
+            resolve_jobs("4")  # type: ignore[arg-type]
+
+    def test_garbage_env_names_variable_and_value(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ParallelError, match=r"REPRO_JOBS.*'lots'"):
+            resolve_jobs(None)
+
+    def test_nonpositive_env_names_variable_and_value(
+        self, monkeypatch
+    ) -> None:
+        for raw in ("0", "-2"):
+            monkeypatch.setenv("REPRO_JOBS", raw)
+            with pytest.raises(ParallelError, match=f"REPRO_JOBS.*{raw!r}"):
+                resolve_jobs(None)
+
 
 class TestExecutor:
     def test_inline_results_in_submission_order(self) -> None:

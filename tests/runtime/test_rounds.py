@@ -59,3 +59,57 @@ class TestRoundCounter:
         rc = RoundCounter([])
         assert rc.pending == frozenset()
         assert rc.completed_rounds == 0
+
+
+class TestSetExcluded:
+    """Crash/recover boundaries: the disable-action credit rules."""
+
+    def test_crash_of_last_pending_node_completes_the_round(self) -> None:
+        # 0 acts; only 1 is still owed.  Crashing 1 plays its disable
+        # action, so the round completes at the crash boundary.
+        rc = RoundCounter([0, 1])
+        rc.observe_step({0}, {0, 1})
+        assert rc.pending == frozenset({1})
+        assert rc.set_excluded({1}, enabled_now={0}) == 1
+        assert rc.completed_rounds == 1
+        assert rc.pending == frozenset({0})
+
+    def test_crash_that_leaves_pending_completes_nothing(self) -> None:
+        rc = RoundCounter([0, 1, 2])
+        assert rc.set_excluded({2}, enabled_now={0, 1, 2}) == 0
+        assert rc.completed_rounds == 0
+        assert rc.pending == frozenset({0, 1})
+
+    def test_crash_into_empty_round_gives_no_spurious_credit(self) -> None:
+        # The pending set was already empty (terminal-ish moment): a
+        # crash must not mint a round out of nothing.
+        rc = RoundCounter([])
+        assert rc.set_excluded({0}, enabled_now=set()) == 0
+        assert rc.completed_rounds == 0
+
+    def test_crashed_node_loses_its_age(self) -> None:
+        rc = RoundCounter([0, 1])
+        rc.observe_step({0}, {0, 1})
+        assert rc.ages[1] == 2
+        rc.set_excluded({1}, enabled_now={0, 1})
+        assert 1 not in rc.ages
+        assert rc.excluded == frozenset({1})
+
+    def test_recovered_node_joins_next_round_not_current(self) -> None:
+        rc = RoundCounter([0, 1])
+        rc.set_excluded({1}, enabled_now={0, 1})
+        # Recover 1 mid-round: it gets a fresh age but is not owed an
+        # action in the round already in progress.
+        rc.set_excluded(set(), enabled_now={0, 1})
+        assert rc.ages[1] == 1
+        assert rc.pending == frozenset({0})
+        rc.observe_step({0}, {0, 1})
+        assert rc.completed_rounds == 1
+        assert rc.pending == frozenset({0, 1})  # next round includes 1
+
+    def test_excluded_node_stays_out_across_restart(self) -> None:
+        rc = RoundCounter([0, 1])
+        rc.set_excluded({1}, enabled_now={0, 1})
+        rc.restart({0, 1})
+        assert rc.pending == frozenset({0})
+        assert rc.excluded == frozenset({1})

@@ -116,3 +116,62 @@ class TestSchedulePersistence:
         path.write_text('["not", "a", "dict"]\n')
         with pytest.raises(ReproError, match="malformed"):
             load_schedule(str(path))
+
+
+class TestLevelRoundTripReplay:
+    """Every recording level: what survives a run, and what replays."""
+
+    def _run(self, level: str):
+        from repro.runtime.daemons import CentralDaemon
+
+        net = Network({0: [1, 2], 1: [0, 2], 2: [0, 1]})
+        sim = Simulator(
+            MaxProtocol(), net, CentralDaemon(), seed=9, trace_level=level
+        )
+        sim.run()
+        return net, sim
+
+    @pytest.mark.parametrize("level", ["selections", "configurations"])
+    def test_recorded_schedule_replays_to_same_final(self, level) -> None:
+        from repro.runtime.daemons import ReplayDaemon
+
+        net, sim = self._run(level)
+        replay = Simulator(
+            MaxProtocol(), net, ReplayDaemon(sim.trace.schedule())
+        )
+        replay.run()
+        assert replay.configuration == sim.configuration
+        assert replay.steps == sim.steps
+
+    def test_configurations_level_replay_matches_every_configuration(
+        self,
+    ) -> None:
+        from repro.runtime.daemons import ReplayDaemon
+
+        net, sim = self._run("configurations")
+        replay = Simulator(
+            MaxProtocol(),
+            net,
+            ReplayDaemon(sim.trace.schedule()),
+            trace_level="configurations",
+        )
+        replay.run()
+        assert replay.trace.configurations() == sim.trace.configurations()
+
+    def test_none_level_keeps_metrics_but_nothing_replayable(self) -> None:
+        _net, sim = self._run("none")
+        assert sim.steps > 0 and sim.moves > 0  # metrics still accumulate
+        assert len(sim.trace) == 0
+        assert sim.trace.schedule() == []
+        assert sim.trace.total_moves == 0
+
+    @pytest.mark.parametrize("level", ["none", "selections", "configurations"])
+    def test_fault_marks_recorded_at_every_level(self, level) -> None:
+        net = Network({0: [1], 1: [0]})
+        sim = Simulator(MaxProtocol(), net, trace_level=level)
+        sim.crash([1])
+        sim.recover([1])
+        assert [(m.kind, m.at_step) for m in sim.trace.marks] == [
+            ("crash", 0),
+            ("recover", 0),
+        ]

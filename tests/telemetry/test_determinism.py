@@ -1,0 +1,125 @@
+"""Telemetry determinism across the jobs axis (DESIGN.md §10).
+
+The acceptance bar for the telemetry subsystem: for every wired entry
+point, the aggregated *deterministic* metric snapshot (everything but
+the ``*.seconds`` wall-clock histograms) is bit-identical for
+``jobs`` ∈ {1, 2, 4}.  Per-task registries are captured in the workers,
+shipped back as picklable snapshots, and merged in serial submission
+order — so the aggregate depends only on the workload, never on the
+worker count or completion order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.chaos import crash_recover, run_campaign
+from repro.graphs import line, ring
+from repro.verification import (
+    check_convergence_synchronous,
+    check_cycle_liveness_synchronous,
+    check_snap_safety,
+)
+
+JOBS = (1, 2, 4)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _snapshot_of(run) -> dict:
+    """Run ``run()`` under fresh telemetry; return the deterministic dict."""
+    telemetry.enable()
+    try:
+        run()
+        return telemetry.registry.snapshot().deterministic().to_dict()
+    finally:
+        telemetry.disable()
+
+
+def _assert_identical_across_jobs(make_run):
+    snapshots = {jobs: _snapshot_of(make_run(jobs)) for jobs in JOBS}
+    assert snapshots[1], "entry point published no deterministic metrics"
+    assert snapshots[1] == snapshots[2] == snapshots[4]
+    return snapshots[1]
+
+
+class TestJobsBitIdentity:
+    def test_campaign(self):
+        def make_run(jobs):
+            return lambda: run_campaign(
+                None,
+                [ring(6)],
+                [crash_recover()],
+                daemons=("central",),
+                seeds=(0, 1),
+                budget=60,
+                jobs=jobs,
+            )
+
+        snapshot = _assert_identical_across_jobs(make_run)
+        metrics = snapshot["metrics"]
+        # The cell grid is 1 scenario × 1 topology × 1 daemon × 2 seeds.
+        assert metrics["chaos.cells"]["value"] == 2
+        assert metrics["chaos.runs"]["value"] == 2
+        assert metrics["chaos.campaigns"]["value"] == 1
+        # Executor accounting also aggregates identically across jobs.
+        assert metrics["parallel.tasks"]["value"] == 2
+        assert metrics["parallel.retries"]["value"] == 0
+        # Simulator metrics from inside the cells survive the boundary.
+        assert metrics["sim.steps"]["value"] > 0
+        assert metrics["sim.faults"]["value"] > 0
+
+    def test_snap_safety(self):
+        def make_run(jobs):
+            return lambda: check_snap_safety(
+                line(3), max_states=3000, jobs=jobs
+            )
+
+        snapshot = _assert_identical_across_jobs(make_run)
+        metrics = snapshot["metrics"]
+        base = "check.snap-safety (PIF1 ∧ PIF2)"
+        assert metrics[f"{base}.states_explored"]["value"] > 0
+        assert metrics[f"{base}.counterexamples"]["value"] == 0
+        assert metrics["modelcheck.memo.hits"]["value"] >= 0
+
+    def test_cycle_liveness(self):
+        def make_run(jobs):
+            return lambda: check_cycle_liveness_synchronous(
+                line(3), max_configurations=40, jobs=jobs
+            )
+
+        snapshot = _assert_identical_across_jobs(make_run)
+        metrics = snapshot["metrics"]
+        base = "check.cycle-liveness (synchronous)"
+        assert metrics[f"{base}.configurations_checked"]["value"] == 40
+
+    def test_convergence(self):
+        def make_run(jobs):
+            return lambda: check_convergence_synchronous(
+                line(3), max_configurations=40, jobs=jobs
+            )
+
+        snapshot = _assert_identical_across_jobs(make_run)
+        assert any(
+            name.startswith("check.") for name in snapshot["metrics"]
+        )
+
+    def test_disabled_runs_record_nothing(self):
+        assert telemetry.enabled is False
+        run_campaign(
+            None,
+            [ring(6)],
+            [crash_recover()],
+            daemons=("central",),
+            seeds=(0,),
+            budget=60,
+            jobs=2,
+        )
+        check_snap_safety(line(3), max_states=500)
+        assert telemetry.registry.snapshot().metrics == {}

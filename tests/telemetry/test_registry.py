@@ -1,0 +1,235 @@
+"""Unit tests for the metrics registry: exact-merge semantics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    SIZE_BOUNDS,
+    TIME_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_inc_and_direct_bump(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        c.value += 2  # the sanctioned hot-path idiom
+        assert c.value == 7
+
+    def test_to_dict(self):
+        c = Counter("x", value=3)
+        assert c.to_dict() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_tracks_updates(self):
+        g = Gauge("cap")
+        assert g.updates == 0
+        g.set(128)
+        g.set(64)
+        assert g.value == 64
+        assert g.updates == 2
+
+    def test_untouched_gauge_distinguishable_from_default_set(self):
+        touched = Gauge("cap")
+        touched.set(0)  # legitimately set to the default value
+        untouched = Gauge("cap")
+        assert touched.to_dict() != untouched.to_dict()
+
+
+class TestHistogram:
+    def test_bounds_must_be_strictly_ascending(self):
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("h", (1, 1, 2))
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("h", (2, 1))
+
+    def test_bucketing_first_bound_gte_value(self):
+        h = Histogram("h", (1, 10, 100))
+        for value in (0, 1, 5, 10, 11, 100, 101, 9999):
+            h.observe(value)
+        # <=1: {0, 1}; <=10: {5, 10}; <=100: {11, 100}; overflow: {101, 9999}
+        assert h.counts == [2, 2, 2, 2]
+        assert h.count == 8
+        assert h.total == sum((0, 1, 5, 10, 11, 100, 101, 9999))
+
+    def test_mean(self):
+        h = Histogram("h", (10,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_default_bounds_are_valid(self):
+        Histogram("sizes", SIZE_BOUNDS)
+        Histogram("times", TIME_BOUNDS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("a")
+
+    def test_histogram_bounds_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1, 2))
+        with pytest.raises(ValueError, match="different bounds"):
+            reg.histogram("h", (1, 2, 3))
+
+    def test_convenience_mutators(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 3)
+        reg.set("g", 7)
+        reg.observe("h", 2, (1, 4))
+        snap = reg.snapshot().metrics
+        assert snap["c"]["value"] == 4
+        assert snap["g"] == {"kind": "gauge", "value": 7, "updates": 1}
+        assert snap["h"]["counts"] == [0, 1, 0]
+
+    def test_snapshot_key_order_is_name_sorted(self):
+        a = MetricsRegistry()
+        a.inc("z")
+        a.inc("a")
+        b = MetricsRegistry()
+        b.inc("a")
+        b.inc("z")
+        # Structural identity regardless of creation order.
+        assert list(a.snapshot().metrics) == ["a", "z"]
+        assert a.snapshot() == b.snapshot()
+
+    def test_snapshot_is_frozen_copy(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 2, (1, 4))
+        snap = reg.snapshot()
+        reg.observe("h", 2, (1, 4))
+        assert snap.metrics["h"]["counts"] == [0, 1, 0]
+
+    def test_merge_snapshot_into_live_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 1)
+        other = MetricsRegistry()
+        other.inc("c", 2)
+        other.observe("h", 0.5, (1.0,))
+        reg.merge_snapshot(other.snapshot())
+        snap = reg.snapshot().metrics
+        assert snap["c"]["value"] == 3
+        assert snap["h"]["counts"] == [1, 0]
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.snapshot().metrics == {}
+
+
+def _snap(**counters: int) -> MetricsSnapshot:
+    reg = MetricsRegistry()
+    for name, value in counters.items():
+        reg.inc(name, value)
+    return reg.snapshot()
+
+
+class TestSnapshotMerge:
+    def test_counters_add(self):
+        merged = MetricsSnapshot.merge_all([_snap(a=1, b=2), _snap(a=10)])
+        assert merged.metrics["a"]["value"] == 11
+        assert merged.metrics["b"]["value"] == 2
+
+    def test_gauges_last_set_wins_untouched_does_not_clobber(self):
+        set_to_5 = MetricsRegistry()
+        set_to_5.set("g", 5)
+        untouched = MetricsRegistry()
+        untouched.gauge("g")  # registered but never set
+        set_to_0 = MetricsRegistry()
+        set_to_0.set("g", 0)
+        merged = MetricsSnapshot.merge_all(
+            [set_to_5.snapshot(), untouched.snapshot(), set_to_0.snapshot()]
+        )
+        assert merged.metrics["g"]["value"] == 0  # last *set*, not last seen
+        assert merged.metrics["g"]["updates"] == 2
+
+    def test_histograms_merge_element_wise(self):
+        a = MetricsRegistry()
+        a.observe("h", 1, (1, 2))
+        b = MetricsRegistry()
+        b.observe("h", 2, (1, 2))
+        b.observe("h", 99, (1, 2))
+        merged = MetricsSnapshot.merge_all([a.snapshot(), b.snapshot()])
+        assert merged.metrics["h"]["counts"] == [1, 1, 1]
+        assert merged.metrics["h"]["count"] == 3
+        assert merged.metrics["h"]["total"] == 102
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.observe("h", 1, (1, 2))
+        b = MetricsRegistry()
+        b.observe("h", 1, (1, 3))
+        with pytest.raises(ValueError, match="different"):
+            a.snapshot().merge(b.snapshot())
+
+    def test_kind_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.inc("m")
+        b = MetricsRegistry()
+        b.set("m", 1)
+        with pytest.raises(ValueError, match="kinds"):
+            a.snapshot().merge(b.snapshot())
+
+    def test_merge_does_not_alias_source_payloads(self):
+        source = _snap(a=1)
+        merged = MetricsSnapshot.merge_all([source])
+        merged.metrics["a"]["value"] += 100
+        assert source.metrics["a"]["value"] == 1
+
+    def test_merge_order_determinism_for_counters_and_histograms(self):
+        parts = [_snap(a=1), _snap(a=2, b=5), _snap(b=7)]
+        forward = MetricsSnapshot.merge_all(parts)
+        backward = MetricsSnapshot.merge_all(list(reversed(parts)))
+        assert forward == backward
+
+
+class TestSnapshotViews:
+    def test_deterministic_drops_timing_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("sim.steps", 5)
+        reg.observe("span.chaos.cell.seconds", 0.25, TIME_BOUNDS)
+        det = reg.snapshot().deterministic()
+        assert "sim.steps" in det.metrics
+        assert "span.chaos.cell.seconds" not in det.metrics
+
+    def test_to_dict_from_dict_round_trip(self):
+        snap = _snap(a=3)
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_from_dict_rejects_malformed_payload(self):
+        with pytest.raises(ValueError, match="malformed"):
+            MetricsSnapshot.from_dict({"metrics": 7})
+
+    def test_pickle_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set("g", 2)
+        reg.observe("h", 1, (1, 2))
+        snap = reg.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap

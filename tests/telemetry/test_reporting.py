@@ -1,0 +1,80 @@
+"""The telemetry renderers in repro.reporting."""
+
+from __future__ import annotations
+
+from repro.reporting import (
+    merge_trace,
+    render_metrics,
+    render_spans,
+    render_trace,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.inc("sim.steps", 12)
+    reg.set("memo.capacity", 4096)
+    reg.observe("sim.dirty_set_size", 3)
+    return reg.snapshot()
+
+
+SPANS = [
+    {"type": "span", "name": "chaos.cell", "seconds": 0.5},
+    {"type": "span", "name": "chaos.cell", "seconds": 1.5},
+    {"type": "span", "name": "chaos.shrink", "seconds": 0.25},
+]
+
+
+class TestRenderMetrics:
+    def test_all_kinds_render(self):
+        out = render_metrics(_snapshot())
+        assert "sim.steps" in out
+        assert "12" in out
+        assert "memo.capacity" in out
+        assert "sim.dirty_set_size" in out
+        assert "histogram" in out
+
+    def test_empty_snapshot(self):
+        out = render_metrics(MetricsRegistry().snapshot())
+        assert "empty" in out
+
+
+class TestRenderSpans:
+    def test_aggregates_per_name(self):
+        out = render_spans(SPANS)
+        assert "chaos.cell" in out
+        assert "chaos.shrink" in out
+        assert "2" in out  # chaos.cell count
+        assert "1.5" in out  # chaos.cell max
+
+    def test_no_spans(self):
+        out = render_spans([{"type": "metrics", "metrics": {}}])
+        assert "none" in out
+
+
+class TestMergeTrace:
+    def test_merges_metrics_records_in_file_order(self):
+        records = [
+            {"type": "metrics", "label": "a",
+             "metrics": {"c": {"kind": "counter", "value": 1}}},
+            {"type": "span", "name": "s", "seconds": 0.1},
+            {"type": "metrics", "label": "b",
+             "metrics": {"c": {"kind": "counter", "value": 2}}},
+        ]
+        merged = merge_trace(records)
+        assert merged.metrics["c"]["value"] == 3
+
+    def test_ignores_non_metrics_records(self):
+        assert merge_trace(SPANS).metrics == {}
+
+
+class TestRenderTrace:
+    def test_combines_metrics_and_spans(self):
+        records = SPANS + [
+            {"type": "metrics", "label": "final",
+             "metrics": _snapshot().metrics},
+        ]
+        out = render_trace(records)
+        assert "sim.steps" in out
+        assert "chaos.cell" in out

@@ -1,0 +1,193 @@
+"""Spans, the JSONL sink, and the module-level switchboard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL_SPAN,
+    JsonlSink,
+    MetricsRegistry,
+    read_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with telemetry fully off."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestSwitchboard:
+    def test_disabled_by_default_span_is_null_singleton(self):
+        assert telemetry.enabled is False
+        assert telemetry.span("anything") is NULL_SPAN
+
+    def test_null_span_is_chainable_noop(self):
+        with NULL_SPAN as s:
+            assert s.set("k", "v") is NULL_SPAN
+
+    def test_enable_without_sink(self):
+        telemetry.enable()
+        assert telemetry.enabled is True
+        assert telemetry.sink is None
+
+    def test_disable_clears_registry_and_sink(self, tmp_path):
+        telemetry.enable(str(tmp_path / "t.jsonl"))
+        telemetry.registry.inc("c")
+        telemetry.disable()
+        assert telemetry.enabled is False
+        assert telemetry.sink is None
+        assert telemetry.registry.snapshot().metrics == {}
+
+    def test_enable_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert telemetry.enable_from_env() is False
+        assert telemetry.enabled is False
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TELEMETRY", str(path))
+        assert telemetry.enable_from_env() is True
+        assert telemetry.enabled is True
+        assert telemetry.sink is not None and telemetry.sink.path == str(path)
+
+    def test_enable_from_env_blank_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "  ")
+        assert telemetry.enable_from_env() is False
+
+
+class TestSpan:
+    def test_span_records_duration_histogram(self):
+        telemetry.enable()
+        with telemetry.span("unit") as s:
+            s.set("k", 1)
+        metrics = telemetry.registry.snapshot().metrics
+        assert metrics["span.unit.seconds"]["count"] == 1
+
+    def test_span_record_lands_in_sink_with_attrs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        with telemetry.span("cell") as s:
+            s.set("topology", "ring-6").set("seed", 3)
+        records = read_trace(str(path))
+        assert len(records) == 1
+        record = records[0]
+        assert record["type"] == "span"
+        assert record["name"] == "cell"
+        assert record["seconds"] >= 0
+        assert record["attrs"] == {"topology": "ring-6", "seed": 3}
+
+    def test_span_without_attrs_omits_attrs_key(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        with telemetry.span("bare"):
+            pass
+        (record,) = read_trace(str(path))
+        assert "attrs" not in record
+
+
+class TestSink:
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path))
+        sink.write({"type": "span", "name": "a", "seconds": 0.5})
+        sink.write({"type": "metrics", "label": "final", "metrics": {}})
+        sink.close()
+        records = read_trace(str(path))
+        assert [r["type"] for r in records] == ["span", "metrics"]
+
+    def test_append_mode_preserves_existing_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for i in range(2):
+            sink = JsonlSink(str(path))
+            sink.write({"i": i})
+            sink.close()
+        assert [r["i"] for r in read_trace(str(path))] == [0, 1]
+
+    def test_fork_guard_blocks_non_owner_writes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path))
+        sink._pid = sink._pid + 1  # simulate a forked child
+        assert sink.owned is False
+        sink.write({"from": "child"})
+        sink.close()  # must not close the parent's handle either
+        assert sink._fh is None
+        assert read_trace(str(path)) == []
+
+    def test_read_trace_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=r"t\.jsonl:2"):
+            read_trace(str(path))
+
+    def test_read_trace_rejects_non_object_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            read_trace(str(path))
+
+    def test_read_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(read_trace(str(path))) == 2
+
+
+class TestCapture:
+    def test_capture_isolates_and_restores(self):
+        telemetry.enable()
+        telemetry.registry.inc("outer")
+        outer = telemetry.registry
+        with telemetry.capture() as inner:
+            assert telemetry.registry is inner
+            assert telemetry.registry is not outer
+            telemetry.registry.inc("inner")
+        assert telemetry.registry is outer
+        assert "inner" not in telemetry.registry
+        assert inner.snapshot().metrics["inner"]["value"] == 1
+
+    def test_capture_restores_on_error(self):
+        telemetry.enable()
+        outer = telemetry.registry
+        with pytest.raises(RuntimeError):
+            with telemetry.capture():
+                raise RuntimeError("boom")
+        assert telemetry.registry is outer
+
+
+class TestWriteSnapshot:
+    def test_writes_active_registry_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry.enable(str(path))
+        telemetry.registry.inc("c", 2)
+        telemetry.write_snapshot(label="final")
+        (record,) = read_trace(str(path))
+        assert record == {
+            "type": "metrics",
+            "label": "final",
+            "metrics": {"c": {"kind": "counter", "value": 2}},
+        }
+
+    def test_accepts_explicit_snapshot(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry.enable(str(path))
+        reg = MetricsRegistry()
+        reg.inc("x", 9)
+        telemetry.write_snapshot(reg.snapshot(), label="shard")
+        (record,) = read_trace(str(path))
+        assert record["label"] == "shard"
+        assert record["metrics"]["x"]["value"] == 9
+
+    def test_noop_without_sink(self):
+        telemetry.enable()
+        telemetry.write_snapshot()  # must not raise
+
+    def test_records_are_sorted_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry.enable(str(path))
+        telemetry.write_snapshot(label="final")
+        line = path.read_text().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)

@@ -174,6 +174,11 @@ class TestUpdateBaselines:
 
         assert TRACKED["BENCH_parallel.json"] == "speedup_parallel_over_serial"
 
+    def test_telemetry_report_is_tracked(self) -> None:
+        from benchmarks.check_regression import TRACKED
+
+        assert TRACKED["BENCH_telemetry.json"] == "telemetry_throughput"
+
 
 class TestMainUpdateFlag:
     def test_update_then_gate_passes(self, tmp_path, capsys) -> None:

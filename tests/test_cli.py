@@ -61,3 +61,109 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "snap safety" in out
         assert "closure" in out
+
+
+class TestTelemetryFlag:
+    def test_verify_writes_trace_and_stats_renders_it(
+        self, tmp_path, capsys
+    ) -> None:
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "verify",
+                    "--network",
+                    "line-3",
+                    "--cap",
+                    "60",
+                    "--telemetry",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert trace.exists()
+
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "check.snap-safety" in out
+
+    def test_telemetry_disabled_after_command(self, tmp_path, capsys) -> None:
+        from repro import telemetry
+
+        trace = tmp_path / "trace.jsonl"
+        main(
+            [
+                "verify", "--network", "line-3", "--cap", "60",
+                "--telemetry", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert telemetry.enabled is False
+        assert telemetry.sink is None
+
+    def test_chaos_trace_carries_cell_spans(self, tmp_path, capsys) -> None:
+        from repro.telemetry import read_trace
+
+        trace = tmp_path / "chaos.jsonl"
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--topology", "ring", "--size", "6",
+                    "--budget", "60", "--daemons", "central",
+                    "--telemetry", str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        records = read_trace(str(trace))
+        assert any(
+            r.get("type") == "span" and r.get("name") == "chaos.cell"
+            for r in records
+        )
+        assert any(r.get("type") == "metrics" for r in records)
+
+
+class TestStatsCommand:
+    def _write_trace(self, tmp_path) -> str:
+        import json
+
+        path = tmp_path / "t.jsonl"
+        records = [
+            {"type": "span", "name": "chaos.cell", "seconds": 0.5},
+            {
+                "type": "metrics",
+                "label": "final",
+                "metrics": {"sim.steps": {"kind": "counter", "value": 42}},
+            },
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        return str(path)
+
+    def test_renders_tables(self, tmp_path, capsys) -> None:
+        assert main(["stats", self._write_trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.steps" in out
+        assert "chaos.cell" in out
+
+    def test_json_output_is_merged_snapshot(self, tmp_path, capsys) -> None:
+        import json
+
+        assert main(["stats", self._write_trace(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["sim.steps"]["value"] == 42
+
+    def test_missing_trace_fails_cleanly(self, tmp_path, capsys) -> None:
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "absent" in capsys.readouterr().err
+
+    def test_malformed_trace_fails_cleanly(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "malformed" in capsys.readouterr().err
