@@ -1,18 +1,24 @@
-"""E-engine — enabled-set engine throughput: full recompute vs incremental.
+"""E-engine — enabled-set engine throughput: full vs incremental vs columnar.
 
 Every layer of the reproduction bottlenecks on computing the enabled
 map after each computation step.  The full engine re-evaluates every
-guard at every node; the incremental engine (the default) exploits the
-1-hop locality of the guarded-action model and re-evaluates only the
-dirty region ``U ∪ N(U)`` of the nodes a step actually rewrote (see
-docs/API.md «Performance model»).
+guard at every node; the incremental engine exploits the 1-hop locality
+of the guarded-action model and re-evaluates only the dirty region
+``U ∪ N(U)`` of the nodes a step actually rewrote; the columnar engine
+additionally stores the configuration as flat per-variable arrays, so a
+step writes O(dirty) array cells instead of copying the O(N) state
+tuple (see docs/API.md «Columnar engine»).
 
 This bench drives the snap PIF through steady-state wave cycles under a
 central daemon (one activation per step — the regime where locality
-matters most) on rings and sparse random graphs at N ∈ {16, 64, 256,
-1024}, and reports steps/second for both engines.  The results are
-written to ``BENCH_engine.json`` at the repository root so the perf
-trajectory is tracked PR over PR::
+matters most).  All three engines run on rings and sparse random graphs
+at N ∈ {16, 64, 256, 1024}; the full engine is capped there (its
+O(N·deg) per-step guard sweep is already ~100× off the pace at 1024),
+while incremental and columnar continue to N ∈ {4096, 16384, 65536} on
+O(N)-constructible topologies (rings and random trees — the O(N²)
+``random_connected`` builder is the bottleneck at those sizes, not the
+engines).  Results are written to ``BENCH_engine.json`` at the
+repository root so the perf trajectory is tracked PR over PR::
 
     pytest benchmarks/bench_engine.py --benchmark-only -q
 """
@@ -24,28 +30,52 @@ import time
 import pytest
 
 from repro.core.pif import SnapPif
-from repro.graphs import random_connected, ring
+from repro.graphs import random_connected, random_tree, ring
 from repro.runtime.daemons import CentralDaemon
 from repro.runtime.simulator import Simulator
 
 from benchmarks.common import JSON_REPORTS, TableCollector
 
 TABLE = TableCollector(
-    "E-engine — enabled-set engine: steps/sec, full vs incremental",
+    "E-engine — enabled-set engine: steps/sec, full vs incremental vs columnar",
     columns=["topology", "n", "engine", "steps", "seconds", "steps/sec"],
 )
 
 #: Steps per timing run, scaled down as the per-step cost grows with N.
-STEPS = {16: 2000, 64: 1000, 256: 500, 1024: 200}
+STEPS = {
+    16: 2000,
+    64: 1000,
+    256: 500,
+    1024: 200,
+    4096: 150,
+    16384: 80,
+    65536: 30,
+}
 
+#: Sizes every engine runs (the full engine's O(N·deg) sweep caps here).
 SIZES = (16, 64, 256, 1024)
+
+#: Sizes only the dirty-region engines run, on O(N)-constructible graphs.
+LARGE_SIZES = (4096, 16384, 65536)
 
 TOPOLOGIES = {
     "ring": lambda n: ring(n),
     "random": lambda n: random_connected(n, 0.05, seed=n),
+    "tree": lambda n: random_tree(n, seed=n),
 }
 
-CASES = [(family, n) for family in TOPOLOGIES for n in SIZES]
+#: ``(family, n, engine)`` benchmark grid.
+CASES = [
+    (family, n, engine)
+    for engine in ("full", "incremental", "columnar")
+    for family in ("ring", "random")
+    for n in SIZES
+] + [
+    (family, n, engine)
+    for engine in ("incremental", "columnar")
+    for family in ("ring", "tree")
+    for n in LARGE_SIZES
+]
 
 #: ``(family, n, engine) -> {"steps": ..., "seconds": ..., "steps_per_sec": ...}``
 RESULTS: dict[tuple[str, int, str], dict[str, float]] = {}
@@ -76,9 +106,8 @@ def _measure(family: str, n: int, engine: str) -> dict[str, float]:
     }
 
 
-@pytest.mark.parametrize("engine", ["full", "incremental"])
 @pytest.mark.parametrize(
-    "family,n", CASES, ids=[f"{f}-{n}" for f, n in CASES]
+    "family,n,engine", CASES, ids=[f"{f}-{n}-{e}" for f, n, e in CASES]
 )
 def test_engine_throughput(family: str, n: int, engine: str, benchmark) -> None:
     measurement = benchmark.pedantic(
@@ -98,6 +127,23 @@ def test_engine_throughput(family: str, n: int, engine: str, benchmark) -> None:
     assert measurement["steps"] == STEPS[n]  # a PIF run never terminates
 
 
+def _speedups(numerator: str, denominator: str) -> dict[str, float]:
+    """``family-n -> numerator steps/sec over denominator steps/sec``."""
+    out = {}
+    for family, n, engine in RESULTS:
+        if engine != numerator:
+            continue
+        base = RESULTS.get((family, n, denominator))
+        if base is None or base["steps_per_sec"] == 0:
+            continue
+        out[f"{family}-{n}"] = round(
+            RESULTS[(family, n, numerator)]["steps_per_sec"]
+            / base["steps_per_sec"],
+            2,
+        )
+    return out
+
+
 def _build_report() -> dict | None:
     if not RESULTS:
         return None
@@ -112,24 +158,15 @@ def _build_report() -> dict | None:
         }
         for (family, n, engine), m in sorted(RESULTS.items())
     ]
-    speedups = {}
-    for family, n, engine in RESULTS:
-        if engine != "incremental":
-            continue
-        full = RESULTS.get((family, n, "full"))
-        if full is None or full["steps_per_sec"] == 0:
-            continue
-        speedups[f"{family}-{n}"] = round(
-            RESULTS[(family, n, "incremental")]["steps_per_sec"]
-            / full["steps_per_sec"],
-            2,
-        )
     return {
-        "benchmark": "enabled-set engine (full vs incremental)",
+        "benchmark": "enabled-set engine (full vs incremental vs columnar)",
         "workload": "snap PIF cycles, central daemon (choice=random), seed 1",
         "steps_per_size": {str(n): s for n, s in STEPS.items()},
         "cases": cases,
-        "speedup_incremental_over_full": speedups,
+        "speedup_incremental_over_full": _speedups("incremental", "full"),
+        "speedup_columnar_over_incremental": _speedups(
+            "columnar", "incremental"
+        ),
     }
 
 

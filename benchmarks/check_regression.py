@@ -30,13 +30,18 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: ``report filename -> key of its tracked speedup dict``.
-TRACKED: dict[str, str] = {
-    "BENCH_engine.json": "speedup_incremental_over_full",
-    "BENCH_modelcheck.json": "speedup_memo_over_direct",
-    "BENCH_chaos.json": "campaign_steps_per_sec",
-    "BENCH_parallel.json": "speedup_parallel_over_serial",
-    "BENCH_telemetry.json": "telemetry_throughput",
+#: ``report filename -> keys of its tracked speedup dicts``.  A report
+#: may track several independent ratios (the engine report gates both
+#: the incremental/full and the columnar/incremental speedups).
+TRACKED: dict[str, tuple[str, ...]] = {
+    "BENCH_engine.json": (
+        "speedup_incremental_over_full",
+        "speedup_columnar_over_incremental",
+    ),
+    "BENCH_modelcheck.json": ("speedup_memo_over_direct",),
+    "BENCH_chaos.json": ("campaign_steps_per_sec",),
+    "BENCH_parallel.json": ("speedup_parallel_over_serial",),
+    "BENCH_telemetry.json": ("telemetry_throughput",),
 }
 
 __all__ = ["compare_speedups", "host_mismatch", "main"]
@@ -102,13 +107,20 @@ def _load(path: Path, key: str) -> dict[str, float] | None:
 
 
 def update_baselines(baseline_dir: Path, current_dir: Path) -> int:
-    """Copy every tracked fresh report over its committed baseline."""
+    """Copy every tracked fresh report over its committed baseline.
+
+    A report is copied only when it carries *every* tracked key — a
+    partial report would silently shrink the gate's coverage.
+    """
     baseline_dir.mkdir(parents=True, exist_ok=True)
     copied = 0
-    for filename, key in TRACKED.items():
+    for filename, keys in TRACKED.items():
         source = current_dir / filename
-        if _load(source, key) is None:
-            print(f"{filename}: no fresh report with {key!r}; not updated")
+        missing = [key for key in keys if _load(source, key) is None]
+        if missing:
+            print(
+                f"{filename}: no fresh report with {missing[0]!r}; not updated"
+            )
             continue
         shutil.copyfile(source, baseline_dir / filename)
         print(f"{filename}: baseline updated from {source}")
@@ -151,33 +163,40 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     exit_code = 0
-    for filename, key in TRACKED.items():
-        baseline = _load(args.baseline_dir / filename, key)
-        if baseline is None:
-            print(f"{filename}: no baseline with {key!r}; skipped")
-            continue
-        current = _load(args.current_dir / filename, key)
-        if current is None:
-            print(
-                f"{filename}: FAIL — no current report with {key!r} "
-                f"in {args.current_dir} (run the benchmarks first)"
-            )
-            exit_code = 1
-            continue
-        mismatches = host_mismatch(
-            _load_payload(args.baseline_dir / filename) or {},
-            _load_payload(args.current_dir / filename) or {},
-        )
-        for note in mismatches:
-            print(f"{filename}: WARNING host shape differs — {note}")
-        failures = compare_speedups(baseline, current, args.threshold)
-        if failures:
-            print(f"{filename}: FAIL ({key})")
-            for line in failures:
-                print(f"  {line}")
-            exit_code = 1
-        else:
-            print(f"{filename}: ok ({len(baseline)} cases within threshold)")
+    for filename, keys in TRACKED.items():
+        host_checked = False
+        for key in keys:
+            baseline = _load(args.baseline_dir / filename, key)
+            if baseline is None:
+                print(f"{filename}: no baseline with {key!r}; skipped")
+                continue
+            current = _load(args.current_dir / filename, key)
+            if current is None:
+                print(
+                    f"{filename}: FAIL — no current report with {key!r} "
+                    f"in {args.current_dir} (run the benchmarks first)"
+                )
+                exit_code = 1
+                continue
+            if not host_checked:
+                host_checked = True
+                mismatches = host_mismatch(
+                    _load_payload(args.baseline_dir / filename) or {},
+                    _load_payload(args.current_dir / filename) or {},
+                )
+                for note in mismatches:
+                    print(f"{filename}: WARNING host shape differs — {note}")
+            failures = compare_speedups(baseline, current, args.threshold)
+            if failures:
+                print(f"{filename}: FAIL ({key})")
+                for line in failures:
+                    print(f"  {line}")
+                exit_code = 1
+            else:
+                print(
+                    f"{filename}: ok ({key}, {len(baseline)} cases "
+                    f"within threshold)"
+                )
     return exit_code
 
 

@@ -83,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
             "snapshot to PATH as JSONL (render with 'repro stats PATH')",
         )
 
+    def add_engine_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            default=None,
+            choices=["incremental", "full", "columnar"],
+            help="guard-evaluation engine for every simulator the command "
+            "builds (default: REPRO_ENGINE env, else incremental); "
+            "'columnar' runs the compiled flat-array kernel",
+        )
+
     def add_topology_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--topology",
@@ -95,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run PIF cycles and show the phases")
     add_topology_args(demo)
+    add_engine_arg(demo)
     demo.add_argument("--cycles", type=int, default=1)
     demo.add_argument(
         "--async-daemon",
@@ -106,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stabilize", help="recover from an adversarial configuration"
     )
     add_topology_args(stab)
+    add_engine_arg(stab)
     stab.add_argument("--mode", default="uniform", choices=FAULT_MODES)
 
     verify = sub.add_parser("verify", help="exhaustive model checks (small N)")
@@ -130,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="seeded chaos campaign against the PIF specification"
     )
     add_topology_args(chaos)
+    add_engine_arg(chaos)
     chaos.add_argument(
         "--budget",
         type=int,
@@ -166,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="list_modules",
         help="list the available benchmark modules and exit",
     )
+    add_engine_arg(bench)
     add_jobs_arg(bench)
     add_telemetry_arg(bench)
 
@@ -501,6 +515,13 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine", None):
+        # Every Simulator the command builds — directly or through
+        # analysis/chaos layers and the bench subprocess — resolves its
+        # default engine from REPRO_ENGINE.
+        import os
+
+        os.environ["REPRO_ENGINE"] = args.engine
     return _COMMANDS[args.command](args)
 
 

@@ -1,0 +1,52 @@
+"""repro.columnar — flat per-variable state kernel (the third engine).
+
+The object engines (``full``, ``incremental``) evaluate guards by
+constructing per-node :class:`~repro.runtime.protocol.Context` objects
+over a tuple-of-dataclasses configuration; every step costs O(N) just
+to copy the tuple and rebuild the enabled map.  The columnar engine
+(``engine="columnar"``, ``REPRO_ENGINE=columnar``) instead stores the
+configuration as one flat array per variable plus a CSR neighbor index,
+compiles each protocol's guards once per ``(protocol, network)`` into
+mask kernels, and repairs masks only on the 1-hop dirty region of each
+step — O(dirty ∪ N(dirty)), independent of N.
+
+Layering: ``schema`` (dependency-free field declarations) ← ``backend``
+(pure ``array`` vs numpy storage) ← ``csr`` / ``block`` (flat storage)
+← ``engine`` (runtime + object bridge).  Compiled kernels live with
+their protocols (e.g. :mod:`repro.columnar.snap_pif_kernel` for
+:class:`~repro.core.pif.SnapPif`) and are reached only through
+:meth:`~repro.runtime.protocol.Protocol.compile_columnar`, so importing
+this package never drags protocol modules in.
+"""
+
+from repro.columnar.backend import (
+    BACKENDS,
+    make_column,
+    numpy_available,
+    resolve_backend,
+)
+from repro.columnar.block import ColumnBlock
+from repro.columnar.bridge import ObjectBridgeKernel
+from repro.columnar.csr import CSRIndex
+from repro.columnar.engine import ColumnarRuntime
+from repro.columnar.schema import (
+    ColumnField,
+    ColumnSchema,
+    bool_field,
+    identity_int,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ColumnBlock",
+    "ColumnField",
+    "ColumnSchema",
+    "ColumnarRuntime",
+    "CSRIndex",
+    "ObjectBridgeKernel",
+    "bool_field",
+    "identity_int",
+    "make_column",
+    "numpy_available",
+    "resolve_backend",
+]

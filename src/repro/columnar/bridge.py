@@ -1,0 +1,75 @@
+"""Per-node object bridge: the columnar engine's fallback kernel.
+
+Protocols that do not implement
+:meth:`~repro.runtime.protocol.Protocol.compile_columnar` still run
+under ``engine="columnar"`` through this bridge, which satisfies the
+kernel interface by delegating to the protocol's ordinary object path
+(``enabled_map`` / ``enabled_map_incremental`` / ``execute_selection``).
+Performance then matches the incremental engine — the bridge exists for
+*uniformity*, so daemons, monitors, fault hooks and the lockstep
+validator see one engine surface regardless of whether a compiled
+kernel is available.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action, Protocol
+from repro.runtime.state import Configuration, NodeState
+
+__all__ = ["ObjectBridgeKernel"]
+
+
+class ObjectBridgeKernel:
+    """Kernel interface over the per-node object engine."""
+
+    def __init__(self, protocol: Protocol, network: Network) -> None:
+        self.protocol = protocol
+        self.network = network
+        self._config: Configuration | None = None
+        self._entries: dict[int, list[Action]] = {}
+        self._cache: dict = {}
+
+    def load(self, configuration: Configuration) -> None:
+        self._config = configuration
+        self._cache = {}
+        self._entries = self.protocol.enabled_map(
+            configuration, self.network, cache=self._cache
+        )
+
+    def materialize(self) -> Configuration:
+        assert self._config is not None, "kernel used before load()"
+        return self._config
+
+    def enabled_map(self) -> dict[int, list[Action]]:
+        return {p: list(actions) for p, actions in self._entries.items()}
+
+    def execute_selection(self, selection: Mapping[int, Action]) -> set[int]:
+        after, dirty = self.protocol.execute_selection(
+            self._config, self.network, selection, cache=self._cache
+        )
+        self._config = after
+        if dirty:
+            self._refresh(dirty)
+        return dirty
+
+    def apply_updates(self, updates: Mapping[int, NodeState]) -> set[int]:
+        config = self.materialize()
+        effective = {
+            p: state for p, state in updates.items() if state != config[p]
+        }
+        if not effective:
+            return set()
+        self._config = config.replace(effective)
+        dirty = set(effective)
+        self._refresh(dirty)
+        return dirty
+
+    def _refresh(self, dirty: set[int]) -> None:
+        cache: dict = {}
+        self._entries = self.protocol.enabled_map_incremental(
+            self._entries, self._config, self.network, dirty, cache=cache
+        )
+        self._cache = cache

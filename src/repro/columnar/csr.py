@@ -1,0 +1,56 @@
+"""CSR (compressed sparse row) neighbor index for columnar kernels.
+
+A :class:`CSRIndex` flattens a :class:`~repro.runtime.network.Network`'s
+per-node neighbor tuples into two flat arrays: ``indices`` concatenates
+every node's neighbors *in local order* (the paper's ``≻_p``), and
+``indptr[p] : indptr[p+1]`` delimits node ``p``'s slice.  One-hop guard
+terms (``Leaf``, ``Sum``, ``Potential`` membership, parent-phase
+comparisons) become contiguous scans — or, on the numpy backend,
+gather + segment-reduce expressions — over these arrays.
+
+Local order is preserved exactly so tie-breaks (the B-action picking
+``min_{≻p}(Potential_p)``) match the object engine bit for bit.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.runtime.network import Network
+
+__all__ = ["CSRIndex"]
+
+
+class CSRIndex:
+    """Flat neighbor index of one network, built once per compile."""
+
+    __slots__ = ("n", "indptr", "indices", "_np_indptr", "_np_indices")
+
+    def __init__(self, network: Network) -> None:
+        self.n = network.n
+        indptr = array("q", [0])
+        indices = array("q")
+        for p in network.nodes:
+            neighbors = network.neighbors(p)
+            indices.extend(neighbors)
+            indptr.append(len(indices))
+        self.indptr = indptr
+        self.indices = indices
+        self._np_indptr = None
+        self._np_indices = None
+
+    def neighbors(self, p: int):
+        """Node ``p``'s neighbor slice, in local order."""
+        return self.indices[self.indptr[p] : self.indptr[p + 1]]
+
+    def degree(self, p: int) -> int:
+        return self.indptr[p + 1] - self.indptr[p]
+
+    def as_numpy(self):
+        """``(indptr, indices)`` as int64 ndarrays (cached)."""
+        if self._np_indptr is None:
+            import numpy as np
+
+            self._np_indptr = np.asarray(self.indptr, dtype=np.int64)
+            self._np_indices = np.asarray(self.indices, dtype=np.int64)
+        return self._np_indptr, self._np_indices

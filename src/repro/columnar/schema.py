@@ -1,0 +1,89 @@
+"""Column schemas: the declarative bridge between node states and columns.
+
+A :class:`ColumnSchema` describes how one frozen-dataclass
+:class:`~repro.runtime.state.NodeState` type maps onto a set of flat
+integer columns — one :class:`ColumnField` per variable, each with an
+``encode`` (attribute value → int) and ``decode`` (int → attribute
+value) pair.  Protocols declare their schema next to the state type it
+describes (e.g. ``PIF_COLUMNS`` beside
+:class:`~repro.core.state.PifState`), and the columnar engine uses it
+for the bidirectional converters between object configurations and
+:class:`~repro.columnar.block.ColumnBlock` storage.
+
+The module is deliberately dependency-free (no imports from
+``repro.core`` or ``repro.runtime``) so that core modules can declare
+schemas without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["ColumnField", "ColumnSchema", "identity_int", "bool_field"]
+
+
+def identity_int(value: Any) -> int:
+    """The encode/decode pair for plain integer variables."""
+    return int(value)
+
+
+@dataclass(frozen=True)
+class ColumnField:
+    """One state variable laid out as a flat integer column.
+
+    Parameters
+    ----------
+    name:
+        Column name (also the keyword used to construct the state).
+    typecode:
+        ``array.array`` typecode for the pure-python backend (``"b"``
+        for small enums/flags, ``"q"`` for full-range integers).  The
+        numpy backend derives its dtype from the same code.
+    encode, decode:
+        Value ↔ int converters.  ``decode(encode(v)) == v`` must hold
+        for every in-domain value ``v`` — the round-trip property the
+        columnar equivalence tests assert.
+    """
+
+    name: str
+    typecode: str = "q"
+    encode: Callable[[Any], int] = identity_int
+    decode: Callable[[int], Any] = identity_int
+
+
+def bool_field(name: str) -> ColumnField:
+    """A boolean variable stored as 0/1 in a signed-byte column."""
+    return ColumnField(name, typecode="b", encode=int, decode=bool)
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """How a node-state type maps onto per-variable columns.
+
+    ``state_type`` is constructed by keyword from decoded field values
+    (``state_type(**{field.name: field.decode(raw)})``), so the field
+    names must match the dataclass's init parameters.
+    """
+
+    state_type: type
+    fields: tuple[ColumnField, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def encode_state(self, state: Any) -> tuple[int, ...]:
+        """Encode one state object into its column row."""
+        return tuple(f.encode(getattr(state, f.name)) for f in self.fields)
+
+    def decode_row(self, row: Sequence[int]) -> Any:
+        """Build a state object from one column row."""
+        return self.state_type(
+            **{f.name: f.decode(v) for f, v in zip(self.fields, row)}
+        )

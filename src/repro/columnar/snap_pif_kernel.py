@@ -1,0 +1,596 @@
+"""The compiled columnar kernel for the snap-stabilizing PIF.
+
+This module translates the guards and statements of Algorithms 1 and 2
+(:mod:`repro.core.predicates`, :mod:`repro.core.actions`) into straight
+integer arithmetic over flat per-variable columns (``Pif``, ``Par``,
+``L``, ``Count``, ``Fok``) plus a CSR neighbor index.  Compilation
+happens once per ``(protocol, network)``; afterwards every enabledness
+decision is a *mask* — bit ``i`` of node ``p``'s mask says whether
+action ``i`` of ``p``'s program is enabled — maintained incrementally
+on the dirty region ``U ∪ N(U)`` of each step, exactly like the
+object engine's :meth:`~repro.runtime.protocol.Protocol.enabled_map_incremental`.
+
+Why the masks agree with per-node ``Action.enabled`` (DESIGN.md §11):
+every guard of Algorithms 1/2 is a boolean combination of (a) the
+executing node's own variables, (b) its parent's variables (a gather
+through the ``Par`` column, legal because ``Par_p ∈ Neig_p``), and
+(c) neighborhood aggregates — existence tests (``Leaf``, ``BLeaf``,
+``BFree``, ``Potential ≠ ∅``), a guarded sum (``Sum_p``) and a guarded
+minimum (``Potential`` levels) — each a fold over the node's CSR slice.
+The kernel evaluates the *same* boolean combination over the *same*
+1-hop reads, so a mask bit is set iff the corresponding guard holds.
+
+Two evaluation strategies share that definition:
+
+* **scalar** — a per-node fold over the CSR slice, used by the pure
+  backend always and by the numpy backend on small dirty regions
+  (vectorization overhead dominates below ~tens of nodes);
+* **vectorized** (numpy backend) — gather the neighbor columns for all
+  affected rows at once and segment-reduce with ``np.*.reduceat``,
+  used for large regions, full recomputes and transient-fault resets.
+
+Both must produce identical masks; ``tests/columnar`` cross-checks
+them against each other and against the object engine.
+
+Statements always execute scalarly: selections are typically far
+smaller than the mask region, and all statement reads happen against
+the pre-step columns before any write is applied — the simultaneous-
+write semantics of the model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro import telemetry as _telemetry
+from repro.columnar.block import ColumnBlock
+from repro.columnar.csr import CSRIndex
+from repro.core.state import PIF_COLUMNS, PifConstants
+from repro.errors import ProtocolError
+from repro.runtime.network import Network
+from repro.runtime.protocol import Action
+from repro.runtime.state import Configuration, NodeState
+from repro.telemetry.registry import TIME_BOUNDS
+
+__all__ = ["SnapPifKernel", "VECTOR_MIN_NODES"]
+
+#: Phase codes, fixed by the PIF column schema.
+_B, _F, _C = 0, 1, 2
+
+#: Below this many affected nodes the numpy backend evaluates masks
+#: scalarly — gather/reduce setup costs more than the fold it replaces.
+VECTOR_MIN_NODES = 48
+
+
+class SnapPifKernel:
+    """Columnar guard/statement kernel for one ``(SnapPif, Network)`` pair."""
+
+    def __init__(self, protocol, network: Network, backend: str) -> None:
+        self.protocol = protocol
+        self.network = network
+        self.backend = backend
+        self.constants: PifConstants = protocol.constants
+        self.csr = CSRIndex(network)
+        self.n = network.n
+        self.root = self.constants.root
+
+        # Program tables: action name -> (mask bit, statement handler).
+        root_program = protocol.node_actions(self.root, network)
+        self._root_program = root_program
+        self._root_dispatch = self._dispatch_table(
+            root_program,
+            {
+                "B-action": self._stmt_b_root,
+                "F-action": self._stmt_f,
+                "C-action": self._stmt_c,
+                "Count-action": self._stmt_count_root,
+                "B-correction": self._stmt_c,
+            },
+        )
+        if self.n > 1:
+            non_root = 0 if self.root != 0 else 1
+            nonroot_program = protocol.node_actions(non_root, network)
+        else:
+            nonroot_program = ()
+        self._nonroot_program = nonroot_program
+        self._nonroot_dispatch = self._dispatch_table(
+            nonroot_program,
+            {
+                "B-action": self._stmt_b_nonroot,
+                "Fok-action": self._stmt_fok,
+                "F-action": self._stmt_f,
+                "C-action": self._stmt_c,
+                "Count-action": self._stmt_count_nonroot,
+                "B-correction": self._stmt_f,
+                "F-correction": self._stmt_c,
+            },
+        )
+        self._root_mask_actions: dict[int, tuple[Action, ...]] = {}
+        self._nonroot_mask_actions: dict[int, tuple[Action, ...]] = {}
+
+        self.block: ColumnBlock | None = None
+        self._masks: list[int] = [0] * self.n
+        self._enabled: set[int] = set()
+
+    @staticmethod
+    def _dispatch_table(program, handlers) -> dict[str, tuple[int, object]]:
+        table = {}
+        for bit, action in enumerate(program):
+            handler = handlers.get(action.name)
+            if handler is None:
+                raise ProtocolError(
+                    f"no columnar statement for action {action.name!r}"
+                )
+            table[action.name] = (bit, handler)
+        return table
+
+    # ------------------------------------------------------------------
+    # Kernel interface (used by ColumnarRuntime)
+    # ------------------------------------------------------------------
+    def load(self, configuration: Configuration) -> None:
+        """(Re-)encode the columns and recompute every mask."""
+        if self.block is None or len(configuration) != self.n:
+            self.block = ColumnBlock(PIF_COLUMNS, self.backend, configuration)
+        else:
+            self.block.load(configuration)
+        self._bind_columns()
+        self._enabled.clear()
+        self._recompute_masks(range(self.n))
+
+    def _bind_columns(self) -> None:
+        columns = self.block.columns
+        self.pif = columns["pif"]
+        self.par = columns["par"]
+        self.level = columns["level"]
+        self.count = columns["count"]
+        self.fok = columns["fok"]
+
+    def materialize(self) -> Configuration:
+        return self.block.materialize()
+
+    def enabled_map(self) -> dict[int, list[Action]]:
+        """``{node: enabled actions}`` in ascending node order.
+
+        Byte-identical (same keys, same order, same ``Action`` objects)
+        to :meth:`Protocol.enabled_map` on the materialized
+        configuration — the property the lockstep validator asserts.
+        """
+        masks = self._masks
+        root = self.root
+        out: dict[int, list[Action]] = {}
+        for p in sorted(self._enabled):
+            mask = masks[p]
+            if p == root:
+                actions = self._root_mask_actions.get(mask)
+                if actions is None:
+                    actions = self._actions_for(self._root_program, mask)
+                    self._root_mask_actions[mask] = actions
+            else:
+                actions = self._nonroot_mask_actions.get(mask)
+                if actions is None:
+                    actions = self._actions_for(self._nonroot_program, mask)
+                    self._nonroot_mask_actions[mask] = actions
+            out[p] = list(actions)
+        return out
+
+    @staticmethod
+    def _actions_for(program, mask: int) -> tuple[Action, ...]:
+        return tuple(
+            action for i, action in enumerate(program) if mask >> i & 1
+        )
+
+    def execute_selection(self, selection: Mapping[int, Action]) -> set[int]:
+        """One computation step: simultaneous writes, dirty-region repair."""
+        root = self.root
+        masks = self._masks
+        read_row = self.block.read_row
+        pending: list[tuple[int, tuple[int, ...]]] = []
+        # Phase 1: every statement reads the pre-step columns.
+        for p, action in selection.items():
+            dispatch = (
+                self._root_dispatch if p == root else self._nonroot_dispatch
+            )
+            entry = dispatch.get(action.name)
+            if entry is None:
+                raise ProtocolError(
+                    f"action {action.name!r} is not in node {p}'s program"
+                )
+            bit, handler = entry
+            if not masks[p] >> bit & 1:
+                raise ProtocolError(
+                    f"action {action.name!r} executed at node {p} "
+                    f"while its guard is false"
+                )
+            row = handler(p)
+            if row != read_row(p):
+                pending.append((p, row))
+        # Phase 2: all writes land simultaneously.
+        if not pending:
+            return set()
+        write_row = self.block.write_row
+        dirty = set()
+        for p, row in pending:
+            write_row(p, row)
+            dirty.add(p)
+        self._refresh(dirty)
+        return dirty
+
+    def apply_updates(self, updates: Mapping[int, NodeState]) -> set[int]:
+        """Overwrite a subset of node states (targeted transient fault)."""
+        encode = PIF_COLUMNS.encode_state
+        read_row = self.block.read_row
+        write_row = self.block.write_row
+        dirty = set()
+        for p, state in updates.items():
+            row = encode(state)
+            if row != read_row(p):
+                write_row(p, row)
+                dirty.add(p)
+        if dirty:
+            self._refresh(dirty)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # Mask maintenance
+    # ------------------------------------------------------------------
+    def _refresh(self, dirty: set[int]) -> None:
+        """Re-evaluate masks on ``dirty ∪ N(dirty)`` (1-hop locality)."""
+        affected = set(dirty)
+        indptr, indices = self.csr.indptr, self.csr.indices
+        for p in dirty:
+            affected.update(indices[indptr[p] : indptr[p + 1]])
+        if _telemetry.enabled:
+            start = time.perf_counter()
+            self._recompute_masks(sorted(affected))
+            reg = _telemetry.registry
+            reg.observe("columnar.mask_eval_nodes", len(affected))
+            reg.observe(
+                "columnar.mask_eval.seconds",
+                time.perf_counter() - start,
+                TIME_BOUNDS,
+            )
+        else:
+            self._recompute_masks(sorted(affected))
+
+    def _recompute_masks(self, nodes) -> None:
+        if (
+            self.backend == "numpy"
+            and self.n > 1
+            and len(nodes) >= VECTOR_MIN_NODES
+        ):
+            new_masks = self._masks_vectorized(nodes)
+        else:
+            mask_of = self._mask_of
+            new_masks = [mask_of(p) for p in nodes]
+        masks = self._masks
+        enabled = self._enabled
+        for p, mask in zip(nodes, new_masks):
+            masks[p] = mask
+            if mask:
+                enabled.add(p)
+            else:
+                enabled.discard(p)
+
+    def _mask_of(self, p: int) -> int:
+        if p == self.root:
+            return self._mask_root(p)
+        return self._mask_nonroot(p)
+
+    def _mask_root(self, p: int) -> int:
+        k = self.constants
+        pif, par, level, count, fok = (
+            self.pif, self.par, self.level, self.count, self.fok,
+        )
+        indptr, indices = self.csr.indptr, self.csr.indices
+        ppif = pif[p]
+        child_level = level[p] + 1
+        all_clean = True
+        has_b = False
+        total = 1
+        for i in range(indptr[p], indptr[p + 1]):
+            q = indices[i]
+            qpif = pif[q]
+            if qpif != _C:
+                all_clean = False
+                if qpif == _B:
+                    has_b = True
+                    if par[q] == p and level[q] == child_level and not fok[q]:
+                        total += count[q]
+        if ppif == _C:
+            return 1 if all_clean else 0  # B-action
+        if ppif == _F:
+            return 4 if all_clean else 0  # C-action
+        # ppif == B
+        pcnt = count[p]
+        pfok = fok[p]
+        good_fok = (not pfok) or pcnt == k.n
+        good_count = pfok or pcnt <= total
+        if good_fok and good_count:
+            mask = 0
+            if pfok:
+                if not has_b:
+                    mask |= 2  # F-action
+            elif pcnt < min(total, k.n_prime) or total == k.n:
+                mask |= 8  # Count-action (root variant raises Fok)
+            return mask
+        return 16 if k.corrections else 0  # B-correction
+
+    def _mask_nonroot(self, p: int) -> int:
+        k = self.constants
+        pif, par, level, count, fok = (
+            self.pif, self.par, self.level, self.count, self.fok,
+        )
+        indptr, indices = self.csr.indptr, self.csr.indices
+        ppif = pif[p]
+        plev = level[p]
+        child_level = plev + 1
+        fok_join = k.fok_join_guard
+        l_max = k.l_max
+        has_active_child = False
+        has_b_child = False
+        has_b = False
+        has_prepot = False
+        total = 1
+        for i in range(indptr[p], indptr[p + 1]):
+            q = indices[i]
+            qpif = pif[q]
+            if qpif == _B:
+                has_b = True
+                if par[q] == p:
+                    has_active_child = True
+                    has_b_child = True
+                    if level[q] == child_level and not fok[q]:
+                        total += count[q]
+                elif level[q] < l_max and not (fok_join and fok[q]):
+                    has_prepot = True
+            elif qpif == _F and par[q] == p:
+                has_active_child = True
+        if ppif == _C:
+            if has_prepot and not (k.leaf_guard and has_active_child):
+                return 1  # B-action
+            return 0
+        parent = par[p]
+        if parent < 0:
+            raise ProtocolError(
+                f"non-root node {p} has no parent while active "
+                f"(out-of-domain state reached the columnar kernel)"
+            )
+        parent_pif = pif[parent]
+        good_level = plev == level[parent] + 1
+        parent_fok = fok[parent]
+        pfok = fok[p]
+        if ppif == _B:
+            normal = (
+                parent_pif == _B
+                and good_level
+                and not (pfok and not parent_fok)
+                and (pfok or count[p] <= total)
+            )
+            if not normal:
+                return 32 if k.corrections else 0  # B-correction
+            mask = 0
+            if (not pfok) != (not parent_fok):
+                mask |= 2  # Fok-action
+            if pfok:
+                if not has_b_child:
+                    mask |= 4  # F-action
+            elif count[p] < min(total, k.n_prime):
+                mask |= 16  # Count-action
+            return mask
+        # ppif == F
+        normal = (
+            (parent_pif == _F or parent_pif == _B)
+            and good_level
+            and not (parent_pif == _B and not parent_fok)
+        )
+        if not normal:
+            return 64 if k.corrections else 0  # F-correction
+        if not has_active_child and not has_b:
+            return 8  # C-action
+        return 0
+
+    # ------------------------------------------------------------------
+    # Vectorized mask evaluation (numpy backend, large regions)
+    # ------------------------------------------------------------------
+    def _masks_vectorized(self, nodes) -> list[int]:
+        import numpy as np
+
+        k = self.constants
+        indptr, indices = self.csr.as_numpy()
+        A = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
+        pif = np.asarray(self.pif)
+        par = np.asarray(self.par)
+        level = np.asarray(self.level)
+        count = np.asarray(self.count)
+        fok = np.asarray(self.fok)
+
+        starts = indptr[A]
+        counts = indptr[A + 1] - starts
+        if int(counts.min()) == 0:
+            # Empty CSR segments break reduceat semantics; degree-0
+            # nodes are rare (disconnected churn states) — fold scalarly.
+            mask_of = self._mask_of
+            return [mask_of(p) for p in nodes]
+        offsets = np.zeros(len(A), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        total_edges = int(offsets[-1] + counts[-1])
+        # Edge positions: node i's CSR slice, concatenated in order.
+        pos = (
+            np.arange(total_edges, dtype=np.int64)
+            - np.repeat(offsets, counts)
+            + np.repeat(starts, counts)
+        )
+        nbr = indices[pos]
+        owner = np.repeat(A, counts)
+
+        npif = pif[nbr]
+        npar = par[nbr]
+        nlev = level[nbr]
+        nfok = fok[nbr] != 0
+        n_is_b = npif == _B
+        is_child = npar == owner
+
+        # Neighborhood aggregates, one segment-reduce per term.
+        has_active_child = np.bitwise_or.reduceat(
+            (npif != _C) & is_child, offsets
+        )
+        has_b = np.bitwise_or.reduceat(n_is_b, offsets)
+        has_b_child = np.bitwise_or.reduceat(n_is_b & is_child, offsets)
+        sum_member = (
+            n_is_b & is_child & (nlev == level[owner] + 1) & ~nfok
+        )
+        sums = 1 + np.add.reduceat(
+            np.where(sum_member, count[nbr], 0), offsets
+        )
+        prepot = n_is_b & ~is_child & (nlev < k.l_max)
+        if k.fok_join_guard:
+            prepot &= ~nfok
+        has_prepot = np.bitwise_or.reduceat(prepot, offsets)
+
+        # Own and parent-gather terms.
+        pifA = pif[A]
+        parA = par[A]
+        levA = level[A]
+        cntA = count[A]
+        fokA = fok[A] != 0
+        par_safe = np.where(parA < 0, 0, parA)
+        parent_pif = pif[par_safe]
+        parent_lev = level[par_safe]
+        parent_fok = fok[par_safe] != 0
+
+        is_b = pifA == _B
+        is_f = pifA == _F
+        is_c = pifA == _C
+        good_pif = is_c | (parent_pif == pifA) | (parent_pif == _B)
+        good_level = is_c | (levA == parent_lev + 1)
+        good_fok = ~(is_b & fokA & ~parent_fok) & ~(
+            is_f & (parent_pif == _B) & ~parent_fok
+        )
+        good_count = ~(is_b & ~fokA) | (cntA <= sums)
+        normal = good_pif & good_level & good_fok & good_count
+
+        leaf = ~has_active_child
+        broadcast = is_c & has_prepot
+        if k.leaf_guard:
+            broadcast &= leaf
+        changefok = is_b & (fokA != parent_fok) & normal
+        feedback = is_b & fokA & ~has_b_child & normal
+        cleaning = is_f & leaf & ~has_b & normal
+        count_g = (
+            is_b & ~fokA & (cntA < np.minimum(sums, k.n_prime)) & normal
+        )
+        masks = (
+            broadcast.astype(np.int64)
+            | (changefok.astype(np.int64) << 1)
+            | (feedback.astype(np.int64) << 2)
+            | (cleaning.astype(np.int64) << 3)
+            | (count_g.astype(np.int64) << 4)
+        )
+        if k.corrections:
+            masks |= ((is_b & ~normal).astype(np.int64) << 5) | (
+                (is_f & ~normal).astype(np.int64) << 6
+            )
+        result = masks.tolist()
+        # The root runs Algorithm 1, not Algorithm 2: overwrite scalarly.
+        root_rows = np.nonzero(A == self.root)[0]
+        if root_rows.size:
+            result[int(root_rows[0])] = self._mask_root(self.root)
+        return result
+
+    # ------------------------------------------------------------------
+    # Statements (scalar; all reads precede all writes — see
+    # execute_selection)
+    # ------------------------------------------------------------------
+    def _sum_value(self, p: int) -> int:
+        """``Sum_p`` over the columns (raw, unsaturated)."""
+        pif, par, level, count, fok = (
+            self.pif, self.par, self.level, self.count, self.fok,
+        )
+        indptr, indices = self.csr.indptr, self.csr.indices
+        child_level = level[p] + 1
+        total = 1
+        for i in range(indptr[p], indptr[p + 1]):
+            q = indices[i]
+            if (
+                pif[q] == _B
+                and par[q] == p
+                and level[q] == child_level
+                and not fok[q]
+            ):
+                total += count[q]
+        return total
+
+    def _row(self, p: int) -> tuple[int, int, int, int, int]:
+        return (
+            int(self.pif[p]),
+            int(self.par[p]),
+            int(self.level[p]),
+            int(self.count[p]),
+            int(self.fok[p]),
+        )
+
+    def _stmt_b_root(self, p: int):
+        k = self.constants
+        row = self._row(p)
+        return (_B, row[1], row[2], 1, 1 if k.n == 1 else 0)
+
+    def _stmt_b_nonroot(self, p: int):
+        k = self.constants
+        pif, par, level, fok = self.pif, self.par, self.level, self.fok
+        indptr, indices = self.csr.indptr, self.csr.indices
+        fok_join = k.fok_join_guard
+        best_level = None
+        parent = -1
+        # First neighbor (in local order ≻_p) of minimal level among
+        # Pre_Potential_p — ``min_{≻p}(Potential_p)``.
+        for i in range(indptr[p], indptr[p + 1]):
+            q = indices[i]
+            if pif[q] != _B or par[q] == p:
+                continue
+            qlev = level[q]
+            if qlev >= k.l_max or (fok_join and fok[q]):
+                continue
+            if best_level is None or qlev < best_level:
+                best_level = qlev
+                parent = q
+        if parent < 0:
+            raise ProtocolError(
+                f"B-action at node {p} with empty Potential set"
+            )
+        return (_B, parent, best_level + 1, 1, 0)
+
+    def _stmt_fok(self, p: int):
+        row = self._row(p)
+        return (row[0], row[1], row[2], row[3], 1)
+
+    def _stmt_f(self, p: int):
+        row = self._row(p)
+        return (_F, row[1], row[2], row[3], row[4])
+
+    def _stmt_c(self, p: int):
+        row = self._row(p)
+        return (_C, row[1], row[2], row[3], row[4])
+
+    def _stmt_count_root(self, p: int):
+        k = self.constants
+        raw = self._sum_value(p)
+        row = self._row(p)
+        return (
+            row[0],
+            row[1],
+            row[2],
+            min(raw, k.n_prime),
+            1 if raw == k.n else 0,
+        )
+
+    def _stmt_count_nonroot(self, p: int):
+        k = self.constants
+        row = self._row(p)
+        return (
+            row[0],
+            row[1],
+            row[2],
+            min(self._sum_value(p), k.n_prime),
+            row[4],
+        )

@@ -137,6 +137,22 @@ class SnapPif(Protocol):
             return state.replace(par=network.neighbors(node)[0])
         return state
 
+    def compile_columnar(self, network: Network, backend: str):
+        """The compiled flat-array kernel (see DESIGN.md §11).
+
+        Only the unmodified :class:`SnapPif` compiles: subclasses
+        (e.g. :class:`~repro.core.payload.PayloadSnapPif`) wrap the
+        programs with extra state and semantics the kernel does not
+        model, so they fall back to the object bridge unless they
+        provide their own kernel.
+        """
+        if type(self) is not SnapPif:
+            return None
+        self._check_network(network)
+        from repro.columnar.snap_pif_kernel import SnapPifKernel
+
+        return SnapPifKernel(self, network, backend)
+
     # ------------------------------------------------------------------
     # PIF-specific helpers
     # ------------------------------------------------------------------

@@ -20,11 +20,19 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.columnar.schema import ColumnField, ColumnSchema, bool_field
 from repro.errors import ProtocolError
 from repro.runtime.network import Network
 from repro.runtime.state import NodeState
 
-__all__ = ["Phase", "PifState", "PifConstants"]
+__all__ = [
+    "Phase",
+    "PHASE_BY_CODE",
+    "PHASE_CODES",
+    "PIF_COLUMNS",
+    "PifState",
+    "PifConstants",
+]
 
 
 class Phase(enum.Enum):
@@ -72,6 +80,40 @@ class PifState(NodeState):
         par = "⊥" if self.par is None else str(self.par)
         fok = "T" if self.fok else "f"
         return f"{self.pif.value}/p{par}/L{self.level}/c{self.count}/{fok}"
+
+
+#: Integer phase codes used by the columnar engine.  Fixed — the
+#: compiled guard kernels hard-code them.
+PHASE_CODES = {Phase.B: 0, Phase.F: 1, Phase.C: 2}
+PHASE_BY_CODE = (Phase.B, Phase.F, Phase.C)
+
+
+def _encode_par(par: int | None) -> int:
+    return -1 if par is None else par
+
+
+def _decode_par(value: int) -> int | None:
+    return None if value < 0 else value
+
+
+#: The columnar layout of :class:`PifState` — one flat column per
+#: variable of Algorithms 1/2.  ``Par_r = ⊥`` is encoded as ``-1``
+#: (node ids are non-negative).
+PIF_COLUMNS = ColumnSchema(
+    state_type=PifState,
+    fields=(
+        ColumnField(
+            "pif",
+            typecode="b",
+            encode=PHASE_CODES.__getitem__,
+            decode=PHASE_BY_CODE.__getitem__,
+        ),
+        ColumnField("par", encode=_encode_par, decode=_decode_par),
+        ColumnField("level"),
+        ColumnField("count"),
+        bool_field("fok"),
+    ),
+)
 
 
 @dataclass(frozen=True)

@@ -54,7 +54,14 @@ def _protocol_for(
     ``root=None`` mirrors :func:`~repro.chaos.campaign.run_campaign`'s
     factory contract (``factory(network)``); an explicit root mirrors
     the model-check factories (``factory(network, root)``).
+
+    Cache behaviour is observable via the ``worker.protocol_cache.*``
+    counters (hits / misses / rebuilds).  They live under the
+    ``worker.`` prefix because hit rates depend on which worker process
+    a task landed in — :meth:`MetricsSnapshot.deterministic` excludes
+    them from the bit-identical view.
     """
+    from repro import telemetry as _telemetry
     from repro.core.pif import SnapPif
 
     if factory is None:
@@ -69,10 +76,16 @@ def _protocol_for(
         key = (factory, network, root)
         cached = _PROTOCOL_CACHE.get(key)
     except TypeError:  # unhashable factory: build fresh every time
+        if _telemetry.enabled:
+            _telemetry.registry.inc("worker.protocol_cache.rebuilds")
         return build()
     if cached is None:
+        if _telemetry.enabled:
+            _telemetry.registry.inc("worker.protocol_cache.misses")
         cached = build()
         _PROTOCOL_CACHE[key] = cached
+    elif _telemetry.enabled:
+        _telemetry.registry.inc("worker.protocol_cache.hits")
     return cached
 
 

@@ -320,6 +320,19 @@ class Protocol(ABC):
                 updates[p] = state
         return configuration.replace(updates), set(updates)
 
+    def compile_columnar(self, network: Network, backend: str):
+        """Compile this protocol into a columnar kernel for ``network``.
+
+        The columnar engine calls this once per ``(protocol, network)``
+        pair with a resolved backend name (``"pure"`` or ``"numpy"``).
+        Protocols that support flat-array execution return a kernel
+        object (see :mod:`repro.columnar.engine` for the interface);
+        the default ``None`` makes the engine fall back to the
+        per-node object bridge, so every protocol runs under
+        ``engine="columnar"`` regardless.
+        """
+        return None
+
     def is_enabled(
         self, configuration: Configuration, network: Network, node: int
     ) -> bool:

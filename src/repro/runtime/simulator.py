@@ -100,11 +100,23 @@ class Simulator:
         1-hop neighborhood of the nodes a step actually rewrote;
         ``"full"`` re-evaluates every guard at every node after every
         step (the pre-optimization behavior, kept for benchmarking and
-        cross-validation).  The ``REPRO_ENGINE`` environment variable
-        overrides the default when the parameter is not given.
+        cross-validation); ``"columnar"`` stores the configuration as
+        flat per-variable arrays and runs compiled mask kernels (see
+        :mod:`repro.columnar`), falling back to a per-node object
+        bridge for protocols without a compiled kernel.  The
+        ``REPRO_ENGINE`` environment variable overrides the default
+        when the parameter is not given.
+
+        Under the columnar engine object configurations are
+        materialized lazily: :attr:`configuration` always works, but
+        :class:`~repro.runtime.trace.StepRecord.after` is ``None``
+        unless something needs the object view (monitors attached,
+        ``trace_level="configurations"``, or lockstep validation).
     validate_engine:
-        When true, every incremental update is checked in lockstep
-        against a from-scratch recompute; a mismatch raises
+        When true, every incremental/columnar update is checked in
+        lockstep against a from-scratch recompute on the object path —
+        for the columnar engine both the enabled map and the successor
+        configuration are compared — and a mismatch raises
         :class:`~repro.errors.VerificationError`.  Defaults to the
         ``REPRO_ENGINE_VALIDATE`` environment variable (any value other
         than empty/``0`` enables it).
@@ -126,9 +138,10 @@ class Simulator:
         if engine is None:
             # An empty REPRO_ENGINE means "unset", like REPRO_ENGINE_VALIDATE.
             engine = os.environ.get("REPRO_ENGINE") or "incremental"
-        if engine not in ("incremental", "full"):
+        if engine not in ("incremental", "full", "columnar"):
             raise ScheduleError(
-                f"unknown engine {engine!r}; expected 'incremental' or 'full'"
+                f"unknown engine {engine!r}; expected 'incremental', "
+                f"'full' or 'columnar'"
             )
         if validate_engine is None:
             validate_engine = os.environ.get(
@@ -140,7 +153,7 @@ class Simulator:
         self.network = network
         self.daemon = daemon if daemon is not None else SynchronousDaemon()
         self.rng = Random(seed)
-        self._configuration = (
+        config = (
             configuration
             if configuration is not None
             else protocol.initial_configuration(network)
@@ -153,23 +166,43 @@ class Simulator:
         #: accounting, but their memory stays readable by neighbors (the
         #: locally-shared-memory analogue of a fail-stop crash).
         self._crashed: set[int] = set()
-        self.trace = Trace(self._configuration, level=trace_level)
+        self.trace = Trace(config, level=trace_level)
 
         self.daemon.reset()
         self._eval_cache: dict = {}
-        self._enabled = protocol.enabled_map(
-            self._configuration, network, cache=self._eval_cache
-        )
+        if engine == "columnar":
+            from repro.columnar import ColumnarRuntime
+
+            self._columnar: ColumnarRuntime | None = ColumnarRuntime(
+                protocol, network, config
+            )
+            # The column block owns the state; ``self.configuration``
+            # materializes object views on demand.
+            self._configuration: Configuration | None = None
+            self._enabled = self._columnar.enabled_map()
+        else:
+            self._columnar = None
+            self._configuration = config
+            self._enabled = protocol.enabled_map(
+                config, network, cache=self._eval_cache
+            )
         self._rounds = RoundCounter(self._enabled)
         for monitor in self._monitors:
-            monitor.on_start(self._configuration)
+            monitor.on_start(config)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def configuration(self) -> Configuration:
-        """The current configuration ``γ``."""
+        """The current configuration ``γ``.
+
+        Under the columnar engine this materializes an object view of
+        the column block — cached until the next write, so repeated
+        reads (and a fully no-op step) return the same object.
+        """
+        if self._columnar is not None:
+            return self._columnar.configuration()
         return self._configuration
 
     @property
@@ -229,7 +262,7 @@ class Simulator:
 
     def add_monitor(self, monitor: Monitor) -> None:
         """Attach a monitor; it sees the current configuration as start."""
-        monitor.on_start(self._configuration)
+        monitor.on_start(self.configuration)
         self._monitors.append(monitor)
 
     def reset_configuration(self, configuration: Configuration) -> None:
@@ -248,13 +281,19 @@ class Simulator:
                 f"configuration has {len(configuration)} states for a "
                 f"{self.network.n}-processor network"
             )
-        self._configuration = configuration
         # A fault can rewrite any subset of the memory, so the dirty-set
         # argument does not apply: recompute the enabled map from scratch.
-        self._eval_cache = {}
-        self._enabled = self.protocol.enabled_map(
-            configuration, self.network, cache=self._eval_cache
-        )
+        if self._columnar is not None:
+            self._columnar.load(configuration)
+            self._enabled = self._columnar.enabled_map()
+            if self.validate_engine:
+                self._check_against_full(set(self.network.nodes))
+        else:
+            self._configuration = configuration
+            self._eval_cache = {}
+            self._enabled = self.protocol.enabled_map(
+                configuration, self.network, cache=self._eval_cache
+            )
         self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             monitor.on_start(configuration)
@@ -284,16 +323,24 @@ class Simulator:
         for p in updates:
             if p not in self.network.nodes:
                 raise ScheduleError(f"perturbation targets unknown node {p}")
+        current = self.configuration
         effective = {
             p: state
             for p, state in updates.items()
-            if state != self._configuration[p]
+            if state != current[p]
         }
         if not effective:
             return set()
-        after = self._configuration.replace(effective)
-        self._configuration = after
-        self._refresh_enabled(set(effective))
+        if self._columnar is not None:
+            self._columnar.apply_updates(effective)
+            self._enabled = self._columnar.enabled_map()
+            if self.validate_engine:
+                self._check_against_full(set(effective))
+            after = self.configuration
+        else:
+            after = current.replace(effective)
+            self._configuration = after
+            self._refresh_enabled(set(effective))
         self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             monitor.on_start(after)
@@ -363,24 +410,36 @@ class Simulator:
             )
         touched = self.network.changed_nodes(network)
         old_name = self.network.name
+        current = self.configuration
         updates: dict[int, NodeState] = {}
         for p in touched:
-            state = self._configuration[p]
+            state = current[p]
             fixed = self.protocol.sanitize_state(p, state, network)
             if fixed != state:
                 updates[p] = fixed
         dirty = set(touched) | set(updates)
         self.network = network
-        if updates:
-            self._configuration = self._configuration.replace(updates)
-        if dirty:
-            self._refresh_enabled(dirty)
-            self._rounds.restart(frozenset(self._enabled))
+        if self._columnar is not None:
+            # The compiled kernel's CSR index is per-network: recompile.
+            self._columnar.rebuild(
+                network, current.replace(updates) if updates else current
+            )
+            self._enabled = self._columnar.enabled_map()
+            if self.validate_engine:
+                self._check_against_full(dirty)
+            if dirty:
+                self._rounds.restart(frozenset(self._enabled))
+        else:
+            if updates:
+                self._configuration = current.replace(updates)
+            if dirty:
+                self._refresh_enabled(dirty)
+                self._rounds.restart(frozenset(self._enabled))
         for monitor in self._monitors:
             on_network = getattr(monitor, "on_network", None)
             if on_network is not None:
                 on_network(network)
-            monitor.on_start(self._configuration)
+            monitor.on_start(self.configuration)
         self._mark_fault(
             "topology",
             f"{old_name} -> {network.name} (dirty {sorted(dirty)})",
@@ -436,31 +495,54 @@ class Simulator:
         )
         self._validate_selection(selection, selectable)
 
-        before = self._configuration
-        # Statements execute against ``before`` — the same configuration
-        # the current enabled map was evaluated on — so they share its
-        # evaluation cache.  No-op writes are excluded from the dirty set
-        # by execute_selection.
-        after, dirty = self.protocol.execute_selection(
-            before, self.network, selection, cache=self._eval_cache
-        )
-
-        self._configuration = after
-        if not dirty:
-            pass  # configuration unchanged: enabled map and cache stay valid
-        elif self.engine == "incremental":
-            cache: dict = {}
-            self._enabled = self.protocol.enabled_map_incremental(
-                self._enabled, after, self.network, dirty, cache=cache
+        if self._columnar is not None:
+            # Materialize object views only when something consumes them
+            # — monitors, configuration-level traces, or the lockstep
+            # validator.  Otherwise the step stays entirely columnar.
+            need_objects = (
+                bool(self._monitors)
+                or self.trace.level == "configurations"
+                or self.validate_engine
             )
-            self._eval_cache = cache
-            if self.validate_engine:
-                self._check_against_full(dirty)
+            before = self._columnar.configuration() if need_objects else None
+            dirty = self._columnar.execute_selection(selection)
+            if dirty:
+                self._enabled = self._columnar.enabled_map()
+                if self.validate_engine:
+                    self._check_against_full(dirty)
+            after = self._columnar.configuration() if need_objects else None
+            # Successor validation only applies to compiled kernels: the
+            # object bridge *is* the object path, and re-executing
+            # statements (which protocols may make impure) would itself
+            # perturb application state.
+            if self.validate_engine and self._columnar.compiled:
+                self._check_columnar_successor(before, selection, after, dirty)
         else:
-            self._eval_cache = {}
-            self._enabled = self.protocol.enabled_map(
-                after, self.network, cache=self._eval_cache
+            before = self._configuration
+            # Statements execute against ``before`` — the same
+            # configuration the current enabled map was evaluated on — so
+            # they share its evaluation cache.  No-op writes are excluded
+            # from the dirty set by execute_selection.
+            after, dirty = self.protocol.execute_selection(
+                before, self.network, selection, cache=self._eval_cache
             )
+
+            self._configuration = after
+            if not dirty:
+                pass  # configuration unchanged: enabled map + cache stay valid
+            elif self.engine == "incremental":
+                cache: dict = {}
+                self._enabled = self.protocol.enabled_map_incremental(
+                    self._enabled, after, self.network, dirty, cache=cache
+                )
+                self._eval_cache = cache
+                if self.validate_engine:
+                    self._check_against_full(dirty)
+            else:
+                self._eval_cache = {}
+                self._enabled = self.protocol.enabled_map(
+                    after, self.network, cache=self._eval_cache
+                )
         rounds_completed = self._rounds.observe_step(
             set(selection), frozenset(self._enabled)
         )
@@ -509,7 +591,7 @@ class Simulator:
         satisfied = False
         terminated = False
         while True:
-            if until is not None and until(self._configuration):
+            if until is not None and until(self.configuration):
                 satisfied = True
                 break
             if not self._selectable():
@@ -529,7 +611,7 @@ class Simulator:
             self.step()
 
         return RunResult(
-            final=self._configuration,
+            final=self.configuration,
             steps=self._steps,
             rounds=self.rounds,
             moves=self._moves,
@@ -566,11 +648,35 @@ class Simulator:
                 )
 
     def _check_against_full(self, dirty: set[int]) -> None:
-        full = self.protocol.enabled_map(self._configuration, self.network)
+        full = self.protocol.enabled_map(self.configuration, self.network)
         if full != self._enabled or list(full) != list(self._enabled):
             raise VerificationError(
-                f"incremental enabled map diverged from full recompute "
+                f"{self.engine} enabled map diverged from full recompute "
                 f"at step {self._steps} (dirty={sorted(dirty)}): "
-                f"incremental={ {p: [a.name for a in v] for p, v in self._enabled.items()} } "
+                f"{self.engine}={ {p: [a.name for a in v] for p, v in self._enabled.items()} } "
                 f"full={ {p: [a.name for a in v] for p, v in full.items()} }"
+            )
+
+    def _check_columnar_successor(
+        self,
+        before: Configuration,
+        selection: dict[int, Action],
+        after: Configuration,
+        dirty: set[int],
+    ) -> None:
+        """Lockstep-check one columnar step against the object path.
+
+        The object engine executes the same selection on the same
+        pre-step configuration; successor and dirty set must agree
+        bit for bit.
+        """
+        expect_after, expect_dirty = self.protocol.execute_selection(
+            before, self.network, selection
+        )
+        if expect_dirty != dirty or expect_after != after:
+            raise VerificationError(
+                f"columnar successor diverged from the object path at "
+                f"step {self._steps}: dirty={sorted(dirty)} vs "
+                f"expected {sorted(expect_dirty)}; differing nodes: "
+                f"{[p for p in range(len(after)) if after[p] != expect_after[p]]}"
             )

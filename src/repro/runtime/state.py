@@ -62,20 +62,32 @@ class Configuration:
     def replace(self, updates: Mapping[int, NodeState]) -> "Configuration":
         """Return a new configuration with the given node states replaced.
 
-        ``updates`` maps node identifiers to their new states.  An empty
-        update returns ``self`` unchanged (same object), which keeps
-        no-op computation steps cheap.
+        ``updates`` maps node identifiers to their new states.  Returns
+        ``self`` (the same object, not merely an equal one) when
+        ``updates`` is empty or every replacement is the node's current
+        state object — no-op computation steps allocate nothing, and
+        downstream identity checks (``after is before``) keep working.
+
+        Validation and application happen in a single pass; an unknown
+        node raises :class:`~repro.errors.ProtocolError` without a
+        partially built copy escaping.
         """
         if not updates:
             return self
-        n = len(self._states)
-        for node in updates:
+        states = self._states
+        n = len(states)
+        copied: list[NodeState] | None = None
+        for node, state in updates.items():
             if not 0 <= node < n:
                 raise ProtocolError(f"update for unknown node {node}")
-        states = list(self._states)
-        for node, state in updates.items():
-            states[node] = state
-        return Configuration(tuple(states))
+            if copied is None:
+                if state is states[node]:
+                    continue
+                copied = list(states)
+            copied[node] = state
+        if copied is None:
+            return self
+        return Configuration(tuple(copied))
 
     def __eq__(self, other: object) -> bool:
         if self is other:

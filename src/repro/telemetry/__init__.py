@@ -40,6 +40,7 @@ import sys
 from contextlib import contextmanager
 
 from repro.telemetry.registry import (
+    NONDET_PREFIX,
     SIZE_BOUNDS,
     TIME_BOUNDS,
     TIMING_SUFFIX,
@@ -64,6 +65,7 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NONDET_PREFIX",
     "NULL_SPAN",
     "NullSpan",
     "SIZE_BOUNDS",
@@ -106,12 +108,14 @@ def enable(trace_path: str | None = None) -> None:
 
 def disable() -> None:
     """Turn telemetry off, close the sink, and reset the registry."""
-    global enabled, sink
+    global enabled, sink, _next_span_id
     enabled = False
     if sink is not None:
         sink.close()
         sink = None
     registry.clear()
+    _span_stack.clear()
+    _next_span_id = 1
 
 
 def enable_from_env() -> bool:
@@ -134,13 +138,53 @@ def span(name: str):
     return Span(name, sys.modules[__name__])
 
 
-def _finish_span(name: str, seconds: float, attrs: dict) -> None:
+#: Innermost-open-span stack of this process: ``(span_id, trace_id)``
+#: pairs.  Gives every finished span its parent/trace identifiers so
+#: nested spans (e.g. ``columnar.compile`` under a campaign cell) can
+#: be reassembled into a tree from the flat JSONL.
+_span_stack: list[tuple[str, str]] = []
+_next_span_id: int = 1
+
+
+def _open_span(span: Span) -> None:
+    """Called by Span.__enter__: assign span/parent/trace identifiers."""
+    global _next_span_id
+    span_id = f"s{_next_span_id}"
+    _next_span_id += 1
+    if _span_stack:
+        parent_id, trace_id = _span_stack[-1]
+    else:
+        parent_id, trace_id = None, span_id
+    span.span_id = span_id
+    span.parent_id = parent_id
+    span.trace_id = trace_id
+    _span_stack.append((span_id, trace_id))
+
+
+def _finish_span(span: Span, seconds: float) -> None:
     """Called by Span.__exit__: record into the registry and the sink."""
-    registry.observe(f"span.{name}{TIMING_SUFFIX}", seconds, TIME_BOUNDS)
+    if _span_stack and _span_stack[-1][0] == span.span_id:
+        _span_stack.pop()
+    else:
+        # Unbalanced exit (e.g. a span leaked across disable/enable):
+        # drop it and anything opened inside it.
+        for i in range(len(_span_stack) - 1, -1, -1):
+            if _span_stack[i][0] == span.span_id:
+                del _span_stack[i:]
+                break
+    registry.observe(f"span.{span.name}{TIMING_SUFFIX}", seconds, TIME_BOUNDS)
     if sink is not None:
-        record = {"type": "span", "name": name, "seconds": seconds}
-        if attrs:
-            record["attrs"] = attrs
+        record = {
+            "type": "span",
+            "name": span.name,
+            "seconds": seconds,
+            "span_id": span.span_id,
+            "trace_id": span.trace_id,
+        }
+        if span.parent_id is not None:
+            record["parent_id"] = span.parent_id
+        if span.attrs:
+            record["attrs"] = span.attrs
         sink.write(record)
 
 

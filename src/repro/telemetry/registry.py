@@ -37,6 +37,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NONDET_PREFIX",
     "SIZE_BOUNDS",
     "TIME_BOUNDS",
     "TIMING_SUFFIX",
@@ -45,6 +46,13 @@ __all__ = [
 #: Metric-name suffix marking wall-clock observations (excluded from the
 #: deterministic snapshot view).
 TIMING_SUFFIX = ".seconds"
+
+#: Metric-name prefix for worker-process-local observations whose values
+#: depend on how the scheduler spread tasks over workers (cache
+#: hits/misses, per-worker reuse).  Excluded from the deterministic
+#: snapshot view for the same reason as wall time: legitimate variation
+#: across the ``jobs`` axis.
+NONDET_PREFIX = "worker."
 
 #: Default boundaries for set-size style histograms (enabled-set sizes,
 #: dirty-set sizes, selection sizes): powers of two up to 4096.  A value
@@ -170,8 +178,11 @@ class MetricsSnapshot:
         return cls(metrics=metrics)
 
     def deterministic(self) -> "MetricsSnapshot":
-        """The snapshot without wall-clock metrics (``*.seconds``).
+        """The snapshot without scheduling-dependent metrics.
 
+        Drops wall-clock metrics (``*.seconds``) and worker-local
+        metrics (``worker.*`` — e.g. protocol-cache hit rates, which
+        depend on how tasks were spread over worker processes).
         Everything left is a deterministic function of the workload —
         the portion asserted bit-identical across ``jobs`` ∈ {1, 2, 4}
         by ``tests/telemetry/``.
@@ -181,6 +192,7 @@ class MetricsSnapshot:
                 name: payload
                 for name, payload in self.metrics.items()
                 if not name.endswith(TIMING_SUFFIX)
+                and not name.startswith(NONDET_PREFIX)
             }
         )
 

@@ -6,7 +6,8 @@ Spans serve two audiences:
 
 * the **JSONL sink** — each finished span appends one JSON object to
   the trace file (``{"type": "span", "name": ..., "seconds": ...,
-  "attrs": {...}}``), readable later by ``repro stats``;
+  "span_id": ..., "trace_id": ..., "parent_id": ..., "attrs":
+  {...}}``), readable later by ``repro stats``;
 * the **registry** — each finished span observes its duration into a
   ``span.<name>.seconds`` histogram, so per-shard task times survive
   the pickle boundary inside metric snapshots even when the worker
@@ -51,13 +52,28 @@ NULL_SPAN = NullSpan()
 
 
 class Span:
-    """A live span.  Use as a context manager; attributes via :meth:`set`."""
+    """A live span.  Use as a context manager; attributes via :meth:`set`.
 
-    __slots__ = ("name", "attrs", "_start", "_telemetry")
+    On entry the span is assigned a process-unique ``span_id``, the
+    ``span_id`` of the innermost open span as ``parent_id`` (``None``
+    at top level), and the ``trace_id`` of the enclosing trace (a top
+    level span starts a new trace named after its own id).  Nesting is
+    tracked per process — e.g. a ``columnar.compile`` span opened while
+    a campaign-cell span is running records that cell as its parent, so
+    trace viewers can reassemble the tree from the flat JSONL.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "trace_id",
+        "_start", "_telemetry",
+    )
 
     def __init__(self, name: str, telemetry) -> None:
         self.name = name
         self.attrs: dict = {}
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self.trace_id: str | None = None
         self._start = 0.0
         # The repro.telemetry module object — late-bound so a span
         # always finishes against the state that created it.
@@ -68,12 +84,13 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
+        self._telemetry._open_span(self)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
         self._telemetry._finish_span(
-            self.name, time.perf_counter() - self._start, self.attrs
+            self, time.perf_counter() - self._start
         )
 
 

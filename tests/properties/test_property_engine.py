@@ -1,16 +1,21 @@
-"""Randomized equivalence sweep for the incremental enabled-set engine.
+"""Randomized equivalence sweep for the optimized step engines.
 
 For 200 randomized runs (50 seeds × 4 protocols) over mixed daemons,
 mixed topology families and mid-run ``reset_configuration`` faults:
 
-* the incremental run executes in lockstep cross-validation mode, so the
-  incremental enabled map is compared against a from-scratch
-  ``enabled_map`` after **every** step (a mismatch raises
-  :class:`~repro.errors.VerificationError`);
-* a second run of the same seed under the full-recompute engine must
-  produce bit-identical step / round / move counts, action histograms,
-  schedules and final configurations — the incremental engine is
+* the incremental and columnar runs execute in lockstep
+  cross-validation mode, so each engine's enabled map is compared
+  against a from-scratch ``enabled_map`` after **every** step (a
+  mismatch raises :class:`~repro.errors.VerificationError`); the
+  columnar run additionally cross-checks each compiled successor
+  against object-engine statement execution;
+* runs of the same seed under the full-recompute engine must produce
+  bit-identical step / round / move counts, action histograms,
+  schedules and final configurations — the optimized engines are
   observationally indistinguishable from the pre-optimization one.
+
+The columnar leg exercises the compiled mask kernel for ``snap-pif``
+and the object bridge for the other three protocols.
 """
 
 from __future__ import annotations
@@ -126,3 +131,14 @@ def test_incremental_engine_equivalent_under_randomized_runs(
     incremental = _drive(kind, net, seed, "incremental", validate=True)
     full = _drive(kind, net, seed, "full", validate=False)
     assert incremental == full
+
+
+@pytest.mark.parametrize("kind", PROTOCOL_KINDS)
+@pytest.mark.parametrize("seed", range(50))
+def test_columnar_engine_equivalent_under_randomized_runs(
+    kind: str, seed: int
+) -> None:
+    net = by_name(FAMILIES[seed % len(FAMILIES)], 5 + seed % 5)
+    columnar = _drive(kind, net, seed, "columnar", validate=True)
+    full = _drive(kind, net, seed, "full", validate=False)
+    assert columnar == full

@@ -148,3 +148,41 @@ class TestExecutor:
         executor = ParallelExecutor(_double, jobs=2)
         assert executor.map([(i, i) for i in (1, 2, 3)]) == [2, 4, 6]
         assert _metrics() == {}
+
+
+class TestWorkerProtocolCache:
+    def test_hits_misses_and_rebuilds_are_counted(self):
+        from repro.parallel import workers
+
+        telemetry.enable()
+        workers._PROTOCOL_CACHE.clear()
+        net = ring(5)
+        first = workers._protocol_for(None, net)
+        again = workers._protocol_for(None, net)
+        assert again is first
+        # Unhashable factory: rebuilt fresh on every call.
+        class Unhashable(list):
+            def __call__(self, network, root):
+                return SnapPif.for_network(network, root)
+
+        workers._protocol_for(Unhashable(), net, 0)
+        metrics = _metrics()
+        assert metrics["worker.protocol_cache.misses"]["value"] == 1
+        assert metrics["worker.protocol_cache.hits"]["value"] == 1
+        assert metrics["worker.protocol_cache.rebuilds"]["value"] == 1
+
+    def test_cache_counters_stay_out_of_deterministic_view(self):
+        from repro.parallel import workers
+
+        telemetry.enable()
+        workers._PROTOCOL_CACHE.clear()
+        workers._protocol_for(None, ring(4))
+        det = telemetry.registry.snapshot().deterministic()
+        assert not any(name.startswith("worker.") for name in det.metrics)
+
+    def test_disabled_cache_records_nothing(self):
+        from repro.parallel import workers
+
+        workers._PROTOCOL_CACHE.clear()
+        workers._protocol_for(None, ring(4))
+        assert _metrics() == {}

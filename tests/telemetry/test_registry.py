@@ -218,6 +218,15 @@ class TestSnapshotViews:
         assert "sim.steps" in det.metrics
         assert "span.chaos.cell.seconds" not in det.metrics
 
+    def test_deterministic_drops_worker_local_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("sim.steps", 5)
+        reg.inc("worker.protocol_cache.hits", 3)
+        reg.inc("worker.protocol_cache.misses", 1)
+        det = reg.snapshot().deterministic()
+        assert "sim.steps" in det.metrics
+        assert not any(name.startswith("worker.") for name in det.metrics)
+
     def test_to_dict_from_dict_round_trip(self):
         snap = _snap(a=3)
         assert MetricsSnapshot.from_dict(snap.to_dict()) == snap

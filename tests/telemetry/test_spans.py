@@ -90,6 +90,77 @@ class TestSpan:
         assert "attrs" not in record
 
 
+class TestSpanNesting:
+    def test_nested_spans_record_parent_and_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        with telemetry.span("outer"):
+            with telemetry.span("columnar.compile"):
+                pass
+            with telemetry.span("sibling"):
+                pass
+        by_name = {r["name"]: r for r in read_trace(str(path))}
+        outer = by_name["outer"]
+        assert "parent_id" not in outer  # top level
+        assert outer["trace_id"] == outer["span_id"]
+        for child in ("columnar.compile", "sibling"):
+            assert by_name[child]["parent_id"] == outer["span_id"]
+            assert by_name[child]["trace_id"] == outer["trace_id"]
+        assert by_name["columnar.compile"]["span_id"] != by_name["sibling"][
+            "span_id"
+        ]
+
+    def test_deep_nesting_chains_parents(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                with telemetry.span("c"):
+                    pass
+        by_name = {r["name"]: r for r in read_trace(str(path))}
+        assert by_name["c"]["parent_id"] == by_name["b"]["span_id"]
+        assert by_name["b"]["parent_id"] == by_name["a"]["span_id"]
+        assert (
+            by_name["c"]["trace_id"]
+            == by_name["b"]["trace_id"]
+            == by_name["a"]["span_id"]
+        )
+
+    def test_sequential_top_level_spans_start_fresh_traces(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        with telemetry.span("first"):
+            pass
+        with telemetry.span("second"):
+            pass
+        records = read_trace(str(path))
+        assert records[0]["trace_id"] != records[1]["trace_id"]
+        assert all("parent_id" not in r for r in records)
+
+    def test_exception_unwinds_span_stack(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        with pytest.raises(RuntimeError):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    raise RuntimeError("boom")
+        # The stack unwound fully: a new span is top level again.
+        with telemetry.span("after"):
+            pass
+        by_name = {r["name"]: r for r in read_trace(str(path))}
+        assert "parent_id" not in by_name["after"]
+
+    def test_span_ids_reset_on_disable(self):
+        telemetry.enable()
+        with telemetry.span("a") as first:
+            pass
+        telemetry.disable()
+        telemetry.enable()
+        with telemetry.span("a") as again:
+            pass
+        assert again.span_id == first.span_id == "s1"
+
+
 class TestSink:
     def test_write_and_read_round_trip(self, tmp_path):
         path = tmp_path / "t.jsonl"

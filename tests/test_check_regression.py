@@ -46,9 +46,9 @@ class TestCompareSpeedups:
 class TestMainEndToEnd:
     def _write(self, directory: Path, speedups: dict[str, float]) -> None:
         directory.mkdir(parents=True, exist_ok=True)
-        for filename, key in TRACKED.items():
+        for filename, keys in TRACKED.items():
             (directory / filename).write_text(
-                json.dumps({key: speedups})
+                json.dumps({key: speedups for key in keys})
             )
 
     def test_clean_run_exits_zero(self, tmp_path, capsys) -> None:
@@ -110,10 +110,58 @@ class TestMainEndToEnd:
 
     def test_committed_baselines_are_valid(self) -> None:
         """The committed baseline files parse and carry the tracked keys."""
-        for filename, key in TRACKED.items():
+        for filename, keys in TRACKED.items():
             path = REPO_ROOT / "benchmarks" / "baselines" / filename
             payload = json.loads(path.read_text())
-            assert isinstance(payload[key], dict) and payload[key]
+            for key in keys:
+                assert isinstance(payload[key], dict) and payload[key]
+
+    def test_one_regressed_key_of_many_fails(self, tmp_path, capsys) -> None:
+        """Multi-key reports gate every tracked key independently."""
+        baselines = tmp_path / "baselines"
+        current = tmp_path / "current"
+        baselines.mkdir()
+        current.mkdir()
+        filename = "BENCH_engine.json"
+        keys = TRACKED[filename]
+        assert len(keys) >= 2
+        (baselines / filename).write_text(
+            json.dumps({key: {"case": 2.0} for key in keys})
+        )
+        healthy = {keys[0]: {"case": 2.0}, keys[1]: {"case": 1.0}}
+        (current / filename).write_text(json.dumps(healthy))
+        code = main(
+            [
+                "--baseline-dir", str(baselines),
+                "--current-dir", str(current),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert f"ok ({keys[0]}" in out
+        assert f"FAIL ({keys[1]})" in out
+
+    def test_report_missing_one_key_fails(self, tmp_path, capsys) -> None:
+        baselines = tmp_path / "baselines"
+        current = tmp_path / "current"
+        baselines.mkdir()
+        current.mkdir()
+        filename = "BENCH_engine.json"
+        keys = TRACKED[filename]
+        (baselines / filename).write_text(
+            json.dumps({key: {"case": 2.0} for key in keys})
+        )
+        (current / filename).write_text(
+            json.dumps({keys[0]: {"case": 2.0}})
+        )
+        code = main(
+            [
+                "--baseline-dir", str(baselines),
+                "--current-dir", str(current),
+            ]
+        )
+        assert code == 1
+        assert f"no current report with {keys[1]!r}" in capsys.readouterr().out
 
 
 class TestHostMismatch:
@@ -148,15 +196,32 @@ class TestUpdateBaselines:
         current = tmp_path / "current"
         baselines = tmp_path / "baselines"
         current.mkdir()
-        filename, key = next(iter(TRACKED.items()))
+        filename, keys = next(iter(TRACKED.items()))
         (current / filename).write_text(
-            json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 1}})
+            json.dumps(
+                {key: {"case": 2.0} for key in keys}
+                | {"host": {"cpu_count": 1}}
+            )
         )
         copied = update_baselines(baselines, current)
         assert copied == 1
-        assert json.loads((baselines / filename).read_text())[key] == {
-            "case": 2.0
-        }
+        payload = json.loads((baselines / filename).read_text())
+        for key in keys:
+            assert payload[key] == {"case": 2.0}
+
+    def test_skips_report_missing_one_tracked_key(self, tmp_path) -> None:
+        from benchmarks.check_regression import TRACKED, update_baselines
+
+        current = tmp_path / "current"
+        baselines = tmp_path / "baselines"
+        current.mkdir()
+        filename = "BENCH_engine.json"
+        keys = TRACKED[filename]
+        (current / filename).write_text(
+            json.dumps({keys[0]: {"case": 2.0}})
+        )
+        assert update_baselines(baselines, current) == 0
+        assert not (baselines / filename).exists()
 
     def test_skips_malformed_reports(self, tmp_path) -> None:
         from benchmarks.check_regression import TRACKED, update_baselines
@@ -172,12 +237,22 @@ class TestUpdateBaselines:
     def test_parallel_report_is_tracked(self) -> None:
         from benchmarks.check_regression import TRACKED
 
-        assert TRACKED["BENCH_parallel.json"] == "speedup_parallel_over_serial"
+        assert TRACKED["BENCH_parallel.json"] == (
+            "speedup_parallel_over_serial",
+        )
 
     def test_telemetry_report_is_tracked(self) -> None:
         from benchmarks.check_regression import TRACKED
 
-        assert TRACKED["BENCH_telemetry.json"] == "telemetry_throughput"
+        assert TRACKED["BENCH_telemetry.json"] == ("telemetry_throughput",)
+
+    def test_engine_report_tracks_both_speedups(self) -> None:
+        from benchmarks.check_regression import TRACKED
+
+        assert TRACKED["BENCH_engine.json"] == (
+            "speedup_incremental_over_full",
+            "speedup_columnar_over_incremental",
+        )
 
 
 class TestMainUpdateFlag:
@@ -187,9 +262,12 @@ class TestMainUpdateFlag:
         current = tmp_path / "current"
         baselines = tmp_path / "baselines"
         current.mkdir()
-        for filename, key in TRACKED.items():
+        for filename, keys in TRACKED.items():
             (current / filename).write_text(
-                json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 1}})
+                json.dumps(
+                    {key: {"case": 2.0} for key in keys}
+                    | {"host": {"cpu_count": 1}}
+                )
             )
         assert (
             main(
@@ -217,12 +295,18 @@ class TestMainUpdateFlag:
         baselines = tmp_path / "baselines"
         current.mkdir()
         baselines.mkdir()
-        filename, key = next(iter(TRACKED.items()))
+        filename, keys = next(iter(TRACKED.items()))
         (baselines / filename).write_text(
-            json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 8}})
+            json.dumps(
+                {key: {"case": 2.0} for key in keys}
+                | {"host": {"cpu_count": 8}}
+            )
         )
         (current / filename).write_text(
-            json.dumps({key: {"case": 2.0}, "host": {"cpu_count": 1}})
+            json.dumps(
+                {key: {"case": 2.0} for key in keys}
+                | {"host": {"cpu_count": 1}}
+            )
         )
         assert (
             main(
