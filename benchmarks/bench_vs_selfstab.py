@@ -12,6 +12,13 @@ wave violates [PIF1]/[PIF2].  Expected shape: a positive failure rate
 for the self-stabilizing baseline, *exactly zero* for the snap PIF —
 while both deliver correctly once stabilized (their last waves are
 clean).
+
+E7b is the scale leg: since the generic guard-expression compiler,
+the [12]-style baseline runs spec-compiled on the columnar engine, so
+the snap-vs-baseline comparison can finally be driven *like for like*
+at N = 16 384 / 65 536 — same topology, same daemon, same engine, both
+protocols on compiled kernels (steady-state wave steps/sec; numbers
+quoted in EXPERIMENTS.md E7).
 """
 
 from __future__ import annotations
@@ -161,3 +168,69 @@ def test_snap_pif_never_fails(net, benchmark) -> None:
     assert runs >= RUNS * 3 // 4
     assert first_bad == 0
     assert last_bad == 0
+
+
+LARGE_TABLE = TableCollector(
+    "E7b — like-for-like at scale: steady-state wave steps/sec, "
+    "snap PIF vs self-stab baseline (both spec-compiled)",
+    columns=["network", "protocol", "engine", "steps", "steps/sec"],
+)
+
+#: Steady-state step budgets, matching ``bench_engine.py``'s sizes.
+LARGE_CASES = [(16_384, 80), (65_536, 30)]
+
+
+def _throughput(protocol, net, engine: str, budget: int) -> dict:
+    import time
+
+    sim = Simulator(
+        protocol,
+        net,
+        CentralDaemon(choice="random"),
+        seed=1,
+        engine=engine,
+    )
+    start = time.perf_counter()
+    done = 0
+    for _ in range(budget):
+        if sim.step() is None:
+            break
+        done += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "steps": done,
+        "steps_per_sec": done / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+@pytest.mark.parametrize(
+    "n,budget", LARGE_CASES, ids=[f"ring-{n}" for n, _ in LARGE_CASES]
+)
+def test_like_for_like_at_scale(n: int, budget: int, benchmark) -> None:
+    net = ring(n)
+    factories = [
+        ("snap PIF", lambda: SnapPif.for_network(net)),
+        ("self-stab [12]-style", lambda: SelfStabPif(0, net.n)),
+    ]
+
+    def run() -> list[dict]:
+        rows = []
+        for label, factory in factories:
+            for engine in ("incremental", "columnar"):
+                m = _throughput(factory(), net, engine, budget)
+                rows.append(
+                    {
+                        "network": net.name,
+                        "protocol": label,
+                        "engine": engine,
+                        "steps": int(m["steps"]),
+                        "steps/sec": round(m["steps_per_sec"]),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        LARGE_TABLE.add(row)
+        # Both protocols sustain their wave cycles at this size.
+        assert row["steps"] == budget

@@ -9,6 +9,12 @@ snap PIF delivers its first wave correctly immediately.
 Reported per topology: rounds before the tree substrate is correct, the
 tree PIF's wave cost after that, and the snap PIF's first-wave cost from
 an equally corrupted state (its substrate *is* the wave).
+
+E11c is the scale leg: the [9]-style tree PIF now runs spec-compiled
+on the columnar engine (its frozen tree enters as a static column), so
+tree-PIF-vs-snap-PIF throughput is measurable like for like on a
+65 536-node random tree — same network, same daemon, same engine
+(numbers quoted in EXPERIMENTS.md E11).
 """
 
 from __future__ import annotations
@@ -197,3 +203,84 @@ def test_snap_pif_no_failures_same_setting(net, benchmark) -> None:
     assert total >= 20
     assert first_bad == 0
     assert last_bad == 0
+
+
+SCALE_TABLE = TableCollector(
+    "E11c — like-for-like at scale: steady-state wave steps/sec on a "
+    "random tree, tree PIF vs snap PIF (both spec-compiled)",
+    columns=["network", "protocol", "engine", "steps", "steps/sec"],
+)
+
+SCALE_CASES = [(16_384, 80), (65_536, 30)]
+
+
+def _bfs_parents(net) -> dict[int, int | None]:
+    levels = net.bfs_levels(0)
+    return {
+        p: (
+            None
+            if p == 0
+            else next(q for q in net.neighbors(p) if levels[q] == levels[p] - 1)
+        )
+        for p in net.nodes
+    }
+
+
+def _wave_throughput(protocol, net, engine: str, budget: int) -> dict:
+    import time
+
+    from repro.runtime.daemons import CentralDaemon
+
+    sim = Simulator(
+        protocol,
+        net,
+        CentralDaemon(choice="random"),
+        seed=1,
+        engine=engine,
+    )
+    start = time.perf_counter()
+    done = 0
+    for _ in range(budget):
+        if sim.step() is None:
+            break
+        done += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "steps": done,
+        "steps_per_sec": done / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+@pytest.mark.parametrize(
+    "n,budget", SCALE_CASES, ids=[f"tree-{n}" for n, _ in SCALE_CASES]
+)
+def test_tree_pif_like_for_like_at_scale(n: int, budget: int, benchmark) -> None:
+    from repro.graphs import random_tree
+
+    net = random_tree(n, seed=n)
+    parents = _bfs_parents(net)
+    factories = [
+        ("snap PIF", lambda: SnapPif.for_network(net)),
+        ("tree PIF [9]-style", lambda: TreePif(0, parents)),
+    ]
+
+    def run() -> list[dict]:
+        rows = []
+        for label, factory in factories:
+            for engine in ("incremental", "columnar"):
+                m = _wave_throughput(factory(), net, engine, budget)
+                rows.append(
+                    {
+                        "network": net.name,
+                        "protocol": label,
+                        "engine": engine,
+                        "steps": int(m["steps"]),
+                        "steps/sec": round(m["steps_per_sec"]),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        SCALE_TABLE.add(row)
+        assert row["steps"] == budget

@@ -37,6 +37,7 @@ TRACKED: dict[str, tuple[str, ...]] = {
     "BENCH_engine.json": (
         "speedup_incremental_over_full",
         "speedup_columnar_over_incremental",
+        "speedup_columnar_over_incremental_by_protocol",
     ),
     "BENCH_modelcheck.json": ("speedup_memo_over_direct",),
     "BENCH_chaos.json": ("campaign_steps_per_sec",),

@@ -70,6 +70,7 @@ from repro.chaos.shrink import (
     replay_tape,
     save_repro,
     shrink_run,
+    shrink_sweep,
 )
 
 __all__ = [
@@ -101,6 +102,7 @@ __all__ = [
     "ddmin",
     "replay_tape",
     "shrink_run",
+    "shrink_sweep",
     "falsify",
     "save_repro",
     "load_repro",

@@ -39,6 +39,7 @@ __all__ = [
     "shrink_entry_payloads",
     "Repro",
     "shrink_run",
+    "shrink_sweep",
     "falsify",
     "save_repro",
     "load_repro",
@@ -111,6 +112,24 @@ def replay_tape(
     return None
 
 
+def _record_shrink_test(candidate_entries: int, accepted: bool) -> None:
+    """Stream one shrink-oracle evaluation into telemetry.
+
+    Emitted per candidate replay from both shrinking passes, so live
+    dashboards see shrink *progress* rather than only the end-of-run
+    totals :func:`shrink_run` publishes.  Counters and a histogram
+    only — both merge deterministically across workers, keeping the
+    aggregated snapshot bit-identical across ``jobs``.
+    """
+    if not _telemetry.enabled:
+        return
+    reg = _telemetry.registry
+    reg.inc("chaos.shrink.tests")
+    reg.observe("chaos.shrink.candidate_entries", candidate_entries)
+    if accepted:
+        reg.inc("chaos.shrink.accepted")
+
+
 def ddmin(
     items: list,
     test: Callable[[list], bool],
@@ -130,7 +149,9 @@ def ddmin(
     def check(candidate: list) -> bool:
         nonlocal tests_run
         tests_run += 1
-        return test(candidate)
+        ok = test(candidate)
+        _record_shrink_test(len(candidate), ok)
+        return ok
 
     granularity = 2
     while len(items) >= 2 and tests_run < max_tests:
@@ -241,7 +262,9 @@ def shrink_entry_payloads(
                     return items, tests_run
                 trial = items[:index] + [candidate] + items[index + 1 :]
                 tests_run += 1
-                if test(trial):
+                ok = test(trial)
+                _record_shrink_test(len(trial), ok)
+                if ok:
                     items = trial
                     progress = True
                     break
@@ -376,6 +399,86 @@ def falsify(
                     if repro.strictly_smaller or not require_strictly_smaller:
                         return repro
     return None
+
+
+def shrink_sweep(
+    protocol_factory: Callable[..., Protocol],
+    networks: Sequence[Network],
+    scenarios: Sequence,
+    *,
+    daemons: Sequence[str] = ("central",),
+    seeds: Sequence[int] = (0,),
+    budget: int = 400,
+    max_tests: int = 1000,
+    jobs: int | None = None,
+    task_timeout: float | None = None,
+) -> list[Repro | None]:
+    """Shrink every violating cell of a ``networks × daemons × seeds ×
+    scenarios`` grid.
+
+    Unlike :func:`falsify` (first reproducer wins), the sweep processes
+    the *whole* grid and returns one entry per cell in grid order:
+    the shrunk :class:`Repro` for violating cells, ``None`` for cells
+    that pass (or whose tape fails to re-reproduce).  ``jobs`` fans the
+    cells out across the process pool (``None`` falls back to
+    ``REPRO_JOBS``, then the serial loop); each cell is an independent
+    deterministic run-then-shrink, results merge in submission order,
+    and each worker's shrink telemetry is captured and merged in that
+    same order — so the reproducers *and* the aggregated deterministic
+    metrics are bit-identical across job counts.
+    """
+    from repro.parallel.executor import resolve_jobs
+
+    grid = []
+    for network in networks:
+        for daemon in daemons:
+            for seed in seeds:
+                for scenario in scenarios:
+                    grid.append((network, daemon, seed, scenario))
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs is not None:
+        from repro.parallel.executor import ParallelExecutor, raise_failures
+        from repro.parallel.workers import shrink_cell
+
+        tasks = []
+        for network, daemon, seed, scenario in grid:
+            key = (network.name, scenario.name, daemon, seed)
+            payload = {
+                "factory": protocol_factory,
+                "network": network,
+                "scenario": scenario,
+                "daemon": daemon,
+                "seed": seed,
+                "budget": budget,
+                "max_tests": max_tests,
+            }
+            tasks.append((key, payload))
+        executor = ParallelExecutor(
+            shrink_cell, jobs=n_jobs, timeout=task_timeout
+        )
+        outcomes = executor.map(tasks)
+        raise_failures(outcomes)
+        return list(outcomes)
+
+    from repro.chaos.campaign import run_chaos
+
+    results: list[Repro | None] = []
+    for network, daemon, seed, scenario in grid:
+        protocol = protocol_factory(network)
+        run = run_chaos(
+            protocol,
+            network,
+            scenario,
+            daemon=daemon,
+            seed=seed,
+            budget=budget,
+        )
+        if run.ok:
+            results.append(None)
+        else:
+            results.append(shrink_run(protocol, run, max_tests=max_tests))
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -10,13 +10,15 @@ compiles each protocol's guards once per ``(protocol, network)`` into
 mask kernels, and repairs masks only on the 1-hop dirty region of each
 step — O(dirty ∪ N(dirty)), independent of N.
 
-Layering: ``schema`` (dependency-free field declarations) ← ``backend``
-(pure ``array`` vs numpy storage) ← ``csr`` / ``block`` (flat storage)
-← ``engine`` (runtime + object bridge).  Compiled kernels live with
-their protocols (e.g. :mod:`repro.columnar.snap_pif_kernel` for
-:class:`~repro.core.pif.SnapPif`) and are reached only through
-:meth:`~repro.runtime.protocol.Protocol.compile_columnar`, so importing
-this package never drags protocol modules in.
+Layering: ``schema`` / ``expr`` (dependency-free declarations — field
+layouts and guard-expression IR) ← ``backend`` (pure ``array`` vs numpy
+storage) ← ``csr`` / ``block`` (flat storage) ← ``compiler`` (generic
+spec → kernel compilation) ← ``engine`` (runtime + object bridge).
+Protocols declare a :class:`~repro.columnar.expr.ColumnarSpec` via
+:meth:`~repro.runtime.protocol.Protocol.columnar_spec` and the compiler
+builds both the scalar and the vectorized kernel from it — no
+per-protocol kernel code; importing this package never drags protocol
+modules in.
 """
 
 from repro.columnar.backend import (
@@ -27,8 +29,15 @@ from repro.columnar.backend import (
 )
 from repro.columnar.block import ColumnBlock
 from repro.columnar.bridge import ObjectBridgeKernel
+from repro.columnar.compiler import (
+    CompiledSpecKernel,
+    VECTOR_MIN_NODES,
+    csr_for,
+    segment_reduce,
+)
 from repro.columnar.csr import CSRIndex
 from repro.columnar.engine import ColumnarRuntime
+from repro.columnar.expr import ActionSpec, ColumnarSpec
 from repro.columnar.schema import (
     ColumnField,
     ColumnSchema,
@@ -37,16 +46,22 @@ from repro.columnar.schema import (
 )
 
 __all__ = [
+    "ActionSpec",
     "BACKENDS",
     "ColumnBlock",
     "ColumnField",
     "ColumnSchema",
     "ColumnarRuntime",
+    "ColumnarSpec",
+    "CompiledSpecKernel",
     "CSRIndex",
     "ObjectBridgeKernel",
+    "VECTOR_MIN_NODES",
     "bool_field",
+    "csr_for",
     "identity_int",
     "make_column",
     "numpy_available",
     "resolve_backend",
+    "segment_reduce",
 ]

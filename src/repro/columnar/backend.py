@@ -7,7 +7,7 @@ node id.  Two interchangeable backends provide that storage:
   run as scalar loops over plain ints.
 * ``"numpy"`` — numpy arrays; large guard re-evaluations additionally
   use the vectorized mask path (see
-  :mod:`repro.columnar.snap_pif_kernel`).
+  :mod:`repro.columnar.compiler`).
 
 ``REPRO_COLUMNAR_BACKEND`` selects the backend when the caller does not
 pass one explicitly: ``"auto"`` (default — numpy when importable, else

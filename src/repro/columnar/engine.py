@@ -52,6 +52,20 @@ class ColumnarRuntime:
         return self.kernel.protocol
 
     @property
+    def validates_successor(self) -> bool:
+        """Whether lockstep validation may re-execute selections.
+
+        False for the object bridge (nothing columnar to cross-check)
+        and for compiled kernels with object statements (impure
+        statements — payload envelopes — must run exactly once; a
+        validation re-execution would itself perturb application
+        state and then diverge on object identity).
+        """
+        return self.compiled and getattr(
+            self.kernel, "validates_successor", True
+        )
+
+    @property
     def network(self) -> Network:
         return self.kernel.network
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Callable, Sequence
 
-from repro.core.pif import SnapPif
+from repro.core.pif import SnapPif, snap_pif_spec
 from repro.core.state import Phase, PifConstants, PifState
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context
@@ -217,6 +217,25 @@ class PayloadSnapPif(SnapPif):
             return Action(action.name, action.guard, feedback, action.correction)
 
         return action
+
+    # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+    def columnar_spec(self):
+        """The pure PIF core compiled, statements left to the objects.
+
+        Guards are untouched by :meth:`_wrap` — they read only the five
+        core PIF columns — so mask evaluation runs fully compiled.
+        Statements are impure (outbox reads, identity-compared
+        envelopes, wave bookkeeping) and cannot live in integer
+        columns, so the spec declares ``object_statements=True``: the
+        kernel keeps the authoritative :class:`PayloadPifState` objects
+        in a side-car and executes the wrapped object statements,
+        encoding only the pure core back into the columns.
+        """
+        if type(self) is not PayloadSnapPif:
+            return None
+        return snap_pif_spec(self.constants, object_statements=True)
 
     # ------------------------------------------------------------------
     # State constructors

@@ -21,15 +21,190 @@ from __future__ import annotations
 from random import Random
 from typing import Sequence
 
+from repro.columnar.expr import (
+    ActionSpec,
+    Add,
+    And,
+    ColumnarSpec,
+    Const,
+    Eq,
+    Le,
+    Lt,
+    Min2,
+    Nbr,
+    NbrAll,
+    NbrArgMinFirst,
+    NbrExists,
+    NbrMin,
+    NbrSum,
+    Ne,
+    NodeId,
+    Not,
+    Or,
+    Own,
+    Ptr,
+)
 from repro.core.actions import non_root_program, root_program
 from repro.core.macros import chosen_parent
-from repro.core.state import Phase, PifConstants, PifState
+from repro.core.state import PIF_COLUMNS, Phase, PifConstants, PifState
 from repro.errors import ProtocolError
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context, Protocol
 from repro.runtime.state import Configuration
 
-__all__ = ["SnapPif"]
+__all__ = ["SnapPif", "snap_pif_spec"]
+
+
+def snap_pif_spec(
+    constants: PifConstants, *, object_statements: bool = False
+) -> ColumnarSpec:
+    """Algorithms 1 and 2 as guard-expression IR.
+
+    The declarative form of what ``snap_pif_kernel.py`` used to
+    hand-transcribe: every guard is a boolean combination of own reads,
+    parent gathers (``Par_p ∈ Neig_p``) and neighborhood folds.
+    Subexpressions are shared *as objects* (``Sum_p``, ``Potential_p``
+    membership, ``Normal``…) so both evaluators fold each of them once
+    per node.  Phase codes are fixed by ``PIF_COLUMNS``: B=0, F=1, C=2.
+    """
+    k = constants
+    B, F, C = 0, 1, 2
+    is_b = Eq(Own("pif"), Const(B))
+    is_f = Eq(Own("pif"), Const(F))
+    is_c = Eq(Own("pif"), Const(C))
+    n_is_b = Eq(Nbr("pif"), Const(B))
+    child = Eq(Nbr("par"), NodeId())
+    # Sum_p = 1 + Σ Count_q over B-children at the right level that have
+    # not been counted yet (¬Fok_q).
+    sum_member = And(
+        n_is_b,
+        child,
+        Eq(Nbr("level"), Add(Own("level"), Const(1))),
+        Not(Nbr("fok")),
+    )
+    sums = Add(Const(1), NbrSum(Nbr("count"), where=sum_member))
+    all_clean = NbrAll(Eq(Nbr("pif"), Const(C)))
+    has_b = NbrExists(n_is_b)
+    n_prime = Const(k.n_prime)
+    count_cap = Min2(sums, n_prime)
+
+    # --- Algorithm 1: the root -------------------------------------
+    good_r = And(
+        Or(Not(Own("fok")), Eq(Own("count"), Const(k.n))),
+        Or(Own("fok"), Le(Own("count"), sums)),
+    )
+    root_actions = [
+        ActionSpec(
+            "B-action",
+            And(is_c, all_clean),
+            {
+                "pif": Const(B),
+                "count": Const(1),
+                "fok": Const(1 if k.n == 1 else 0),
+            },
+        ),
+        ActionSpec(
+            "F-action",
+            And(is_b, good_r, Own("fok"), Not(has_b)),
+            {"pif": Const(F)},
+        ),
+        ActionSpec("C-action", And(is_f, all_clean), {"pif": Const(C)}),
+        ActionSpec(
+            "Count-action",
+            And(
+                is_b,
+                good_r,
+                Not(Own("fok")),
+                Or(Lt(Own("count"), count_cap), Eq(sums, Const(k.n))),
+            ),
+            {"count": count_cap, "fok": Eq(sums, Const(k.n))},
+        ),
+    ]
+    if k.corrections:
+        root_actions.append(
+            ActionSpec("B-correction", And(is_b, Not(good_r)), {"pif": Const(C)})
+        )
+
+    # --- Algorithm 2: everyone else --------------------------------
+    prepot_terms = [n_is_b, Not(child), Lt(Nbr("level"), Const(k.l_max))]
+    if k.fok_join_guard:
+        prepot_terms.append(Not(Nbr("fok")))
+    prepot = And(*prepot_terms)
+    has_prepot = NbrExists(prepot)
+    has_active_child = NbrExists(And(Ne(Nbr("pif"), Const(C)), child))
+    has_b_child = NbrExists(And(n_is_b, child))
+    parent_pif = Ptr("par", "pif")
+    parent_fok = Ptr("par", "fok")
+    good_level = Eq(Own("level"), Add(Ptr("par", "level"), Const(1)))
+    normal_b = And(
+        Eq(parent_pif, Const(B)),
+        good_level,
+        Not(And(Own("fok"), Not(parent_fok))),
+        Or(Own("fok"), Le(Own("count"), sums)),
+    )
+    normal_f = And(
+        Or(Eq(parent_pif, Const(F)), Eq(parent_pif, Const(B))),
+        good_level,
+        Not(And(Eq(parent_pif, Const(B)), Not(parent_fok))),
+    )
+    b_guard = [is_c, has_prepot]
+    if k.leaf_guard:
+        b_guard.append(Not(has_active_child))
+    node_actions = [
+        ActionSpec(
+            "B-action",
+            And(*b_guard),
+            {
+                "pif": Const(B),
+                # min_{≻p}(Potential_p): first minimal-level member in
+                # local order, level = that minimum + 1.
+                "par": NbrArgMinFirst(Nbr("level"), where=prepot),
+                "level": Add(NbrMin(Nbr("level"), where=prepot), Const(1)),
+                "count": Const(1),
+                "fok": Const(0),
+            },
+        ),
+        ActionSpec(
+            "Fok-action",
+            And(is_b, normal_b, Ne(Own("fok"), parent_fok)),
+            {"fok": Const(1)},
+        ),
+        ActionSpec(
+            "F-action",
+            And(is_b, normal_b, Own("fok"), Not(has_b_child)),
+            {"pif": Const(F)},
+        ),
+        ActionSpec(
+            "C-action",
+            And(is_f, normal_f, Not(has_active_child), Not(has_b)),
+            {"pif": Const(C)},
+        ),
+        ActionSpec(
+            "Count-action",
+            And(is_b, normal_b, Not(Own("fok")), Lt(Own("count"), count_cap)),
+            {"count": count_cap},
+        ),
+    ]
+    if k.corrections:
+        node_actions.append(
+            ActionSpec(
+                "B-correction", And(is_b, Not(normal_b)), {"pif": Const(F)}
+            )
+        )
+        node_actions.append(
+            ActionSpec(
+                "F-correction", And(is_f, Not(normal_f)), {"pif": Const(C)}
+            )
+        )
+
+    root = k.root
+    return ColumnarSpec(
+        schema=PIF_COLUMNS,
+        programs={"root": tuple(root_actions), "node": tuple(node_actions)},
+        roles=lambda p: "root" if p == root else "node",
+        bulk_role="node",
+        object_statements=object_statements,
+    )
 
 
 class SnapPif(Protocol):
@@ -137,21 +312,18 @@ class SnapPif(Protocol):
             return state.replace(par=network.neighbors(node)[0])
         return state
 
-    def compile_columnar(self, network: Network, backend: str):
-        """The compiled flat-array kernel (see DESIGN.md §11).
+    def columnar_spec(self):
+        """Algorithms 1/2 in guard-expression IR (see DESIGN.md §12).
 
-        Only the unmodified :class:`SnapPif` compiles: subclasses
-        (e.g. :class:`~repro.core.payload.PayloadSnapPif`) wrap the
-        programs with extra state and semantics the kernel does not
-        model, so they fall back to the object bridge unless they
-        provide their own kernel.
+        Only the unmodified :class:`SnapPif` declares a spec:
+        subclasses wrap the programs with extra state and semantics the
+        columns do not model, so they fall back to the object bridge
+        unless they declare their own spec (as
+        :class:`~repro.core.payload.PayloadSnapPif` does).
         """
         if type(self) is not SnapPif:
             return None
-        self._check_network(network)
-        from repro.columnar.snap_pif_kernel import SnapPifKernel
-
-        return SnapPifKernel(self, network, backend)
+        return snap_pif_spec(self.constants)
 
     # ------------------------------------------------------------------
     # PIF-specific helpers

@@ -32,6 +32,8 @@ __all__ = [
     "PIF_COLUMNS",
     "PifState",
     "PifConstants",
+    "encode_optional_node",
+    "decode_optional_node",
 ]
 
 
@@ -88,11 +90,19 @@ PHASE_CODES = {Phase.B: 0, Phase.F: 1, Phase.C: 2}
 PHASE_BY_CODE = (Phase.B, Phase.F, Phase.C)
 
 
-def _encode_par(par: int | None) -> int:
-    return -1 if par is None else par
+def encode_optional_node(node: int | None) -> int:
+    """``node | None`` → int column value (``⊥`` becomes ``-1``).
+
+    The shared encoding for every optional-node-pointer column (PIF
+    parents, spanning-tree parents, …): node ids are non-negative, so
+    ``-1`` is free to mean "no node" — and it is what the columnar IR's
+    ``NbrArgMinFirst`` yields for an empty match set.
+    """
+    return -1 if node is None else node
 
 
-def _decode_par(value: int) -> int | None:
+def decode_optional_node(value: int) -> int | None:
+    """Inverse of :func:`encode_optional_node`."""
     return None if value < 0 else value
 
 
@@ -108,7 +118,9 @@ PIF_COLUMNS = ColumnSchema(
             encode=PHASE_CODES.__getitem__,
             decode=PHASE_BY_CODE.__getitem__,
         ),
-        ColumnField("par", encode=_encode_par, decode=_decode_par),
+        ColumnField(
+            "par", encode=encode_optional_node, decode=decode_optional_node
+        ),
         ColumnField("level"),
         ColumnField("count"),
         bool_field("fok"),

@@ -33,6 +33,7 @@ from repro.runtime.network import Network
 
 __all__ = [
     "campaign_cell",
+    "shrink_cell",
     "snap_safety_shard",
     "liveness_shard",
     "convergence_shard",
@@ -105,6 +106,31 @@ def campaign_cell(payload: dict):
         engine=payload.get("engine"),
         validate_engine=payload.get("validate_engine"),
     )
+
+
+def shrink_cell(payload: dict):
+    """Run one grid cell and shrink its tape if it violates.
+
+    Returns the shrunk :class:`~repro.chaos.shrink.Repro` (``None`` for
+    a passing cell).  The per-iteration shrink metrics stream into this
+    task's captured registry and merge back in submission order.
+    """
+    from repro.chaos.campaign import run_chaos
+    from repro.chaos.shrink import shrink_run
+
+    network = payload["network"]
+    protocol = _protocol_for(payload.get("factory"), network)
+    run = run_chaos(
+        protocol,
+        network,
+        payload["scenario"],
+        daemon=payload["daemon"],
+        seed=payload["seed"],
+        budget=payload["budget"],
+    )
+    if run.ok:
+        return None
+    return shrink_run(protocol, run, max_tests=payload["max_tests"])
 
 
 def snap_safety_shard(payload: dict):

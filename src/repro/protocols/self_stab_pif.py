@@ -32,7 +32,28 @@ from __future__ import annotations
 from random import Random
 from typing import Sequence
 
-from repro.core.state import Phase, PifState
+from repro.columnar.expr import (
+    ActionSpec,
+    Add,
+    And,
+    ColumnarSpec,
+    Const,
+    Eq,
+    Lt,
+    Nbr,
+    NbrAll,
+    NbrArgMinFirst,
+    NbrExists,
+    NbrId,
+    NbrMin,
+    Ne,
+    NodeId,
+    Not,
+    Or,
+    Own,
+    Ptr,
+)
+from repro.core.state import PIF_COLUMNS, Phase, PifState
 from repro.errors import ProtocolError
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context, Protocol
@@ -258,6 +279,91 @@ class SelfStabPif(Protocol):
                 lambda ctx: self._own(ctx).replace(pif=Phase.C),
                 correction=True,
             ),
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+    def columnar_spec(self) -> ColumnarSpec | None:
+        """The baseline's guards in guard-expression IR.
+
+        Reuses ``PIF_COLUMNS`` (``count``/``fok`` stay pinned — no
+        action ever writes them).  Phase codes: B=0, F=1, C=2.
+        """
+        if type(self) is not SelfStabPif:
+            return None
+        B, F, C = 0, 1, 2
+        is_b = Eq(Own("pif"), Const(B))
+        is_f = Eq(Own("pif"), Const(F))
+        is_c = Eq(Own("pif"), Const(C))
+        all_c = NbrAll(Eq(Nbr("pif"), Const(C)))
+        # Potential_p: broadcasting neighbors not pointing at p, below
+        # the level cap (no Fok filter, no Leaf guard — the baseline).
+        pot = And(
+            Eq(Nbr("pif"), Const(B)),
+            Ne(Nbr("par"), NodeId()),
+            Lt(Nbr("level"), Const(self.l_max)),
+        )
+        # _neighborhood_done: every q is either p's parent, or active
+        # (Pif ≠ C) and — when it designates p — already fed back.  The
+        # root's par encodes as -1, which no neighbor id equals, so the
+        # same formula serves both roles.
+        done = NbrAll(
+            Or(
+                Eq(NbrId(), Own("par")),
+                And(
+                    Ne(Nbr("pif"), Const(C)),
+                    Or(Ne(Nbr("par"), NodeId()), Eq(Nbr("pif"), Const(F))),
+                ),
+            )
+        )
+        leaf = Not(
+            NbrExists(And(Ne(Nbr("pif"), Const(C)), Eq(Nbr("par"), NodeId())))
+        )
+        b_free = Not(NbrExists(Eq(Nbr("pif"), Const(B))))
+        # GoodPif ∧ GoodLevel (trivially true in phase C).
+        parent_pif = Ptr("par", "pif")
+        normal = Or(
+            is_c,
+            And(
+                Or(Eq(parent_pif, Own("pif")), Eq(parent_pif, Const(B))),
+                Eq(Own("level"), Add(Ptr("par", "level"), Const(1))),
+            ),
+        )
+        root_actions = (
+            ActionSpec("B-action", And(is_c, all_c), {"pif": Const(B)}),
+            ActionSpec("F-action", And(is_b, done), {"pif": Const(F)}),
+            ActionSpec("C-action", And(is_f, all_c), {"pif": Const(C)}),
+        )
+        node_actions = (
+            ActionSpec(
+                "B-action",
+                And(is_c, NbrExists(pot)),
+                {
+                    "pif": Const(B),
+                    "par": NbrArgMinFirst(Nbr("level"), where=pot),
+                    "level": Add(NbrMin(Nbr("level"), where=pot), Const(1)),
+                },
+            ),
+            ActionSpec("F-action", And(is_b, normal, done), {"pif": Const(F)}),
+            ActionSpec(
+                "C-action",
+                And(is_f, normal, leaf, b_free),
+                {"pif": Const(C)},
+            ),
+            ActionSpec(
+                "B-correction", And(is_b, Not(normal)), {"pif": Const(F)}
+            ),
+            ActionSpec(
+                "F-correction", And(is_f, Not(normal)), {"pif": Const(C)}
+            ),
+        )
+        root = self.root
+        return ColumnarSpec(
+            schema=PIF_COLUMNS,
+            programs={"root": root_actions, "node": node_actions},
+            roles=lambda p: "root" if p == root else "node",
+            bulk_role="node",
         )
 
     # ------------------------------------------------------------------

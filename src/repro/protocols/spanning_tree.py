@@ -21,12 +21,27 @@ from dataclasses import dataclass
 from random import Random
 from typing import Sequence
 
+from repro.columnar.expr import (
+    ActionSpec,
+    Add,
+    ColumnarSpec,
+    Const,
+    Min2,
+    Nbr,
+    NbrArgMinFirst,
+    NbrMin,
+    Ne,
+    Or,
+    Own,
+)
+from repro.columnar.schema import ColumnField, ColumnSchema
+from repro.core.state import decode_optional_node, encode_optional_node
 from repro.errors import ProtocolError
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context, Protocol
 from repro.runtime.state import Configuration, NodeState
 
-__all__ = ["TreeState", "SpanningTree"]
+__all__ = ["TREE_COLUMNS", "TreeState", "SpanningTree"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,6 +50,18 @@ class TreeState(NodeState):
 
     dist: int
     par: int | None
+
+
+#: Columnar layout of :class:`TreeState` (``par = None`` encodes as -1).
+TREE_COLUMNS = ColumnSchema(
+    state_type=TreeState,
+    fields=(
+        ColumnField("dist"),
+        ColumnField(
+            "par", encode=encode_optional_node, decode=decode_optional_node
+        ),
+    ),
+)
 
 
 class SpanningTree(Protocol):
@@ -64,6 +91,10 @@ class SpanningTree(Protocol):
         for q, sq in ctx.neighbor_states():
             assert isinstance(sq, TreeState)
             neighbor_dists.append((q, sq.dist))
+        if not neighbor_dists:
+            # An isolated node (topology churn can strand one): no
+            # neighbor to hang from, so saturate and drop the parent.
+            return TreeState(dist=self.dist_max, par=None)
         best_dist = min(d for _q, d in neighbor_dists) + 1
         best_dist = min(best_dist, self.dist_max)
         best_par = next(
@@ -95,6 +126,50 @@ class SpanningTree(Protocol):
             return self._target(ctx) != state
 
         return (Action("Recompute", guard, self._target),)
+
+    # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+    def columnar_spec(self) -> ColumnarSpec | None:
+        """Dolev–Israeli–Moran in guard-expression IR.
+
+        ``min_q min(dist_q + 1, dist_max) = min(min_q dist_q + 1,
+        dist_max)``, and the first neighbor achieving the saturated
+        minimum is exactly :meth:`_target`'s parent choice, so the
+        target state is one ``NbrMin`` and one ``NbrArgMinFirst`` over
+        the saturated per-neighbor distances.  An isolated node folds
+        over nothing: ``NbrMin`` falls back to ``dist_max`` and
+        ``NbrArgMinFirst`` yields ``-1`` (= no parent), matching
+        :meth:`_target`.
+        """
+        if type(self) is not SpanningTree:
+            return None
+        dist_max = Const(self.dist_max)
+        tgt_dist = Min2(
+            Add(NbrMin(Nbr("dist"), default=dist_max), Const(1)), dist_max
+        )
+        tgt_par = NbrArgMinFirst(Min2(Add(Nbr("dist"), Const(1)), dist_max))
+        node_actions = (
+            ActionSpec(
+                "Recompute",
+                Or(Ne(Own("dist"), tgt_dist), Ne(Own("par"), tgt_par)),
+                {"dist": tgt_dist, "par": tgt_par},
+            ),
+        )
+        root_actions = (
+            ActionSpec(
+                "Fix-root",
+                Or(Ne(Own("dist"), Const(0)), Ne(Own("par"), Const(-1))),
+                {"dist": Const(0), "par": Const(-1)},
+            ),
+        )
+        root = self.root
+        return ColumnarSpec(
+            schema=TREE_COLUMNS,
+            programs={"root": root_actions, "node": node_actions},
+            roles=lambda p: "root" if p == root else "node",
+            bulk_role="node",
+        )
 
     def initial_state(self, node: int, network: Network) -> TreeState:
         self._check_network(network)

@@ -21,14 +21,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from random import Random
 from typing import Mapping, Sequence
+from weakref import WeakSet
 
-from repro.core.state import Phase
+from repro.columnar.expr import (
+    ActionSpec,
+    And,
+    ColumnarSpec,
+    Const,
+    Eq,
+    Nbr,
+    NbrAll,
+    Ne,
+    NodeId,
+    Or,
+    Own,
+    Ptr,
+)
+from repro.columnar.schema import ColumnField, ColumnSchema
+from repro.core.state import PHASE_BY_CODE, PHASE_CODES, Phase, encode_optional_node
 from repro.errors import ProtocolError, TopologyError
 from repro.runtime.network import Network
 from repro.runtime.protocol import Action, Context, Protocol
 from repro.runtime.state import NodeState
 
-__all__ = ["TreeWaveState", "TreePif"]
+__all__ = ["TREE_WAVE_COLUMNS", "TreeWaveState", "TreePif"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,6 +52,22 @@ class TreeWaveState(NodeState):
     """Wave phase of one processor (the tree structure is static input)."""
 
     pif: Phase
+
+
+#: Columnar layout of :class:`TreeWaveState` — the wave phase is the
+#: only dynamic variable; the tree itself rides along as a static
+#: ``tree_par`` column (see :meth:`TreePif.columnar_spec`).
+TREE_WAVE_COLUMNS = ColumnSchema(
+    state_type=TreeWaveState,
+    fields=(
+        ColumnField(
+            "pif",
+            typecode="b",
+            encode=PHASE_CODES.__getitem__,
+            decode=PHASE_BY_CODE.__getitem__,
+        ),
+    ),
+)
 
 
 class TreePif(Protocol):
@@ -58,30 +90,44 @@ class TreePif(Protocol):
         self.parents = dict(parents)
         if self.parents.get(root, "missing") is not None:
             raise ProtocolError(f"parents[{root}] must be None (the root)")
+        # Single pass (the old per-node scan was O(N²) and dominated
+        # construction for benchmark-sized trees).
+        child_lists: dict[int, list[int]] = {p: [] for p in self.parents}
+        for q in sorted(self.parents):
+            par = self.parents[q]
+            if par is not None and par in child_lists:
+                child_lists[par].append(q)
         self.children: dict[int, tuple[int, ...]] = {
-            p: tuple(
-                q for q, par in sorted(self.parents.items()) if par == p
-            )
-            for p in self.parents
+            p: tuple(c) for p, c in child_lists.items()
         }
         self._validate_tree()
 
     def _validate_tree(self) -> None:
-        # Every non-root node must reach the root through parent pointers.
+        # Every non-root node must reach the root through parent
+        # pointers.  Nodes proven to reach the root are shared across
+        # walks, so the whole validation is O(N) instead of O(N·depth).
+        verified: set[int] = set()
         for node in self.parents:
-            seen = set()
+            seen: set[int] = set()
+            path: list[int] = []
             cursor: int | None = node
-            while cursor is not None and cursor != self.root:
+            while (
+                cursor is not None
+                and cursor != self.root
+                and cursor not in verified
+            ):
                 if cursor in seen:
                     raise ProtocolError(
                         f"parent map contains a cycle through {cursor}"
                     )
                 seen.add(cursor)
+                path.append(cursor)
                 cursor = self.parents[cursor]
             if cursor is None and node != self.root:
                 raise ProtocolError(
                     f"node {node} does not reach the root in the parent map"
                 )
+            verified.update(path)
 
     # ------------------------------------------------------------------
     # Program
@@ -189,6 +235,71 @@ class TreePif(Protocol):
             ),
         )
 
+    # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+    def columnar_spec(self) -> ColumnarSpec | None:
+        """The tree wave in guard-expression IR.
+
+        The fixed tree enters as a static ``tree_par`` column (the
+        root's ``None`` encodes as ``-1``).  Every tree edge is a
+        network link (checked by :meth:`_check_network`), so "children
+        of p" is exactly "neighbors q with ``tree_par_q = p``" and the
+        per-child conjunctions become neighborhood folds.
+        """
+        if type(self) is not TreePif:
+            return None
+        B, F, C = 0, 1, 2
+        is_b = Eq(Own("pif"), Const(B))
+        is_f = Eq(Own("pif"), Const(F))
+        is_c = Eq(Own("pif"), Const(C))
+
+        def ch_all(phase: int) -> NbrAll:
+            return NbrAll(
+                Or(
+                    Ne(Nbr("tree_par"), NodeId()),
+                    Eq(Nbr("pif"), Const(phase)),
+                )
+            )
+
+        parent_pif = Ptr("tree_par", "pif")
+        root_actions = (
+            ActionSpec("B-action", And(is_c, ch_all(C)), {"pif": Const(B)}),
+            ActionSpec("F-action", And(is_b, ch_all(F)), {"pif": Const(F)}),
+            ActionSpec("C-action", is_f, {"pif": Const(C)}),
+        )
+        node_actions = (
+            ActionSpec(
+                "B-action",
+                And(is_c, Eq(parent_pif, Const(B)), ch_all(C)),
+                {"pif": Const(B)},
+            ),
+            ActionSpec("F-action", And(is_b, ch_all(F)), {"pif": Const(F)}),
+            ActionSpec(
+                "C-action",
+                And(is_f, Eq(parent_pif, Const(C))),
+                {"pif": Const(C)},
+            ),
+            ActionSpec(
+                "B-correction",
+                And(is_b, Ne(parent_pif, Const(B))),
+                {"pif": Const(F)},
+            ),
+        )
+        parents = self.parents
+        root = self.root
+        return ColumnarSpec(
+            schema=TREE_WAVE_COLUMNS,
+            programs={"root": root_actions, "node": node_actions},
+            roles=lambda p: "root" if p == root else "node",
+            bulk_role="node",
+            statics={
+                "tree_par": lambda net: [
+                    encode_optional_node(parents[p]) for p in range(net.n)
+                ]
+            },
+        )
+
     def initial_state(self, node: int, network: Network) -> TreeWaveState:
         self._check_network(network)
         return TreeWaveState(Phase.C)
@@ -207,6 +318,16 @@ class TreePif(Protocol):
         return self.parents[ctx.node]
 
     def _check_network(self, network: Network) -> None:
+        # O(N) per network, not per actions() call: node_actions() hits
+        # this once per node, which would otherwise cost O(N²) on
+        # benchmark-sized trees.  Protocols never cross the pickle
+        # boundary (workers rebuild from factories), so a WeakSet memo
+        # on the instance is safe.
+        checked = self.__dict__.get("_checked_networks")
+        if checked is None:
+            checked = self.__dict__["_checked_networks"] = WeakSet()
+        if network in checked:
+            return
         if set(self.parents) != set(network.nodes):
             raise ProtocolError(
                 "parent map does not cover exactly the network's nodes"
@@ -216,3 +337,4 @@ class TreePif(Protocol):
                 raise TopologyError(
                     f"tree edge {node}-{parent} is not a network link"
                 )
+        checked.add(network)

@@ -320,18 +320,38 @@ class Protocol(ABC):
                 updates[p] = state
         return configuration.replace(updates), set(updates)
 
+    def columnar_spec(self):
+        """Declare this protocol's guards for the columnar compiler.
+
+        Protocols that support flat-array execution return a
+        :class:`~repro.columnar.expr.ColumnarSpec` — a column schema
+        plus, per role, the program's guards and statement updates as
+        guard-expression IR.  The generic compiler
+        (:mod:`repro.columnar.compiler`) turns the spec into scalar
+        and vectorized kernels; nothing protocol-specific is written
+        by hand.  The default ``None`` means "no columnar form" and
+        the engine falls back to the per-node object bridge.
+        """
+        return None
+
     def compile_columnar(self, network: Network, backend: str):
         """Compile this protocol into a columnar kernel for ``network``.
 
         The columnar engine calls this once per ``(protocol, network)``
         pair with a resolved backend name (``"pure"`` or ``"numpy"``).
-        Protocols that support flat-array execution return a kernel
-        object (see :mod:`repro.columnar.engine` for the interface);
-        the default ``None`` makes the engine fall back to the
-        per-node object bridge, so every protocol runs under
-        ``engine="columnar"`` regardless.
+        The default builds a :class:`~repro.columnar.compiler.
+        CompiledSpecKernel` from :meth:`columnar_spec`, or returns
+        ``None`` (→ object-bridge fallback) for protocols without a
+        spec.  Protocols with hand-written kernels may still override
+        this hook directly.
         """
-        return None
+        spec_fn = getattr(self, "columnar_spec", None)
+        spec = spec_fn() if callable(spec_fn) else None
+        if spec is None:
+            return None
+        from repro.columnar.compiler import CompiledSpecKernel
+
+        return CompiledSpecKernel(self, network, backend, spec)
 
     def is_enabled(
         self, configuration: Configuration, network: Network, node: int

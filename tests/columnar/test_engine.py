@@ -201,8 +201,10 @@ class TestRunResultIdentity:
 
 class TestBridgeFallback:
     def test_uncompiled_protocol_runs_on_object_bridge(self) -> None:
+        from repro.protocols import TreeStackPif
+
         net = ring(6)
-        protocol = SpanningTree(0, net.n)
+        protocol = TreeStackPif(0, net.n)
         runtime = ColumnarRuntime(
             protocol, net, protocol.initial_configuration(net)
         )
@@ -211,15 +213,19 @@ class TestBridgeFallback:
             runtime.configuration(), net
         )
 
-    def test_snap_pif_compiles_in_runtime(self) -> None:
+    @pytest.mark.parametrize("kind", ["snap-pif", "spanning-tree"])
+    def test_spec_protocols_compile_in_runtime(self, kind: str) -> None:
         net = ring(6)
-        protocol = SnapPif.for_network(net)
+        if kind == "snap-pif":
+            protocol = SnapPif.for_network(net)
+        else:
+            protocol = SpanningTree(0, net.n)
         runtime = ColumnarRuntime(
             protocol, net, protocol.initial_configuration(net)
         )
         assert runtime.compiled is True
 
-    def test_payload_protocol_falls_back(self) -> None:
+    def test_payload_protocol_compiles_with_object_statements(self) -> None:
         from repro.core.payload import PayloadSnapPif
 
         net = ring(5)
@@ -227,7 +233,10 @@ class TestBridgeFallback:
         runtime = ColumnarRuntime(
             protocol, net, protocol.initial_configuration(net)
         )
-        assert runtime.compiled is False
+        assert runtime.compiled is True
+        # Impure statements must run exactly once: the lockstep
+        # validator may check enabled maps but not re-execute.
+        assert runtime.validates_successor is False
 
 
 class TestEngineSelection:

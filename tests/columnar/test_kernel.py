@@ -1,4 +1,4 @@
-"""The compiled snap-PIF mask kernel vs the object engine, bit for bit.
+"""The compiled snap-PIF spec kernel vs the object engine, bit for bit.
 
 Every test drives the kernel and ``Protocol.enabled_map`` /
 ``Protocol.execute_selection`` from identical configurations and
@@ -161,11 +161,22 @@ class TestCompileGating:
         protocol = SnapPif.for_network(net)
         assert protocol.compile_columnar(net, "pure") is not None
 
-    def test_payload_subclass_refuses_to_compile(self) -> None:
+    def test_payload_subclass_compiles_with_object_statements(self) -> None:
         from repro.core.payload import PayloadSnapPif
 
         net = ring(5)
         protocol = PayloadSnapPif.for_network(net)
+        kernel = protocol.compile_columnar(net, "pure")
+        assert kernel is not None
+        assert kernel.validates_successor is False
+
+    def test_anonymous_subclass_refuses_to_compile(self) -> None:
+        net = ring(5)
+
+        class Tweaked(SnapPif):
+            pass
+
+        protocol = Tweaked.for_network(net)
         assert protocol.compile_columnar(net, "pure") is None
 
     def test_base_protocol_hook_returns_none(self) -> None:

@@ -14,8 +14,11 @@ mixed topology families and mid-run ``reset_configuration`` faults:
   schedules and final configurations — the optimized engines are
   observationally indistinguishable from the pre-optimization one.
 
-The columnar leg exercises the compiled mask kernel for ``snap-pif``
-and the object bridge for the other three protocols.
+The columnar leg exercises the spec-compiled kernels for all four
+protocols (every one declares a ``columnar_spec`` since the generic
+guard-expression compiler landed) — so this sweep doubles as the
+compiled-protocol equivalence sweep on whichever backend
+``REPRO_COLUMNAR_BACKEND`` selects.
 """
 
 from __future__ import annotations

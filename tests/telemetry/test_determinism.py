@@ -75,6 +75,36 @@ class TestJobsBitIdentity:
         assert metrics["sim.steps"]["value"] > 0
         assert metrics["sim.faults"]["value"] > 0
 
+    def test_shrink_sweep(self):
+        from repro.chaos import corruption_burst, shrink_sweep
+        from tests.mutants.protocols import MUTANT_FACTORIES
+
+        factory = MUTANT_FACTORIES["mutant-eager-fok"]
+
+        def make_run(jobs):
+            return lambda: shrink_sweep(
+                factory,
+                [ring(6)],
+                [corruption_burst()],
+                daemons=("central",),
+                seeds=(0, 1),
+                budget=120,
+                max_tests=60,
+                jobs=jobs,
+            )
+
+        snapshot = _assert_identical_across_jobs(make_run)
+        metrics = snapshot["metrics"]
+        # The streaming per-iteration metrics (satellite of the shrink
+        # follow-up): every oracle call counted and sized, acceptances
+        # tracked — and all of it merged deterministically across jobs.
+        assert metrics["chaos.shrink.tests"]["value"] > 0
+        assert metrics["chaos.shrink.candidate_entries"]["count"] > 0
+        assert (
+            metrics["chaos.shrink.tests"]["value"]
+            >= metrics["chaos.shrink.accepted"]["value"]
+        )
+
     def test_snap_safety(self):
         def make_run(jobs):
             return lambda: check_snap_safety(

@@ -246,12 +246,13 @@ class TestUpdateBaselines:
 
         assert TRACKED["BENCH_telemetry.json"] == ("telemetry_throughput",)
 
-    def test_engine_report_tracks_both_speedups(self) -> None:
+    def test_engine_report_tracks_all_speedups(self) -> None:
         from benchmarks.check_regression import TRACKED
 
         assert TRACKED["BENCH_engine.json"] == (
             "speedup_incremental_over_full",
             "speedup_columnar_over_incremental",
+            "speedup_columnar_over_incremental_by_protocol",
         )
 
 
