@@ -1,0 +1,169 @@
+"""C-messaging — message-passing runtime throughput and wave latency.
+
+Runs the genuine snap PIF over the message-passing transform
+(:class:`~repro.messaging.MessageSimulator`) on stars of increasing
+size under three ambient publication-loss rates, and reports
+
+* **delivered messages per second** — the throughput of the per-link
+  channel machinery (send, seeded delivery, version filtering), and
+* **wave-completion latency** — steps from the root's initiating
+  B-action to the cycle's closing C-action, averaged over the measured
+  waves (loss stretches this: lost joins and acknowledgments wait for
+  the heartbeat retransmission to heal the link).
+
+Each cell is the median of 5 repeats (see
+:func:`benchmarks.common.repeat_median`); the reliable (0% loss) cells
+double as correctness canaries — every completed cycle must satisfy
+[PIF1]/[PIF2], exactly as in shared memory (DESIGN.md §13).  Lossy
+cells only assert that the waves completed: under loss the eager
+transform is *not* conformance-preserving, which is the point of
+measuring it.
+
+Results are written to ``BENCH_messaging.json`` at the repository root
+and gated by ``benchmarks/check_regression.py``::
+
+    pytest benchmarks/bench_messaging.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.graphs import star
+from repro.messaging import MessageSimulator
+from repro.runtime.daemons import SynchronousDaemon
+
+from benchmarks.common import JSON_REPORTS, TableCollector, repeat_median
+
+TABLE = TableCollector(
+    "C-messaging — delivered msgs/sec and wave latency vs size and loss",
+    columns=[
+        "network", "loss", "steps", "delivered", "msgs/sec",
+        "steps/wave", "repeats",
+    ],
+)
+
+SIZES = (256, 1024, 4096)
+LOSS_RATES = (0.0, 0.01, 0.10)
+WAVES = 3
+REPEATS = 5
+MAX_STEPS = 5000
+
+#: ``"star-N@loss" -> repeat_median(...) result for delivered_per_sec``.
+RESULTS: dict[str, dict] = {}
+
+
+def _case_name(n: int, loss: float) -> str:
+    return f"star-{n}@loss-{loss:g}"
+
+
+def _measure(n: int, loss: float) -> dict[str, float]:
+    network = star(n)
+    protocol = SnapPif.for_network(network)
+    monitor = PifCycleMonitor(protocol, network)
+    sim = MessageSimulator(
+        protocol,
+        network,
+        SynchronousDaemon(),
+        seed=0,
+        monitors=[monitor],
+        loss_rate=loss,
+    )
+    start = time.perf_counter()
+    sim.run(
+        until=lambda _c: len(monitor.completed_cycles) >= WAVES,
+        max_steps=MAX_STEPS,
+    )
+    elapsed = time.perf_counter() - start
+    cycles = monitor.completed_cycles
+    assert len(cycles) >= WAVES, (n, loss, sim.steps)
+    if loss == 0.0:
+        # Reliable + eager ⇒ step-for-step shared-memory equivalence,
+        # so every cycle must satisfy the PIF specification.
+        assert monitor.all_cycles_ok(), [c.violations for c in cycles]
+    latency = sum(c.end_step - c.start_step for c in cycles) / len(cycles)
+    delivered = sim.counters["delivered"]
+    return {
+        "steps": sim.steps,
+        "delivered": delivered,
+        "dropped_loss": sim.counters["dropped_loss"],
+        "heartbeats": sim.counters["heartbeats"],
+        "seconds": elapsed,
+        "delivered_per_sec": delivered / elapsed if elapsed > 0 else 0.0,
+        "steps_per_wave": latency,
+    }
+
+
+@pytest.mark.parametrize("loss", LOSS_RATES, ids=lambda r: f"loss-{r:g}")
+@pytest.mark.parametrize("n", SIZES)
+def test_messaging_throughput(n: int, loss: float, benchmark) -> None:
+    stats = benchmark.pedantic(
+        lambda: repeat_median(
+            lambda: _measure(n, loss),
+            key="delivered_per_sec",
+            repeats=REPEATS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS[_case_name(n, loss)] = stats
+    sample = stats["sample"]
+    TABLE.add(
+        {
+            "network": f"star-{n}",
+            "loss": f"{loss:g}",
+            "steps": int(sample["steps"]),
+            "delivered": int(sample["delivered"]),
+            "msgs/sec": round(stats["median"]),
+            "steps/wave": round(sample["steps_per_wave"], 1),
+            "repeats": stats["repeats"],
+        }
+    )
+    assert stats["median"] > 0
+    if loss > 0.0:
+        assert sample["dropped_loss"] > 0
+        assert sample["heartbeats"] > 0
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    return {
+        "benchmark": "message-passing runtime throughput and wave latency",
+        "workload": (
+            f"snap PIF over MessageSimulator, star-N for N in {list(SIZES)}, "
+            f"synchronous daemon, seed 0, {WAVES} waves/run, "
+            f"loss rates {list(LOSS_RATES)}, median of {REPEATS} repeats"
+        ),
+        "cases": [
+            {
+                "case": case,
+                "median_delivered_per_sec": stats["median"],
+                "min_delivered_per_sec": stats["min"],
+                "max_delivered_per_sec": stats["max"],
+                "repeats": stats["repeats"],
+                "steps": int(stats["sample"]["steps"]),
+                "delivered": int(stats["sample"]["delivered"]),
+                "dropped_loss": int(stats["sample"]["dropped_loss"]),
+                "heartbeats": int(stats["sample"]["heartbeats"]),
+                "seconds": stats["sample"]["seconds"],
+                "steps_per_wave": stats["sample"]["steps_per_wave"],
+            }
+            for case, stats in sorted(RESULTS.items())
+        ],
+        "delivered_messages_per_sec": {
+            case: round(stats["median"], 2)
+            for case, stats in sorted(RESULTS.items())
+        },
+        "wave_completion_steps": {
+            case: round(stats["sample"]["steps_per_wave"], 2)
+            for case, stats in sorted(RESULTS.items())
+        },
+    }
+
+
+JSON_REPORTS.append(("BENCH_messaging.json", _build_report))

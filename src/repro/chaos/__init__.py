@@ -41,23 +41,39 @@ from repro.chaos.campaign import (
 from repro.chaos.events import (
     EVENT_KINDS,
     AddLink,
+    ByzantineNode,
     CorruptNodes,
     CrashNodes,
+    DelayLink,
+    DropMessage,
+    DuplicateMessage,
     FaultEvent,
     RecoverNodes,
+    ReleaseGuards,
     RemoveLink,
+    ReorderWindow,
+    SuppressGuards,
     SwapDaemon,
     event_from_dict,
 )
 from repro.chaos.scenario import (
+    MESSAGE_SCENARIO_SHAPES,
     SCENARIO_SHAPES,
     FaultScenario,
+    byzantine_storm,
     corruption_burst,
     crash_recover,
     daemon_flip,
     full_chaos,
+    guard_suppression,
     link_churn,
+    link_delay_storm,
+    message_chaos,
+    message_duplication,
+    message_loss,
+    message_reorder,
     rolling_crash,
+    standard_message_scenarios,
     standard_scenarios,
 )
 from repro.chaos.shrink import (
@@ -81,17 +97,33 @@ __all__ = [
     "RemoveLink",
     "AddLink",
     "SwapDaemon",
+    "SuppressGuards",
+    "ReleaseGuards",
+    "ByzantineNode",
+    "DropMessage",
+    "DuplicateMessage",
+    "ReorderWindow",
+    "DelayLink",
     "EVENT_KINDS",
     "event_from_dict",
     "FaultScenario",
     "SCENARIO_SHAPES",
+    "MESSAGE_SCENARIO_SHAPES",
     "corruption_burst",
     "crash_recover",
     "rolling_crash",
     "link_churn",
     "daemon_flip",
     "full_chaos",
+    "message_loss",
+    "message_duplication",
+    "message_reorder",
+    "link_delay_storm",
+    "guard_suppression",
+    "message_chaos",
+    "byzantine_storm",
     "standard_scenarios",
+    "standard_message_scenarios",
     "DAEMON_FACTORIES",
     "make_daemon",
     "ChaosRun",

@@ -26,7 +26,7 @@ from repro.chaos.events import FaultEvent
 from repro.chaos.scenario import FaultScenario
 from repro.core.monitor import PifCycleMonitor
 from repro.core.pif import SnapPif
-from repro.errors import ScheduleError
+from repro.errors import MessagingError, ScheduleError
 from repro.runtime.daemons import (
     AdversarialDaemon,
     CentralDaemon,
@@ -87,6 +87,14 @@ class ChaosRun:
     seed: int
     protocol_name: str
     root: int
+    #: ``"shared-memory"`` or ``"message"`` — and, for message runs, the
+    #: *resolved* runtime knobs (explicit > environment > default), so a
+    #: recorded run replays under the exact same channel semantics.
+    transport: str = "shared-memory"
+    capacity: int | None = None
+    model: str | None = None
+    heartbeat: int | None = None
+    loss_rate: float = 0.0
     steps: int = 0
     faults_applied: int = 0
     faults_skipped: int = 0
@@ -146,6 +154,12 @@ def run_chaos(
     budget: int = 1500,
     engine: str | None = None,
     validate_engine: bool | None = None,
+    transport: str = "shared-memory",
+    capacity: int | None = None,
+    model: str | None = None,
+    heartbeat: int | None = None,
+    loss_rate: float = 0.0,
+    quarantine: Sequence[int] = (),
 ) -> ChaosRun:
     """Drive ``protocol`` through one seeded fault scenario.
 
@@ -154,6 +168,14 @@ def run_chaos(
     The run ends at the first monitor violation, when the step
     ``budget`` is exhausted, or when the computation can no longer
     advance and no fault event remains to unblock it.
+
+    ``transport="message"`` runs the scenario over the message-passing
+    runtime (:class:`~repro.messaging.MessageSimulator`) — required for
+    the link-fault event family — with ``capacity`` / ``model`` /
+    ``heartbeat`` / ``loss_rate`` resolved through the usual
+    explicit > environment > default chain and recorded on the run.
+    ``quarantine`` excludes nodes from the monitor's judged wave
+    subtree (byzantine containment).
     """
     run = ChaosRun(
         scenario=scenario.name,
@@ -162,18 +184,45 @@ def run_chaos(
         seed=seed,
         protocol_name=protocol.name,
         root=getattr(protocol, "root", 0),
+        transport=transport,
         network=network,
     )
-    monitor = PifCycleMonitor(protocol, network)
-    sim = Simulator(
-        protocol,
-        network,
-        make_daemon(daemon),
-        seed=seed,
-        monitors=[monitor],
-        engine=engine,
-        validate_engine=validate_engine,
-    )
+    monitor = PifCycleMonitor(protocol, network, quarantine=quarantine)
+    if transport == "message":
+        from repro.messaging import MessageSimulator
+
+        sim: Simulator | MessageSimulator = MessageSimulator(
+            protocol,
+            network,
+            make_daemon(daemon),
+            seed=seed,
+            monitors=[monitor],
+            engine=engine,
+            validate_engine=validate_engine,
+            capacity=capacity,
+            model=model,
+            heartbeat=heartbeat,
+            loss_rate=loss_rate,
+        )
+        run.capacity = sim.capacity
+        run.model = sim.model
+        run.heartbeat = sim.heartbeat
+        run.loss_rate = sim.loss_rate
+    elif transport == "shared-memory":
+        sim = Simulator(
+            protocol,
+            network,
+            make_daemon(daemon),
+            seed=seed,
+            monitors=[monitor],
+            engine=engine,
+            validate_engine=validate_engine,
+        )
+    else:
+        raise MessagingError(
+            f"unknown transport {transport!r}; "
+            f"known: 'shared-memory', 'message'"
+        )
 
     queue: list[FaultEvent] = scenario.seeded(seed).timeline()
     cell_span = (
@@ -182,6 +231,7 @@ def run_chaos(
         .set("topology", network.name)
         .set("daemon", daemon)
         .set("seed", seed)
+        .set("transport", transport)
     )
     cell_span.__enter__()
 
@@ -256,6 +306,11 @@ def run_campaign(
     budget: int = 1500,
     engine: str | None = None,
     validate_engine: bool | None = None,
+    transport: str = "shared-memory",
+    capacity: int | None = None,
+    model: str | None = None,
+    heartbeat: int | None = None,
+    loss_rate: float = 0.0,
     stop_on_violation: bool = False,
     jobs: int | None = None,
     task_timeout: float | None = None,
@@ -302,6 +357,11 @@ def run_campaign(
                 budget=budget,
                 engine=engine,
                 validate_engine=validate_engine,
+                transport=transport,
+                capacity=capacity,
+                model=model,
+                heartbeat=heartbeat,
+                loss_rate=loss_rate,
                 stop_on_violation=stop_on_violation,
                 jobs=n_jobs,
                 task_timeout=task_timeout,
@@ -325,6 +385,11 @@ def run_campaign(
                         budget=budget,
                         engine=engine,
                         validate_engine=validate_engine,
+                        transport=transport,
+                        capacity=capacity,
+                        model=model,
+                        heartbeat=heartbeat,
+                        loss_rate=loss_rate,
                     )
                     result.runs.append(run)
                     if stop_on_violation and not run.ok:
@@ -358,6 +423,11 @@ def _run_campaign_parallel(
     budget: int,
     engine: str | None,
     validate_engine: bool | None,
+    transport: str,
+    capacity: int | None,
+    model: str | None,
+    heartbeat: int | None,
+    loss_rate: float,
     stop_on_violation: bool,
     jobs: int,
     task_timeout: float | None,
@@ -393,6 +463,11 @@ def _run_campaign_parallel(
                         "budget": budget,
                         "engine": engine,
                         "validate_engine": validate_engine,
+                        "transport": transport,
+                        "capacity": capacity,
+                        "model": model,
+                        "heartbeat": heartbeat,
+                        "loss_rate": loss_rate,
                     }
                     tasks.append((key, payload))
 

@@ -42,6 +42,13 @@ __all__ = [
     "RemoveLink",
     "AddLink",
     "SwapDaemon",
+    "SuppressGuards",
+    "ReleaseGuards",
+    "ByzantineNode",
+    "DropMessage",
+    "DuplicateMessage",
+    "ReorderWindow",
+    "DelayLink",
     "EVENT_KINDS",
     "event_from_dict",
 ]
@@ -65,6 +72,10 @@ class FaultEvent:
     """
 
     kind: ClassVar[str] = "fault"
+    #: True for the link-fault family, which needs a simulator with
+    #: channels (:class:`~repro.messaging.MessageSimulator`) and cannot
+    #: be mirrored into a shared-memory run.
+    link_fault: ClassVar[bool] = False
 
     at_step: int = 0
     seed: int | None = None
@@ -350,4 +361,303 @@ class SwapDaemon(FaultEvent):
         from repro.chaos.campaign import make_daemon
 
         sim.swap_daemon(make_daemon(self.daemon))
+        return self, ()
+
+
+@_register
+@dataclass(frozen=True)
+class SuppressGuards(FaultEvent):
+    """Suppress processors' moves — the shared-memory loss analogue.
+
+    A lossy link in the message model makes a processor's writes fail
+    to reach its neighbors; the closest shared-memory rendition is a
+    processor whose enabled guards are never granted (its memory stays
+    readable, it just cannot act).  Mirrors :class:`CrashNodes`'s
+    surface: victims are ``nodes`` when given, else ``count`` sampled
+    from the currently unsuppressed ones; with a ``duration`` the event
+    plants a :class:`ReleaseGuards` follow-up.
+    """
+
+    kind: ClassVar[str] = "suppress-guards"
+
+    nodes: tuple[int, ...] | None = None
+    count: int = 1
+    duration: int | None = None
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        if self.nodes is not None:
+            victims = frozenset(self.nodes)
+        else:
+            rng = self._rng()
+            candidates = sorted(
+                set(sim.network.nodes) - sim.suppressed - sim.crashed
+            )
+            if not candidates:
+                return None, ()
+            victims = frozenset(
+                rng.sample(candidates, min(self.count, len(candidates)))
+            )
+        newly = sim.suppress(victims)
+        if not newly:
+            return None, ()
+        followups: tuple[FaultEvent, ...] = ()
+        if self.duration is not None:
+            followups = (
+                ReleaseGuards(
+                    at_step=sim.steps + self.duration,
+                    nodes=tuple(sorted(newly)),
+                ),
+            )
+        resolved = dataclasses.replace(
+            self, nodes=tuple(sorted(newly)), duration=None
+        )
+        return resolved, followups
+
+
+@_register
+@dataclass(frozen=True)
+class ReleaseGuards(FaultEvent):
+    """Release guard suppression (all suppressed when ``nodes`` is None)."""
+
+    kind: ClassVar[str] = "release-guards"
+
+    nodes: tuple[int, ...] | None = None
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        back = sim.release(self.nodes)
+        if not back:
+            return None, ()
+        return dataclasses.replace(self, nodes=tuple(sorted(back))), ()
+
+
+@_register
+@dataclass(frozen=True)
+class ByzantineNode(FaultEvent):
+    """One node writes seeded arbitrary garbage to its registers each step.
+
+    A bounded byzantine adversary: for ``duration`` consecutive steps
+    the (pinned or seeded-chosen) victim's register state is redrawn
+    via the protocol's ``random_state`` — every firing chains the next
+    one as a follow-up with a derived seed, so each step's garbage is
+    fresh yet fully replay-deterministic.  Each firing lands on the
+    tape as its own resolved single-step event (replay ignores
+    follow-ups; the chain is already recorded).  When the storm
+    expires the node follows the real protocol again — from garbage,
+    which is exactly the transient-fault state snap-stabilization
+    absorbs — and waves started after that point must satisfy the
+    specification on the non-byzantine remainder (the
+    :class:`~repro.core.monitor.PifCycleMonitor` ``quarantine``
+    parameter excludes the victim from the wave-subtree accounting).
+    """
+
+    kind: ClassVar[str] = "byzantine"
+
+    node: int | None = None
+    duration: int = 8
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        rng = self._rng()
+        if self.node is not None:
+            if self.node not in sim.network.nodes:
+                return None, ()
+            victim = self.node
+        else:
+            candidates = sorted(set(sim.network.nodes) - sim.crashed)
+            if not candidates:
+                return None, ()
+            victim = rng.choice(candidates)
+        changed = sim.perturb_configuration(
+            {victim: sim.protocol.random_state(victim, sim.network, rng)}
+        )
+        followups: tuple[FaultEvent, ...] = ()
+        if self.duration > 1:
+            base = 0 if self.seed is None else self.seed
+            followups = (
+                dataclasses.replace(
+                    self,
+                    at_step=sim.steps + 1,
+                    node=victim,
+                    duration=self.duration - 1,
+                    seed=base * 31 + 17,
+                ),
+            )
+        if not changed:
+            return None, followups
+        resolved = dataclasses.replace(self, node=victim, duration=1)
+        return resolved, followups
+
+
+def _channels_or_raise(sim: "Simulator", kind: str):
+    channels = getattr(sim, "channels", None)
+    if channels is None:
+        from repro.errors import MessagingError
+
+        raise MessagingError(
+            f"fault event {kind!r} needs a message-passing simulator "
+            f"(per-link channels); this run uses the shared-memory model"
+        )
+    return channels
+
+
+def _pick_link(
+    sim: "Simulator",
+    kind: str,
+    u: int | None,
+    v: int | None,
+    rng: Random,
+    *,
+    nonempty: bool,
+) -> tuple[int, int] | None:
+    """Choose the target link: pinned endpoints or a seeded choice.
+
+    Unpinned events stay unpinned on the tape (like unpinned
+    ``corrupt``): replaying the tape re-creates the exact channel state
+    at this point, so the same seed re-derives the same link — pinning
+    would instead shift the event's RNG stream between record and
+    replay.
+    """
+    channels = _channels_or_raise(sim, kind)
+    if u is not None and v is not None:
+        link = (u, v)
+        if link not in channels:
+            return None
+        if nonempty and len(channels[link]) == 0:
+            return None
+        return link
+    candidates = [
+        link
+        for link in sorted(channels)
+        if not nonempty or len(channels[link]) > 0
+    ]
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+@_register
+@dataclass(frozen=True)
+class DropMessage(FaultEvent):
+    """Lose in-flight messages on one link (seeded positions).
+
+    With pinned ``u``/``v`` the drop targets that directed channel
+    (skipped when absent or empty); otherwise a seeded choice among the
+    currently non-empty channels.  ``count`` bounds how many buffered
+    messages are removed.
+    """
+
+    kind: ClassVar[str] = "drop-message"
+    link_fault: ClassVar[bool] = True
+
+    u: int | None = None
+    v: int | None = None
+    count: int = 1
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        if self.count < 1:
+            return None, ()
+        rng = self._rng()
+        link = _pick_link(sim, self.kind, self.u, self.v, rng, nonempty=True)
+        if link is None:
+            return None, ()
+        lost = sim.drop_messages(link[0], link[1], self.count, rng)
+        if not lost:
+            return None, ()
+        return self, ()
+
+
+@_register
+@dataclass(frozen=True)
+class DuplicateMessage(FaultEvent):
+    """Duplicate in-flight messages on one link (copies enqueue at the tail)."""
+
+    kind: ClassVar[str] = "duplicate-message"
+    link_fault: ClassVar[bool] = True
+
+    u: int | None = None
+    v: int | None = None
+    count: int = 1
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        if self.count < 1:
+            return None, ()
+        rng = self._rng()
+        link = _pick_link(sim, self.kind, self.u, self.v, rng, nonempty=True)
+        if link is None:
+            return None, ()
+        copied = sim.duplicate_messages(link[0], link[1], self.count, rng)
+        if not copied:
+            return None, ()
+        return self, ()
+
+
+@_register
+@dataclass(frozen=True)
+class ReorderWindow(FaultEvent):
+    """Permute the oldest ``window`` in-flight messages on one link."""
+
+    kind: ClassVar[str] = "reorder-window"
+    link_fault: ClassVar[bool] = True
+
+    u: int | None = None
+    v: int | None = None
+    window: int = 3
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        if self.window < 2:
+            return None, ()
+        rng = self._rng()
+        link = _pick_link(sim, self.kind, self.u, self.v, rng, nonempty=True)
+        if link is None:
+            return None, ()
+        permuted = sim.reorder_window(link[0], link[1], self.window, rng)
+        if not permuted:
+            return None, ()
+        return self, ()
+
+
+@_register
+@dataclass(frozen=True)
+class DelayLink(FaultEvent):
+    """Postpone one link's deliveries by ``delay`` extra steps for a window.
+
+    Bounded delay: sends on the chosen directed channel during the next
+    ``duration`` steps arrive ``delay`` steps later than they would
+    have.  ``delay`` and ``duration`` must be positive integers
+    (:class:`~repro.errors.MessagingError` names bad values).
+    """
+
+    kind: ClassVar[str] = "delay-link"
+    link_fault: ClassVar[bool] = True
+
+    u: int | None = None
+    v: int | None = None
+    delay: int = 1
+    duration: int = 5
+
+    def apply(
+        self, sim: "Simulator"
+    ) -> tuple["FaultEvent | None", tuple["FaultEvent", ...]]:
+        from repro.messaging.env import check_positive_int
+
+        check_positive_int(self.delay, name="link delay", source="DelayLink")
+        check_positive_int(
+            self.duration, name="delay duration", source="DelayLink"
+        )
+        rng = self._rng()
+        link = _pick_link(sim, self.kind, self.u, self.v, rng, nonempty=False)
+        if link is None:
+            return None, ()
+        sim.delay_link(link[0], link[1], self.delay, self.duration)
         return self, ()

@@ -25,10 +25,16 @@ from typing import Callable, Mapping, Sequence
 
 from repro.chaos.events import (
     AddLink,
+    ByzantineNode,
     CorruptNodes,
     CrashNodes,
+    DelayLink,
+    DropMessage,
+    DuplicateMessage,
     FaultEvent,
     RemoveLink,
+    ReorderWindow,
+    SuppressGuards,
     SwapDaemon,
     event_from_dict,
 )
@@ -37,12 +43,20 @@ from repro.errors import ReproError
 __all__ = [
     "FaultScenario",
     "SCENARIO_SHAPES",
+    "MESSAGE_SCENARIO_SHAPES",
     "corruption_burst",
     "crash_recover",
     "rolling_crash",
     "link_churn",
     "daemon_flip",
     "full_chaos",
+    "message_loss",
+    "message_duplication",
+    "message_reorder",
+    "link_delay_storm",
+    "guard_suppression",
+    "message_chaos",
+    "byzantine_storm",
 ]
 
 #: Multiplier decorrelating per-event sub-seeds from the campaign seed.
@@ -235,3 +249,123 @@ def standard_scenarios(seed: int = 0) -> list[FaultScenario]:
 
 
 __all__.append("standard_scenarios")
+
+
+# ----------------------------------------------------------------------
+# Message-passing scenario shapes
+# ----------------------------------------------------------------------
+# Kept in their own registry: the link-fault shapes need a simulator
+# with channels (``run_chaos(..., transport="message")``) and raise
+# :class:`~repro.errors.MessagingError` against a shared-memory run, so
+# they must not leak into :data:`SCENARIO_SHAPES`-driven grids.
+def message_loss(
+    *, at: int = 2, bursts: int = 12, gap: int = 3, count: int = 2,
+) -> FaultScenario:
+    """Repeated in-flight message drops on seeded-chosen links."""
+    return FaultScenario(
+        "message-loss",
+        tuple(
+            DropMessage(at_step=at + i * gap, count=count)
+            for i in range(bursts)
+        ),
+    )
+
+
+def message_duplication(
+    *, at: int = 2, bursts: int = 10, gap: int = 4, count: int = 2,
+) -> FaultScenario:
+    """Repeated duplication of buffered messages on seeded-chosen links."""
+    return FaultScenario(
+        "message-duplication",
+        tuple(
+            DuplicateMessage(at_step=at + i * gap, count=count)
+            for i in range(bursts)
+        ),
+    )
+
+
+def message_reorder(
+    *, at: int = 2, bursts: int = 10, gap: int = 4, window: int = 3,
+) -> FaultScenario:
+    """Repeated permutation of each chosen link's oldest in-flight window."""
+    return FaultScenario(
+        "message-reorder",
+        tuple(
+            ReorderWindow(at_step=at + i * gap, window=window)
+            for i in range(bursts)
+        ),
+    )
+
+
+def link_delay_storm(
+    *, at: int = 3, links: int = 3, gap: int = 12, delay: int = 2,
+    duration: int = 8,
+) -> FaultScenario:
+    """Rolling bounded-delay windows on seeded-chosen links."""
+    return FaultScenario(
+        "link-delay",
+        tuple(
+            DelayLink(
+                at_step=at + i * gap, delay=delay, duration=duration
+            )
+            for i in range(links)
+        ),
+    )
+
+
+def guard_suppression(
+    *, at: int = 10, count: int = 1, duration: int = 12, waves: int = 2,
+    gap: int = 40,
+) -> FaultScenario:
+    """Guard-suppression windows — the loss analogue that runs under
+    *both* models (no channels needed)."""
+    return FaultScenario(
+        "guard-suppression",
+        tuple(
+            SuppressGuards(at_step=at + i * gap, count=count, duration=duration)
+            for i in range(waves)
+        ),
+    )
+
+
+def message_chaos(*, at: int = 2) -> FaultScenario:
+    """Loss, duplication, reordering and bounded delay all at once."""
+    combined = (
+        message_loss(at=at, bursts=8, gap=4)
+        | message_duplication(at=at + 1, bursts=6, gap=5)
+        | message_reorder(at=at + 2, bursts=6, gap=5)
+        | link_delay_storm(at=at + 3, links=2, gap=15)
+    )
+    return combined.renamed("message-chaos")
+
+
+def byzantine_storm(*, at: int = 10, duration: int = 12) -> FaultScenario:
+    """One seeded-chosen node writes arbitrary garbage for ``duration`` steps."""
+    return FaultScenario(
+        "byzantine-storm",
+        (ByzantineNode(at_step=at, duration=duration),),
+    )
+
+
+#: Shapes for message-transport campaigns (plus the model-agnostic
+#: guard-suppression and byzantine shapes, which also run shared-memory).
+MESSAGE_SCENARIO_SHAPES: dict[str, Callable[..., FaultScenario]] = {
+    "message-loss": message_loss,
+    "message-duplication": message_duplication,
+    "message-reorder": message_reorder,
+    "link-delay": link_delay_storm,
+    "message-chaos": message_chaos,
+    "guard-suppression": guard_suppression,
+    "byzantine-storm": byzantine_storm,
+}
+
+
+def standard_message_scenarios(seed: int = 0) -> list[FaultScenario]:
+    """One seeded instance of every message-campaign shape."""
+    return [
+        MESSAGE_SCENARIO_SHAPES[name]().seeded(seed)
+        for name in sorted(MESSAGE_SCENARIO_SHAPES)
+    ]
+
+
+__all__.append("standard_message_scenarios")

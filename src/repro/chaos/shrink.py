@@ -55,6 +55,12 @@ def replay_tape(
     *,
     strict: bool = False,
     validate_engine: bool | None = None,
+    transport: str = "shared-memory",
+    seed: int = 0,
+    capacity: int | None = None,
+    model: str | None = None,
+    heartbeat: int | None = None,
+    loss_rate: float = 0.0,
 ) -> str | None:
     """Deterministically re-execute a tape; return the violation message.
 
@@ -64,26 +70,54 @@ def replay_tape(
     choices).  Returns the first violation message, or ``None`` if the
     tape replays cleanly.
 
+    ``transport="message"`` replays over the message-passing runtime
+    with the recorded knobs and — crucially — the recorded ``seed``:
+    the per-step delivery and publish-loss RNGs are stateless functions
+    of ``(seed, step)``, so the same seed re-rolls the same losses at
+    the same steps.  Idle steps (recorded with an empty selection) do
+    not consult the daemon, so only non-empty selections enter the
+    replay schedule; each executed step is then compared against its
+    recorded selection and any mismatch raises a *diverged*
+    :class:`~repro.errors.ReplayError`.
+
     With ``strict=False`` (the shrinker's oracle mode), a tape that
     *diverges* — a recorded selection no longer enabled, a stall with
     steps left — counts as "does not reproduce" and returns ``None``;
     with ``strict=True`` the underlying
     :class:`~repro.errors.ReplayError` propagates.
     """
+    messaging = transport == "message"
     schedule = [
         {int(p): str(name) for p, name in item["selection"].items()}
         for item in tape
         if item["kind"] == "step"
+        and (not messaging or item["selection"])
     ]
     monitor = PifCycleMonitor(protocol, network)
-    sim = Simulator(
-        protocol,
-        network,
-        ReplayDaemon(schedule),
-        seed=0,
-        monitors=[monitor],
-        validate_engine=validate_engine,
-    )
+    if messaging:
+        from repro.messaging import MessageSimulator
+
+        sim: Simulator | MessageSimulator = MessageSimulator(
+            protocol,
+            network,
+            ReplayDaemon(schedule),
+            seed=seed,
+            monitors=[monitor],
+            validate_engine=validate_engine,
+            capacity=capacity,
+            model=model,
+            heartbeat=heartbeat,
+            loss_rate=loss_rate,
+        )
+    else:
+        sim = Simulator(
+            protocol,
+            network,
+            ReplayDaemon(schedule),
+            seed=seed,
+            monitors=[monitor],
+            validate_engine=validate_engine,
+        )
     step_index = 0
     try:
         for item in tape:
@@ -92,13 +126,26 @@ def replay_tape(
                 if event.kind != "swap-daemon":
                     event.apply(sim)
             elif item["kind"] == "step":
-                if sim.step() is None:
+                record = sim.step()
+                if record is None:
                     raise ReplayError(
                         f"replay stalled before scheduled step {step_index} "
                         f"(crashed: {sorted(sim.crashed)})",
                         step_index=step_index,
                         reason="stalled",
                     )
+                if messaging:
+                    replayed = {
+                        str(p): name for p, name in record.selection.items()
+                    }
+                    if replayed != dict(item["selection"]):
+                        raise ReplayError(
+                            f"replay diverged at step {step_index}: "
+                            f"recorded {dict(item['selection'])!r}, "
+                            f"replayed {replayed!r}",
+                            step_index=step_index,
+                            reason="diverged",
+                        )
                 step_index += 1
             else:
                 raise ReproError(f"malformed tape entry: {item!r}")
@@ -288,6 +335,15 @@ class Repro:
     shrunk_entries: int
     shrink_tests: int
     tape: list[dict] = field(default_factory=list)
+    #: Transport the run was recorded under; ``"message"`` reproducers
+    #: carry their resolved channel knobs so replay re-rolls the exact
+    #: same delivery/loss coins.  Defaults keep pre-messaging corpus
+    #: files loading unchanged.
+    transport: str = "shared-memory"
+    capacity: int | None = None
+    model: str | None = None
+    heartbeat: int | None = None
+    loss_rate: float = 0.0
 
     @property
     def strictly_smaller(self) -> bool:
@@ -318,7 +374,20 @@ def shrink_run(
     target = run.violation
 
     def reproduces(candidate: list) -> bool:
-        return replay_tape(protocol, network, candidate) == target
+        return (
+            replay_tape(
+                protocol,
+                network,
+                candidate,
+                transport=run.transport,
+                seed=run.seed if run.transport == "message" else 0,
+                capacity=run.capacity,
+                model=run.model,
+                heartbeat=run.heartbeat,
+                loss_rate=run.loss_rate,
+            )
+            == target
+        )
 
     if not reproduces(run.tape):
         return None
@@ -353,6 +422,11 @@ def shrink_run(
         shrunk_entries=len(minimal),
         shrink_tests=tests_run + 1,
         tape=minimal,
+        transport=run.transport,
+        capacity=run.capacity,
+        model=run.model,
+        heartbeat=run.heartbeat,
+        loss_rate=run.loss_rate,
     )
 
 
@@ -366,6 +440,11 @@ def falsify(
     budget: int = 400,
     max_tests: int = 3000,
     require_strictly_smaller: bool = True,
+    transport: str = "shared-memory",
+    capacity: int | None = None,
+    model: str | None = None,
+    heartbeat: int | None = None,
+    loss_rate: float = 0.0,
 ) -> Repro | None:
     """Hunt the grid for a violation and return its shrunk reproducer.
 
@@ -390,6 +469,11 @@ def falsify(
                         daemon=daemon,
                         seed=seed,
                         budget=budget,
+                        transport=transport,
+                        capacity=capacity,
+                        model=model,
+                        heartbeat=heartbeat,
+                        loss_rate=loss_rate,
                     )
                     if run.ok:
                         continue
@@ -410,6 +494,11 @@ def shrink_sweep(
     seeds: Sequence[int] = (0,),
     budget: int = 400,
     max_tests: int = 1000,
+    transport: str = "shared-memory",
+    capacity: int | None = None,
+    model: str | None = None,
+    heartbeat: int | None = None,
+    loss_rate: float = 0.0,
     jobs: int | None = None,
     task_timeout: float | None = None,
 ) -> list[Repro | None]:
@@ -452,6 +541,11 @@ def shrink_sweep(
                 "seed": seed,
                 "budget": budget,
                 "max_tests": max_tests,
+                "transport": transport,
+                "capacity": capacity,
+                "model": model,
+                "heartbeat": heartbeat,
+                "loss_rate": loss_rate,
             }
             tasks.append((key, payload))
         executor = ParallelExecutor(
@@ -473,6 +567,11 @@ def shrink_sweep(
             daemon=daemon,
             seed=seed,
             budget=budget,
+            transport=transport,
+            capacity=capacity,
+            model=model,
+            heartbeat=heartbeat,
+            loss_rate=loss_rate,
         )
         if run.ok:
             results.append(None)
@@ -547,4 +646,10 @@ def replay_repro(
         repro.tape,
         strict=True,
         validate_engine=validate_engine,
+        transport=repro.transport,
+        seed=repro.seed if repro.transport == "message" else 0,
+        capacity=repro.capacity,
+        model=repro.model,
+        heartbeat=repro.heartbeat,
+        loss_rate=repro.loss_rate,
     )

@@ -161,6 +161,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable campaign summary instead of tables",
     )
+    chaos.add_argument(
+        "--transport",
+        default="shared-memory",
+        choices=["shared-memory", "message"],
+        help="execution model: locally shared registers (default) or the "
+        "message-passing runtime with per-link channels; 'message' sweeps "
+        "the link-fault scenario shapes (loss/duplication/reordering/delay)",
+    )
+    chaos.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="per-link channel capacity (message transport; default: "
+        "REPRO_CHANNEL_CAPACITY env, else 8)",
+    )
+    chaos.add_argument(
+        "--message-model",
+        default=None,
+        choices=["eager", "async"],
+        help="delivery model (message transport; default: "
+        "REPRO_MESSAGE_MODEL env, else eager)",
+    )
+    chaos.add_argument(
+        "--heartbeat",
+        type=int,
+        default=None,
+        help="retransmit unchanged registers on stale links every H steps "
+        "(message transport; default: REPRO_MESSAGE_HEARTBEAT env, else 4)",
+    )
+    chaos.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="ambient per-publication loss probability in [0, 1) "
+        "(message transport; default: 0.0)",
+    )
     add_jobs_arg(chaos)
     add_telemetry_arg(chaos)
 
@@ -290,6 +326,7 @@ def _cmd_stabilize(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.graphs import complete, line
+    from repro.messaging import check_message_conformance
     from repro.reporting import render_model_check
     from repro.verification import (
         check_convergence_synchronous,
@@ -326,6 +363,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         # Closure stays serial: its sweep filters to normal
         # configurations, which is cheap relative to the others.
         ("closure of normal configurations", check_normal_closure),
+        # Transform soundness (DESIGN.md §13): the eager reliable
+        # message-passing run is step-for-step identical to shared
+        # memory.  Lockstep over the synchronous daemon; the cap does
+        # not apply (the check walks one trace, not a state space).
+        (
+            "messaging conformance (eager, reliable)",
+            lambda n, **_kw: check_message_conformance(
+                SnapPif.for_network(n), n, seed=1, max_steps=200
+            ),
+        ),
     ]
     rows = []
     failed = False
@@ -378,27 +425,40 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from repro.chaos import run_campaign, standard_scenarios
+    from repro.chaos import (
+        run_campaign,
+        standard_message_scenarios,
+        standard_scenarios,
+    )
     from repro.reporting.campaign import campaign_to_dict, render_campaign
 
     net = by_name(args.topology, args.size)
+    if args.transport == "message":
+        scenarios = standard_message_scenarios(args.seed)
+    else:
+        scenarios = standard_scenarios(args.seed)
     with _telemetry_session(args.telemetry):
         result = run_campaign(
             None,  # the genuine SnapPif
             [net],
-            standard_scenarios(args.seed),
+            scenarios,
             daemons=tuple(args.daemons),
             seeds=(args.seed,),
             budget=args.budget,
             jobs=args.jobs,
+            transport=args.transport,
+            capacity=args.capacity,
+            model=args.message_model,
+            heartbeat=args.heartbeat,
+            loss_rate=args.loss_rate,
         )
     if args.json:
         print(json.dumps(campaign_to_dict(result), indent=2, sort_keys=True))
     else:
         print(
             render_campaign(
-                result, title=f"{net.name}, seed {args.seed}, "
-                f"budget {args.budget}"
+                result, title=f"{net.name} ({args.transport}), "
+                f"seed {args.seed}, budget {args.budget}"
             )
         )
     return 0 if result.ok else 1

@@ -97,6 +97,17 @@ class PifCycleMonitor:
         the moment a condition fails; otherwise record violations in the
         cycle reports (used when *measuring* failure rates of the
         non-snap baseline).
+    quarantine:
+        Nodes excluded from the judged wave subtree — the byzantine
+        containment story.  A quarantined node is never admitted to the
+        wave membership set, its [PIF1]/[PIF2] obligations are waived,
+        and its demotions are not violations; the specification is
+        judged *on the rest*.  Because wave membership is provenance
+        (``parent ∈ wave``), a processor attaching *through* a
+        quarantined relay has not received ``m`` from a trusted path
+        and still counts against [PIF1] — quarantine shrinks the
+        obligation set, never the evidence bar.  The root cannot be
+        quarantined (there would be no waves to judge).
     """
 
     def __init__(
@@ -105,10 +116,17 @@ class PifCycleMonitor:
         network: Network,
         *,
         strict: bool = False,
+        quarantine: "frozenset[int] | tuple[int, ...]" = (),
     ) -> None:
         self.protocol = protocol
         self.network = network
         self.strict = strict
+        self.quarantine = frozenset(quarantine)
+        if protocol.root in self.quarantine:
+            raise ValueError(
+                f"the root ({protocol.root}) cannot be quarantined — "
+                f"no waves would remain to judge"
+            )
         self.reports: list[CycleReport] = []
         self._active: CycleReport | None = None
         self._in_wave: set[int] = set()
@@ -201,20 +219,16 @@ class PifCycleMonitor:
         report = self._active
         if action == "F-action":
             report.root_feedback_step = record.index
-            n = self.network.n
-            if not report.pif1_holds(n):
-                missing = sorted(set(self.network.nodes) - report.received)
+            expected = set(self.network.nodes) - self.quarantine
+            missing = sorted(expected - report.received)
+            if missing:
                 self._violate(
                     report,
                     f"[PIF1] root fed back but {len(missing)} processor(s) "
                     f"never received m: {missing}",
                 )
-            if not report.pif2_holds(n):
-                missing = sorted(
-                    set(self.network.nodes)
-                    - {self.protocol.root}
-                    - report.acked
-                )
+            missing = sorted(expected - {self.protocol.root} - report.acked)
+            if missing:
                 self._violate(
                     report,
                     f"[PIF2] root fed back without acknowledgment from "
@@ -242,6 +256,11 @@ class PifCycleMonitor:
     ) -> None:
         assert self._active is not None
         report = self._active
+        if node in self.quarantine:
+            # Quarantined processors are outside the judged subtree:
+            # they neither join the wave nor owe receipt/acknowledgment,
+            # and their demotions are expected, not violations.
+            return
         if action == "B-action":
             parent = self.protocol.join_parent(
                 Context(node, self.network, before)

@@ -89,3 +89,14 @@ class SpecificationViolation(ReproError):
 
 class VerificationError(ReproError):
     """The exhaustive model checker found a counterexample."""
+
+
+class MessagingError(ReproError):
+    """A message-passing runtime knob or channel operation is invalid.
+
+    Raised for bad ``REPRO_MESSAGE_MODEL`` / ``REPRO_CHANNEL_CAPACITY``
+    / ``REPRO_MESSAGE_HEARTBEAT`` values (zero, negative, non-integer,
+    or garbage strings — the error names the offending value and where
+    it came from), for out-of-range loss rates and delays, and for
+    link-fault events applied to a simulator without channels.
+    """

@@ -1,0 +1,47 @@
+"""Message-passing snap-stabilization runtime.
+
+The shared-memory→message-passing transform: any guarded-action
+:class:`~repro.runtime.protocol.Protocol` runs unmodified over per-link
+bounded-capacity channels with versioned register publications,
+heartbeat retransmission, and a deterministic seeded delivery
+scheduler.  See :mod:`repro.messaging.runtime` for the model and
+DESIGN.md §13 for the soundness argument; the link-fault family
+(``DropMessage``, ``DuplicateMessage``, ``ReorderWindow``,
+``DelayLink``) lives in :mod:`repro.chaos`.
+"""
+
+from repro.messaging.channel import Channel, Message
+from repro.messaging.conformance import (
+    ConformanceMismatch,
+    ConformanceResult,
+    check_message_conformance,
+)
+from repro.messaging.env import (
+    DEFAULT_CHANNEL_CAPACITY,
+    DEFAULT_HEARTBEAT,
+    DEFAULT_MESSAGE_MODEL,
+    MESSAGE_MODELS,
+    check_loss_rate,
+    resolve_channel_capacity,
+    resolve_heartbeat,
+    resolve_message_model,
+)
+from repro.messaging.runtime import LocalView, MessageSimulator
+
+__all__ = [
+    "Channel",
+    "Message",
+    "LocalView",
+    "MessageSimulator",
+    "ConformanceMismatch",
+    "ConformanceResult",
+    "check_message_conformance",
+    "MESSAGE_MODELS",
+    "DEFAULT_MESSAGE_MODEL",
+    "DEFAULT_CHANNEL_CAPACITY",
+    "DEFAULT_HEARTBEAT",
+    "resolve_message_model",
+    "resolve_channel_capacity",
+    "resolve_heartbeat",
+    "check_loss_rate",
+]

@@ -1,0 +1,167 @@
+"""Lockstep conformance: the transform against the shared-memory model.
+
+DESIGN.md §13's soundness claim is executable: under the ``eager``
+delivery model with no loss, a publication sent at the end of step ``k``
+is applied at the start of step ``k+1`` — exactly when a shared-memory
+neighbor first reads the step-``k`` write — so the message-passing run
+must be *step-for-step identical* to the shared-memory run: the same
+daemon selections and the same ground-truth configurations at every
+step.  :func:`check_message_conformance` runs both simulators in
+lockstep under the same seed and reports the first divergence.
+
+Transient-fault events (corruption, crash/recover, topology churn) may
+be injected into *both* runs — the transform syncs corrupted register
+images instantly (see :meth:`~repro.messaging.MessageSimulator.
+_sync_views`), so equivalence holds across fault boundaries too.  Link
+faults obviously cannot be mirrored into the shared-memory run and are
+rejected.
+
+``repro verify --messaging`` runs this check as part of the standard
+verification battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import MessagingError
+from repro.messaging.runtime import MessageSimulator
+from repro.runtime.daemons import Daemon, SynchronousDaemon
+from repro.runtime.network import Network
+from repro.runtime.protocol import Protocol
+from repro.runtime.simulator import Simulator
+
+__all__ = ["ConformanceMismatch", "ConformanceResult", "check_message_conformance"]
+
+
+@dataclass(frozen=True)
+class ConformanceMismatch:
+    """First step at which the two models disagreed."""
+
+    step: int
+    what: str
+    shared: object
+    message: object
+
+    def pretty(self) -> str:
+        return (
+            f"step {self.step}: {self.what} diverged — "
+            f"shared-memory {self.shared!r} vs message-passing "
+            f"{self.message!r}"
+        )
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of a lockstep conformance run."""
+
+    ok: bool
+    steps_checked: int
+    complete: bool
+    counterexamples: list[ConformanceMismatch] = field(default_factory=list)
+    stats: object = None
+
+    @property
+    def configurations_checked(self) -> int:
+        return self.steps_checked
+
+
+def check_message_conformance(
+    protocol: Protocol,
+    network: Network,
+    *,
+    daemon_factory: Callable[[], Daemon] = SynchronousDaemon,
+    seed: int = 0,
+    max_steps: int = 200,
+    events: Sequence = (),
+    capacity: int | None = None,
+    heartbeat: int | None = None,
+) -> ConformanceResult:
+    """Run shared-memory and message-passing simulators in lockstep.
+
+    ``events`` is an optional sequence of chaos fault events (sorted by
+    ``at_step``); each is applied to *both* simulators at its step.
+    Only model-agnostic events qualify — an event that needs channels
+    (the link-fault family) raises :class:`MessagingError` because the
+    comparison would be vacuous.
+    """
+    shared = Simulator(
+        protocol, network, daemon_factory(), seed=seed, engine="incremental"
+    )
+    message = MessageSimulator(
+        protocol,
+        network,
+        daemon_factory(),
+        seed=seed,
+        model="eager",
+        loss_rate=0.0,
+        capacity=capacity,
+        heartbeat=heartbeat,
+    )
+
+    queue = sorted(events, key=lambda e: e.at_step)
+    for event in queue:
+        if getattr(event, "link_fault", False):
+            raise MessagingError(
+                f"conformance cannot mirror link fault {event.kind!r} "
+                f"into the shared-memory run"
+            )
+
+    mismatches: list[ConformanceMismatch] = []
+    steps = 0
+    complete = True
+    while steps < max_steps:
+        while queue and queue[0].at_step <= steps:
+            event = queue.pop(0)
+            _, followups_a = event.apply(shared)
+            _, _ = event.apply(message)
+            for extra in followups_a:
+                queue.append(extra)
+            queue.sort(key=lambda e: e.at_step)
+        rec_shared = shared.step()
+        rec_message = message.step()
+        if rec_shared is None or rec_message is None:
+            if (rec_shared is None) != (rec_message is None):
+                mismatches.append(
+                    ConformanceMismatch(
+                        steps,
+                        "termination",
+                        "terminal" if rec_shared is None else "running",
+                        "terminal" if rec_message is None else "running",
+                    )
+                )
+            complete = rec_shared is None and rec_message is None
+            break
+        steps += 1
+        if rec_shared.selection != rec_message.selection:
+            mismatches.append(
+                ConformanceMismatch(
+                    steps - 1,
+                    "selection",
+                    rec_shared.selection,
+                    rec_message.selection,
+                )
+            )
+            break
+        if shared.configuration != message.configuration:
+            diff = [
+                p
+                for p in network.nodes
+                if shared.configuration[p] != message.configuration[p]
+            ]
+            mismatches.append(
+                ConformanceMismatch(
+                    steps - 1,
+                    f"configuration (nodes {diff})",
+                    tuple(shared.configuration[p] for p in diff),
+                    tuple(message.configuration[p] for p in diff),
+                )
+            )
+            break
+    return ConformanceResult(
+        ok=not mismatches,
+        steps_checked=steps,
+        complete=complete and not mismatches,
+        counterexamples=mismatches,
+    )

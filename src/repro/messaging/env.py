@@ -1,0 +1,139 @@
+"""Knob resolution for the message-passing runtime.
+
+Mirrors :func:`repro.parallel.resolve_jobs`: an explicit argument wins,
+otherwise the environment variable, otherwise the documented default.
+Every invalid value — zero, negative, non-integer (including bools),
+unknown model names, garbage environment strings — raises
+:class:`~repro.errors.MessagingError` naming the offending value and
+where it came from, so a typo in a CI matrix fails loudly instead of
+silently running with a default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import MessagingError
+
+__all__ = [
+    "MESSAGE_MODELS",
+    "DEFAULT_MESSAGE_MODEL",
+    "DEFAULT_CHANNEL_CAPACITY",
+    "DEFAULT_HEARTBEAT",
+    "resolve_message_model",
+    "resolve_channel_capacity",
+    "resolve_heartbeat",
+    "check_positive_int",
+    "check_loss_rate",
+]
+
+#: Delivery disciplines understood by the runtime.  ``eager`` delivers
+#: every in-flight message the step after it was sent (the reliable
+#: FIFO regime the conformance theorem of DESIGN.md §13 covers);
+#: ``async`` holds each message back with a seeded per-step coin so
+#: views lag truth even without injected faults.
+MESSAGE_MODELS: tuple[str, ...] = ("eager", "async")
+
+DEFAULT_MESSAGE_MODEL = "eager"
+DEFAULT_CHANNEL_CAPACITY = 8
+DEFAULT_HEARTBEAT = 4
+
+
+def check_positive_int(value: object, *, name: str, source: str) -> int:
+    """Validate ``value`` as a strictly positive integer.
+
+    ``bool`` is rejected explicitly — ``True`` is an ``int`` subclass
+    and would otherwise resolve to capacity 1, which is exactly the
+    kind of silent coercion this module exists to refuse.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise MessagingError(
+            f"{name} must be a positive integer, got {value!r} ({source})"
+        )
+    if value < 1:
+        raise MessagingError(
+            f"{name} must be >= 1, got {value} ({source})"
+        )
+    return value
+
+
+def _resolve_positive(
+    explicit: int | None, *, env_var: str, name: str, default: int
+) -> int:
+    if explicit is not None:
+        return check_positive_int(explicit, name=name, source="argument")
+    raw = os.environ.get(env_var, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise MessagingError(
+            f"{name} must be a positive integer, got {raw!r} "
+            f"(environment variable {env_var})"
+        ) from None
+    return check_positive_int(
+        value, name=name, source=f"environment variable {env_var}"
+    )
+
+
+def resolve_message_model(model: str | None = None) -> str:
+    """Resolve the delivery-model knob (``REPRO_MESSAGE_MODEL``)."""
+    if model is not None:
+        source = "argument"
+    else:
+        raw = os.environ.get("REPRO_MESSAGE_MODEL", "").strip()
+        if not raw:
+            return DEFAULT_MESSAGE_MODEL
+        model = raw
+        source = "environment variable REPRO_MESSAGE_MODEL"
+    if not isinstance(model, str) or model not in MESSAGE_MODELS:
+        raise MessagingError(
+            f"message model must be one of {list(MESSAGE_MODELS)}, "
+            f"got {model!r} ({source})"
+        )
+    return model
+
+
+def resolve_channel_capacity(capacity: int | None = None) -> int:
+    """Resolve the per-link channel capacity (``REPRO_CHANNEL_CAPACITY``)."""
+    return _resolve_positive(
+        capacity,
+        env_var="REPRO_CHANNEL_CAPACITY",
+        name="channel capacity",
+        default=DEFAULT_CHANNEL_CAPACITY,
+    )
+
+
+def resolve_heartbeat(heartbeat: int | None = None) -> int:
+    """Resolve the republish period (``REPRO_MESSAGE_HEARTBEAT``).
+
+    Every ``heartbeat`` steps each alive process re-offers its current
+    register state on links whose receiver has not acknowledged the
+    latest version — the retransmission that makes views eventually
+    consistent under message loss.
+    """
+    return _resolve_positive(
+        heartbeat,
+        env_var="REPRO_MESSAGE_HEARTBEAT",
+        name="heartbeat period",
+        default=DEFAULT_HEARTBEAT,
+    )
+
+
+def check_loss_rate(rate: float) -> float:
+    """Validate a publish loss probability (``0.0 <= rate < 1.0``).
+
+    1.0 is excluded: a link that drops everything forever can never
+    reach the eventual-delivery assumption the transform relies on.
+    """
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+        raise MessagingError(
+            f"loss rate must be a float in [0.0, 1.0), got {rate!r}"
+        )
+    rate = float(rate)
+    if not 0.0 <= rate < 1.0:
+        raise MessagingError(
+            f"loss rate must be in [0.0, 1.0), got {rate}"
+        )
+    return rate

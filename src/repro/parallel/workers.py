@@ -12,7 +12,9 @@ Payload shapes
 --------------
 ``campaign_cell``
     ``{"factory", "network", "scenario", "daemon", "seed", "budget",
-    "engine", "validate_engine"}`` — one campaign grid cell; returns the
+    "engine", "validate_engine"}`` plus the optional transport knobs
+    ``{"transport", "capacity", "model", "heartbeat", "loss_rate"}`` —
+    one campaign grid cell; returns the
     :class:`~repro.chaos.campaign.ChaosRun`.
 ``snap_safety_shard`` / ``liveness_shard`` / ``convergence_shard``
     ``{"factory", "network", "root", "config_slice", ...check kwargs}``
@@ -105,6 +107,11 @@ def campaign_cell(payload: dict):
         budget=payload["budget"],
         engine=payload.get("engine"),
         validate_engine=payload.get("validate_engine"),
+        transport=payload.get("transport", "shared-memory"),
+        capacity=payload.get("capacity"),
+        model=payload.get("model"),
+        heartbeat=payload.get("heartbeat"),
+        loss_rate=payload.get("loss_rate", 0.0),
     )
 
 
@@ -127,6 +134,11 @@ def shrink_cell(payload: dict):
         daemon=payload["daemon"],
         seed=payload["seed"],
         budget=payload["budget"],
+        transport=payload.get("transport", "shared-memory"),
+        capacity=payload.get("capacity"),
+        model=payload.get("model"),
+        heartbeat=payload.get("heartbeat"),
+        loss_rate=payload.get("loss_rate", 0.0),
     )
     if run.ok:
         return None

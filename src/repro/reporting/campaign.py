@@ -78,6 +78,7 @@ def campaign_to_dict(result: CampaignResult) -> dict:
                 "topology": run.topology,
                 "daemon": run.daemon,
                 "seed": run.seed,
+                "transport": run.transport,
                 "protocol": run.protocol_name,
                 "steps": run.steps,
                 "faults_applied": run.faults_applied,

@@ -166,6 +166,13 @@ class Simulator:
         #: accounting, but their memory stays readable by neighbors (the
         #: locally-shared-memory analogue of a fail-stop crash).
         self._crashed: set[int] = set()
+        #: Guard-suppressed processors: the shared-memory analogue of
+        #: message loss — the processor's guards "fire into the void"
+        #: (it cannot act on what it reads) while its memory stays
+        #: readable.  Mechanically identical to a crash for selection
+        #: and round accounting, but semantically a link fault, so it
+        #: is tracked and reported separately.
+        self._suppressed: set[int] = set()
         self.trace = Trace(config, level=trace_level)
 
         self.daemon.reset()
@@ -238,6 +245,11 @@ class Simulator:
         """Processors currently crashed (see :meth:`crash`)."""
         return frozenset(self._crashed)
 
+    @property
+    def suppressed(self) -> frozenset[int]:
+        """Processors currently guard-suppressed (see :meth:`suppress`)."""
+        return frozenset(self._suppressed)
+
     def is_terminal(self) -> bool:
         """True if no action is enabled (the computation is maximal)."""
         return not self._enabled
@@ -251,13 +263,14 @@ class Simulator:
         return bool(self._enabled) and not self._selectable()
 
     def _selectable(self) -> dict[int, list[Action]]:
-        """The enabled map minus crashed processors (what daemons see)."""
-        if not self._crashed:
+        """The enabled map minus crashed/suppressed processors."""
+        if not self._crashed and not self._suppressed:
             return self._enabled
+        excluded = self._crashed | self._suppressed
         return {
             p: actions
             for p, actions in self._enabled.items()
-            if p not in self._crashed
+            if p not in excluded
         }
 
     def add_monitor(self, monitor: Monitor) -> None:
@@ -366,7 +379,8 @@ class Simulator:
             return frozenset()
         self._crashed |= newly
         self._rounds.set_excluded(
-            frozenset(self._crashed), frozenset(self._enabled)
+            frozenset(self._crashed | self._suppressed),
+            frozenset(self._enabled),
         )
         self._mark_fault("crash", f"nodes {sorted(newly)}")
         return newly
@@ -386,9 +400,59 @@ class Simulator:
             return frozenset()
         self._crashed -= back
         self._rounds.set_excluded(
-            frozenset(self._crashed), frozenset(self._enabled)
+            frozenset(self._crashed | self._suppressed),
+            frozenset(self._enabled),
         )
         self._mark_fault("recover", f"nodes {sorted(back)}")
+        return back
+
+    def suppress(self, nodes: Iterable[int]) -> frozenset[int]:
+        """Suppress processors' guards — the shared-memory loss analogue.
+
+        In the message-passing model a lossy link makes a processor act
+        on stale neighbor copies; the closest shared-memory rendition
+        is a processor whose enabled guards are never granted by the
+        daemon (it reads, but its moves are "lost").  Suppressed
+        processors keep their memory readable and are excluded from
+        selection and round accounting exactly like crashed ones, but
+        the fault is marked separately (``suppress``) so tapes and
+        telemetry distinguish a loss window from an outage.  Returns
+        the newly suppressed set.
+        """
+        nodes = frozenset(nodes)
+        unknown = nodes - set(self.network.nodes)
+        if unknown:
+            raise ScheduleError(
+                f"cannot suppress unknown nodes {sorted(unknown)}"
+            )
+        newly = nodes - self._suppressed
+        if not newly:
+            return frozenset()
+        self._suppressed |= newly
+        self._rounds.set_excluded(
+            frozenset(self._crashed | self._suppressed),
+            frozenset(self._enabled),
+        )
+        self._mark_fault("suppress", f"nodes {sorted(newly)}")
+        return newly
+
+    def release(self, nodes: Iterable[int] | None = None) -> frozenset[int]:
+        """Release guard suppression (all of it when ``nodes`` is None).
+
+        The mirror of :meth:`recover`: released processors re-enter
+        fairness accounting with a fresh enabled-age.  Returns the set
+        actually released.
+        """
+        wanted = self._suppressed if nodes is None else frozenset(nodes)
+        back = frozenset(wanted) & self._suppressed
+        if not back:
+            return frozenset()
+        self._suppressed -= back
+        self._rounds.set_excluded(
+            frozenset(self._crashed | self._suppressed),
+            frozenset(self._enabled),
+        )
+        self._mark_fault("release", f"nodes {sorted(back)}")
         return back
 
     def apply_topology(self, network: Network) -> frozenset[int]:
@@ -638,6 +702,10 @@ class Simulator:
                 if p in self._crashed:
                     raise ScheduleError(
                         f"daemon selected crashed processor {p}"
+                    )
+                if p in self._suppressed:
+                    raise ScheduleError(
+                        f"daemon selected suppressed processor {p}"
                     )
                 raise ScheduleError(
                     f"daemon selected disabled processor {p}"

@@ -1,0 +1,143 @@
+"""Byzantine containment: quarantine excludes a node from the judged wave.
+
+Two layers:
+
+* **Unit** — a hand-fed wave against :class:`PifCycleMonitor` shows the
+  semantic contrast: the same step sequence that yields a demotion plus
+  a [PIF2] violation is judged clean when the offending node is
+  quarantined (its obligations are waived, its demotions expected).
+* **Campaign** — a genuine Snap-PIF run through a ``byzantine-storm``
+  scenario with a pinned victim: the storm redraws the victim's
+  registers every step; once it expires, waves initiated on the
+  remainder satisfy the specification, and the tape is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ByzantineNode, FaultScenario, byzantine_storm, run_chaos
+from repro.core.monitor import PifCycleMonitor
+from repro.core.pif import SnapPif
+from repro.graphs import star
+from repro.runtime.trace import StepRecord
+
+
+class FakeWave:
+    """Minimal WaveProtocol: root 0, every B-action attaches to the root."""
+
+    root = 0
+
+    def join_parent(self, ctx):
+        return 0
+
+
+#: A synthetic wave on star-4 (root 0, leaves 1..3): the root initiates,
+#: all leaves join, then leaf 3 turns abnormal (B-correction) while 1
+#: and 2 acknowledge, and the root feeds back and cleans anyway.
+WAVE_WITH_ROGUE_LEAF = [
+    {0: "B-action"},
+    {1: "B-action", 2: "B-action", 3: "B-action"},
+    {3: "B-correction", 1: "F-action", 2: "F-action"},
+    {0: "F-action"},
+    {0: "C-action"},
+]
+
+
+def drive(monitor: PifCycleMonitor, steps) -> None:
+    config = {p: None for p in range(4)}
+    monitor.on_start(config)
+    for index, selection in enumerate(steps):
+        record = StepRecord(
+            index=index, selection=selection, rounds_completed=1
+        )
+        monitor.on_step(config, record, config)
+
+
+class TestMonitorQuarantine:
+    def test_rogue_leaf_violates_without_quarantine(self) -> None:
+        monitor = PifCycleMonitor(FakeWave(), star(4))
+        drive(monitor, WAVE_WITH_ROGUE_LEAF)
+        (report,) = monitor.completed_cycles
+        assert not report.ok
+        assert len(report.violations) == 2
+        assert "wave member 3 was demoted" in report.violations[0]
+        assert "[PIF2]" in report.violations[1]
+
+    def test_quarantine_waives_the_rogue_leaf(self) -> None:
+        monitor = PifCycleMonitor(FakeWave(), star(4), quarantine=(3,))
+        drive(monitor, WAVE_WITH_ROGUE_LEAF)
+        (report,) = monitor.completed_cycles
+        assert report.ok, report.violations
+        # The quarantined node is outside the wave subtree entirely.
+        assert 3 not in report.received
+        assert 3 not in report.acked
+
+    def test_quarantine_does_not_lower_the_evidence_bar(self) -> None:
+        """A leaf that never receives m still violates [PIF1]."""
+        wave = [
+            {0: "B-action"},
+            {1: "B-action", 2: "B-action"},  # leaf 3 never joins
+            {1: "F-action", 2: "F-action"},
+            {0: "F-action"},
+            {0: "C-action"},
+        ]
+        monitor = PifCycleMonitor(FakeWave(), star(4))
+        drive(monitor, wave)
+        (report,) = monitor.completed_cycles
+        assert any("[PIF1]" in v for v in report.violations)
+        # Quarantining a *different* node does not excuse leaf 3.
+        monitor = PifCycleMonitor(FakeWave(), star(4), quarantine=(2,))
+        drive(monitor, wave)
+        (report,) = monitor.completed_cycles
+        assert any("[PIF1]" in v for v in report.violations)
+
+    def test_root_cannot_be_quarantined(self) -> None:
+        with pytest.raises(ValueError, match="cannot be quarantined"):
+            PifCycleMonitor(FakeWave(), star(4), quarantine=(0,))
+
+
+class TestByzantineCampaign:
+    @pytest.mark.parametrize("transport", ["shared-memory", "message"])
+    def test_storm_then_clean_waves_on_the_remainder(self, transport) -> None:
+        network = star(6)
+        protocol = SnapPif.for_network(network)
+        victim = 3
+        scenario = FaultScenario(
+            "byzantine-storm",
+            (ByzantineNode(at_step=10, duration=12, node=victim, seed=21),),
+        )
+        run = run_chaos(
+            protocol,
+            network,
+            scenario,
+            daemon="synchronous",
+            seed=1,
+            budget=400,
+            transport=transport,
+            quarantine=(victim,),
+        )
+        assert run.ok, run.violation
+        # The storm fired every step of its duration, and waves started
+        # after it expired still completed cleanly on the remainder.
+        assert run.faults_applied == 12
+        assert run.cycles_completed > 0
+
+        again = run_chaos(
+            protocol,
+            network,
+            scenario,
+            daemon="synchronous",
+            seed=1,
+            budget=400,
+            transport=transport,
+            quarantine=(victim,),
+        )
+        assert again.tape == run.tape
+
+    def test_byzantine_storm_shape_is_registered(self) -> None:
+        scenario = byzantine_storm(at=5, duration=3).seeded(7)
+        (event,) = scenario.events
+        assert event.kind == "byzantine"
+        assert event.at_step == 5
+        assert event.duration == 3

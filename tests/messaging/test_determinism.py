@@ -1,0 +1,215 @@
+"""Delivery determinism: bit-identical campaigns, tapes, and replays.
+
+The acceptance bar for the message-passing fault model: a seeded
+campaign mixing loss, duplication and reordering must produce
+bit-identical run lists across ``jobs ∈ {1, 2, 4}`` and across repeated
+executions, and a planted message-loss violation must shrink and replay
+verbatim through the :class:`~repro.runtime.daemons.ReplayDaemon`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    message_chaos,
+    message_duplication,
+    message_loss,
+    message_reorder,
+    run_campaign,
+    run_chaos,
+)
+from repro.chaos.shrink import replay_tape, shrink_run
+from repro.core.pif import SnapPif
+from repro.graphs import ring, star
+
+from tests.mutants.protocols import _lossy_count
+
+NETWORKS = [ring(6), star(7)]
+SCENARIOS = [
+    message_loss().seeded(0),
+    message_duplication().seeded(1),
+    message_reorder().seeded(2),
+    message_chaos().seeded(3),
+]
+
+
+def _fingerprint(result):
+    return [
+        (
+            run.scenario,
+            run.topology,
+            run.daemon,
+            run.seed,
+            run.transport,
+            run.steps,
+            run.violation,
+            run.faults_applied,
+            run.tape,
+        )
+        for run in result.runs
+    ]
+
+
+def _campaign(jobs):
+    return run_campaign(
+        None,
+        NETWORKS,
+        SCENARIOS,
+        daemons=("synchronous", "central"),
+        seeds=(0, 1),
+        budget=150,
+        transport="message",
+        loss_rate=0.02,
+        jobs=jobs,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    return _campaign(None)
+
+
+def test_campaign_covers_the_grid(serial_campaign) -> None:
+    assert len(serial_campaign.runs) == len(NETWORKS) * len(SCENARIOS) * 2 * 2
+    assert serial_campaign.ok
+    assert all(run.transport == "message" for run in serial_campaign.runs)
+
+
+def test_campaign_is_repeatable(serial_campaign) -> None:
+    again = _campaign(None)
+    assert _fingerprint(again) == _fingerprint(serial_campaign)
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_campaign_bit_identical_across_jobs(serial_campaign, jobs) -> None:
+    sharded = _campaign(jobs)
+    assert _fingerprint(sharded) == _fingerprint(serial_campaign)
+
+
+def test_single_run_tape_replays_verbatim() -> None:
+    network = ring(6)
+    protocol = SnapPif.for_network(network)
+    run = run_chaos(
+        protocol,
+        network,
+        message_chaos().seeded(5),
+        daemon="central",
+        seed=5,
+        budget=200,
+        transport="message",
+        loss_rate=0.05,
+    )
+    violation = replay_tape(
+        protocol,
+        network,
+        run.tape,
+        strict=True,
+        transport="message",
+        seed=5,
+        capacity=run.capacity,
+        model=run.model,
+        heartbeat=run.heartbeat,
+        loss_rate=run.loss_rate,
+    )
+    assert violation == run.violation
+
+
+class TestPlantedMessageLossMutant:
+    """The lossy-count mutant: latent reliable, found lossy, shrinks."""
+
+    def test_latent_under_reliable_transport(self) -> None:
+        network = star(6)
+        protocol = _lossy_count(network)
+        for transport in ("shared-memory", "message"):
+            run = run_chaos(
+                protocol,
+                network,
+                message_loss(bursts=0),  # no faults at all
+                daemon="synchronous",
+                seed=0,
+                budget=300,
+                transport=transport,
+            )
+            assert run.ok, (transport, run.violation)
+            assert run.cycles_completed > 0
+
+    def test_found_shrunk_and_replayed_verbatim(self) -> None:
+        network = star(6)
+        protocol = _lossy_count(network)
+        run = run_chaos(
+            protocol,
+            network,
+            message_chaos().seeded(0),
+            daemon="synchronous",
+            seed=0,
+            budget=400,
+            transport="message",
+        )
+        assert not run.ok
+        assert "aborted the initiated wave" in run.violation
+
+        repro = shrink_run(protocol, run, max_tests=1200)
+        assert repro is not None
+        assert repro.strictly_smaller
+        assert repro.transport == "message"
+        fault_kinds = [
+            entry["event"]["kind"]
+            for entry in repro.tape
+            if entry["kind"] == "fault"
+        ]
+        assert "drop-message" in fault_kinds
+
+        # Verbatim replay through the ReplayDaemon, twice.
+        for _ in range(2):
+            violation = replay_tape(
+                protocol,
+                network,
+                repro.tape,
+                strict=True,
+                transport="message",
+                seed=repro.seed,
+                capacity=repro.capacity,
+                model=repro.model,
+                heartbeat=repro.heartbeat,
+                loss_rate=repro.loss_rate,
+            )
+            assert violation == repro.violation
+
+    def test_shrunk_tape_fails_closed_on_divergence(self) -> None:
+        """Tampering with the shrunk tape is detected, not absorbed."""
+        from repro.errors import ReplayError
+
+        network = star(6)
+        protocol = _lossy_count(network)
+        run = run_chaos(
+            protocol,
+            network,
+            message_chaos().seeded(0),
+            daemon="synchronous",
+            seed=0,
+            budget=400,
+            transport="message",
+        )
+        repro = shrink_run(protocol, run, max_tests=1200)
+        tampered = [
+            entry
+            for entry in repro.tape
+            if not (
+                entry["kind"] == "fault"
+                and entry["event"]["kind"] == "drop-message"
+            )
+        ]
+        with pytest.raises(ReplayError):
+            replay_tape(
+                protocol,
+                network,
+                tampered,
+                strict=True,
+                transport="message",
+                seed=repro.seed,
+                capacity=repro.capacity,
+                model=repro.model,
+                heartbeat=repro.heartbeat,
+                loss_rate=repro.loss_rate,
+            )

@@ -1,0 +1,130 @@
+"""Knob-resolution hardening: garbage in, named error out.
+
+Every transport knob resolves explicit > environment > default, and
+every invalid value — zero, negative, bool, float, unknown model name,
+garbage environment string — must raise
+:class:`~repro.errors.MessagingError` naming both the offending value
+and its source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MessagingError, ReproError
+from repro.messaging import (
+    DEFAULT_CHANNEL_CAPACITY,
+    DEFAULT_HEARTBEAT,
+    DEFAULT_MESSAGE_MODEL,
+    MESSAGE_MODELS,
+    check_loss_rate,
+    resolve_channel_capacity,
+    resolve_heartbeat,
+    resolve_message_model,
+)
+
+
+class TestMessageModel:
+    def test_default(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_MESSAGE_MODEL", raising=False)
+        assert resolve_message_model() == DEFAULT_MESSAGE_MODEL
+
+    def test_explicit_wins_over_env(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_MESSAGE_MODEL", "async")
+        assert resolve_message_model("eager") == "eager"
+
+    def test_env(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_MESSAGE_MODEL", "async")
+        assert resolve_message_model() == "async"
+
+    @pytest.mark.parametrize("bad", ["sync", "EAGER", "0", "tcp"])
+    def test_unknown_name_is_named_in_error(self, bad, monkeypatch) -> None:
+        with pytest.raises(MessagingError) as excinfo:
+            resolve_message_model(bad)
+        assert repr(bad) in str(excinfo.value)
+        assert "argument" in str(excinfo.value)
+        monkeypatch.setenv("REPRO_MESSAGE_MODEL", bad)
+        with pytest.raises(MessagingError) as excinfo:
+            resolve_message_model()
+        assert "REPRO_MESSAGE_MODEL" in str(excinfo.value)
+
+    def test_all_models_resolve(self) -> None:
+        for model in MESSAGE_MODELS:
+            assert resolve_message_model(model) == model
+
+
+class TestPositiveIntKnobs:
+    @pytest.mark.parametrize(
+        "resolve, env_var, default",
+        [
+            (
+                resolve_channel_capacity,
+                "REPRO_CHANNEL_CAPACITY",
+                DEFAULT_CHANNEL_CAPACITY,
+            ),
+            (
+                resolve_heartbeat,
+                "REPRO_MESSAGE_HEARTBEAT",
+                DEFAULT_HEARTBEAT,
+            ),
+        ],
+    )
+    def test_resolution_chain(self, resolve, env_var, default, monkeypatch):
+        monkeypatch.delenv(env_var, raising=False)
+        assert resolve() == default
+        monkeypatch.setenv(env_var, "17")
+        assert resolve() == 17
+        assert resolve(3) == 3  # explicit beats environment
+
+    @pytest.mark.parametrize(
+        "resolve", [resolve_channel_capacity, resolve_heartbeat]
+    )
+    @pytest.mark.parametrize("bad", [0, -1, -100, True, False, 2.5, "8"])
+    def test_bad_explicit_rejected(self, resolve, bad) -> None:
+        with pytest.raises(MessagingError) as excinfo:
+            resolve(bad)
+        assert "argument" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "resolve, env_var",
+        [
+            (resolve_channel_capacity, "REPRO_CHANNEL_CAPACITY"),
+            (resolve_heartbeat, "REPRO_MESSAGE_HEARTBEAT"),
+        ],
+    )
+    @pytest.mark.parametrize("bad", ["0", "-3", "eight", "1.5", "1e3"])
+    def test_bad_env_rejected_with_source(
+        self, resolve, env_var, bad, monkeypatch
+    ) -> None:
+        monkeypatch.setenv(env_var, bad)
+        with pytest.raises(MessagingError) as excinfo:
+            resolve()
+        assert env_var in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "resolve, env_var",
+        [
+            (resolve_channel_capacity, "REPRO_CHANNEL_CAPACITY"),
+            (resolve_heartbeat, "REPRO_MESSAGE_HEARTBEAT"),
+        ],
+    )
+    def test_blank_env_falls_through_to_default(
+        self, resolve, env_var, monkeypatch
+    ) -> None:
+        monkeypatch.setenv(env_var, "   ")
+        assert resolve() in (DEFAULT_CHANNEL_CAPACITY, DEFAULT_HEARTBEAT)
+
+
+class TestLossRate:
+    @pytest.mark.parametrize("ok", [0.0, 0.01, 0.5, 0.999, 0])
+    def test_valid(self, ok) -> None:
+        assert check_loss_rate(ok) == float(ok)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5, True, False, "0.1", None])
+    def test_invalid(self, bad) -> None:
+        with pytest.raises(MessagingError):
+            check_loss_rate(bad)
+
+
+def test_messaging_error_is_a_repro_error() -> None:
+    assert issubclass(MessagingError, ReproError)

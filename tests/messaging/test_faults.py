@@ -1,0 +1,122 @@
+"""Link-fault events: JSON round-trip, transport gating, campaign runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    MESSAGE_SCENARIO_SHAPES,
+    DelayLink,
+    DropMessage,
+    DuplicateMessage,
+    FaultScenario,
+    ReorderWindow,
+    event_from_dict,
+    run_chaos,
+    standard_message_scenarios,
+)
+from repro.core.pif import SnapPif
+from repro.errors import MessagingError
+from repro.graphs import ring, star
+from repro.runtime.daemons import SynchronousDaemon
+from repro.runtime.simulator import Simulator
+
+LINK_EVENTS = [
+    DropMessage(at_step=3, count=2, seed=5),
+    DuplicateMessage(at_step=1, count=1, seed=6),
+    ReorderWindow(at_step=2, window=4, seed=7),
+    DelayLink(at_step=0, delay=2, duration=5, seed=8),
+]
+
+
+@pytest.mark.parametrize("event", LINK_EVENTS, ids=lambda e: e.kind)
+def test_json_round_trip(event) -> None:
+    payload = json.loads(json.dumps(event.to_dict()))
+    assert event_from_dict(payload) == event
+    assert event.link_fault
+
+
+def test_scenarios_round_trip_and_compose() -> None:
+    for scenario in standard_message_scenarios(9):
+        assert FaultScenario.from_json(scenario.to_json()) == scenario
+    combined = (
+        MESSAGE_SCENARIO_SHAPES["message-loss"]()
+        | MESSAGE_SCENARIO_SHAPES["message-reorder"]()
+    )
+    kinds = {event.kind for event in combined.events}
+    assert kinds == {"drop-message", "reorder-window"}
+
+
+@pytest.mark.parametrize("event", LINK_EVENTS, ids=lambda e: e.kind)
+def test_link_faults_need_a_message_simulator(event) -> None:
+    network = ring(5)
+    sim = Simulator(
+        SnapPif.for_network(network), network, SynchronousDaemon(), seed=0
+    )
+    with pytest.raises(MessagingError, match="message-passing simulator"):
+        event.apply(sim)
+
+
+def test_shared_memory_transport_keeps_prior_grid() -> None:
+    """Message shapes live in their own registry, not SCENARIO_SHAPES."""
+    from repro.chaos import SCENARIO_SHAPES
+
+    assert not set(MESSAGE_SCENARIO_SHAPES) & set(SCENARIO_SHAPES)
+
+
+@pytest.mark.parametrize(
+    "shape",
+    ["message-loss", "message-duplication", "message-reorder", "link-delay",
+     "message-chaos"],
+)
+def test_genuine_protocol_survives_link_faults(shape) -> None:
+    """Snap-PIF over eager links absorbs loss/dup/reorder/delay faults."""
+    network = star(7)
+    protocol = SnapPif.for_network(network)
+    scenario = MESSAGE_SCENARIO_SHAPES[shape]().seeded(4)
+    run = run_chaos(
+        protocol,
+        network,
+        scenario,
+        daemon="central",
+        seed=4,
+        budget=250,
+        transport="message",
+        loss_rate=0.05,
+    )
+    assert run.ok, run.violation
+    assert run.transport == "message"
+    assert run.cycles_completed > 0
+    assert run.capacity is not None and run.model == "eager"
+
+
+def test_unknown_transport_is_rejected() -> None:
+    network = ring(5)
+    protocol = SnapPif.for_network(network)
+    with pytest.raises(MessagingError, match="unknown transport"):
+        run_chaos(
+            protocol,
+            network,
+            MESSAGE_SCENARIO_SHAPES["message-loss"](),
+            transport="carrier-pigeon",
+        )
+
+
+def test_guard_suppression_shape_runs_under_both_transports() -> None:
+    network = ring(6)
+    protocol = SnapPif.for_network(network)
+    scenario = MESSAGE_SCENARIO_SHAPES["guard-suppression"]().seeded(2)
+    for transport in ("shared-memory", "message"):
+        run = run_chaos(
+            protocol,
+            network,
+            scenario,
+            daemon="synchronous",
+            seed=2,
+            budget=200,
+            transport=transport,
+        )
+        assert run.ok, (transport, run.violation)
+        assert run.faults_applied >= 1

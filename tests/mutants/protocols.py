@@ -20,6 +20,11 @@ every one of them.
   broadcast guard (the paper's guard ablated): sound from clean starts,
   but corrupted configurations let processors re-join stale trees, which
   only mid-run corruption exposes.
+* :class:`LossyCountPif` — the root accepts ``N - 1`` as a full count:
+  latent under reliable communication (on a star under the synchronous
+  daemon the observed sum never passes through ``N - 1``), exposed only
+  when a *message loss* keeps one join publication from the root — the
+  planted bug for the message-passing fault campaigns.
 
 ``MUTANT_FACTORIES`` maps mutant names to ``(network, root) -> Protocol``
 factories, the same registry shape :func:`repro.chaos.replay_repro`
@@ -96,6 +101,36 @@ class NoLeafGuardPif(SnapPif):
     name = "mutant-no-leaf-guard"
 
 
+class LossyCountPif(SnapPif):
+    """Root accepts ``N - 1`` as a full count (termination off-by-one).
+
+    Latent under reliable communication on a star with a synchronous
+    daemon: every leaf joins in the same step, so the root's observed
+    sum jumps straight from ``1`` to ``N`` and the ``count >= N - 1``
+    early acceptance coincides with the genuine ``Sum = N`` condition.
+    One *lost join publication* is what makes the root observe exactly
+    ``N - 1`` — so this mutant is the planted bug that only the
+    message-passing loss campaign can expose.
+    """
+
+    name = "mutant-lossy-count"
+
+    def __init__(self, constants: PifConstants) -> None:
+        super().__init__(constants)
+        full = constants.n
+
+        def lossy(base) -> Callable[[Context], PifState]:
+            def statement(ctx: Context) -> PifState:
+                state = base(ctx)
+                if state.count >= full - 1:
+                    return state.replace(fok=True)
+                return state
+
+            return statement
+
+        self._root_program = _patch(self._root_program, "Count-action", lossy)
+
+
 def _eager_fok(network: Network, root: int = 0) -> SnapPif:
     return EagerFokPif(PifConstants.for_network(network, root))
 
@@ -110,6 +145,10 @@ def _no_leaf_guard(network: Network, root: int = 0) -> SnapPif:
     )
 
 
+def _lossy_count(network: Network, root: int = 0) -> SnapPif:
+    return LossyCountPif(PifConstants.for_network(network, root))
+
+
 def _snap_pif(network: Network, root: int = 0) -> SnapPif:
     return SnapPif.for_network(network, root)
 
@@ -118,6 +157,7 @@ MUTANT_FACTORIES: dict[str, Callable[..., SnapPif]] = {
     "mutant-eager-fok": _eager_fok,
     "mutant-lax-level": _lax_level,
     "mutant-no-leaf-guard": _no_leaf_guard,
+    "mutant-lossy-count": _lossy_count,
 }
 
 #: Full protocol registry for corpus replay (mutants + the real thing).

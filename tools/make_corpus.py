@@ -20,12 +20,24 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 sys.path.insert(0, str(ROOT))
 
-from repro.chaos import falsify, replay_repro, save_repro, standard_scenarios
-from repro.graphs import line, random_connected, ring
+from repro.chaos import (
+    falsify,
+    message_chaos,
+    replay_repro,
+    save_repro,
+    standard_scenarios,
+)
+from repro.graphs import line, random_connected, ring, star
 
 from tests.mutants.protocols import MUTANT_FACTORIES, REGISTRY
 
 NETWORKS = [line(5), ring(6), random_connected(7, 0.4, seed=2)]
+
+#: Mutants whose planted bug only manifests under lossy message passing:
+#: hunted over the message transport on a star (where the reliable run
+#: is provably latent) under the synchronous daemon.
+MESSAGE_MUTANTS = {"mutant-lossy-count"}
+MESSAGE_NETWORKS = [star(6), star(8)]
 
 
 def main() -> int:
@@ -33,9 +45,25 @@ def main() -> int:
     corpus.mkdir(parents=True, exist_ok=True)
     failed = False
     for name, factory in sorted(MUTANT_FACTORIES.items()):
-        repro = falsify(
-            factory, NETWORKS, standard_scenarios(), budget=400, max_tests=3000
-        )
+        if name in MESSAGE_MUTANTS:
+            repro = falsify(
+                factory,
+                MESSAGE_NETWORKS,
+                [message_chaos().seeded(s) for s in range(4)],
+                daemons=("synchronous", "central"),
+                seeds=(0, 1, 2),
+                budget=400,
+                max_tests=3000,
+                transport="message",
+            )
+        else:
+            repro = falsify(
+                factory,
+                NETWORKS,
+                standard_scenarios(),
+                budget=400,
+                max_tests=3000,
+            )
         if repro is None:
             print(f"{name}: falsification FAILED — no shrinkable violation")
             failed = True
