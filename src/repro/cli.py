@@ -92,6 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
             "builds (default: REPRO_ENGINE env, else incremental); "
             "'columnar' runs the compiled flat-array kernel",
         )
+        p.add_argument(
+            "--region-parallel",
+            action="store_true",
+            default=None,
+            help="columnar engine only: partition each step into "
+            "independent dirty regions and run them on a thread pool "
+            "(default: REPRO_REGION_PARALLEL env); traces are "
+            "bit-identical to serial stepping",
+        )
+        p.add_argument(
+            "--region-threads",
+            type=int,
+            default=None,
+            metavar="N",
+            help="thread-pool size for --region-parallel (default: "
+            "REPRO_REGION_THREADS env, else the CPU count capped at 8); "
+            "a pure throughput knob — results never depend on it",
+        )
 
     def add_topology_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -373,6 +391,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 SnapPif.for_network(n), n, seed=1, max_steps=200
             ),
         ),
+        # The async model is not step-identical to shared memory; its
+        # contract (authentic views, monotone links, drain-to-truth) is
+        # checked directly (DESIGN.md §13).
+        (
+            "messaging conformance (async, reliable)",
+            lambda n, **_kw: check_message_conformance(
+                SnapPif.for_network(n), n, seed=1, max_steps=200,
+                model="async",
+            ),
+        ),
     ]
     rows = []
     failed = False
@@ -582,6 +610,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_ENGINE"] = args.engine
+    if getattr(args, "region_parallel", None):
+        import os
+
+        os.environ["REPRO_REGION_PARALLEL"] = "1"
+    if getattr(args, "region_threads", None) is not None:
+        from repro.regions import resolve_region_threads
+
+        import os
+
+        # Validate eagerly so a bad value fails at the command line,
+        # not inside the first simulator a sweep builds.
+        os.environ["REPRO_REGION_THREADS"] = str(
+            resolve_region_threads(args.region_threads)
+        )
     return _COMMANDS[args.command](args)
 
 

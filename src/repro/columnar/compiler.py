@@ -266,6 +266,7 @@ class CompiledSpecKernel:
 
         # Compile guards and statement updates per role.
         field_index = {name: i for i, name in enumerate(self.schema.names)}
+        self._field_index = field_index
         self._guards: dict[str, tuple[Callable, ...]] = {}
         self._dispatch: dict[str, dict[str, tuple[int, object]]] = {}
         for role, program in programs.items():
@@ -362,14 +363,41 @@ class CompiledSpecKernel:
         """One computation step: simultaneous writes, dirty-region repair."""
         if self.spec.object_statements:
             return self._execute_selection_object(selection)
+        # Phase 1: every statement reads the pre-step columns.
+        pending = self.pending_updates(
+            [(p, selection[p]) for p in sorted(selection)]
+        )
+        # Phase 2: all writes land simultaneously.
+        if not pending:
+            return set()
+        write_row = self.block.write_row
+        dirty = set()
+        for p, row in pending:
+            write_row(p, row)
+            dirty.add(p)
+        self._refresh(dirty)
+        return dirty
+
+    def pending_updates(
+        self, items: Sequence[tuple[int, Action]]
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """Phase 1 of a step: statements evaluated on pre-step columns.
+
+        ``items`` is ``(node, action)`` pairs in ascending node order.
+        Returns the *changed* rows as ``(node, new_row)``, ascending,
+        without writing anything — callers land the writes and repair
+        masks themselves.  Pure with respect to kernel state (column
+        reads stay within one hop of the given nodes), which is what
+        lets the region stepper evaluate disjoint regions concurrently
+        (DESIGN.md §14).  Large bulk-role groups on the numpy backend
+        are evaluated vectorially; the result is bit-identical to the
+        scalar path because both interpret the same IR over int64.
+        """
         masks = self._masks
         role_keys = self._role_keys
         dispatch_by_role = self._dispatch
-        read_row = self.block.read_row
-        cols = self.cols
-        pending: list[tuple[int, tuple[int, ...]]] = []
-        # Phase 1: every statement reads the pre-step columns.
-        for p, action in selection.items():
+        resolved: list[tuple[int, str, tuple]] = []
+        for p, action in items:
             entry = dispatch_by_role[role_keys[p]].get(action.name)
             if entry is None:
                 raise ProtocolError(
@@ -381,6 +409,18 @@ class CompiledSpecKernel:
                     f"action {action.name!r} executed at node {p} "
                     f"while its guard is false"
                 )
+            resolved.append((p, action.name, updates))
+        pending: list[tuple[int, tuple[int, ...]]] = []
+        if (
+            self.backend == "numpy"
+            and self.n > 1
+            and len(resolved) >= VECTOR_MIN_NODES
+        ):
+            resolved, vectorized = self._updates_vectorized(resolved)
+            pending.extend(vectorized)
+        read_row = self.block.read_row
+        cols = self.cols
+        for p, _name, updates in resolved:
             before = read_row(p)
             row = list(before)
             memo: dict = {}
@@ -389,16 +429,60 @@ class CompiledSpecKernel:
             after = tuple(row)
             if after != before:
                 pending.append((p, after))
-        # Phase 2: all writes land simultaneously.
-        if not pending:
-            return set()
-        write_row = self.block.write_row
-        dirty = set()
-        for p, row in pending:
-            write_row(p, row)
-            dirty.add(p)
-        self._refresh(dirty)
-        return dirty
+        pending.sort()
+        return pending
+
+    def _updates_vectorized(self, resolved):
+        """Vectorized statement evaluation for large bulk-role groups.
+
+        Splits ``resolved`` into groups by action name; groups of
+        bulk-role nodes with compiled updates of size ≥
+        :data:`VECTOR_MIN_NODES` are interpreted over whole-group arrays
+        (same IR, same int64 arithmetic as the scalar closures), the
+        rest fall back.  Returns ``(scalar_leftover, pending)``.
+        """
+        import numpy as np
+
+        bulk = self.spec.bulk_role
+        role_keys = self._role_keys
+        groups: dict[str, list[int]] = {}
+        scalar: list[tuple[int, str, tuple]] = []
+        for item in resolved:
+            p, name, updates = item
+            if role_keys[p] == bulk and updates:
+                groups.setdefault(name, []).append(p)
+            else:
+                scalar.append(item)
+        specs = {a.name: a for a in self.spec.programs[bulk]}
+        pending: list[tuple[int, tuple[int, ...]]] = []
+        field_index = self._field_index
+        read_row = self.block.read_row
+        for name in sorted(groups):
+            nodes = groups[name]
+            if len(nodes) < VECTOR_MIN_NODES:
+                entry = self._dispatch[bulk][name]
+                scalar.extend((p, name, entry[1]) for p in nodes)
+                continue
+            A, vn, _truthy = self._vector_scope(nodes)
+            size = len(nodes)
+            new_vals: list[tuple[str, object]] = []
+            changed = np.zeros(size, dtype=bool)
+            for fname, uexpr in specs[name].updates.items():
+                vals = np.asarray(vn(uexpr))
+                if vals.ndim == 0:
+                    vals = np.full(size, int(vals), dtype=np.int64)
+                else:
+                    vals = vals.astype(np.int64, copy=False)
+                changed |= vals != np.asarray(self.cols[fname])[A]
+                new_vals.append((fname, vals))
+            for i in np.nonzero(changed)[0]:
+                i = int(i)
+                p = nodes[i]
+                row = list(read_row(p))
+                for fname, vals in new_vals:
+                    row[field_index[fname]] = int(vals[i])
+                pending.append((p, tuple(row)))
+        return scalar, pending
 
     def _execute_selection_object(
         self, selection: Mapping[int, Action]
@@ -468,13 +552,10 @@ class CompiledSpecKernel:
     # ------------------------------------------------------------------
     def _refresh(self, dirty: set[int]) -> None:
         """Re-evaluate masks on ``dirty ∪ N(dirty)`` (1-hop locality)."""
-        affected = set(dirty)
-        indptr, indices = self.csr.indptr, self.csr.indices
-        for p in dirty:
-            affected.update(indices[indptr[p] : indptr[p + 1]])
+        affected = self.affected_of(dirty)
         if _telemetry.enabled:
             start = time.perf_counter()
-            self._recompute_masks(sorted(affected))
+            self._recompute_masks(affected)
             reg = _telemetry.registry
             reg.observe("columnar.mask_eval_nodes", len(affected))
             reg.observe(
@@ -483,21 +564,39 @@ class CompiledSpecKernel:
                 TIME_BOUNDS,
             )
         else:
-            self._recompute_masks(sorted(affected))
+            self._recompute_masks(affected)
+
+    def affected_of(self, dirty) -> list[int]:
+        """``sorted(dirty ∪ N(dirty))`` — the mask-repair set of a write."""
+        affected = set(dirty)
+        indptr, indices = self.csr.indptr, self.csr.indices
+        for p in dirty:
+            affected.update(indices[indptr[p] : indptr[p + 1]])
+        return sorted(affected)
 
     def _recompute_masks(self, nodes) -> None:
+        self.apply_masks(nodes, self.mask_values(nodes))
+
+    def mask_values(self, nodes) -> list[int]:
+        """Guard masks of ``nodes`` (ascending, sized) — the pure half
+        of mask repair.  Reads columns within one hop of ``nodes`` and
+        writes nothing, so disjoint-region calls may run concurrently;
+        :meth:`apply_masks` installs the results (main thread only).
+        """
         if (
             self.backend == "numpy"
             and self.n > 1
             and len(nodes) >= VECTOR_MIN_NODES
         ):
-            new_masks = self._masks_vectorized(nodes)
-        else:
-            mask_of = self._mask_of
-            new_masks = [mask_of(p) for p in nodes]
+            return self._masks_vectorized(nodes)
+        mask_of = self._mask_of
+        return [mask_of(p) for p in nodes]
+
+    def apply_masks(self, nodes, values: Sequence[int]) -> None:
+        """Install :meth:`mask_values` results into the mask/enabled state."""
         masks = self._masks
         enabled = self._enabled
-        for p, mask in zip(nodes, new_masks):
+        for p, mask in zip(nodes, values):
             masks[p] = mask
             if mask:
                 enabled.add(p)
@@ -743,7 +842,15 @@ class CompiledSpecKernel:
     # ------------------------------------------------------------------
     # Vectorized mask evaluation (numpy backend, large regions)
     # ------------------------------------------------------------------
-    def _masks_vectorized(self, nodes) -> list[int]:
+    def _vector_scope(self, nodes):
+        """Build the whole-region evaluation scope over ``nodes``.
+
+        Returns ``(A, vn, truthy)``: the node-id array, the memoized
+        owner-scope evaluator (guards *and* statement updates interpret
+        through it), and the boolean coercion helper.  Shared by
+        :meth:`_masks_vectorized` and :meth:`_updates_vectorized` so the
+        two vectorized interpreters cannot drift apart.
+        """
         import numpy as np
 
         indptr, indices = self.csr.as_numpy()
@@ -946,6 +1053,12 @@ class CompiledSpecKernel:
                 f"unsupported IR node in a fold body: {type(expr).__name__}"
             )
 
+        return A, vn, truthy
+
+    def _masks_vectorized(self, nodes) -> list[int]:
+        import numpy as np
+
+        A, vn, truthy = self._vector_scope(nodes)
         program = self.spec.programs[self.spec.bulk_role]
         masks = np.zeros(len(A), dtype=np.int64)
         for bit, aspec in enumerate(program):

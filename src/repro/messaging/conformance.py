@@ -16,8 +16,22 @@ _sync_views`), so equivalence holds across fault boundaries too.  Link
 faults obviously cannot be mirrored into the shared-memory run and are
 rejected.
 
-``repro verify --messaging`` runs this check as part of the standard
-verification battery.
+The ``async`` delivery model holds messages for random extra steps, so
+its runs are *not* step-for-step identical to shared memory and lockstep
+is the wrong oracle.  What the transform still owes under async (with
+no loss) is checked by ``model="async"``:
+
+* **view authenticity** — every neighbor image a process holds is a
+  state the neighbor genuinely published at some earlier point (delayed,
+  never fabricated or corrupted in flight);
+* **per-link monotonicity** — the applied version on each link never
+  decreases (stale deliveries are discarded, reordering cannot roll a
+  view back);
+* **eventual consistency** — once executions stop (every process
+  suppressed) and the network drains, every local view equals the
+  ground truth: nothing stays stale forever under heartbeats.
+
+``repro verify`` runs both models as part of the standard battery.
 """
 
 from __future__ import annotations
@@ -77,15 +91,38 @@ def check_message_conformance(
     events: Sequence = (),
     capacity: int | None = None,
     heartbeat: int | None = None,
+    model: str = "eager",
 ) -> ConformanceResult:
-    """Run shared-memory and message-passing simulators in lockstep.
+    """Check the message-passing transform against its model's oracle.
+
+    ``model="eager"`` (the default) runs shared-memory and
+    message-passing simulators in lockstep and reports the first
+    divergence — the DESIGN.md §13 equivalence.  ``model="async"`` runs
+    the async-delivery simulator alone and checks the weaker contract
+    delayed delivery still owes: view authenticity, per-link version
+    monotonicity, and drain-to-consistency (see the module docstring).
 
     ``events`` is an optional sequence of chaos fault events (sorted by
-    ``at_step``); each is applied to *both* simulators at its step.
-    Only model-agnostic events qualify — an event that needs channels
-    (the link-fault family) raises :class:`MessagingError` because the
-    comparison would be vacuous.
+    ``at_step``); under ``eager`` each is applied to *both* simulators
+    at its step.  Only model-agnostic events qualify — an event that
+    needs channels (the link-fault family) raises
+    :class:`MessagingError` because the comparison would be vacuous.
     """
+    if model == "async":
+        return _check_async_conformance(
+            protocol,
+            network,
+            daemon_factory=daemon_factory,
+            seed=seed,
+            max_steps=max_steps,
+            events=events,
+            capacity=capacity,
+            heartbeat=heartbeat,
+        )
+    if model != "eager":
+        raise MessagingError(
+            f"unknown conformance model {model!r}; expected 'eager' or 'async'"
+        )
     shared = Simulator(
         protocol, network, daemon_factory(), seed=seed, engine="incremental"
     )
@@ -159,6 +196,146 @@ def check_message_conformance(
                 )
             )
             break
+    return ConformanceResult(
+        ok=not mismatches,
+        steps_checked=steps,
+        complete=complete and not mismatches,
+        counterexamples=mismatches,
+    )
+
+
+def _check_async_conformance(
+    protocol: Protocol,
+    network: Network,
+    *,
+    daemon_factory: Callable[[], Daemon],
+    seed: int,
+    max_steps: int,
+    events: Sequence,
+    capacity: int | None,
+    heartbeat: int | None,
+) -> ConformanceResult:
+    """Async-model contract: authentic, monotone, eventually consistent."""
+    message = MessageSimulator(
+        protocol,
+        network,
+        daemon_factory(),
+        seed=seed,
+        model="async",
+        loss_rate=0.0,
+        capacity=capacity,
+        heartbeat=heartbeat,
+    )
+
+    queue = sorted(events, key=lambda e: e.at_step)
+    for event in queue:
+        if getattr(event, "link_fault", False):
+            raise MessagingError(
+                f"conformance cannot check link fault {event.kind!r}: it "
+                f"breaks the no-loss premise of the async contract"
+            )
+
+    # Every ground-truth state each process has ever held — the set a
+    # delayed-but-authentic neighbor image must come from.  Fault events
+    # (corruption, churn re-domaining) legitimately rewrite truth, so
+    # the history is refreshed after each event too.
+    history: dict[int, set] = {
+        p: {message.configuration[p]} for p in network.nodes
+    }
+
+    def record_truth() -> None:
+        config = message.configuration
+        for p in message.network.nodes:
+            history[p].add(config[p])
+
+    floors = dict(message._applied)
+    mismatches: list[ConformanceMismatch] = []
+    steps = 0
+
+    def check_invariants() -> None:
+        config_net = message.network
+        for v in config_net.nodes:
+            view = message.view(v)
+            for u, state in view.items():
+                if u == v:
+                    continue
+                if state not in history[u]:
+                    mismatches.append(
+                        ConformanceMismatch(
+                            steps,
+                            f"view authenticity (link ({u}, {v}))",
+                            f"some state {u} actually published",
+                            state,
+                        )
+                    )
+                    return
+        for link, version in message._applied.items():
+            floor = floors.get(link)
+            if floor is not None and version < floor:
+                mismatches.append(
+                    ConformanceMismatch(
+                        steps,
+                        f"version monotonicity (link {link})",
+                        floor,
+                        version,
+                    )
+                )
+                return
+            floors[link] = version
+
+    while steps < max_steps:
+        while queue and queue[0].at_step <= steps:
+            event = queue.pop(0)
+            _, followups = event.apply(message)
+            for extra in followups:
+                queue.append(extra)
+            queue.sort(key=lambda e: e.at_step)
+            record_truth()
+        record = message.step()
+        if record is None:
+            break
+        steps += 1
+        record_truth()
+        check_invariants()
+        if mismatches:
+            break
+
+    complete = not mismatches
+    if not mismatches:
+        # Drain: stop all executions (recover crashed processes first —
+        # a crashed sender cannot retransmit, so its links may be
+        # legitimately stale) and let heartbeats flush every channel;
+        # afterwards each view must equal the ground truth exactly.
+        message.recover()
+        message.suppress(message.network.nodes)
+        budget = max_steps + 200
+        while budget and not message._network_quiet():
+            message.step()
+            budget -= 1
+        if not message._network_quiet():
+            complete = False
+            mismatches.append(
+                ConformanceMismatch(
+                    steps,
+                    "drain",
+                    "a quiet network within the budget",
+                    f"{message.in_flight()} message(s) still in flight",
+                )
+            )
+        else:
+            truth = message.configuration
+            for v in message.network.nodes:
+                view = message.view(v)
+                for u in message.network.neighbors(v):
+                    if view.get(u) != truth[u]:
+                        mismatches.append(
+                            ConformanceMismatch(
+                                steps,
+                                f"settled view (link ({u}, {v}))",
+                                truth[u],
+                                view.get(u),
+                            )
+                        )
     return ConformanceResult(
         ok=not mismatches,
         steps_checked=steps,

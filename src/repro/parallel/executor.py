@@ -50,12 +50,53 @@ __all__ = [
     "TaskFailure",
     "ParallelExecutor",
     "resolve_jobs",
+    "resolve_worker_count",
     "chunk_ranges",
 ]
 
 
 class ParallelError(ReproError):
     """A parallel task failed permanently (after its retry)."""
+
+
+def resolve_worker_count(
+    value: int | None, *, env_var: str, name: str
+) -> int | None:
+    """Shared precedence + validation for worker-count knobs.
+
+    The one resolution discipline every parallel knob follows: an
+    explicit argument wins; otherwise the environment variable;
+    otherwise ``None`` (the caller's documented default applies).  The
+    value must be a positive integer — zero, negatives, non-integers
+    (including bools) and garbage environment strings all raise
+    :class:`ParallelError` naming the offending value and where it came
+    from.  ``resolve_jobs`` and the region stepper's
+    ``resolve_region_threads`` both delegate here, so their error
+    surfaces cannot drift apart.
+    """
+    if value is None:
+        raw = os.environ.get(env_var, "").strip()
+        if not raw:
+            return None
+        try:
+            parsed = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"{env_var} must be a positive integer, got {raw!r}"
+            ) from None
+        if parsed < 1:
+            raise ParallelError(
+                f"{env_var} must be a positive integer, got {raw!r}"
+            )
+        return parsed
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParallelError(
+            f"{name} must be a positive integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value < 1:
+        raise ParallelError(f"{name} must be >= 1, got {value}")
+    return value
 
 
 def resolve_jobs(jobs: int | None = None) -> int | None:
@@ -68,29 +109,7 @@ def resolve_jobs(jobs: int | None = None) -> int | None:
     environment values all raise :class:`ParallelError` naming the
     offending value and where it came from.
     """
-    if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "").strip()
-        if not raw:
-            return None
-        try:
-            value = int(raw)
-        except ValueError:
-            raise ParallelError(
-                f"REPRO_JOBS must be a positive integer, got {raw!r}"
-            ) from None
-        if value < 1:
-            raise ParallelError(
-                f"REPRO_JOBS must be a positive integer, got {raw!r}"
-            )
-        return value
-    if isinstance(jobs, bool) or not isinstance(jobs, int):
-        raise ParallelError(
-            f"jobs must be a positive integer, got {jobs!r} "
-            f"({type(jobs).__name__})"
-        )
-    if jobs < 1:
-        raise ParallelError(f"jobs must be >= 1, got {jobs}")
-    return jobs
+    return resolve_worker_count(jobs, env_var="REPRO_JOBS", name="jobs")
 
 
 def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:

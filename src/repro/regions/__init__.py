@@ -1,0 +1,37 @@
+"""Region-partitioned parallel stepping for the columnar engine.
+
+Public surface:
+
+- :func:`partition_selection` / :class:`Region` /
+  :class:`RegionPartition` — connected components of a selection's
+  dirty footprint (the independence structure).
+- :class:`RegionStepper` — partition–execute–merge driver running
+  regions on a deterministic thread pool.
+- :func:`resolve_region_parallel` / :func:`resolve_region_threads` —
+  knob resolution (``REPRO_REGION_PARALLEL`` /
+  ``REPRO_REGION_THREADS``).
+
+See DESIGN.md §14 for the soundness argument.
+"""
+
+from repro.regions.env import (
+    MAX_DEFAULT_REGION_THREADS,
+    resolve_region_parallel,
+    resolve_region_threads,
+)
+from repro.regions.partition import (
+    Region,
+    RegionPartition,
+    partition_selection,
+)
+from repro.regions.stepper import RegionStepper
+
+__all__ = [
+    "MAX_DEFAULT_REGION_THREADS",
+    "Region",
+    "RegionPartition",
+    "RegionStepper",
+    "partition_selection",
+    "resolve_region_parallel",
+    "resolve_region_threads",
+]

@@ -1,0 +1,58 @@
+"""Knob resolution for parallel-region stepping.
+
+Follows the PR 5 discipline: an explicit argument wins, otherwise the
+environment variable, otherwise the documented default, and every
+invalid value — zero, negatives, non-integers (including bools),
+garbage environment strings — fails loudly with the offending value in
+the error.  The integer knob delegates to
+:func:`repro.parallel.executor.resolve_worker_count`, the same
+precedence/validation helper ``resolve_jobs`` uses, so the two knobs
+cannot drift apart in behavior or error wording.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.parallel.executor import resolve_worker_count
+
+__all__ = [
+    "MAX_DEFAULT_REGION_THREADS",
+    "resolve_region_parallel",
+    "resolve_region_threads",
+]
+
+#: Cap on the *default* thread count (explicit values are uncapped).
+#: Region workers share one machine's memory bandwidth; past a handful
+#: of threads the merge phase dominates, so the default stays modest.
+MAX_DEFAULT_REGION_THREADS = 8
+
+
+def resolve_region_parallel(enabled: bool | None = None) -> bool:
+    """Resolve the region-parallel switch (``REPRO_REGION_PARALLEL``).
+
+    An explicit argument wins; otherwise any environment value other
+    than empty/``0`` enables it (the same convention as
+    ``REPRO_ENGINE_VALIDATE``).  Off by default.
+    """
+    if enabled is not None:
+        return bool(enabled)
+    return os.environ.get("REPRO_REGION_PARALLEL", "") not in ("", "0")
+
+
+def resolve_region_threads(threads: int | None = None) -> int:
+    """Resolve the region thread-count knob (``REPRO_REGION_THREADS``).
+
+    An explicit ``threads`` wins; otherwise the environment variable;
+    otherwise the host's CPU count capped at
+    :data:`MAX_DEFAULT_REGION_THREADS`.  Invalid values raise
+    :class:`~repro.parallel.executor.ParallelError` naming the value
+    and its source.  The count is a pure throughput knob: traces are
+    bit-identical across any thread count (DESIGN.md §14).
+    """
+    value = resolve_worker_count(
+        threads, env_var="REPRO_REGION_THREADS", name="region threads"
+    )
+    if value is None:
+        return max(1, min(MAX_DEFAULT_REGION_THREADS, os.cpu_count() or 1))
+    return value

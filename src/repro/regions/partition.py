@@ -1,0 +1,131 @@
+"""Region partitioner: connected components of the dirty footprint.
+
+A daemon selection ``U`` only reads and writes near itself: statements
+write the selected nodes, mask repair writes ``U ∪ N(U)``, and every
+read stays within two hops of a selected node (DESIGN.md §14).  Two
+selected nodes therefore interact only when their *closed
+neighborhoods* intersect — i.e. when they are at distance ≤ 2 — so the
+selection splits into independent regions: the connected components of
+the graph on ``U`` with an edge between ``u`` and ``v`` whenever
+``N[u] ∩ N[v] ≠ ∅``.
+
+:func:`partition_selection` computes exactly that with one array-based
+union-find pass over the selection's closed neighborhoods: each node of
+``U ∪ N(U)`` is *claimed* by the first selected node whose closed
+neighborhood reaches it, and a later selected node reaching an
+already-claimed node unions the two.  The claimed sets are the
+per-region footprints ``N[U_R]`` — disjoint across regions by
+construction, which is the disjoint-array-slices fact the parallel
+stepper relies on.
+
+Determinism: regions come back ordered by ascending minimum selected
+node id, with each region's selected nodes ascending — the canonical
+order the stepper merges in.  The partition is a pure function of
+``(selection, topology)``; thread counts never influence it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Region", "RegionPartition", "partition_selection"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One independent component of a selection's dirty footprint."""
+
+    #: The selected nodes of this region, ascending.
+    nodes: tuple[int, ...]
+    #: ``|N[nodes]|`` — the size of the region's claimed footprint
+    #: (selected nodes plus their neighbors), the array slice the
+    #: region's step may write masks into.
+    footprint: int
+
+    @property
+    def min_node(self) -> int:
+        return self.nodes[0]
+
+
+@dataclass(frozen=True)
+class RegionPartition:
+    """All regions of one selection, ascending by minimum node id."""
+
+    regions: tuple[Region, ...]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(r.footprint for r in self.regions)
+
+
+def partition_selection(
+    selected: Sequence[int], indptr: Sequence[int], indices: Sequence[int]
+) -> RegionPartition:
+    """Partition ``selected`` into independent regions.
+
+    ``selected`` must be ascending node ids; ``indptr``/``indices`` are
+    the CSR neighbor index of the topology (``indices[indptr[p] :
+    indptr[p + 1]]`` is ``N(p)``).  Selected nodes ``u`` and ``v`` land
+    in the same region iff they are connected through overlapping
+    closed neighborhoods (distance ≤ 2 through selected nodes) — the
+    exact criterion under which their steps might not commute.
+    """
+    k = len(selected)
+    if k == 0:
+        return RegionPartition(())
+
+    parent = list(range(k))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]  # path halving
+            i = parent[i]
+        return i
+
+    # claim: footprint node -> selection index of its claiming region.
+    claim: dict[int, int] = {}
+    for i, u in enumerate(selected):
+        lo, hi = indptr[u], indptr[u + 1]
+        for w in (u, *indices[lo:hi]):
+            j = claim.get(w)
+            if j is None:
+                claim[w] = i
+            else:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    # Root at the smaller selection index, so a
+                    # component's root is its minimum selected node.
+                    if ri < rj:
+                        parent[rj] = ri
+                    else:
+                        parent[ri] = rj
+
+    members: dict[int, list[int]] = {}
+    order: list[int] = []
+    for i in range(k):
+        root = find(i)
+        group = members.get(root)
+        if group is None:
+            members[root] = [i]
+            order.append(root)
+        else:
+            group.append(i)
+    footprint = dict.fromkeys(order, 0)
+    for i in claim.values():
+        footprint[find(i)] += 1
+
+    regions = tuple(
+        Region(
+            nodes=tuple(selected[i] for i in members[root]),
+            footprint=footprint[root],
+        )
+        for root in order
+    )
+    return RegionPartition(regions)

@@ -120,6 +120,13 @@ class Simulator:
         :class:`~repro.errors.VerificationError`.  Defaults to the
         ``REPRO_ENGINE_VALIDATE`` environment variable (any value other
         than empty/``0`` enables it).
+    region_parallel, region_threads:
+        Columnar engine only (ignored otherwise): when on, each step is
+        partitioned into independent dirty regions executed on a thread
+        pool (see :mod:`repro.regions`); traces stay bit-identical to
+        serial stepping for any thread count.  Default to the
+        ``REPRO_REGION_PARALLEL`` / ``REPRO_REGION_THREADS``
+        environment variables.
     """
 
     def __init__(
@@ -134,6 +141,8 @@ class Simulator:
         monitors: Iterable[Monitor] = (),
         engine: str | None = None,
         validate_engine: bool | None = None,
+        region_parallel: bool | None = None,
+        region_threads: int | None = None,
     ) -> None:
         if engine is None:
             # An empty REPRO_ENGINE means "unset", like REPRO_ENGINE_VALIDATE.
@@ -181,7 +190,11 @@ class Simulator:
             from repro.columnar import ColumnarRuntime
 
             self._columnar: ColumnarRuntime | None = ColumnarRuntime(
-                protocol, network, config
+                protocol,
+                network,
+                config,
+                region_parallel=region_parallel,
+                region_threads=region_threads,
             )
             # The column block owns the state; ``self.configuration``
             # materializes object views on demand.

@@ -1,0 +1,127 @@
+"""Region telemetry: deterministic histograms, nondet pool counters.
+
+``regions.per_step`` / ``regions.size`` are functions of the workload
+(selection + topology), so they live in the deterministic snapshot and
+must be identical across thread counts; pool utilization
+(``worker.region_pool.*``) depends on scheduling and stays under the
+``worker.`` NONDET prefix, excluded from the deterministic view.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro import telemetry
+from repro.core.pif import SnapPif
+from repro.graphs import by_name
+from repro.reporting.telemetry import render_trace
+from repro.runtime.daemons import DistributedRandomDaemon
+from repro.runtime.simulator import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _run(threads: int, steps: int = 20):
+    net = by_name("random-sparse", 14)
+    protocol = SnapPif.for_network(net)
+    sim = Simulator(
+        protocol,
+        net,
+        DistributedRandomDaemon(0.4),
+        configuration=protocol.random_configuration(net, Random(5)),
+        seed=2,
+        engine="columnar",
+        region_parallel=True,
+        region_threads=threads,
+    )
+    for _ in range(steps):
+        if sim.step() is None:
+            break
+    return sim
+
+
+class TestRegionMetrics:
+    def test_histograms_and_pool_counters_recorded(self):
+        telemetry.enable()
+        sim = _run(threads=2)
+        metrics = telemetry.registry.snapshot().metrics
+        assert metrics["regions.steps"]["value"] == sim.steps
+        assert metrics["regions.per_step"]["count"] == sim.steps
+        assert metrics["regions.per_step"]["total"] >= sim.steps
+        assert metrics["regions.size"]["count"] >= sim.steps
+        assert metrics["worker.region_pool.threads"]["value"] == 2
+        dispatched = metrics.get("worker.region_pool.dispatched")
+        inline = metrics.get("worker.region_pool.inline")
+        total = (dispatched["value"] if dispatched else 0) + (
+            inline["value"] if inline else 0
+        )
+        assert total == metrics["regions.per_step"]["total"]
+
+    def test_deterministic_view_is_thread_count_invariant(self):
+        views = {}
+        for threads in (1, 2, 4):
+            telemetry.enable()
+            _run(threads=threads)
+            views[threads] = (
+                telemetry.registry.snapshot().deterministic().to_dict()
+            )["metrics"]
+            telemetry.disable()
+        assert views[1] == views[2] == views[4]
+        assert "regions.per_step" in views[1]
+        assert "regions.size" in views[1]
+        # Pool utilization is scheduling-dependent: NONDET-prefixed out.
+        assert not any(k.startswith("worker.") for k in views[1])
+
+    def test_deterministic_view_matches_serial_columnar(self):
+        # Region mode repairs masks per region; the dirty footprints are
+        # disjoint, so the *deterministic* columnar telemetry (notably
+        # the columnar.mask_eval_nodes histogram) must equal the serial
+        # engine's, with only the regions.* families added on top.
+        telemetry.enable()
+        net = by_name("ring", 12)
+        protocol = SnapPif.for_network(net)
+
+        def run(region_parallel: bool):
+            sim = Simulator(
+                protocol,
+                net,
+                DistributedRandomDaemon(0.4),
+                configuration=protocol.random_configuration(net, Random(7)),
+                seed=9,
+                engine="columnar",
+                region_parallel=region_parallel,
+                region_threads=2,
+            )
+            for _ in range(15):
+                if sim.step() is None:
+                    break
+
+        with telemetry.capture() as serial_reg:
+            run(False)
+        serial = serial_reg.snapshot().deterministic().to_dict()["metrics"]
+        with telemetry.capture() as region_reg:
+            run(True)
+        regioned = region_reg.snapshot().deterministic().to_dict()["metrics"]
+        stripped = {
+            k: v for k, v in regioned.items() if not k.startswith("regions.")
+        }
+        assert stripped == serial
+
+    def test_stats_rendering_includes_region_tables(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.enable(str(path))
+        _run(threads=2)
+        telemetry.write_snapshot(label="final")
+        telemetry.disable()
+        records = telemetry.read_trace(str(path))
+        rendered = render_trace(records)
+        assert "regions.per_step" in rendered
+        assert "regions.size" in rendered
+        assert "worker.region_pool.threads" in rendered
