@@ -1,0 +1,157 @@
+"""C-service — sustained wave-service throughput under concurrent clients.
+
+Runs the asyncio wave service (:mod:`repro.service`) on stars of
+increasing size with the columnar engine and 16 concurrent clients
+submitting a deterministic mixed workload (pif / snapshot / infimum /
+census / reset), and reports **sustained wave requests per second** —
+submission through streamed completion, including coalescing, executor
+hand-off, and event fan-out.
+
+Each cell is the median of 5 repeats (:func:`benchmarks.common.repeat_median`).
+Every repeat also asserts the service contract: all requests complete,
+none fail, every wave satisfies the PIF specification, and coalescing
+actually fired (served > waves), so the throughput number cannot come
+from a silently degraded run.
+
+Results are written to ``BENCH_service.json`` at the repository root
+and gated by ``benchmarks/check_regression.py``::
+
+    pytest benchmarks/bench_service.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.graphs import star
+from repro.service import WaveService, make_workload
+
+from benchmarks.common import JSON_REPORTS, TableCollector, repeat_median
+
+TABLE = TableCollector(
+    "C-service — sustained wave requests/sec vs topology size",
+    columns=[
+        "network", "requests", "clients", "waves", "coalesced",
+        "req/sec", "repeats",
+    ],
+)
+
+SIZES = (256, 1024, 4096)
+#: Requests per run, scaled down as waves get slower so a repeat stays
+#: a few seconds even at N=4096.
+REQUESTS = {256: 120, 1024: 48, 4096: 16}
+CLIENTS = 16
+REPEATS = 5
+SEED = 0
+
+#: ``"star-N" -> repeat_median(...) result for requests_per_sec``.
+RESULTS: dict[str, dict] = {}
+
+
+async def _serve(n: int) -> dict[str, float]:
+    count = REQUESTS[n]
+    script = make_workload(count, seed=SEED)
+    async with WaveService(seed=SEED, engine="columnar") as service:
+        name = f"star-{n}"
+        service.add_topology(name, star(n))
+
+        async def client(handles) -> int:
+            completions = 0
+            for handle in handles:
+                async for event in handle.events():
+                    if event.phase == "completed":
+                        completions += 1
+            return completions
+
+        start = time.perf_counter()
+        # One synchronous submission burst (deterministic order), then
+        # every client consumes its own completion streams concurrently.
+        slices = [script[c::CLIENTS] for c in range(CLIENTS)]
+        per_client = [
+            [service.submit(kind, name, args) for kind, args in chunk]
+            for chunk in slices
+        ]
+        streamed = await asyncio.gather(
+            *(client(handles) for handles in per_client)
+        )
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+    topo = stats["topologies"][name]
+    assert sum(streamed) == count, (n, streamed)
+    assert topo["requests_served"] == count
+    assert stats["rejected"] == 0
+    assert topo["waves_run"] < count, "coalescing never fired"
+    return {
+        "requests": count,
+        "waves": topo["waves_run"],
+        "coalesced": count - topo["waves_run"],
+        "seconds": elapsed,
+        "requests_per_sec": count / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def _measure(n: int) -> dict[str, float]:
+    return asyncio.run(_serve(n))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_service_throughput(n: int, benchmark) -> None:
+    stats = benchmark.pedantic(
+        lambda: repeat_median(
+            lambda: _measure(n), key="requests_per_sec", repeats=REPEATS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS[f"star-{n}"] = stats
+    sample = stats["sample"]
+    TABLE.add(
+        {
+            "network": f"star-{n}",
+            "requests": int(sample["requests"]),
+            "clients": CLIENTS,
+            "waves": int(sample["waves"]),
+            "coalesced": int(sample["coalesced"]),
+            "req/sec": round(stats["median"], 1),
+            "repeats": stats["repeats"],
+        }
+    )
+    assert stats["median"] > 0
+
+
+def _build_report() -> dict | None:
+    if not RESULTS:
+        return None
+    return {
+        "benchmark": "asyncio wave-service sustained throughput",
+        "workload": (
+            f"mixed wave requests (make_workload seed {SEED}) on star-N "
+            f"for N in {list(SIZES)}, columnar engine, {CLIENTS} concurrent "
+            f"clients, requests per run {REQUESTS}, "
+            f"median of {REPEATS} repeats"
+        ),
+        "cases": [
+            {
+                "case": case,
+                "median_requests_per_sec": stats["median"],
+                "min_requests_per_sec": stats["min"],
+                "max_requests_per_sec": stats["max"],
+                "repeats": stats["repeats"],
+                "requests": int(stats["sample"]["requests"]),
+                "waves": int(stats["sample"]["waves"]),
+                "coalesced": int(stats["sample"]["coalesced"]),
+                "seconds": stats["sample"]["seconds"],
+            }
+            for case, stats in sorted(RESULTS.items())
+        ],
+        "wave_requests_per_sec": {
+            case: round(stats["median"], 2)
+            for case, stats in sorted(RESULTS.items())
+        },
+    }
+
+
+JSON_REPORTS.append(("BENCH_service.json", _build_report))

@@ -45,6 +45,7 @@ TRACKED: dict[str, tuple[str, ...]] = {
     "BENCH_parallel.json": ("speedup_parallel_over_serial",),
     "BENCH_telemetry.json": ("telemetry_throughput",),
     "BENCH_messaging.json": ("delivered_messages_per_sec",),
+    "BENCH_service.json": ("wave_requests_per_sec",),
 }
 
 __all__ = ["compare_speedups", "host_mismatch", "main"]

@@ -33,3 +33,7 @@ __all__ += ["QueryResult", "QueryService"]
 from repro.applications.census import Census, CensusService
 
 __all__ += ["Census", "CensusService"]
+
+from repro.applications.waves import WAVE_KINDS, WaveEngine, WaveServing
+
+__all__ += ["WAVE_KINDS", "WaveEngine", "WaveServing"]

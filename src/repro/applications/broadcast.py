@@ -70,6 +70,12 @@ class BroadcastService:
         Scheduler (default synchronous) and RNG seed.
     initial_configuration:
         Optional corrupted starting configuration (stabilization demos).
+    engine:
+        Guard-evaluation engine forwarded to the
+        :class:`~repro.runtime.simulator.Simulator` (``None`` resolves
+        ``REPRO_ENGINE``, else incremental).  The wave service passes
+        ``"columnar"`` here so large topologies run the compiled
+        guard kernels.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class BroadcastService:
         daemon: Daemon | None = None,
         seed: int = 0,
         initial_configuration: Configuration | None = None,
+        engine: str | None = None,
     ) -> None:
         self.network = network
         self.protocol = PayloadSnapPif(
@@ -97,6 +104,7 @@ class BroadcastService:
             seed=seed,
             monitors=[self.monitor],
             configuration=initial_configuration,
+            engine=engine,
         )
 
     @property

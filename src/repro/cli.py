@@ -20,6 +20,10 @@ Commands
 ``bench``
     Run benchmark modules from ``benchmarks/`` (requires a source
     checkout) and write their ``BENCH_*.json`` artifacts.
+``serve``
+    Run the asyncio wave service on a named topology and serve a
+    deterministic client workload of typed wave requests, printing the
+    streamed lifecycle events and the service stats tables.
 ``stats``
     Render the metrics and span tables from a telemetry JSONL trace
     (written by ``--telemetry PATH``).
@@ -236,6 +240,60 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(bench)
     add_jobs_arg(bench)
     add_telemetry_arg(bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio wave service and serve a client workload",
+    )
+    add_topology_args(serve)
+    add_engine_arg(serve)
+    add_jobs_arg(serve)
+    add_telemetry_arg(serve)
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="total wave requests to serve (default: 200)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent asyncio clients sharing the workload (default: 4)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=int,
+        default=None,
+        help="coalescing batch window (default: REPRO_SERVICE_BATCH_WINDOW "
+        "env, else 32)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="concurrent wave executions (default: "
+        "REPRO_SERVICE_MAX_IN_FLIGHT env, else 4)",
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=None,
+        help="pending-queue bound per topology (default: "
+        "REPRO_SERVICE_QUEUE_BOUND env, else 1024)",
+    )
+    serve.add_argument(
+        "--show-events",
+        type=int,
+        default=8,
+        metavar="K",
+        help="print the first K streamed lifecycle events (default: 8)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats payload and per-kind counts as JSON",
+    )
 
     stats = sub.add_parser(
         "stats", help="render metrics/span tables from a telemetry trace"
@@ -557,6 +615,99 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return subprocess.call(command, cwd=repo_root, env=env)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the wave service on one named topology and serve a workload.
+
+    The workload is the deterministic submission script of
+    :func:`repro.service.make_workload`, split round-robin across
+    ``--clients`` concurrent asyncio clients: submission happens in one
+    synchronous burst (so the order — and with it every per-request
+    result — is reproducible under the fixed ``--seed``), then each
+    client awaits its own handles and consumes its own completion
+    streams concurrently.
+    """
+    import asyncio
+    import json
+    from collections import Counter
+
+    from repro.reporting.service import render_service
+    from repro.service import WaveService, make_workload
+    from repro.service.events import for_phases
+
+    net = by_name(args.topology, args.size)
+    name = f"{args.topology}-{net.n}"
+    script = make_workload(args.requests, seed=args.seed)
+    clients = max(1, args.clients)
+
+    async def client(handles) -> list:
+        results = []
+        for handle in handles:
+            async for event in handle.events():
+                if event.phase in ("completed", "failed"):
+                    results.append(event)
+        return results
+
+    async def session():
+        async with WaveService(
+            seed=args.seed,
+            engine=getattr(args, "engine", None),
+            batch_window=args.batch_window,
+            max_in_flight=args.max_in_flight,
+            queue_bound=args.queue_bound,
+            jobs=args.jobs,
+        ) as service:
+            service.add_topology(name, net)
+            tap = service.subscribe(for_phases("accepted", "completed"))
+            slices = [script[c::clients] for c in range(clients)]
+            per_client = [
+                [service.submit(kind, name, a) for kind, a in chunk]
+                for chunk in slices
+            ]
+            finals = await asyncio.gather(
+                *(client(handles) for handles in per_client)
+            )
+            return service.stats(), finals, tap.drain()
+
+    with _telemetry_session(args.telemetry):
+        stats, finals, tapped = asyncio.run(session())
+    flat = [event for results in finals for event in results]
+    kinds = Counter(event.kind for event in flat)
+    failed = sum(1 for event in flat if event.phase == "failed")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "topology": name,
+                    "requests": len(flat),
+                    "failed": failed,
+                    "kinds": dict(sorted(kinds.items())),
+                    "stats": stats,
+                },
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 1 if failed else 0
+    print(f"served {len(flat)} wave requests on {name} "
+          f"({clients} clients, seed {args.seed})")
+    for event in tapped[: args.show_events]:
+        print(f"  event: {event.as_dict()}")
+    if len(tapped) > args.show_events:
+        print(f"  ... {len(tapped) - args.show_events} more events")
+    print()
+    print(render_table(
+        [{"kind": k, "requests": c} for k, c in sorted(kinds.items())],
+        title="served by kind",
+    ))
+    print()
+    print(render_service(stats))
+    if failed:
+        print(f"{failed} requests FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -595,6 +746,7 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "topologies": _cmd_topologies,
 }

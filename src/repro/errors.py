@@ -91,6 +91,43 @@ class VerificationError(ReproError):
     """The exhaustive model checker found a counterexample."""
 
 
+class ServiceError(ReproError):
+    """A wave-service request or lifecycle operation is invalid.
+
+    Base class for the typed rejections of :mod:`repro.service` — the
+    asyncio wave-service layer.  Subclasses distinguish the conditions
+    clients are expected to handle programmatically (overload versus
+    shutdown versus a malformed request).
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded request queue is full (backpressure).
+
+    Raised synchronously by ``WaveService.submit`` when a topology's
+    pending queue already holds ``queue_bound`` requests.  Clients
+    should back off and retry; nothing was enqueued.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down (or was never started).
+
+    Raised by ``WaveService.submit`` after shutdown began, and set on
+    the futures of pending requests abandoned by a non-draining
+    shutdown.
+    """
+
+
+class WaveRequestError(ServiceError):
+    """A wave request is malformed.
+
+    Unknown request kind, unknown topology name, or invalid arguments
+    (e.g. an unsupported infimum operation).  Raised synchronously at
+    submission — a malformed request is never enqueued.
+    """
+
+
 class MessagingError(ReproError):
     """A message-passing runtime knob or channel operation is invalid.
 

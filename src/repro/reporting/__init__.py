@@ -31,3 +31,7 @@ from repro.reporting.telemetry import (
 )
 
 __all__ += ["merge_trace", "render_metrics", "render_spans", "render_trace"]
+
+from repro.reporting.service import render_service
+
+__all__ += ["render_service"]

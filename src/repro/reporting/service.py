@@ -1,0 +1,54 @@
+"""Render the wave service's stats endpoint payload as tables.
+
+``repro serve`` prints this at the end of a serving session (and on
+demand); the input is exactly the JSON-able dict returned by
+:meth:`repro.service.WaveService.stats`, so anything a remote stats
+endpoint would expose renders the same way locally.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.reporting.tables import render_table
+
+__all__ = ["render_service"]
+
+
+def render_service(stats: Mapping[str, object]) -> str:
+    """Render a ``WaveService.stats()`` payload as ASCII tables."""
+    knobs = stats.get("knobs", {})
+    header_rows = [
+        {
+            "accepted": stats.get("accepted", 0),
+            "rejected": stats.get("rejected", 0),
+            "coalesced": stats.get("requests_coalesced", 0),
+            "events": stats.get("events_published", 0),
+            "uptime (s)": float(stats.get("uptime_seconds", 0.0)),
+        }
+    ]
+    knob_rows = [
+        {
+            "batch_window": knobs.get("batch_window"),
+            "max_in_flight": knobs.get("max_in_flight"),
+            "queue_bound": knobs.get("queue_bound"),
+            "jobs": knobs.get("jobs"),
+        }
+    ]
+    topo_rows = [
+        {
+            "topology": name,
+            "nodes": info.get("nodes"),
+            "queue": info.get("queue_depth"),
+            "waves": info.get("waves_run"),
+            "served": info.get("requests_served"),
+        }
+        for name, info in sorted(stats.get("topologies", {}).items())  # type: ignore[union-attr]
+    ]
+    parts = [
+        render_table(header_rows, title="wave service"),
+        render_table(knob_rows, title="knobs"),
+    ]
+    if topo_rows:
+        parts.append(render_table(topo_rows, title="topologies"))
+    return "\n\n".join(parts)

@@ -1,0 +1,70 @@
+"""Wave-service knobs: explicit argument > environment variable > default.
+
+Three ``REPRO_SERVICE_*`` knobs tune the service without code changes:
+
+``REPRO_SERVICE_BATCH_WINDOW``
+    How many queued requests a scheduler may sweep into one coalescing
+    pass (default 32).  Larger windows coalesce more aggressively.
+``REPRO_SERVICE_MAX_IN_FLIGHT``
+    How many wave executions may run concurrently across topologies —
+    the executor-side concurrency bound (default 4).
+``REPRO_SERVICE_QUEUE_BOUND``
+    How many requests a topology's queue may hold before ``submit``
+    rejects with :class:`~repro.errors.ServiceOverloadedError`
+    (default 1024).
+
+All three delegate to
+:func:`repro.parallel.executor.resolve_worker_count`, so rejections use
+the *same* named-value validation errors as ``resolve_jobs``: zero,
+negatives, non-integers (including bools) and garbage environment
+strings raise :class:`~repro.errors.ParallelError` naming the offending
+value and where it came from.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.executor import resolve_worker_count
+
+__all__ = [
+    "BATCH_WINDOW_ENV",
+    "MAX_IN_FLIGHT_ENV",
+    "QUEUE_BOUND_ENV",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_QUEUE_BOUND",
+    "resolve_batch_window",
+    "resolve_max_in_flight",
+    "resolve_queue_bound",
+]
+
+BATCH_WINDOW_ENV = "REPRO_SERVICE_BATCH_WINDOW"
+MAX_IN_FLIGHT_ENV = "REPRO_SERVICE_MAX_IN_FLIGHT"
+QUEUE_BOUND_ENV = "REPRO_SERVICE_QUEUE_BOUND"
+
+DEFAULT_BATCH_WINDOW = 32
+DEFAULT_MAX_IN_FLIGHT = 4
+DEFAULT_QUEUE_BOUND = 1024
+
+
+def resolve_batch_window(value: int | None = None) -> int:
+    """Resolve the coalescing batch window (>= 1)."""
+    resolved = resolve_worker_count(
+        value, env_var=BATCH_WINDOW_ENV, name="batch_window"
+    )
+    return DEFAULT_BATCH_WINDOW if resolved is None else resolved
+
+
+def resolve_max_in_flight(value: int | None = None) -> int:
+    """Resolve the concurrent wave-execution bound (>= 1)."""
+    resolved = resolve_worker_count(
+        value, env_var=MAX_IN_FLIGHT_ENV, name="max_in_flight"
+    )
+    return DEFAULT_MAX_IN_FLIGHT if resolved is None else resolved
+
+
+def resolve_queue_bound(value: int | None = None) -> int:
+    """Resolve the per-topology pending-queue bound (>= 1)."""
+    resolved = resolve_worker_count(
+        value, env_var=QUEUE_BOUND_ENV, name="queue_bound"
+    )
+    return DEFAULT_QUEUE_BOUND if resolved is None else resolved

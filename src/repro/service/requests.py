@@ -1,0 +1,133 @@
+"""Typed wave requests, results, and the per-request client handle.
+
+A client calls ``WaveService.submit(kind, topology, args)`` and gets a
+:class:`RequestHandle` back *synchronously* — acceptance (validation,
+queue-bound check, ``accepted`` event) happens before submit returns,
+so the submission order visible to clients is exactly the order the
+service processes.  The handle then offers two asyncio views of the
+same request: ``await handle.result()`` for the final
+:class:`WaveResult`, and ``async for event in handle.events()`` for the
+lifecycle stream.
+
+Handles receive their events directly from the scheduler (not through
+the bus), so per-request streaming costs O(1) per event regardless of
+how many other requests are in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Mapping
+
+from repro.service.events import WaveEvent
+
+__all__ = ["WaveRequest", "WaveResult", "RequestHandle"]
+
+
+@dataclass(frozen=True, slots=True)
+class WaveRequest:
+    """An accepted wave request, as queued by a topology scheduler.
+
+    ``request_id`` is assigned in submission order by the service and
+    is the key of the determinism contract: under a fixed seed and
+    submission order, the mapping ``request_id -> WaveResult`` and each
+    request's event sequence are reproducible bit-for-bit.
+    """
+
+    request_id: int
+    kind: str
+    topology: str
+    args: Mapping[str, object]
+    coalescable: bool
+
+    @property
+    def coalesce_key(self) -> tuple[str, tuple[tuple[str, object], ...]] | None:
+        """Requests with equal keys may share one wave; ``None`` never shares."""
+        if not self.coalescable:
+            return None
+        return (self.kind, tuple(sorted(self.args.items())))
+
+
+@dataclass(frozen=True, slots=True)
+class WaveResult:
+    """The final, composition-independent outcome of one request.
+
+    ``value`` is the kind-specific plain-data payload from
+    :class:`~repro.applications.waves.WaveEngine`; ``rounds`` is the
+    serving wave's round count (identical whether or not the request
+    shared its wave, by the clean-start determinism argument in
+    DESIGN.md §15); ``ok`` is the PIF specification verdict.
+    """
+
+    request_id: int
+    kind: str
+    topology: str
+    value: object
+    rounds: int
+    ok: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "topology": self.topology,
+            "value": self.value,
+            "rounds": self.rounds,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class RequestHandle:
+    """The client's view of one submitted request."""
+
+    request: WaveRequest
+    _future: asyncio.Future = field(repr=False)
+    _events: list[WaveEvent] = field(default_factory=list, repr=False)
+    _wake: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    _done: bool = False
+    #: Submission timestamp (perf_counter) for latency telemetry.
+    _submitted_at: float = 0.0
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    async def result(self) -> WaveResult:
+        """Await the final result (raises the typed error on failure)."""
+        return await asyncio.shield(self._future)
+
+    def events_so_far(self) -> list[WaveEvent]:
+        """The lifecycle events recorded so far (no consumption)."""
+        return list(self._events)
+
+    async def events(self) -> AsyncIterator[WaveEvent]:
+        """Stream this request's lifecycle events; ends at completed/failed."""
+        cursor = 0
+        while True:
+            while cursor < len(self._events):
+                event = self._events[cursor]
+                cursor += 1
+                yield event
+            if self._done and cursor >= len(self._events):
+                return
+            self._wake.clear()
+            if cursor < len(self._events) or self._done:
+                continue
+            await self._wake.wait()
+
+    # -- scheduler-side API -------------------------------------------
+    def _record(self, event: WaveEvent) -> None:
+        self._events.append(event)
+        if event.phase in ("completed", "failed"):
+            self._done = True
+        self._wake.set()
+
+    def _resolve(self, result: WaveResult) -> None:
+        if not self._future.done():
+            self._future.set_result(result)
+
+    def _reject(self, error: BaseException) -> None:
+        if not self._future.done():
+            self._future.set_exception(error)

@@ -1,0 +1,245 @@
+"""Per-topology wave scheduler: FIFO queue, adjacent-run coalescing.
+
+One :class:`TopologyScheduler` owns one
+:class:`~repro.applications.waves.WaveEngine` and one asyncio task.
+The task drains a FIFO queue of accepted requests, and for each sweep
+takes the longest *adjacent* run of requests with equal coalesce keys
+(same kind, same args — up to the batch window) and serves the whole
+run with **one** PIF wave.  Snap-stabilization is what makes this
+sound: the wave is individually correct regardless of what earlier
+waves left behind, so its result can answer every request in the run
+(DESIGN.md §15).
+
+Only adjacent runs coalesce — never requests separated by a different
+request — so the served sequence of waves is a contraction of the
+submission order, and every request observes exactly the application
+state it would have observed under serial FIFO execution.  ``reset``
+requests are never coalesced (each must bump the epoch exactly once)
+and also *break* runs, so a snapshot submitted after a reset can never
+be served by a pre-reset wave.
+
+Wave execution runs in a worker thread (``loop.run_in_executor``) under
+a service-wide in-flight semaphore, so the event loop keeps accepting
+submissions and streaming events while simulators grind.  Within one
+topology waves are strictly sequential — the engine is stateful — so
+worker counts only add cross-topology parallelism, which is why
+per-topology results and event streams are reproducible across worker
+counts (the determinism tests assert exactly this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import Executor
+from typing import Callable
+
+from repro import telemetry as _telemetry
+from repro.applications.waves import WaveEngine, WaveServing
+from repro.errors import ServiceClosedError, ServiceError
+from repro.service.events import WaveEvent
+from repro.service.requests import RequestHandle, WaveRequest, WaveResult
+
+__all__ = ["TopologyScheduler"]
+
+
+class TopologyScheduler:
+    """Serve one named topology's request queue with pipelined waves."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: WaveEngine,
+        *,
+        batch_window: int,
+        queue_bound: int,
+        publish: Callable[[WaveEvent], None],
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.batch_window = batch_window
+        self.queue_bound = queue_bound
+        self._executor: Executor | None = None
+        self._in_flight: asyncio.Semaphore | None = None
+        self._publish = publish
+        self._queue: deque[tuple[WaveRequest, RequestHandle]] = deque()
+        self._wake = asyncio.Event()
+        self._closing = False
+        self._task: asyncio.Task | None = None
+        #: Waves actually run / requests served (stats endpoint).
+        self.waves_run = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Service-side API (event-loop thread only)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def start(
+        self, executor: Executor, in_flight: asyncio.Semaphore
+    ) -> None:
+        """Bind the shared executor + in-flight bound and launch the task."""
+        if self._task is None:
+            self._executor = executor
+            self._in_flight = in_flight
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"wave-scheduler:{self.name}"
+            )
+
+    def enqueue(self, request: WaveRequest, handle: RequestHandle) -> None:
+        """Queue an accepted request (the service already checked bounds)."""
+        self._queue.append((request, handle))
+        self._wake.set()
+        if _telemetry.enabled:
+            _telemetry.registry.observe(
+                "worker.service.queue_depth",
+                len(self._queue),
+                _telemetry.SIZE_BOUNDS,
+            )
+
+    async def close(self, *, drain: bool) -> None:
+        """Stop the scheduler task.
+
+        With ``drain=True`` every queued request is still served before
+        the task exits; with ``drain=False`` queued requests are
+        rejected immediately with
+        :class:`~repro.errors.ServiceClosedError` (the wave in flight,
+        if any, still completes — simulator work is not interruptible).
+        """
+        self._closing = True
+        if not drain:
+            while self._queue:
+                request, handle = self._queue.popleft()
+                error = ServiceClosedError(
+                    f"service shut down before request {request.request_id} "
+                    f"({request.kind} on {self.name!r}) was served"
+                )
+                self._emit(handle, "failed", str(error))
+                handle._reject(error)
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+
+    # ------------------------------------------------------------------
+    # The scheduler loop
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._closing:
+                    return
+                self._wake.clear()
+                if self._queue or self._closing:
+                    continue
+                await self._wake.wait()
+                continue
+            batch = self._next_batch()
+            for request, handle in batch:
+                self._emit(handle, "initiated", None)
+            if _telemetry.enabled:
+                reg = _telemetry.registry
+                reg.inc("worker.service.batches")
+                reg.observe(
+                    "worker.service.batch_size",
+                    len(batch),
+                    _telemetry.SIZE_BOUNDS,
+                )
+                if len(batch) > 1:
+                    reg.inc("worker.service.coalesced", len(batch) - 1)
+            kind = batch[0][0].kind
+            args = dict(batch[0][0].args)
+            async with self._in_flight:
+                started = time.perf_counter()
+                span = _telemetry.span("service.wave")
+                span.set("topology", self.name).set("kind", kind)
+                span.set("batch", len(batch))
+                try:
+                    with span:
+                        serving: WaveServing = await loop.run_in_executor(
+                            self._executor, self.engine.run_wave, kind, args
+                        )
+                except ServiceError as error:
+                    self._fail_batch(batch, error)
+                    continue
+                except Exception as error:  # simulator-level failures
+                    self._fail_batch(
+                        batch,
+                        ServiceError(
+                            f"wave execution failed on {self.name!r}: {error}"
+                        ),
+                    )
+                    continue
+                finally:
+                    if _telemetry.enabled:
+                        _telemetry.registry.observe(
+                            "service.wave.seconds",
+                            time.perf_counter() - started,
+                            _telemetry.TIME_BOUNDS,
+                        )
+            self.waves_run += 1
+            for request, handle in batch:
+                result = WaveResult(
+                    request_id=request.request_id,
+                    kind=request.kind,
+                    topology=self.name,
+                    value=serving.value,
+                    rounds=serving.rounds,
+                    ok=serving.ok,
+                )
+                self._emit(handle, "feedback", serving.value)
+                self._emit(handle, "completed", result.as_dict())
+                handle._resolve(result)
+                self.requests_served += 1
+                if _telemetry.enabled:
+                    reg = _telemetry.registry
+                    reg.inc("service.completed")
+                    reg.observe(
+                        "service.request.seconds",
+                        time.perf_counter() - handle._submitted_at,
+                        _telemetry.TIME_BOUNDS,
+                    )
+
+    def _next_batch(self) -> list[tuple[WaveRequest, RequestHandle]]:
+        """Pop the longest adjacent run of coalescable equal-key requests."""
+        first = self._queue.popleft()
+        batch = [first]
+        key = first[0].coalesce_key
+        if key is None:
+            return batch
+        while (
+            self._queue
+            and len(batch) < self.batch_window
+            and self._queue[0][0].coalesce_key == key
+        ):
+            batch.append(self._queue.popleft())
+        return batch
+
+    def _fail_batch(
+        self,
+        batch: list[tuple[WaveRequest, RequestHandle]],
+        error: ServiceError,
+    ) -> None:
+        for request, handle in batch:
+            self._emit(handle, "failed", str(error))
+            handle._reject(error)
+            if _telemetry.enabled:
+                _telemetry.registry.inc("service.failed")
+
+    def _emit(
+        self, handle: RequestHandle, phase: str, payload: object
+    ) -> None:
+        """Record an event on the handle and publish it to the bus."""
+        event = WaveEvent(
+            phase=phase,
+            request_id=handle.request.request_id,
+            kind=handle.request.kind,
+            topology=self.name,
+            seq=len(handle._events),
+            payload=payload,
+        )
+        handle._record(event)
+        self._publish(event)

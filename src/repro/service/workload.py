@@ -1,0 +1,105 @@
+"""Deterministic client workloads: the service's submission scripts.
+
+The determinism contract is stated over *submission scripts* — a fixed
+sequence of ``(kind, args)`` pairs submitted in a fixed order.
+:func:`make_workload` builds such a script from a seed (its own
+``random.Random``, never the global RNG), and :func:`run_workload`
+plays one against a running service in burst mode: every request is
+submitted synchronously before the first await, then all results are
+gathered.  The same script + the same service seed must produce the
+same :class:`WorkloadOutcome` bit-for-bit — the determinism tests and
+the ``repro serve --demo`` CLI both go through these helpers, so they
+exercise the exact code path the contract covers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.service.service import WaveService
+
+__all__ = ["make_workload", "run_workload", "WorkloadOutcome"]
+
+#: kind -> weight for the default request mix.  ``reset`` is rare: it
+#: is the one kind that mutates application state (and never coalesces).
+DEFAULT_MIX: dict[str, int] = {
+    "pif": 4,
+    "snapshot": 3,
+    "infimum": 2,
+    "census": 2,
+    "reset": 1,
+}
+
+
+def make_workload(
+    count: int,
+    *,
+    seed: int = 0,
+    mix: dict[str, int] | None = None,
+) -> list[tuple[str, dict[str, object]]]:
+    """Build a deterministic submission script of ``count`` requests.
+
+    Kinds are drawn from the weighted ``mix`` (default
+    :data:`DEFAULT_MIX`); kind-specific args are drawn from the same
+    private RNG, so the whole script is a pure function of
+    ``(count, seed, mix)``.
+    """
+    rng = random.Random(seed)
+    weights = DEFAULT_MIX if mix is None else mix
+    kinds = list(weights)
+    script: list[tuple[str, dict[str, object]]] = []
+    for i in range(count):
+        kind = rng.choices(kinds, weights=[weights[k] for k in kinds])[0]
+        if kind == "pif":
+            args: dict[str, object] = {"payload": f"msg-{rng.randrange(4)}"}
+        elif kind == "infimum":
+            args = {
+                "op": rng.choice(["min", "max", "sum"]),
+                "offset": rng.randrange(3),
+            }
+        else:
+            args = {}
+        script.append((kind, args))
+    return script
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadOutcome:
+    """Everything a determinism assertion needs, as plain data.
+
+    ``results`` is the request → result mapping in submission order;
+    ``event_streams`` is each request's full lifecycle event sequence
+    (``as_dict`` form).  Both are composition-independent, so two runs
+    with the same seed and script compare equal with ``==``.
+    """
+
+    results: list[dict[str, object]]
+    event_streams: list[list[dict[str, object]]]
+    waves_run: int
+    requests_served: int
+
+
+async def run_workload(
+    service: WaveService,
+    topology: str,
+    script: list[tuple[str, dict[str, object]]],
+) -> WorkloadOutcome:
+    """Submit a script in one burst and gather every result.
+
+    Submission is synchronous (no await between requests), so the
+    service observes the script's order exactly; results are awaited in
+    submission order afterwards.
+    """
+    handles = [service.submit(kind, topology, args) for kind, args in script]
+    results = [await handle.result() for handle in handles]
+    scheduler = service._schedulers[topology]
+    return WorkloadOutcome(
+        results=[result.as_dict() for result in results],
+        event_streams=[
+            [event.as_dict() for event in handle.events_so_far()]
+            for handle in handles
+        ],
+        waves_run=scheduler.waves_run,
+        requests_served=scheduler.requests_served,
+    )

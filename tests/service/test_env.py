@@ -1,0 +1,80 @@
+"""REPRO_SERVICE_* knob resolution: precedence and named-value errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.executor import ParallelError
+from repro.service.env import (
+    BATCH_WINDOW_ENV,
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_MAX_IN_FLIGHT,
+    DEFAULT_QUEUE_BOUND,
+    MAX_IN_FLIGHT_ENV,
+    QUEUE_BOUND_ENV,
+    resolve_batch_window,
+    resolve_max_in_flight,
+    resolve_queue_bound,
+)
+
+KNOBS = [
+    (resolve_batch_window, BATCH_WINDOW_ENV, DEFAULT_BATCH_WINDOW),
+    (resolve_max_in_flight, MAX_IN_FLIGHT_ENV, DEFAULT_MAX_IN_FLIGHT),
+    (resolve_queue_bound, QUEUE_BOUND_ENV, DEFAULT_QUEUE_BOUND),
+]
+KNOB_IDS = ["batch-window", "max-in-flight", "queue-bound"]
+
+
+@pytest.mark.parametrize("resolve,env,default", KNOBS, ids=KNOB_IDS)
+class TestResolution:
+    def test_default_when_unset(self, resolve, env, default, monkeypatch):
+        monkeypatch.delenv(env, raising=False)
+        assert resolve() == default
+
+    def test_explicit_argument_wins(self, resolve, env, default, monkeypatch):
+        monkeypatch.setenv(env, "7")
+        assert resolve(3) == 3
+
+    def test_env_var_used_when_no_argument(
+        self, resolve, env, default, monkeypatch
+    ):
+        monkeypatch.setenv(env, "7")
+        assert resolve() == 7
+
+    def test_empty_env_falls_back_to_default(
+        self, resolve, env, default, monkeypatch
+    ):
+        monkeypatch.setenv(env, "  ")
+        assert resolve() == default
+
+
+@pytest.mark.parametrize("resolve,env,default", KNOBS, ids=KNOB_IDS)
+@pytest.mark.parametrize("bad", [0, -1, -100])
+class TestRejectsBadArguments:
+    def test_rejects(self, resolve, env, default, bad):
+        with pytest.raises(ParallelError) as exc:
+            resolve(bad)
+        assert str(bad) in str(exc.value)
+
+
+@pytest.mark.parametrize("resolve,env,default", KNOBS, ids=KNOB_IDS)
+class TestRejectsGarbage:
+    def test_bool_argument(self, resolve, env, default):
+        with pytest.raises(ParallelError):
+            resolve(True)
+
+    def test_non_integer_argument(self, resolve, env, default):
+        with pytest.raises(ParallelError):
+            resolve(2.5)
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "garbage", "1.5"])
+    def test_bad_env_value_names_the_variable(
+        self, resolve, env, default, monkeypatch, raw
+    ):
+        monkeypatch.setenv(env, raw)
+        with pytest.raises(ParallelError) as exc:
+            resolve()
+        # The same named-value discipline as resolve_jobs: the error
+        # says which variable held the offending value.
+        assert env in str(exc.value)
+        assert raw in str(exc.value)

@@ -1,0 +1,132 @@
+"""Event bus: predicate combinators, subscriptions, streaming, close."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.events import (
+    EventBus,
+    WaveEvent,
+    all_of,
+    any_of,
+    for_kinds,
+    for_phases,
+    for_request,
+    for_topology,
+    not_,
+)
+
+
+def event(phase="completed", request_id=0, kind="pif", topology="star", seq=0):
+    return WaveEvent(
+        phase=phase,
+        request_id=request_id,
+        kind=kind,
+        topology=topology,
+        seq=seq,
+    )
+
+
+class TestPredicates:
+    def test_for_request(self):
+        assert for_request(3)(event(request_id=3))
+        assert not for_request(3)(event(request_id=4))
+
+    def test_for_topology(self):
+        assert for_topology("star")(event(topology="star"))
+        assert not for_topology("star")(event(topology="ring"))
+
+    def test_for_kinds(self):
+        p = for_kinds("pif", "reset")
+        assert p(event(kind="pif"))
+        assert p(event(kind="reset"))
+        assert not p(event(kind="census"))
+
+    def test_for_phases(self):
+        p = for_phases("completed", "failed")
+        assert p(event(phase="failed"))
+        assert not p(event(phase="accepted"))
+
+    def test_combinators(self):
+        p = all_of(for_topology("star"), for_kinds("pif"))
+        assert p(event())
+        assert not p(event(kind="census"))
+        q = any_of(for_kinds("census"), for_request(9))
+        assert q(event(request_id=9))
+        assert not q(event())
+        assert not_(p)(event(kind="census"))
+
+    def test_all_of_empty_matches_everything(self):
+        assert all_of()(event())
+
+
+class TestBus:
+    def test_publish_reaches_matching_subscriptions_only(self):
+        bus = EventBus()
+        stars = bus.subscribe(for_topology("star"))
+        rings = bus.subscribe(for_topology("ring"))
+        everything = bus.subscribe()
+        bus.publish(event(topology="star"))
+        bus.publish(event(topology="ring", request_id=1))
+        assert [e.topology for e in stars.drain()] == ["star"]
+        assert [e.topology for e in rings.drain()] == ["ring"]
+        assert len(everything.drain()) == 2
+        assert bus.published == 2
+
+    def test_drain_consumes(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish(event())
+        assert len(sub.drain()) == 1
+        assert sub.drain() == []
+        bus.publish(event(request_id=1))
+        assert [e.request_id for e in sub.drain()] == [1]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.publish(event())
+        assert sub.drain() == []
+
+    def test_as_dict_round_trip(self):
+        e = event(phase="feedback", seq=2)
+        d = e.as_dict()
+        assert d["phase"] == "feedback"
+        assert d["seq"] == 2
+        assert set(d) == {
+            "phase", "request_id", "kind", "topology", "seq", "payload",
+        }
+
+
+class TestAsyncStreaming:
+    def test_stream_yields_then_ends_on_close(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe(for_kinds("pif"))
+            bus.publish(event(seq=0))
+            bus.publish(event(kind="census"))  # filtered out
+            bus.publish(event(seq=1))
+
+            async def consume():
+                return [e.seq async for e in sub]
+
+            task = asyncio.get_running_loop().create_task(consume())
+            await asyncio.sleep(0)  # let the consumer drain the backlog
+            bus.publish(event(seq=2))
+            await asyncio.sleep(0)
+            bus.close()
+            return await task
+
+        assert asyncio.run(scenario()) == [0, 1, 2]
+
+    def test_closed_subscription_ignores_new_events(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe()
+            bus.publish(event(seq=0))
+            sub.close()
+            bus.publish(event(seq=1))
+            return [e.seq async for e in sub]
+
+        assert asyncio.run(scenario()) == [0]

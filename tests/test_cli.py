@@ -167,3 +167,55 @@ class TestStatsCommand:
         bad.write_text("not json\n")
         assert main(["stats", str(bad)]) == 2
         assert "malformed" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_runs_a_session(self, capsys) -> None:
+        assert main(
+            ["serve", "--topology", "star", "--size", "8",
+             "--requests", "12", "--clients", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 12 wave requests on star-8" in out
+        assert "'phase': 'accepted'" in out
+        assert "wave service" in out
+        assert "topologies" in out
+
+    def test_serve_json_payload(self, capsys) -> None:
+        import json
+
+        assert main(
+            ["serve", "--topology", "line", "--size", "5",
+             "--requests", "8", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["topology"] == "line-5"
+        assert payload["requests"] == 8
+        assert payload["failed"] == 0
+        assert payload["stats"]["accepted"] == 8
+        assert sum(payload["kinds"].values()) == 8
+
+    def test_serve_is_deterministic_across_runs(self, capsys) -> None:
+        import json
+
+        def run() -> dict:
+            assert main(
+                ["serve", "--topology", "ring", "--size", "6",
+                 "--requests", "10", "--seed", "3", "--json"]
+            ) == 0
+            return json.loads(capsys.readouterr().out)
+
+        first, second = run(), run()
+        assert first["kinds"] == second["kinds"]
+        assert first["requests"] == second["requests"]
+
+    def test_serve_rejects_bad_knobs(self) -> None:
+        import pytest as _pytest
+
+        from repro.parallel.executor import ParallelError
+
+        with _pytest.raises(ParallelError):
+            main(
+                ["serve", "--topology", "star", "--size", "5",
+                 "--requests", "2", "--batch-window", "0"]
+            )
